@@ -1,0 +1,12 @@
+//! Figure 5b: Nekbone weak scaling, relative performance to Linux.
+
+use pico_apps::App;
+use pico_bench::{full_flag, node_counts};
+use pico_cluster::{format_scaling, scaling};
+
+fn main() {
+    let nodes = node_counts(full_flag(), 1);
+    let points = scaling(App::Nekbone, &nodes, 10, None);
+    println!("{}", format_scaling("Nekbone", &points));
+    println!("{}", pico_bench::to_jsonl(&points));
+}

@@ -1,0 +1,12 @@
+//! Figure 6a: UMT2013 weak scaling, relative performance to Linux.
+
+use pico_apps::App;
+use pico_bench::{full_flag, node_counts};
+use pico_cluster::{format_scaling, scaling};
+
+fn main() {
+    let nodes = node_counts(full_flag(), 1);
+    let points = scaling(App::Umt2013, &nodes, 8, None);
+    println!("{}", format_scaling("UMT2013", &points));
+    println!("{}", pico_bench::to_jsonl(&points));
+}

@@ -1,0 +1,17 @@
+//! Figure 7: QBOX weak scaling, relative performance to Linux.
+
+use pico_apps::App;
+use pico_bench::{full_flag, node_counts};
+use pico_cluster::{format_scaling, scaling};
+
+fn main() {
+    let mut nodes = node_counts(full_flag(), 4);
+    // QBOX's 64-rank column all-to-all is the costliest workload to
+    // simulate; the default sweep stops at 32 nodes (use --full for more).
+    if !full_flag() {
+        nodes.retain(|&n| n <= 32);
+    }
+    let points = scaling(App::Qbox, &nodes, 4, None);
+    println!("{}", format_scaling("QBOX", &points));
+    println!("{}", pico_bench::to_jsonl(&points));
+}

@@ -1,0 +1,11 @@
+//! Figure 8: system-call time breakdown of UMT2013, McKernel vs
+//! McKernel+HFI1 (the pies), plus the kernel-time ratio (paper: ~7%).
+
+use pico_apps::App;
+use pico_cluster::{format_breakdown, syscall_breakdown, OsConfig};
+
+fn main() {
+    let mck = syscall_breakdown(App::Umt2013, OsConfig::McKernel, 2, 10);
+    let hfi = syscall_breakdown(App::Umt2013, OsConfig::McKernelHfi, 2, 10);
+    println!("{}", format_breakdown("Figure 8: UMT2013", &mck, &hfi));
+}

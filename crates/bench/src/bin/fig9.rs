@@ -1,0 +1,12 @@
+//! Figure 9: system-call time breakdown of QBOX, McKernel vs
+//! McKernel+HFI1, plus the kernel-time ratio (paper: ~25%); munmap
+//! dominates the PicoDriver configuration.
+
+use pico_apps::App;
+use pico_cluster::{format_breakdown, syscall_breakdown, OsConfig};
+
+fn main() {
+    let mck = syscall_breakdown(App::Qbox, OsConfig::McKernel, 2, 25);
+    let hfi = syscall_breakdown(App::Qbox, OsConfig::McKernelHfi, 2, 25);
+    println!("{}", format_breakdown("Figure 9: QBOX", &mck, &hfi));
+}

@@ -1,0 +1,16 @@
+//! Table 1: communication profile (top-5 MPI calls) of UMT2013, HACC and
+//! QBOX on 8 compute nodes, for all three OS configurations.
+
+use pico_apps::App;
+use pico_cluster::{comm_profile, format_table1, OsConfig};
+use rayon::prelude::*;
+
+fn main() {
+    for (app, iters) in [(App::Umt2013, 10), (App::Hacc, 8), (App::Qbox, 8)] {
+        let cells: Vec<_> = OsConfig::ALL
+            .par_iter()
+            .map(|&os| (os, comm_profile(app, os, 8, iters, 5)))
+            .collect();
+        println!("{}", format_table1(app.name(), &cells));
+    }
+}

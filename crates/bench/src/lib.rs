@@ -1,0 +1,52 @@
+//! # pico-bench — experiment binaries and criterion micro-benches
+//!
+//! One binary per table/figure of the paper's evaluation (run with
+//! `cargo run --release -p pico-bench --bin figN`), plus an `ablations`
+//! binary for the design-choice studies DESIGN.md lists, and criterion
+//! benches over the performance-critical simulator components.
+
+#![warn(missing_docs)]
+
+use pico_cluster::ScalingPoint;
+
+/// Standard node counts for the scaling figures. The paper sweeps 1-256;
+/// the default here stops at 64 (4096 ranks simulated) to keep a full
+/// regeneration under a few minutes — pass `--full` to go to 256.
+pub fn node_counts(full: bool, start: u32) -> Vec<u32> {
+    let max = if full { 256 } else { 64 };
+    let mut v = Vec::new();
+    let mut n = start;
+    while n <= max {
+        v.push(n);
+        n *= 2;
+    }
+    v
+}
+
+/// Whether `--full` was passed.
+pub fn full_flag() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+/// Serialize scaling points to a JSON lines string (for plotting).
+pub fn to_jsonl(points: &[ScalingPoint]) -> String {
+    points
+        .iter()
+        .map(|p| serde_json::to_string(p).expect("serializable"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_count_sets() {
+        assert_eq!(node_counts(false, 1), vec![1, 2, 4, 8, 16, 32, 64]);
+        assert_eq!(
+            node_counts(true, 4),
+            vec![4, 8, 16, 32, 64, 128, 256]
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Cluster configuration: the three OS configurations of the evaluation
+//! plus every knob the ablation benches sweep.
+
+use pico_apps::JobShape;
+use pico_fabric::FabricConfig;
+use pico_ihk::IkcConfig;
+use pico_linux::NoiseConfig;
+use pico_psm::PsmConfig;
+use pico_sim::Ns;
+
+/// The operating-system configuration of a run — the three lines of
+/// every figure in §4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OsConfig {
+    /// Stock Linux (Fujitsu HPC-tuned: `nohz_full` application cores).
+    Linux,
+    /// IHK/McKernel with system-call offloading (original).
+    McKernel,
+    /// IHK/McKernel with the HFI PicoDriver fast paths.
+    McKernelHfi,
+}
+
+impl OsConfig {
+    /// Label used in figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            OsConfig::Linux => "Linux",
+            OsConfig::McKernel => "McKernel",
+            OsConfig::McKernelHfi => "McKernel+HFI1",
+        }
+    }
+    /// All three configurations.
+    pub const ALL: [OsConfig; 3] = [OsConfig::Linux, OsConfig::McKernel, OsConfig::McKernelHfi];
+}
+
+/// Full cluster configuration.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// OS configuration.
+    pub os: OsConfig,
+    /// Job shape (nodes × ranks/node).
+    pub shape: JobShape,
+    /// Cores per node (68 on the paper's KNL nodes).
+    pub cores_per_node: u32,
+    /// Linux service cores per node (4 on OFP).
+    pub service_cores: usize,
+    /// Physical memory per node handed to the rank side.
+    pub mem_per_node: u64,
+    /// Fabric parameters.
+    pub fabric: FabricConfig,
+    /// PSM parameters.
+    pub psm: PsmConfig,
+    /// IKC latency parameters.
+    pub ikc: IkcConfig,
+    /// RNG seed (runs are bit-deterministic per seed).
+    pub seed: u64,
+    /// Fast-path SDMA request cap (hardware max 10 KB; ablations sweep).
+    pub sdma_cap: u64,
+    /// Enable the fast-path TID registration cache.
+    pub tid_cache: bool,
+    /// LWK backs anonymous memory with contiguous/large pages
+    /// (ablation: disable to measure what contiguity is worth).
+    pub lwk_large_pages: bool,
+    /// Override the noise model (ablation: [`NoiseConfig::none`]).
+    pub noise_override: Option<NoiseConfig>,
+    /// PIO copy bandwidth (user-space eager sends).
+    pub pio_bw: f64,
+    /// PIO fixed cost per packet.
+    pub pio_base: Ns,
+    /// Receive-side eager copy-out bandwidth.
+    pub copy_bw: f64,
+    /// Maximum uniform random launch stagger across ranks.
+    pub launch_skew: Ns,
+    /// Extra one-time `MPI_Init` cost of the PicoDriver configuration
+    /// (LWK-side mapping of driver internals, DWARF port load).
+    pub pico_init_cost: Ns,
+    /// Fraction of host memory churned to fragment the Linux buddy.
+    pub host_fragmentation: f64,
+    /// Carry real payloads end to end (small runs only).
+    pub backed: bool,
+}
+
+impl ClusterConfig {
+    /// The paper's deployment defaults for a given OS config and shape.
+    pub fn paper(os: OsConfig, shape: JobShape) -> ClusterConfig {
+        ClusterConfig {
+            os,
+            shape,
+            cores_per_node: 68,
+            service_cores: 4,
+            // Enough for buffers: scale with ranks (32 MiB per rank + slack).
+            mem_per_node: (shape.ranks_per_node as u64 + 4) * (64 << 20),
+            fabric: FabricConfig::default(),
+            psm: PsmConfig {
+                ranks_per_node: shape.ranks_per_node,
+                ..Default::default()
+            },
+            ikc: IkcConfig::default(),
+            seed: 0x9e3779b97f4a7c15,
+            sdma_cap: 10 * 1024,
+            tid_cache: true,
+            lwk_large_pages: true,
+            noise_override: None,
+            pio_bw: 8.0e9,
+            pio_base: Ns::nanos(450),
+            copy_bw: 10.0e9,
+            launch_skew: Ns::millis(2),
+            pico_init_cost: Ns::millis(1),
+            host_fragmentation: 0.4,
+            backed: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(OsConfig::Linux.label(), "Linux");
+        assert_eq!(OsConfig::McKernelHfi.label(), "McKernel+HFI1");
+        assert_eq!(OsConfig::ALL.len(), 3);
+    }
+
+    #[test]
+    fn paper_defaults_are_sane() {
+        let shape = JobShape { nodes: 8, ranks_per_node: 32 };
+        let c = ClusterConfig::paper(OsConfig::McKernel, shape);
+        assert_eq!(c.cores_per_node, 68);
+        assert_eq!(c.service_cores, 4);
+        assert_eq!(c.psm.ranks_per_node, 32);
+        assert!(c.mem_per_node > 32 * (32 << 20));
+    }
+}

@@ -1,0 +1,28 @@
+//! # pico-cluster — the full-system composition and experiment runner
+//!
+//! Assembles everything into runnable experiments: each node composes
+//! the Linux model (`pico-linux`), the LWK pieces (`pico-mckernel`), the
+//! HFI1 chip + unmodified driver (`pico-hfi1`), and — in the
+//! `McKernelHfi` configuration — the PicoDriver fast path, callback
+//! table, VA unification proof and LWK allocator (`picodriver`), all
+//! driven by one deterministic event loop over `pico-fabric`.
+//!
+//! * [`config`] — the three OS configurations and every ablation knob;
+//! * [`world`] — the simulator: rank clocks, offload round trips, IRQ
+//!   contention on the service cores, PSM inboxes;
+//! * [`experiments`] — the runners and text reports for Figure 4, the
+//!   scaling figures 5–7, Table 1, and the Figure 8/9 syscall pies.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiments;
+pub mod world;
+
+pub use config::{ClusterConfig, OsConfig};
+pub use experiments::{
+    comm_profile, fig4, format_breakdown, format_fig4, format_scaling, format_table1,
+    pingpong_bandwidth, profile_rows, scaling, syscall_breakdown, Fig4Row, ScalingPoint,
+    SyscallBreakdown, Table1Row,
+};
+pub use world::{app_spec, paper_config, run_app, RunResult, World};

@@ -1,0 +1,951 @@
+//! The full-system simulator: N nodes, each composing the Linux model,
+//! the McKernel model, the HFI1 chip + driver, and (in the PicoDriver
+//! configuration) the fast path — driven by one deterministic event loop.
+//!
+//! Time accounting rules:
+//!
+//! * a rank owns a local clock; compute segments advance it through the
+//!   node's noise model;
+//! * kernel-visible operations advance it by the *route-dependent* cost:
+//!   local handling (Linux / fast path) or the full offload round trip
+//!   including queueing at the node's few Linux service cores;
+//! * SDMA completion IRQs are serviced by those same Linux cores, so IRQ
+//!   load and offloaded syscalls contend — a second-order effect the
+//!   paper's UMT collapse depends on;
+//! * PSM has no progress thread: packets arriving while a rank computes
+//!   wait in its inbox until the rank re-enters the MPI library.
+
+use crate::config::{ClusterConfig, OsConfig};
+use pico_apps::{App, AppSpec, JobShape};
+use pico_fabric::Fabric;
+use pico_hfi1::structs::LayoutSet;
+use pico_hfi1::{Hfi1Driver, HfiChip, HfiChipConfig, HfiDriverCosts, SdmaSubmission};
+use pico_ihk::{Delegator, ProxyRegistry, Sysno};
+use pico_linux::{LinuxCosts, NoiseConfig, NoiseSource, Vfs};
+use pico_mckernel::{BlockId, MckMmCosts, ScalableAllocator, SyscallTable};
+use pico_mem::{AddressSpace, BuddyAllocator, MapPolicy, PhysAddr, VirtAddr};
+use pico_mpi::{BufTable, HostOp, MpiCall, MpiRank, StepResult};
+use pico_psm::{Endpoint, MqHandle, PsmAction, PsmPacket};
+use pico_sim::{transfer_time, EventQueue, Ns, Rng, TimeByKey};
+use picodriver::{CallbackKind, CallbackRef, CallbackTable, HfiFastPath, UnifiedKernelSpace};
+use std::collections::HashMap;
+
+const MMAP_BASE: VirtAddr = VirtAddr(0x7000_0000_0000);
+
+/// Events of the cluster simulation.
+enum Ev {
+    /// Resume a rank (compute finished / retry progress).
+    Wake(usize),
+    /// Deliver a PSM packet to a rank.
+    Packet {
+        dst: usize,
+        src: u32,
+        packet: PsmPacket,
+    },
+    /// Sender-side SDMA completion (IRQ handled, callbacks run).
+    SdmaSent {
+        rank: usize,
+        msg_id: u64,
+        window: u32,
+        va: u64,
+    },
+}
+
+/// One node's kernel + device complex.
+struct Node {
+    frames: BuddyAllocator,
+    vfs: Vfs,
+    dev: pico_linux::DevId,
+    chip: HfiChip,
+    driver: Hfi1Driver,
+    fast: Option<HfiFastPath>,
+    delegator: Delegator,
+    proxies: ProxyRegistry,
+    // PicoDriver runtime pieces, exercised functionally per completion.
+    unified: Option<UnifiedKernelSpace>,
+    callbacks: Option<CallbackTable>,
+    cb_ref: Option<CallbackRef>,
+    lwk_alloc: Option<ScalableAllocator>,
+}
+
+/// One MPI rank's state.
+struct RankState {
+    node: usize,
+    local: u32,
+    engine: MpiRank,
+    ep: Endpoint,
+    bufs: BufTable,
+    space: AddressSpace,
+    dev_handle: u64,
+    ctxt: u32,
+    clock: Ns,
+    noise: NoiseSource,
+    inbox: Vec<(u32, PsmPacket)>,
+    scratch: Vec<(VirtAddr, u64)>,
+    kprof: TimeByKey<Sysno>,
+    meta: HashMap<(u64, u32), BlockId>,
+    delivered: Vec<(MqHandle, Option<Vec<u8>>)>,
+    done: bool,
+}
+
+/// Aggregated results of one run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Wall-clock time of the slowest rank (the app's figure of merit).
+    pub wall_time: Ns,
+    /// Per-rank finish times.
+    pub rank_finish: Vec<Ns>,
+    /// MPI per-call time summed over all ranks.
+    pub mpi_profile: TimeByKey<MpiCall>,
+    /// Kernel per-syscall time summed over all ranks (Figures 8/9).
+    pub kernel_profile: TimeByKey<Sysno>,
+    /// Total offloaded syscalls across nodes.
+    pub offloaded_calls: u64,
+    /// Total queueing delay at the Linux service cores.
+    pub offload_queue_wait: Ns,
+    /// Bytes moved through the fabric.
+    pub fabric_bytes: u64,
+    /// Messages through the fabric.
+    pub fabric_messages: u64,
+    /// TID entries programmed on all chips.
+    pub tid_programs: u64,
+    /// PIO sends on all chips.
+    pub pio_sends: u64,
+    /// Ranks that reached `Finalize` (must equal the job size).
+    pub ranks_done: u32,
+    /// Payloads delivered to receives (backed runs only).
+    pub delivered_payloads: u64,
+}
+
+impl RunResult {
+    /// Total time spent in kernel space (the Fig. 8/9 denominator).
+    pub fn kernel_time(&self) -> Ns {
+        self.kernel_profile.grand_total()
+    }
+    /// Total MPI time.
+    pub fn mpi_time(&self) -> Ns {
+        self.mpi_profile.grand_total()
+    }
+}
+
+/// The simulator.
+pub struct World {
+    cfg: ClusterConfig,
+    lc: LinuxCosts,
+    mmc: MckMmCosts,
+    nodes: Vec<Node>,
+    ranks: Vec<RankState>,
+    fabric: Fabric,
+    queue: EventQueue<Ev>,
+    delivered_payloads: u64,
+}
+
+impl World {
+    /// Build a world for `app` under `cfg`.
+    pub fn new(cfg: ClusterConfig, app: App, iters: u32) -> World {
+        let shape = cfg.shape;
+        let spec = pico_apps::spec(app, shape);
+        let root_rng = Rng::new(cfg.seed);
+        let fabric = Fabric::new(cfg.fabric, shape.nodes as usize);
+        let lc = LinuxCosts::default();
+        let mmc = MckMmCosts::default();
+
+        let mut nodes = Vec::with_capacity(shape.nodes as usize);
+        for n in 0..shape.nodes {
+            nodes.push(Self::build_node(&cfg, n));
+        }
+        let mut ranks = Vec::with_capacity(shape.nranks() as usize);
+        for g in 0..shape.nranks() {
+            let node = (g / shape.ranks_per_node) as usize;
+            let local = g % shape.ranks_per_node;
+            let mut engine_cfg = spec.engine;
+            engine_cfg.backed = cfg.backed;
+            let program = pico_apps::program(app, shape, iters, g);
+            let noise_cfg = cfg.noise_override.unwrap_or(match cfg.os {
+                OsConfig::Linux => NoiseConfig::linux_nohz_full(),
+                _ => NoiseConfig::mckernel(),
+            });
+            let policy = match cfg.os {
+                OsConfig::Linux => MapPolicy::Fragmented4k,
+                _ if cfg.lwk_large_pages => MapPolicy::ContiguousLarge,
+                _ => MapPolicy::Fragmented4k,
+            };
+            let pinned = cfg.os != OsConfig::Linux;
+            let mut space = AddressSpace::new(policy, MMAP_BASE);
+            let frames = &mut nodes[node].frames;
+            let mut bufs = BufTable::default();
+            for &bytes in &spec.buffer_bytes {
+                let (va, _) = space
+                    .mmap_anonymous(frames, bytes, pinned)
+                    .expect("buffer allocation failed: raise mem_per_node");
+                bufs.bufs.push(va.0);
+            }
+            let (sva, _) = space
+                .mmap_anonymous(frames, spec.scratch_bytes.max(4096), pinned)
+                .expect("scratch allocation failed");
+            bufs.scratch = sva.0;
+            ranks.push(RankState {
+                node,
+                local,
+                engine: MpiRank::new(g, shape.nranks(), engine_cfg, program),
+                ep: Endpoint::new(g, cfg.psm),
+                bufs,
+                space,
+                dev_handle: 0,
+                ctxt: 0,
+                clock: Ns::ZERO,
+                noise: NoiseSource::new(noise_cfg, root_rng.substream(1000 + g as u64)),
+                inbox: Vec::new(),
+                scratch: Vec::new(),
+                kprof: TimeByKey::new(),
+                meta: HashMap::new(),
+                delivered: Vec::new(),
+                done: false,
+            });
+        }
+        let mut queue = EventQueue::new();
+        let mut skew_rng = root_rng.substream(7);
+        for (r, rank) in ranks.iter_mut().enumerate() {
+            let skew = Ns(skew_rng.gen_range(cfg.launch_skew.0.max(1)));
+            rank.clock = skew;
+            queue.schedule(skew, Ev::Wake(r));
+        }
+        World {
+            cfg,
+            lc,
+            mmc,
+            nodes,
+            ranks,
+            fabric,
+            queue,
+            delivered_payloads: 0,
+        }
+    }
+
+    fn build_node(cfg: &ClusterConfig, node_idx: u32) -> Node {
+        let base = PhysAddr(node_idx as u64 * (1 << 40));
+        let mut frames = BuddyAllocator::new(base, cfg.mem_per_node);
+        if cfg.os == OsConfig::Linux {
+            // A long-running host has fragmented physical memory.
+            let _held = frames.fragment(cfg.host_fragmentation);
+        } else if !cfg.lwk_large_pages {
+            // Ablation: an LWK without the contiguity guarantee — fully
+            // checkerboarded memory degenerates the fast path to 4 KiB
+            // requests.
+            let _held = frames.fragment(1.0);
+        }
+        let mut vfs = Vfs::new();
+        let dev = vfs.devices.register("hfi1_0");
+        let layouts = LayoutSet::v10_8();
+        let chip = HfiChip::new(HfiChipConfig::default(), cfg.shape.ranks_per_node as usize + 2);
+        let driver = Hfi1Driver::new(layouts.clone(), HfiDriverCosts::default(), 16);
+        let (fast, unified, callbacks, cb_ref, lwk_alloc) = if cfg.os == OsConfig::McKernelHfi {
+            let module = layouts.emit_module_binary();
+            let shadow = picodriver::HfiShadow::port(&module).expect("DWARF port failed");
+            let mut fp = HfiFastPath::new(shadow, Default::default(), cfg.tid_cache);
+            fp.sdma_cap = cfg.sdma_cap;
+            let unified = UnifiedKernelSpace::boot().expect("VA unification failed");
+            let mut table = CallbackTable::new(&unified);
+            let cb = table.register(CallbackKind::SdmaCompleteLwkFree);
+            let alloc = ScalableAllocator::new(cfg.shape.ranks_per_node as usize, 8192);
+            (Some(fp), Some(unified), Some(table), Some(cb), Some(alloc))
+        } else {
+            (None, None, None, None, None)
+        };
+        // Sanity: the syscall routing table matches the configuration.
+        let table = match cfg.os {
+            OsConfig::McKernelHfi => SyscallTable::with_hfi_picodriver(),
+            _ => SyscallTable::base(),
+        };
+        debug_assert_eq!(
+            table.has_fastpath(Sysno::Writev),
+            cfg.os == OsConfig::McKernelHfi
+        );
+        Node {
+            frames,
+            vfs,
+            dev,
+            chip,
+            driver,
+            fast,
+            delegator: Delegator::new(cfg.ikc, cfg.service_cores),
+            proxies: ProxyRegistry::new(),
+            unified,
+            callbacks,
+            cb_ref,
+            lwk_alloc,
+        }
+    }
+
+    /// Debug dump of stuck ranks (used when a run fails to complete).
+    pub fn debug_stuck(&self) -> String {
+        let mut out = String::new();
+        for (i, r) in self.ranks.iter().enumerate() {
+            if !r.done {
+                out.push_str(&format!(
+                    "rank {i}: clock={} inbox={} ep_actions={} {}\n",
+                    r.clock,
+                    r.inbox.len(),
+                    r.ep.has_actions(),
+                    r.engine.debug_state()
+                ));
+            }
+        }
+        out
+    }
+
+    /// Run to completion and aggregate results.
+    pub fn run(self) -> RunResult {
+        self.run_with_debug(false)
+    }
+
+    /// Run; optionally print stuck-rank diagnostics at exhaustion.
+    pub fn run_with_debug(mut self, debug: bool) -> RunResult {
+        let mut safety = 0u64;
+        while let Some((t, ev)) = self.queue.pop() {
+            safety += 1;
+            assert!(
+                safety < 2_000_000_000,
+                "runaway simulation: {} events",
+                safety
+            );
+            match ev {
+                Ev::Wake(r) => {
+                    if !self.ranks[r].done {
+                        let now = t.max(self.ranks[r].clock);
+                        self.run_rank(r, now);
+                    }
+                }
+                Ev::Packet { dst, src, packet } => {
+                    if self.ranks[dst].done {
+                        continue;
+                    }
+                    let busy_until = self.ranks[dst].clock;
+                    if busy_until > t {
+                        // Rank busy (computing or mid-offload): park the
+                        // packet and make sure the rank gets poked.
+                        self.ranks[dst].inbox.push((src, packet));
+                        self.queue.schedule(busy_until, Ev::Wake(dst));
+                    } else {
+                        let mut now = t;
+                        self.deliver_packet(dst, src, packet, &mut now);
+                        self.run_rank(dst, now);
+                    }
+                }
+                Ev::SdmaSent {
+                    rank,
+                    msg_id,
+                    window,
+                    va,
+                } => {
+                    self.on_sdma_sent(rank, msg_id, window, va);
+                    let now = t.max(self.ranks[rank].clock);
+                    if !self.ranks[rank].done {
+                        self.run_rank(rank, now);
+                    }
+                }
+            }
+        }
+        if debug {
+            let d = self.debug_stuck();
+            if !d.is_empty() {
+                eprintln!("--- stuck ranks ---\n{d}");
+            }
+        }
+        self.collect()
+    }
+
+    fn collect(self) -> RunResult {
+        let mut mpi = TimeByKey::new();
+        let mut kprof = TimeByKey::new();
+        let mut rank_finish = Vec::with_capacity(self.ranks.len());
+        let mut done = 0;
+        let mut delivered = self.delivered_payloads;
+        for r in &self.ranks {
+            mpi.merge(r.engine.profile());
+            kprof.merge(&r.kprof);
+            rank_finish.push(r.engine.finished_at().unwrap_or(r.clock));
+            if r.done {
+                done += 1;
+            }
+            delivered += r.delivered.iter().filter(|(_, p)| p.is_some()).count() as u64;
+        }
+        let wall = rank_finish.iter().copied().max().unwrap_or(Ns::ZERO);
+        let mut offloaded = 0;
+        let mut queue_wait = Ns::ZERO;
+        let mut tid_programs = 0;
+        let mut pio = 0;
+        for n in &self.nodes {
+            offloaded += n.delegator.offloaded();
+            queue_wait += n.delegator.total_queue_wait();
+            tid_programs += n.chip.tid_programs();
+            pio += n.chip.pio_sends();
+        }
+        RunResult {
+            wall_time: wall,
+            rank_finish,
+            mpi_profile: mpi,
+            kernel_profile: kprof,
+            offloaded_calls: offloaded,
+            offload_queue_wait: queue_wait,
+            fabric_bytes: self.fabric.bytes(),
+            fabric_messages: self.fabric.messages(),
+            tid_programs,
+            pio_sends: pio,
+            ranks_done: done,
+            delivered_payloads: delivered,
+        }
+    }
+
+    fn deliver_packet(&mut self, dst: usize, src: u32, packet: PsmPacket, now: &mut Ns) {
+        // Receive-side copy-out cost for eager data (library copies from
+        // the eager ring into the user buffer).
+        if let PsmPacket::Eager { len, .. } = &packet {
+            *now += transfer_time(*len, self.cfg.copy_bw);
+        }
+        self.ranks[dst].ep.on_packet(src, packet);
+    }
+
+    /// Run rank `r` from time `now` until it blocks, computes, or ends.
+    fn run_rank(&mut self, r: usize, mut now: Ns) {
+        loop {
+            // Drain parked packets first.
+            let parked = std::mem::take(&mut self.ranks[r].inbox);
+            for (src, packet) in parked {
+                self.deliver_packet(r, src, packet, &mut now);
+            }
+            self.flush_actions(r, &mut now);
+            let res = {
+                let rank = &mut self.ranks[r];
+                // Split borrow: engine vs ep vs bufs are disjoint fields.
+                let RankState {
+                    engine, ep, bufs, ..
+                } = rank;
+                engine.step(now, ep, bufs)
+            };
+            // Actions emitted by the step (and any completions they
+            // produce) must be visible before we decide to sleep.
+            let flushed = self.flush_actions(r, &mut now);
+            match res {
+                StepResult::Computing(d) => {
+                    let real = self.ranks[r].noise.perturb(d);
+                    let wake = now + real;
+                    self.ranks[r].clock = wake;
+                    self.queue.schedule(wake, Ev::Wake(r));
+                    return;
+                }
+                StepResult::HostCall(op) => {
+                    now = self.do_host_op(r, op, now);
+                }
+                StepResult::Blocked => {
+                    let rank = &mut self.ranks[r];
+                    if !flushed && rank.inbox.is_empty() && !rank.ep.has_actions() {
+                        rank.clock = now;
+                        return;
+                    }
+                    // Something moved (a completion landed in the flush,
+                    // or packets are parked): give the engine another go.
+                }
+                StepResult::Done => {
+                    let rank = &mut self.ranks[r];
+                    rank.done = true;
+                    rank.clock = now;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Execute all pending PSM actions of rank `r`, advancing its clock.
+    /// Returns whether any action was processed.
+    fn flush_actions(&mut self, r: usize, now: &mut Ns) -> bool {
+        let mut any = false;
+        loop {
+            let actions = self.ranks[r].ep.drain_actions();
+            if actions.is_empty() {
+                return any;
+            }
+            any = true;
+            for a in actions {
+                self.handle_action(r, a, now);
+            }
+        }
+    }
+
+    fn handle_action(&mut self, r: usize, a: PsmAction, now: &mut Ns) {
+        match a {
+            PsmAction::PioSend { dst, packet } => {
+                let bytes = packet.wire_bytes();
+                *now += self.cfg.pio_base + transfer_time(bytes, self.cfg.pio_bw);
+                let src_node = self.ranks[r].node;
+                let dst_node = (dst / self.cfg.shape.ranks_per_node) as usize;
+                // PIO packets ride the wire in ~8 KB chunks.
+                let nreqs = bytes.div_ceil(8 * 1024).max(1);
+                let sched = self.fabric.transfer(*now, src_node, dst_node, bytes, nreqs);
+                self.nodes[src_node].chip.record_pio();
+                self.queue.schedule(
+                    sched.arrival,
+                    Ev::Packet {
+                        dst: dst as usize,
+                        src: self.ranks[r].engine.rank(),
+                        packet,
+                    },
+                );
+            }
+            PsmAction::TidRegister {
+                src,
+                msg_id,
+                window,
+                va,
+                len,
+            } => {
+                let tids = self.sys_tid_register(r, VirtAddr(va), len, now);
+                self.ranks[r].ep.on_tid_registered(src, msg_id, window, tids);
+            }
+            PsmAction::TidUnregister {
+                tids, va, len, ..
+            } => {
+                self.sys_tid_unregister(r, VirtAddr(va), len, &tids, now);
+            }
+            PsmAction::SdmaSend {
+                dst,
+                msg_id,
+                window,
+                va,
+                len,
+                payload,
+            } => {
+                self.sys_sdma_send(r, dst, msg_id, window, VirtAddr(va), len, payload, now);
+            }
+            PsmAction::Completed { handle, payload } => {
+                if payload.is_some() {
+                    self.delivered_payloads += 1;
+                }
+                self.ranks[r].delivered.push((handle, payload));
+                self.ranks[r].engine.on_completion(handle);
+            }
+        }
+    }
+
+    // ---- kernel operation executors ---------------------------------------
+
+    fn sys_tid_register(&mut self, r: usize, va: VirtAddr, len: u64, now: &mut Ns) -> Vec<u16> {
+        let start = *now;
+        let node = self.ranks[r].node;
+        let (tids, route_done) = match self.cfg.os {
+            OsConfig::Linux => {
+                let rank = &mut self.ranks[r];
+                let node = &mut self.nodes[node];
+                let reg = node
+                    .driver
+                    .tid_update(&mut node.chip, &mut rank.space, rank.dev_handle, va, len, &self.lc)
+                    .expect("TID registration failed");
+                let cpu = self.lc.syscall_entry + self.lc.vfs_dispatch + reg.cpu;
+                (reg.tids, *now + cpu)
+            }
+            OsConfig::McKernel => {
+                let rank = &mut self.ranks[r];
+                let noderef = &mut self.nodes[node];
+                let reg = noderef
+                    .driver
+                    .tid_update(&mut noderef.chip, &mut rank.space, rank.dev_handle, va, len, &self.lc)
+                    .expect("TID registration failed");
+                let service = self.lc.syscall_entry + self.lc.vfs_dispatch + reg.cpu;
+                let grant = noderef.delegator.offload(*now, Sysno::Ioctl, service);
+                (reg.tids, grant.complete)
+            }
+            OsConfig::McKernelHfi => {
+                let rank = &mut self.ranks[r];
+                let noderef = &mut self.nodes[node];
+                let fast = noderef.fast.as_mut().expect("fast path present");
+                let reg = fast
+                    .tid_update(&mut noderef.chip, &rank.space, rank.ctxt, va, len)
+                    .expect("fast TID registration failed");
+                (reg.tids, *now + reg.cpu)
+            }
+        };
+        *now = route_done;
+        self.ranks[r].kprof.record(Sysno::Ioctl, *now - start);
+        tids
+    }
+
+    fn sys_tid_unregister(&mut self, r: usize, va: VirtAddr, len: u64, tids: &[u16], now: &mut Ns) {
+        let start = *now;
+        let node = self.ranks[r].node;
+        match self.cfg.os {
+            OsConfig::Linux => {
+                let rank = &mut self.ranks[r];
+                let noderef = &mut self.nodes[node];
+                let cpu = noderef
+                    .driver
+                    .tid_free(&mut noderef.chip, &mut rank.space, rank.dev_handle, va, tids)
+                    .expect("TID free failed");
+                *now += self.lc.syscall_entry + self.lc.vfs_dispatch + cpu;
+            }
+            OsConfig::McKernel => {
+                let rank = &mut self.ranks[r];
+                let noderef = &mut self.nodes[node];
+                let cpu = noderef
+                    .driver
+                    .tid_free(&mut noderef.chip, &mut rank.space, rank.dev_handle, va, tids)
+                    .expect("TID free failed");
+                let service = self.lc.syscall_entry + self.lc.vfs_dispatch + cpu;
+                let grant = noderef.delegator.offload(*now, Sysno::Ioctl, service);
+                *now = grant.complete;
+            }
+            OsConfig::McKernelHfi => {
+                let rank = &mut self.ranks[r];
+                let noderef = &mut self.nodes[node];
+                let fast = noderef.fast.as_mut().expect("fast path present");
+                let cpu = fast
+                    .tid_free(&mut noderef.chip, rank.ctxt, va, len, tids, false)
+                    .expect("fast TID free failed");
+                *now += cpu;
+            }
+        }
+        self.ranks[r].kprof.record(Sysno::Ioctl, *now - start);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn sys_sdma_send(
+        &mut self,
+        r: usize,
+        dst: u32,
+        msg_id: u64,
+        window: u32,
+        va: VirtAddr,
+        len: u64,
+        payload: Option<Vec<u8>>,
+        now: &mut Ns,
+    ) {
+        let start = *now;
+        let node_idx = self.ranks[r].node;
+        let (sub, wire_start): (SdmaSubmission, Ns) = match self.cfg.os {
+            OsConfig::Linux => {
+                let rank = &mut self.ranks[r];
+                let noderef = &mut self.nodes[node_idx];
+                let sub = noderef
+                    .driver
+                    .sdma_writev(&mut noderef.chip, &mut rank.space, rank.dev_handle, va, len, &self.lc)
+                    .expect("writev failed");
+                let cpu = self.lc.syscall_entry + self.lc.vfs_dispatch + sub.cpu;
+                *now += cpu;
+                (sub, *now)
+            }
+            OsConfig::McKernel => {
+                let rank = &mut self.ranks[r];
+                let noderef = &mut self.nodes[node_idx];
+                let sub = noderef
+                    .driver
+                    .sdma_writev(&mut noderef.chip, &mut rank.space, rank.dev_handle, va, len, &self.lc)
+                    .expect("writev failed");
+                let service = self.lc.syscall_entry + self.lc.vfs_dispatch + sub.cpu;
+                let grant = noderef.delegator.offload(*now, Sysno::Writev, service);
+                *now = grant.complete;
+                (sub, grant.linux_done)
+            }
+            OsConfig::McKernelHfi => {
+                let rank = &mut self.ranks[r];
+                let noderef = &mut self.nodes[node_idx];
+                let fast = noderef.fast.as_mut().expect("fast path present");
+                // Cross-kernel read of the live driver engine state via
+                // DWARF-extracted offsets.
+                let state = noderef.driver.sdma_state[0].bytes();
+                let sub = fast
+                    .sdma_writev(&mut noderef.chip, &rank.space, state, va, len, 0)
+                    .expect("fast writev failed");
+                *now += sub.cpu;
+                // Allocate completion metadata from the LWK per-core pool
+                // (freed later from a Linux CPU via the ported callback).
+                if let Some(alloc) = noderef.lwk_alloc.as_ref() {
+                    if let Ok(block) = alloc.alloc(rank.local as usize) {
+                        rank.meta.insert((msg_id, window), block);
+                    }
+                }
+                (sub, *now)
+            }
+        };
+        self.ranks[r].kprof.record(Sysno::Writev, *now - start);
+        // Wire the window to the destination node.
+        let dst_node = (dst / self.cfg.shape.ranks_per_node) as usize;
+        let sched = self
+            .fabric
+            .transfer(wire_start, node_idx, dst_node, len + 64, sub.nreqs);
+        self.queue.schedule(
+            sched.arrival,
+            Ev::Packet {
+                dst: dst as usize,
+                src: self.ranks[r].engine.rank(),
+                packet: PsmPacket::SdmaData {
+                    msg_id,
+                    window,
+                    len,
+                    payload,
+                },
+            },
+        );
+        // Sender-side completion IRQ: handled on the Linux service cores
+        // (McKernel handles no device interrupts).
+        let completion_cpu = self.nodes[node_idx].driver.costs().completion + self.lc.kmalloc_pair;
+        let grant = self.nodes[node_idx]
+            .delegator
+            .service(sched.injected + self.lc.irq_entry, completion_cpu);
+        self.queue.schedule(
+            grant.finish,
+            Ev::SdmaSent {
+                rank: r,
+                msg_id,
+                window,
+                va: va.0,
+            },
+        );
+    }
+
+    fn on_sdma_sent(&mut self, r: usize, msg_id: u64, window: u32, va: u64) {
+        let node_idx = self.ranks[r].node;
+        match self.cfg.os {
+            OsConfig::Linux | OsConfig::McKernel => {
+                // The original completion callback: unpin + Linux kfree.
+                let rank = &mut self.ranks[r];
+                let noderef = &mut self.nodes[node_idx];
+                let _ = noderef.driver.sdma_complete(
+                    &mut rank.space,
+                    rank.dev_handle,
+                    VirtAddr(va),
+                    &self.lc,
+                );
+            }
+            OsConfig::McKernelHfi => {
+                // The duplicated callback in McKernel TEXT, invoked from
+                // the Linux IRQ context: frees LWK metadata remotely.
+                let rank = &mut self.ranks[r];
+                let noderef = &self.nodes[node_idx];
+                if let Some(block) = rank.meta.remove(&(msg_id, window)) {
+                    let (Some(table), Some(cb), Some(unified), Some(alloc)) = (
+                        noderef.callbacks.as_ref(),
+                        noderef.cb_ref,
+                        noderef.unified.as_ref(),
+                        noderef.lwk_alloc.as_ref(),
+                    ) else {
+                        unreachable!("picodriver pieces present in +HFI config");
+                    };
+                    table
+                        .invoke_from_linux(unified, cb, alloc, 0, block)
+                        .expect("completion callback failed");
+                }
+            }
+        }
+        self.ranks[r].ep.on_sdma_sent(msg_id, window);
+    }
+
+    // ---- host (non-PSM) operations -----------------------------------------
+
+    fn do_host_op(&mut self, r: usize, op: HostOp, mut now: Ns) -> Ns {
+        let node_idx = self.ranks[r].node;
+        match op {
+            HostOp::InitDevice => {
+                let start = now;
+                let rank_global = self.ranks[r].engine.rank();
+                // Proxy process + device open + 6 device-region mmaps.
+                let open_cpu;
+                {
+                    let rank = &mut self.ranks[r];
+                    let noderef = &mut self.nodes[node_idx];
+                    let pid = noderef.proxies.spawn(rank_global);
+                    let (handle, ctxt, cpu) =
+                        noderef.driver.open(&mut noderef.chip).expect("device open failed");
+                    let fd = noderef
+                        .vfs
+                        .open(pid, noderef.dev, handle)
+                        .expect("vfs open failed");
+                    debug_assert!(fd >= 3);
+                    rank.dev_handle = handle;
+                    rank.ctxt = ctxt;
+                    open_cpu = self.lc.syscall_entry + self.lc.vfs_dispatch + cpu;
+                }
+                match self.cfg.os {
+                    OsConfig::Linux => {
+                        now += open_cpu;
+                        self.ranks[r].kprof.record(Sysno::Open, open_cpu);
+                        for _ in 0..6 {
+                            let cpu = self.lc.syscall_entry + self.nodes[node_idx].driver.dev_mmap();
+                            now += cpu;
+                            self.ranks[r].kprof.record(Sysno::Mmap, cpu);
+                        }
+                    }
+                    OsConfig::McKernel | OsConfig::McKernelHfi => {
+                        let g = self.nodes[node_idx]
+                            .delegator
+                            .offload(now, Sysno::Open, open_cpu);
+                        self.ranks[r].kprof.record(Sysno::Open, g.complete - now);
+                        now = g.complete;
+                        for _ in 0..6 {
+                            let service =
+                                self.lc.syscall_entry + self.nodes[node_idx].driver.dev_mmap();
+                            let g = self.nodes[node_idx]
+                                .delegator
+                                .offload(now, Sysno::Mmap, service);
+                            self.ranks[r].kprof.record(Sysno::Mmap, g.complete - now);
+                            now = g.complete;
+                        }
+                        if self.cfg.os == OsConfig::McKernelHfi {
+                            // LWK-side initialization of the driver-internal
+                            // mappings and the DWARF-ported structures.
+                            now += self.cfg.pico_init_cost;
+                        }
+                    }
+                }
+                let _ = start;
+                now
+            }
+            HostOp::FiniDevice => {
+                let rank_global = self.ranks[r].engine.rank();
+                let close_cpu;
+                {
+                    let rank = &mut self.ranks[r];
+                    let noderef = &mut self.nodes[node_idx];
+                    close_cpu = noderef
+                        .driver
+                        .close(&mut noderef.chip, rank.dev_handle)
+                        .unwrap_or(Ns::ZERO)
+                        + self.lc.syscall_entry;
+                    noderef.proxies.reap(rank_global);
+                }
+                match self.cfg.os {
+                    OsConfig::Linux => {
+                        now += close_cpu;
+                        self.ranks[r].kprof.record(Sysno::Close, close_cpu);
+                    }
+                    _ => {
+                        let g = self.nodes[node_idx]
+                            .delegator
+                            .offload(now, Sysno::Close, close_cpu);
+                        self.ranks[r].kprof.record(Sysno::Close, g.complete - now);
+                        now = g.complete;
+                    }
+                }
+                now
+            }
+            HostOp::MmapScratch { bytes } => {
+                let pinned = self.cfg.os != OsConfig::Linux;
+                let (leaves, va) = {
+                    let rank = &mut self.ranks[r];
+                    let noderef = &mut self.nodes[node_idx];
+                    let (va, stats) = rank
+                        .space
+                        .mmap_anonymous(&mut noderef.frames, bytes, pinned)
+                        .expect("scratch mmap failed");
+                    rank.scratch.push((va, bytes));
+                    (stats.leaves_mapped, va)
+                };
+                let _ = va;
+                // Linux maps lazily and uses THP: charge per 2 MiB
+                // granule, not per populated 4 KiB leaf.
+                let thp = bytes.div_ceil(2 << 20);
+                let cpu = match self.cfg.os {
+                    OsConfig::Linux => {
+                        self.lc.syscall_entry + self.lc.mmap_base + self.lc.mmap_per_page * thp
+                    }
+                    _ => self.mmc.syscall_entry + self.mmc.mmap_base + self.mmc.mmap_per_leaf * leaves,
+                };
+                now += cpu;
+                self.ranks[r].kprof.record(Sysno::Mmap, cpu);
+                now
+            }
+            HostOp::MunmapScratch => {
+                let Some((va, len)) = self.ranks[r].scratch.pop() else {
+                    return now;
+                };
+                let leaves = {
+                    let rank = &mut self.ranks[r];
+                    let noderef = &mut self.nodes[node_idx];
+                    if self.cfg.os == OsConfig::McKernelHfi {
+                        // Invalidate cached TID registrations overlapping
+                        // the unmapped range before teardown.
+                        let ctxt = rank.ctxt;
+                        let fast = noderef.fast.as_mut().expect("fast path");
+                        let _ = fast.invalidate_range(&mut noderef.chip, ctxt, va, len);
+                    }
+                    rank.space
+                        .munmap(&mut noderef.frames, va)
+                        .expect("scratch munmap failed")
+                };
+                let thp = len.div_ceil(2 << 20);
+                let cpu = match self.cfg.os {
+                    OsConfig::Linux => {
+                        self.lc.syscall_entry
+                            + self.lc.munmap_base
+                            + self.lc.munmap_per_page * thp
+                    }
+                    // McKernel munmap: teardown + cross-kernel TLB
+                    // shootdown — the QBOX-dominating cost (Fig. 9).
+                    _ => {
+                        self.mmc.syscall_entry
+                            + self.mmc.munmap_base
+                            + self.mmc.munmap_per_leaf * leaves
+                            + self.mmc.tlb_shootdown
+                    }
+                };
+                now += cpu;
+                self.ranks[r].kprof.record(Sysno::Munmap, cpu);
+                now
+            }
+            HostOp::ReadInput { bytes } => {
+                let read_cpu = self.lc.syscall_entry + transfer_time(bytes, 2.0e9);
+                let open_cpu = self.lc.syscall_entry + self.lc.vfs_dispatch;
+                match self.cfg.os {
+                    OsConfig::Linux => {
+                        now += open_cpu;
+                        self.ranks[r].kprof.record(Sysno::Open, open_cpu);
+                        now += read_cpu;
+                        self.ranks[r].kprof.record(Sysno::Read, read_cpu);
+                        now += open_cpu;
+                        self.ranks[r].kprof.record(Sysno::Close, open_cpu);
+                    }
+                    _ => {
+                        for (sysno, service) in [
+                            (Sysno::Open, open_cpu),
+                            (Sysno::Read, read_cpu),
+                            (Sysno::Close, open_cpu),
+                        ] {
+                            let g = self.nodes[node_idx].delegator.offload(now, sysno, service);
+                            self.ranks[r].kprof.record(sysno, g.complete - now);
+                            now = g.complete;
+                        }
+                    }
+                }
+                now
+            }
+            HostOp::Nanosleep(d) => {
+                // Local on both kernels; kernel handling is tiny, the
+                // sleep itself is idle time.
+                let cpu = Ns::micros(1);
+                self.ranks[r].kprof.record(Sysno::Nanosleep, cpu);
+                now + cpu + d
+            }
+        }
+    }
+}
+
+/// Convenience: build and run an app under a configuration.
+pub fn run_app(cfg: ClusterConfig, app: App, iters: u32) -> RunResult {
+    World::new(cfg, app, iters).run()
+}
+
+/// Convenience: the paper configuration for `os` at `nodes` ×
+/// `app.paper_ranks_per_node()` (scaled down by `rpn_override`).
+pub fn paper_config(os: OsConfig, app: App, nodes: u32, rpn_override: Option<u32>) -> ClusterConfig {
+    let rpn = rpn_override.unwrap_or_else(|| app.paper_ranks_per_node());
+    ClusterConfig::paper(
+        os,
+        JobShape {
+            nodes,
+            ranks_per_node: rpn,
+        },
+    )
+}
+
+/// The AppSpec for reporting purposes.
+pub fn app_spec(app: App, shape: JobShape) -> AppSpec {
+    pico_apps::spec(app, shape)
+}

@@ -1,0 +1,137 @@
+//! Full-stack smoke tests: small jobs through the complete node model.
+
+use pico_apps::{App, JobShape};
+use pico_cluster::{paper_config, run_app, ClusterConfig, OsConfig};
+use pico_ihk::Sysno;
+use pico_mpi::MpiCall;
+
+fn tiny(os: OsConfig, app: App, nodes: u32, rpn: u32) -> pico_cluster::RunResult {
+    tiny_iters(os, app, nodes, rpn, 5)
+}
+
+fn tiny_iters(os: OsConfig, app: App, nodes: u32, rpn: u32, iters: u32) -> pico_cluster::RunResult {
+    let cfg = ClusterConfig::paper(os, JobShape { nodes, ranks_per_node: rpn });
+    let expect = nodes * rpn;
+    let res = run_app(cfg, app, iters);
+    assert_eq!(res.ranks_done, expect, "{} under {:?}", app.name(), os);
+    res
+}
+
+#[test]
+fn pingpong_completes_on_all_configs() {
+    for os in OsConfig::ALL {
+        let app = App::PingPong { bytes: 4096, reps: 10 };
+        let cfg = paper_config(os, app, 2, Some(1));
+        let res = run_app(cfg, app, 1);
+        assert_eq!(res.ranks_done, 2);
+        assert!(res.wall_time > pico_sim::Ns::ZERO);
+        assert!(res.pio_sends > 0, "eager messages must use PIO");
+    }
+}
+
+#[test]
+fn large_pingpong_uses_sdma_and_tids() {
+    for os in OsConfig::ALL {
+        let app = App::PingPong { bytes: 4 << 20, reps: 4 };
+        let cfg = paper_config(os, app, 2, Some(1));
+        let res = run_app(cfg, app, 1);
+        assert_eq!(res.ranks_done, 2);
+        assert!(res.tid_programs > 0, "{os:?}: rendezvous must program TIDs");
+        let (w, _) = res.kernel_profile.get(&Sysno::Writev);
+        assert!(w > 0, "{os:?}: rendezvous must issue writev");
+    }
+}
+
+#[test]
+fn all_apps_complete_small() {
+    for os in OsConfig::ALL {
+        for app in [App::Lammps, App::Nekbone, App::Umt2013, App::Hacc, App::Qbox] {
+            let nodes = 2;
+            tiny(os, app, nodes, 8);
+        }
+    }
+}
+
+#[test]
+fn umt_collapses_on_mckernel_and_recovers_with_picodriver() {
+    let linux = tiny(OsConfig::Linux, App::Umt2013, 2, 16);
+    let mck = tiny(OsConfig::McKernel, App::Umt2013, 2, 16);
+    let hfi = tiny(OsConfig::McKernelHfi, App::Umt2013, 2, 16);
+    assert!(
+        mck.wall_time > linux.wall_time,
+        "offloading must hurt UMT: mck {} vs linux {}",
+        mck.wall_time,
+        linux.wall_time
+    );
+    assert!(
+        hfi.wall_time < mck.wall_time,
+        "the fast path must help: hfi {} vs mck {}",
+        hfi.wall_time,
+        mck.wall_time
+    );
+    assert!(mck.offloaded_calls > hfi.offloaded_calls);
+    assert!(mck.offload_queue_wait > hfi.offload_queue_wait);
+}
+
+#[test]
+fn mckernel_writev_ioctl_dominate_kernel_time_for_umt() {
+    let mck = tiny(OsConfig::McKernel, App::Umt2013, 2, 8);
+    let total = mck.kernel_time().as_secs_f64();
+    let (_, w) = mck.kernel_profile.get(&Sysno::Writev);
+    let (_, i) = mck.kernel_profile.get(&Sysno::Ioctl);
+    let share = (w.as_secs_f64() + i.as_secs_f64()) / total;
+    assert!(share > 0.5, "writev+ioctl share {share}");
+    // With the fast path the share collapses, as in Figure 8.
+    let hfi = tiny(OsConfig::McKernelHfi, App::Umt2013, 2, 8);
+    let total_hfi = hfi.kernel_time().as_secs_f64();
+    assert!(
+        total_hfi < total,
+        "fast path must reduce kernel time: {total_hfi} vs {total}"
+    );
+}
+
+#[test]
+fn qbox_munmap_dominates_under_picodriver() {
+    let hfi = tiny_iters(OsConfig::McKernelHfi, App::Qbox, 2, 8, 12);
+    let rows = hfi.kernel_profile.sorted_desc();
+    assert_eq!(
+        rows[0].0,
+        Sysno::Munmap,
+        "expected munmap to dominate, got {:?}",
+        rows.iter().take(3).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn mpi_profile_has_wait_dominating_for_umt_on_mckernel() {
+    let mck = tiny(OsConfig::McKernel, App::Umt2013, 2, 8);
+    let rows = mck.mpi_profile.sorted_desc();
+    let top: Vec<MpiCall> = rows.iter().take(3).map(|r| r.0).collect();
+    assert!(
+        top.contains(&MpiCall::Wait) || top.contains(&MpiCall::Barrier),
+        "top calls {top:?}"
+    );
+}
+
+#[test]
+fn backed_run_delivers_payloads() {
+    let mut cfg = paper_config(OsConfig::McKernelHfi, App::PingPong { bytes: 1 << 20, reps: 2 }, 2, Some(1));
+    cfg.backed = true;
+    let res = run_app(cfg, App::PingPong { bytes: 1 << 20, reps: 2 }, 1);
+    assert_eq!(res.ranks_done, 2);
+    assert!(res.delivered_payloads > 0, "payloads must flow end to end");
+}
+
+#[test]
+fn determinism_same_seed_same_result() {
+    let run = || {
+        let cfg = ClusterConfig::paper(OsConfig::McKernel, JobShape { nodes: 2, ranks_per_node: 4 });
+        run_app(cfg, App::Nekbone, 3)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.wall_time, b.wall_time);
+    assert_eq!(a.fabric_messages, b.fabric_messages);
+    assert_eq!(a.offloaded_calls, b.offloaded_calls);
+    assert_eq!(a.rank_finish, b.rank_finish);
+}

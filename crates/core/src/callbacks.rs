@@ -1,0 +1,186 @@
+//! Completion callbacks across the kernel boundary (§3.3).
+//!
+//! SDMA completion IRQs are handled on Linux CPUs, but transfers
+//! initiated by McKernel carry metadata allocated from the LWK's per-core
+//! allocator. PicoDriver therefore *duplicates* the driver's completion
+//! callback, replacing the deallocation routine with McKernel's — and
+//! that duplicate lives in McKernel TEXT, which Linux can only call
+//! because §3.1 mapped the LWK image into the Linux address space.
+
+use crate::vaspace::UnifiedKernelSpace;
+use pico_mckernel::{AllocError, BlockId, FreeKind, ScalableAllocator};
+
+/// What a registered callback does when invoked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CallbackKind {
+    /// The PicoDriver SDMA-complete callback: notify + free LWK metadata
+    /// through the McKernel allocator (foreign-CPU safe).
+    SdmaCompleteLwkFree,
+    /// The original Linux callback (frees via Linux kfree) — used for
+    /// Linux-initiated transfers.
+    SdmaCompleteLinuxFree,
+}
+
+/// A function pointer into kernel TEXT.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CallbackRef {
+    /// Address of the function.
+    pub addr: u64,
+    /// Behaviour.
+    pub kind: CallbackKind,
+}
+
+/// Callback invocation errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CallbackError {
+    /// The callback address is not mapped in the calling kernel — the
+    /// crash §3.1 exists to prevent.
+    UnmappedText,
+    /// The deallocation failed.
+    Free(AllocError),
+}
+
+/// The table of callbacks PicoDriver placed in McKernel TEXT.
+#[derive(Debug)]
+pub struct CallbackTable {
+    base: u64,
+    entries: Vec<CallbackKind>,
+}
+
+impl CallbackTable {
+    /// Lay out a callback table starting at the LWK image base.
+    pub fn new(unified: &UnifiedKernelSpace) -> CallbackTable {
+        CallbackTable {
+            base: unified.lwk_image().start + 0x1000, // past the ELF header
+            entries: Vec::new(),
+        }
+    }
+
+    /// Register a callback; its "address" is inside McKernel TEXT.
+    pub fn register(&mut self, kind: CallbackKind) -> CallbackRef {
+        let addr = self.base + (self.entries.len() as u64) * 16;
+        self.entries.push(kind);
+        CallbackRef { addr, kind }
+    }
+
+    /// Resolve an address back to its kind (what "executing" it means).
+    pub fn resolve(&self, addr: u64) -> Option<CallbackKind> {
+        if addr < self.base {
+            return None;
+        }
+        let idx = ((addr - self.base) / 16) as usize;
+        self.entries.get(idx).copied()
+    }
+
+    /// Invoke `cb` from a Linux CPU in IRQ context: checks the §3.1
+    /// mapping invariant, then performs the completion's deallocation —
+    /// through the McKernel allocator (remote free) for LWK-initiated
+    /// transfers.
+    pub fn invoke_from_linux(
+        &self,
+        unified: &UnifiedKernelSpace,
+        cb: CallbackRef,
+        lwk_alloc: &ScalableAllocator,
+        linux_cpu: u32,
+        metadata: BlockId,
+    ) -> Result<FreeKind, CallbackError> {
+        if !unified.linux_can_call(cb.addr) {
+            return Err(CallbackError::UnmappedText);
+        }
+        match self.resolve(cb.addr) {
+            Some(CallbackKind::SdmaCompleteLwkFree) => lwk_alloc
+                .free(linux_cpu, metadata)
+                .map_err(CallbackError::Free),
+            Some(CallbackKind::SdmaCompleteLinuxFree) | None => {
+                // Linux-owned metadata is freed by Linux kfree; nothing to
+                // do against the LWK allocator. (None cannot happen for a
+                // ref minted by this table.)
+                Ok(FreeKind::Local)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pico_mem::layout;
+
+    fn unified() -> UnifiedKernelSpace {
+        UnifiedKernelSpace::boot().unwrap()
+    }
+
+    #[test]
+    fn registered_callbacks_live_in_lwk_text() {
+        let u = unified();
+        let mut t = CallbackTable::new(&u);
+        let cb = t.register(CallbackKind::SdmaCompleteLwkFree);
+        assert!(u.lwk_image().contains(cb.addr));
+        assert_eq!(t.resolve(cb.addr), Some(CallbackKind::SdmaCompleteLwkFree));
+        assert_eq!(t.resolve(cb.addr + 1600), None);
+    }
+
+    #[test]
+    fn linux_invokes_lwk_callback_and_frees_remotely() {
+        let u = unified();
+        let mut t = CallbackTable::new(&u);
+        let cb = t.register(CallbackKind::SdmaCompleteLwkFree);
+        let alloc = ScalableAllocator::new(4, 8);
+        // McKernel core 2 allocated the transfer metadata...
+        let block = alloc.alloc(2).unwrap();
+        // ...Linux CPU 0 completes the transfer in IRQ context.
+        let kind = t.invoke_from_linux(&u, cb, &alloc, 0, block).unwrap();
+        assert_eq!(kind, FreeKind::Remote);
+        assert_eq!(alloc.remote_frees(), 1);
+    }
+
+    #[test]
+    fn without_unification_the_callback_faults() {
+        // Build a broken "unified" space by hand: the LWK image is not
+        // mapped into Linux. Invocation must fail rather than crash.
+        let lwk = layout::mckernel_unified();
+        let linux_ok = layout::linux_with_lwk_image(&lwk);
+        let good = UnifiedKernelSpace::from_layouts(linux_ok, lwk).unwrap();
+        let mut t = CallbackTable::new(&good);
+        let cb = t.register(CallbackKind::SdmaCompleteLwkFree);
+        // A callback whose address is outside any mapped range:
+        let bogus = CallbackRef {
+            addr: 0xFFFF_C900_0000_0000, // vmalloc area, not LWK text
+            kind: cb.kind,
+        };
+        let alloc = ScalableAllocator::new(1, 1);
+        let block = alloc.alloc(0).unwrap();
+        assert_eq!(
+            t.invoke_from_linux(&good, bogus, &alloc, 0, block),
+            Err(CallbackError::UnmappedText)
+        );
+    }
+
+    #[test]
+    fn linux_free_variant_skips_lwk_allocator() {
+        let u = unified();
+        let mut t = CallbackTable::new(&u);
+        let cb = t.register(CallbackKind::SdmaCompleteLinuxFree);
+        let alloc = ScalableAllocator::new(1, 2);
+        let block = alloc.alloc(0).unwrap();
+        let kind = t.invoke_from_linux(&u, cb, &alloc, 5, block).unwrap();
+        assert_eq!(kind, FreeKind::Local);
+        // The LWK block is untouched (still live).
+        assert_eq!(alloc.remote_frees(), 0);
+        assert_eq!(alloc.local_frees(), 0);
+    }
+
+    #[test]
+    fn double_completion_is_detected() {
+        let u = unified();
+        let mut t = CallbackTable::new(&u);
+        let cb = t.register(CallbackKind::SdmaCompleteLwkFree);
+        let alloc = ScalableAllocator::new(2, 4);
+        let block = alloc.alloc(1).unwrap();
+        t.invoke_from_linux(&u, cb, &alloc, 0, block).unwrap();
+        assert_eq!(
+            t.invoke_from_linux(&u, cb, &alloc, 0, block),
+            Err(CallbackError::Free(AllocError::BadFree))
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! # picodriver — fast-path device drivers for multi-kernel OSes
+//!
+//! The paper's contribution (HPDC'18): port **only the performance
+//! critical part** of a Linux device driver into a lightweight kernel,
+//! keep the rest of the driver running unmodified in Linux, and exploit
+//! LWK memory management to beat Linux on the fast path.
+//!
+//! * [`vaspace`] — §3.1: kernel virtual-address-space unification with
+//!   checked invariants ([`UnifiedKernelSpace`]);
+//! * [`shadow`] — §3.2: the DWARF-extracted view of live Linux driver
+//!   state ([`HfiShadow`]), built by the `dwarf-extract-struct` pipeline;
+//! * [`ticketlock`] — §3.3: the real, Linux-compatible cross-kernel
+//!   ticket spin lock plus its cost model;
+//! * [`callbacks`] — §3.3: completion callbacks in LWK TEXT invoked from
+//!   Linux IRQ context, with the McKernel-aware `kfree`;
+//! * [`fastpath`] — §3.4: LWK-local SDMA `writev` (page-table walks,
+//!   10 KB requests) and TID registration (large-page RcvArray entries,
+//!   optional cache);
+//! * [`port`] — the general framework: what a "port" consists of, with
+//!   HFI1 implemented and the Mellanox memory-registration future-work
+//!   port included.
+
+#![warn(missing_docs)]
+
+pub mod callbacks;
+pub mod fastpath;
+pub mod port;
+pub mod shadow;
+pub mod ticketlock;
+pub mod vaspace;
+
+pub use callbacks::{CallbackError, CallbackKind, CallbackRef, CallbackTable};
+pub use fastpath::{FastPathCosts, FastPathError, FastTidRegistration, HfiFastPath, TidCache};
+pub use port::{mlx_module_binary, PicoPort};
+pub use shadow::HfiShadow;
+pub use ticketlock::{LockCostModel, TicketGuard, TicketLock};
+pub use vaspace::{UnifiedKernelSpace, UnifyError};

@@ -1,0 +1,205 @@
+//! Cross-kernel synchronization (§3.3).
+//!
+//! Linux and McKernel share memory cache-coherently, so the only
+//! requirement for spin-lock based synchronization is that *both kernels
+//! use a compatible lock implementation*. McKernel adopted the Linux
+//! x86_64 ticket spin-lock; this module provides a real, thread-safe
+//! ticket lock whose memory layout is a single cache line, plus a cost
+//! model the simulator charges for acquisitions.
+//!
+//! The tests hammer the lock from "Linux" and "McKernel" threads
+//! simultaneously — exactly the SDMA-ring scenario where an LWK fast path
+//! and a Linux IRQ handler race.
+
+use pico_sim::Ns;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A fair ticket spin lock protecting `T`.
+///
+/// Compatible across "kernels" by construction: both sides use the same
+/// word layout (`next` ticket counter + `owner` now-serving counter).
+#[repr(C)]
+pub struct TicketLock<T> {
+    next: AtomicU32,
+    owner: AtomicU32,
+    acquisitions: AtomicU32,
+    data: UnsafeCell<T>,
+}
+
+// Safety: the ticket protocol guarantees mutual exclusion; `T: Send` is
+// required to move the protected value across threads.
+unsafe impl<T: Send> Sync for TicketLock<T> {}
+unsafe impl<T: Send> Send for TicketLock<T> {}
+
+/// RAII guard; releases the ticket on drop.
+pub struct TicketGuard<'a, T> {
+    lock: &'a TicketLock<T>,
+}
+
+impl<T> TicketLock<T> {
+    /// A new unlocked lock around `value`.
+    pub const fn new(value: T) -> TicketLock<T> {
+        TicketLock {
+            next: AtomicU32::new(0),
+            owner: AtomicU32::new(0),
+            acquisitions: AtomicU32::new(0),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquire, spinning until our ticket is served. Fair: strictly FIFO.
+    pub fn lock(&self) -> TicketGuard<'_, T> {
+        let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        while self.owner.load(Ordering::Acquire) != ticket {
+            core::hint::spin_loop();
+        }
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        TicketGuard { lock: self }
+    }
+
+    /// Try to acquire without spinning.
+    pub fn try_lock(&self) -> Option<TicketGuard<'_, T>> {
+        let owner = self.owner.load(Ordering::Acquire);
+        // Only take a ticket if the lock looks free and we win the race
+        // for the very next ticket.
+        if self
+            .next
+            .compare_exchange(owner, owner.wrapping_add(1), Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.acquisitions.fetch_add(1, Ordering::Relaxed);
+            Some(TicketGuard { lock: self })
+        } else {
+            None
+        }
+    }
+
+    /// Total successful acquisitions (observability for tests).
+    pub fn acquisitions(&self) -> u32 {
+        self.acquisitions.load(Ordering::Relaxed)
+    }
+
+    /// Whether someone currently holds the lock.
+    pub fn is_locked(&self) -> bool {
+        let next = self.next.load(Ordering::Relaxed);
+        let owner = self.owner.load(Ordering::Relaxed);
+        next != owner
+    }
+}
+
+impl<T> core::ops::Deref for TicketGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: we hold the ticket.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+impl<T> core::ops::DerefMut for TicketGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: we hold the ticket exclusively.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+impl<T> Drop for TicketGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.owner.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Simulator-side cost model for cross-kernel lock acquisitions.
+#[derive(Clone, Copy, Debug)]
+pub struct LockCostModel {
+    /// Uncontended acquire+release pair.
+    pub uncontended: Ns,
+    /// Extra cost per waiter ahead of us (cache-line ping-pong).
+    pub per_waiter: Ns,
+}
+
+impl Default for LockCostModel {
+    fn default() -> Self {
+        LockCostModel {
+            uncontended: Ns::nanos(70),
+            per_waiter: Ns::nanos(120),
+        }
+    }
+}
+
+impl LockCostModel {
+    /// Cost of an acquisition with `waiters` tickets ahead.
+    pub fn acquire_cost(&self, waiters: u64) -> Ns {
+        self.uncontended + Ns(self.per_waiter.0 * waiters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutual_exclusion_single_thread() {
+        let l = TicketLock::new(0u64);
+        {
+            let mut g = l.lock();
+            *g += 1;
+            assert!(l.is_locked());
+        }
+        assert!(!l.is_locked());
+        assert_eq!(*l.lock(), 1);
+        assert_eq!(l.acquisitions(), 2);
+    }
+
+    #[test]
+    fn try_lock_fails_when_held() {
+        let l = TicketLock::new(());
+        let g = l.lock();
+        assert!(l.try_lock().is_none());
+        drop(g);
+        assert!(l.try_lock().is_some());
+    }
+
+    #[test]
+    fn cross_kernel_contention_is_safe_and_fair() {
+        // 4 "Linux IRQ" threads + 4 "McKernel fast path" threads hammer a
+        // shared SDMA-ring stand-in. The final count proves no lost
+        // updates; the ticket protocol proves FIFO fairness by
+        // construction.
+        const THREADS: usize = 8;
+        const ITERS: u64 = 50_000;
+        let l = Arc::new(TicketLock::new(0u64));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || {
+                    for _ in 0..ITERS {
+                        let mut g = l.lock();
+                        *g += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*l.lock(), THREADS as u64 * ITERS);
+    }
+
+    #[test]
+    fn guard_gives_exclusive_mutation() {
+        let l = TicketLock::new(vec![1, 2, 3]);
+        l.lock().push(4);
+        assert_eq!(l.lock().len(), 4);
+    }
+
+    #[test]
+    fn cost_model_scales_with_waiters() {
+        let m = LockCostModel::default();
+        assert_eq!(m.acquire_cost(0), m.uncontended);
+        assert!(m.acquire_cost(10) > m.acquire_cost(1));
+        assert_eq!(
+            m.acquire_cost(3),
+            m.uncontended + Ns(m.per_waiter.0 * 3)
+        );
+    }
+}

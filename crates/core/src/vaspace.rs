@@ -1,0 +1,143 @@
+//! Kernel virtual-address-space unification (§3.1).
+//!
+//! Orchestrates the three Figure 3 modifications and produces a
+//! [`UnifiedKernelSpace`] proof object the rest of the framework relies
+//! on: fast paths may dereference Linux driver pointers only if the
+//! direct maps agree, and Linux may invoke LWK callbacks only if the LWK
+//! image is mapped on the Linux side (via a `vmap_area` reservation in
+//! module space).
+
+use pico_mem::layout::{
+    self, check_unification, KernelLayout, Range, Region, UnificationError,
+};
+
+/// Errors from the unification procedure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UnifyError {
+    /// Invariant violations remain after the procedure.
+    Violations(Vec<UnificationError>),
+    /// A layout failed its own internal validation.
+    InvalidLayout(Vec<String>),
+}
+
+/// The unified pair of kernel layouts, with invariants checked at
+/// construction — holding one of these is proof the §3.1 requirements
+/// hold.
+#[derive(Clone, Debug)]
+pub struct UnifiedKernelSpace {
+    linux: KernelLayout,
+    lwk: KernelLayout,
+}
+
+impl UnifiedKernelSpace {
+    /// Run the full §3.1 procedure:
+    ///
+    /// 1. relocate the McKernel image to the top of the Linux module
+    ///    space (no overlap with the Linux image);
+    /// 2. shift the LWK direct map onto Linux's;
+    /// 3. map the McKernel image into Linux at LWK boot.
+    pub fn boot() -> Result<UnifiedKernelSpace, UnifyError> {
+        let lwk = layout::mckernel_unified();
+        let linux = layout::linux_with_lwk_image(&lwk);
+        UnifiedKernelSpace::from_layouts(linux, lwk)
+    }
+
+    /// Validate an explicit pair of layouts (used by tests and by the
+    /// "what if we skipped a step" diagnostics).
+    pub fn from_layouts(
+        linux: KernelLayout,
+        lwk: KernelLayout,
+    ) -> Result<UnifiedKernelSpace, UnifyError> {
+        let mut errs = linux.validate();
+        errs.extend(lwk.validate());
+        if !errs.is_empty() {
+            return Err(UnifyError::InvalidLayout(errs));
+        }
+        let violations = check_unification(&linux, &lwk);
+        if !violations.is_empty() {
+            return Err(UnifyError::Violations(violations));
+        }
+        Ok(UnifiedKernelSpace { linux, lwk })
+    }
+
+    /// The Linux layout (with the LWK image mapped).
+    pub fn linux(&self) -> &KernelLayout {
+        &self.linux
+    }
+    /// The unified LWK layout.
+    pub fn lwk(&self) -> &KernelLayout {
+        &self.lwk
+    }
+
+    /// Whether a kernel pointer minted by Linux `kmalloc` (i.e. inside
+    /// the Linux direct map) is dereferenceable from the LWK.
+    pub fn lwk_can_deref(&self, ptr: u64) -> bool {
+        let linux_dm = self.linux.region(Region::DirectMap).unwrap();
+        let lwk_dm = self.lwk.region(Region::DirectMap).unwrap();
+        linux_dm.contains(ptr) && lwk_dm.contains(ptr)
+    }
+
+    /// Whether a function address inside the LWK image is callable from
+    /// Linux (the completion-callback requirement of §3.3).
+    pub fn linux_can_call(&self, fn_addr: u64) -> bool {
+        let lwk_image = self.lwk.region(Region::KernelImage).unwrap();
+        let mapped = self.linux.region(Region::ForeignImage);
+        lwk_image.contains(fn_addr) && mapped.is_some_and(|m| m.contains(fn_addr))
+    }
+
+    /// The range in which LWK TEXT symbols live (for callback placement).
+    pub fn lwk_image(&self) -> Range {
+        self.lwk.region(Region::KernelImage).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pico_mem::layout::{LINUX_DIRECT_MAP, LINUX_MODULES};
+
+    #[test]
+    fn boot_produces_a_valid_unified_space() {
+        let u = UnifiedKernelSpace::boot().unwrap();
+        // kmalloc pointers work across the boundary.
+        assert!(u.lwk_can_deref(LINUX_DIRECT_MAP.start + 0xdead000));
+        // LWK TEXT is callable from Linux.
+        let f = u.lwk_image().start + 0x1234;
+        assert!(u.linux_can_call(f));
+        // A Linux-image address is NOT an LWK callback.
+        assert!(!u.linux_can_call(pico_mem::layout::LINUX_IMAGE.start + 4));
+    }
+
+    #[test]
+    fn original_layout_is_rejected() {
+        let linux = layout::linux_x86_64();
+        let orig = layout::mckernel_original();
+        match UnifiedKernelSpace::from_layouts(linux, orig) {
+            Err(UnifyError::Violations(v)) => assert!(v.len() >= 3),
+            other => panic!("expected violations, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_linux_side_mapping_is_rejected() {
+        let lwk = layout::mckernel_unified();
+        let linux = layout::linux_x86_64(); // forgot to map the image
+        assert!(matches!(
+            UnifiedKernelSpace::from_layouts(linux, lwk),
+            Err(UnifyError::Violations(_))
+        ));
+    }
+
+    #[test]
+    fn deref_outside_direct_map_is_refused() {
+        let u = UnifiedKernelSpace::boot().unwrap();
+        assert!(!u.lwk_can_deref(0x1000)); // user pointer
+        assert!(!u.lwk_can_deref(LINUX_MODULES.start)); // module text
+    }
+
+    #[test]
+    fn image_sits_at_top_of_module_space() {
+        let u = UnifiedKernelSpace::boot().unwrap();
+        assert_eq!(u.lwk_image().end, LINUX_MODULES.end);
+    }
+}

@@ -1,0 +1,467 @@
+//! Debugging Information Entries: the in-memory DIE tree.
+//!
+//! A tiny but honest subset of DWARF: real tag and attribute numbers, an
+//! arena-backed tree, and builder helpers for the type shapes device
+//! drivers actually use (structs, unions, enums, base types, pointers,
+//! arrays, typedefs).
+
+/// DWARF tag numbers (subset).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u64)]
+pub enum Tag {
+    /// `DW_TAG_array_type`
+    ArrayType = 0x01,
+    /// `DW_TAG_enumeration_type`
+    EnumerationType = 0x04,
+    /// `DW_TAG_member`
+    Member = 0x0d,
+    /// `DW_TAG_pointer_type`
+    PointerType = 0x0f,
+    /// `DW_TAG_compile_unit`
+    CompileUnit = 0x11,
+    /// `DW_TAG_structure_type`
+    StructureType = 0x13,
+    /// `DW_TAG_typedef`
+    Typedef = 0x16,
+    /// `DW_TAG_union_type`
+    UnionType = 0x17,
+    /// `DW_TAG_subrange_type`
+    SubrangeType = 0x21,
+    /// `DW_TAG_base_type`
+    BaseType = 0x24,
+    /// `DW_TAG_enumerator`
+    Enumerator = 0x28,
+}
+
+impl Tag {
+    /// Decode a tag number.
+    pub fn from_u64(v: u64) -> Option<Tag> {
+        Some(match v {
+            0x01 => Tag::ArrayType,
+            0x04 => Tag::EnumerationType,
+            0x0d => Tag::Member,
+            0x0f => Tag::PointerType,
+            0x11 => Tag::CompileUnit,
+            0x13 => Tag::StructureType,
+            0x16 => Tag::Typedef,
+            0x17 => Tag::UnionType,
+            0x21 => Tag::SubrangeType,
+            0x24 => Tag::BaseType,
+            0x28 => Tag::Enumerator,
+            _ => return None,
+        })
+    }
+}
+
+/// DWARF attribute numbers (subset).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u64)]
+pub enum Attr {
+    /// `DW_AT_name`
+    Name = 0x03,
+    /// `DW_AT_byte_size`
+    ByteSize = 0x0b,
+    /// `DW_AT_const_value`
+    ConstValue = 0x1c,
+    /// `DW_AT_upper_bound`
+    UpperBound = 0x2f,
+    /// `DW_AT_count`
+    Count = 0x37,
+    /// `DW_AT_data_member_location`
+    DataMemberLocation = 0x38,
+    /// `DW_AT_encoding`
+    Encoding = 0x3e,
+    /// `DW_AT_type`
+    Type = 0x49,
+}
+
+impl Attr {
+    /// Decode an attribute number.
+    pub fn from_u64(v: u64) -> Option<Attr> {
+        Some(match v {
+            0x03 => Attr::Name,
+            0x0b => Attr::ByteSize,
+            0x1c => Attr::ConstValue,
+            0x2f => Attr::UpperBound,
+            0x37 => Attr::Count,
+            0x38 => Attr::DataMemberLocation,
+            0x3e => Attr::Encoding,
+            0x49 => Attr::Type,
+            _ => return None,
+        })
+    }
+}
+
+/// Attribute values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AttrValue {
+    /// Unsigned constant (`DW_FORM_udata`).
+    U64(u64),
+    /// Inline string (`DW_FORM_string`).
+    Str(String),
+    /// Reference to another DIE (`DW_FORM_ref4`, by section offset).
+    Ref(DieId),
+}
+
+/// Index of a DIE in the arena.
+pub type DieId = usize;
+
+/// One debugging information entry.
+#[derive(Clone, Debug)]
+pub struct Die {
+    /// Tag.
+    pub tag: Tag,
+    /// Attribute list in declaration order.
+    pub attrs: Vec<(Attr, AttrValue)>,
+    /// Child DIE ids, in order.
+    pub children: Vec<DieId>,
+}
+
+impl Die {
+    /// First value of attribute `a`, if present.
+    pub fn attr(&self, a: Attr) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(k, _)| *k == a).map(|(_, v)| v)
+    }
+    /// `DW_AT_name` as a string.
+    pub fn name(&self) -> Option<&str> {
+        match self.attr(Attr::Name) {
+            Some(AttrValue::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+    /// An unsigned attribute.
+    pub fn attr_u64(&self, a: Attr) -> Option<u64> {
+        match self.attr(a) {
+            Some(AttrValue::U64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+    /// A reference attribute.
+    pub fn attr_ref(&self, a: Attr) -> Option<DieId> {
+        match self.attr(a) {
+            Some(AttrValue::Ref(id)) => Some(*id),
+            _ => None,
+        }
+    }
+}
+
+/// An arena-backed DIE tree with one compile unit root.
+#[derive(Clone, Debug, Default)]
+pub struct Dwarf {
+    dies: Vec<Die>,
+    root: Option<DieId>,
+}
+
+impl Dwarf {
+    /// Empty tree.
+    pub fn new() -> Dwarf {
+        Dwarf::default()
+    }
+
+    /// Add a DIE; returns its id. The first `CompileUnit` becomes root.
+    pub fn add(&mut self, die: Die) -> DieId {
+        let id = self.dies.len();
+        if self.root.is_none() && die.tag == Tag::CompileUnit {
+            self.root = Some(id);
+        }
+        self.dies.push(die);
+        id
+    }
+
+    /// Attach `child` to `parent`.
+    pub fn attach(&mut self, parent: DieId, child: DieId) {
+        self.dies[parent].children.push(child);
+    }
+
+    /// Root compile unit.
+    pub fn root(&self) -> Option<DieId> {
+        self.root
+    }
+    /// Get a DIE by id.
+    pub fn get(&self, id: DieId) -> &Die {
+        &self.dies[id]
+    }
+    pub(crate) fn dies_mut(&mut self) -> &mut Vec<Die> {
+        &mut self.dies
+    }
+    /// Number of DIEs.
+    pub fn len(&self) -> usize {
+        self.dies.len()
+    }
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dies.is_empty()
+    }
+
+    /// Depth-first search for the first DIE with `tag` and name `name`
+    /// (the lookup `dwarf-extract-struct` performs).
+    pub fn find_named(&self, tag: Tag, name: &str) -> Option<DieId> {
+        let root = self.root?;
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let die = self.get(id);
+            if die.tag == tag && die.name() == Some(name) {
+                return Some(id);
+            }
+            // Push children in reverse so traversal is left-to-right DFS.
+            for &c in die.children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        None
+    }
+
+    // ---- builder helpers --------------------------------------------------
+
+    /// Create (or reuse is up to the caller) a compile unit root.
+    pub fn compile_unit(&mut self, name: &str) -> DieId {
+        self.add(Die {
+            tag: Tag::CompileUnit,
+            attrs: vec![(Attr::Name, AttrValue::Str(name.into()))],
+            children: Vec::new(),
+        })
+    }
+
+    /// A base type (e.g. `unsigned int`, 4 bytes).
+    pub fn base_type(&mut self, cu: DieId, name: &str, byte_size: u64) -> DieId {
+        let id = self.add(Die {
+            tag: Tag::BaseType,
+            attrs: vec![
+                (Attr::Name, AttrValue::Str(name.into())),
+                (Attr::ByteSize, AttrValue::U64(byte_size)),
+            ],
+            children: Vec::new(),
+        });
+        self.attach(cu, id);
+        id
+    }
+
+    /// An enumeration type with the given enumerators.
+    pub fn enum_type(
+        &mut self,
+        cu: DieId,
+        name: &str,
+        byte_size: u64,
+        enumerators: &[(&str, u64)],
+    ) -> DieId {
+        let id = self.add(Die {
+            tag: Tag::EnumerationType,
+            attrs: vec![
+                (Attr::Name, AttrValue::Str(name.into())),
+                (Attr::ByteSize, AttrValue::U64(byte_size)),
+            ],
+            children: Vec::new(),
+        });
+        for (ename, evalue) in enumerators {
+            let e = self.add(Die {
+                tag: Tag::Enumerator,
+                attrs: vec![
+                    (Attr::Name, AttrValue::Str((*ename).into())),
+                    (Attr::ConstValue, AttrValue::U64(*evalue)),
+                ],
+                children: Vec::new(),
+            });
+            self.attach(id, e);
+        }
+        self.attach(cu, id);
+        id
+    }
+
+    /// A pointer to `target` (8 bytes on x86_64).
+    pub fn pointer_type(&mut self, cu: DieId, target: DieId) -> DieId {
+        let id = self.add(Die {
+            tag: Tag::PointerType,
+            attrs: vec![
+                (Attr::ByteSize, AttrValue::U64(8)),
+                (Attr::Type, AttrValue::Ref(target)),
+            ],
+            children: Vec::new(),
+        });
+        self.attach(cu, id);
+        id
+    }
+
+    /// An array `element[count]`.
+    pub fn array_type(&mut self, cu: DieId, element: DieId, count: u64) -> DieId {
+        let id = self.add(Die {
+            tag: Tag::ArrayType,
+            attrs: vec![(Attr::Type, AttrValue::Ref(element))],
+            children: Vec::new(),
+        });
+        let sub = self.add(Die {
+            tag: Tag::SubrangeType,
+            attrs: vec![(Attr::Count, AttrValue::U64(count))],
+            children: Vec::new(),
+        });
+        self.attach(id, sub);
+        self.attach(cu, id);
+        id
+    }
+
+    /// A typedef aliasing `target`.
+    pub fn typedef(&mut self, cu: DieId, name: &str, target: DieId) -> DieId {
+        let id = self.add(Die {
+            tag: Tag::Typedef,
+            attrs: vec![
+                (Attr::Name, AttrValue::Str(name.into())),
+                (Attr::Type, AttrValue::Ref(target)),
+            ],
+            children: Vec::new(),
+        });
+        self.attach(cu, id);
+        id
+    }
+
+    /// A structure with `(field name, type, byte offset)` members.
+    pub fn struct_type(
+        &mut self,
+        cu: DieId,
+        name: &str,
+        byte_size: u64,
+        members: &[(&str, DieId, u64)],
+    ) -> DieId {
+        let id = self.add(Die {
+            tag: Tag::StructureType,
+            attrs: vec![
+                (Attr::Name, AttrValue::Str(name.into())),
+                (Attr::ByteSize, AttrValue::U64(byte_size)),
+            ],
+            children: Vec::new(),
+        });
+        for (mname, mty, moff) in members {
+            let m = self.add(Die {
+                tag: Tag::Member,
+                attrs: vec![
+                    (Attr::Name, AttrValue::Str((*mname).into())),
+                    (Attr::Type, AttrValue::Ref(*mty)),
+                    (Attr::DataMemberLocation, AttrValue::U64(*moff)),
+                ],
+                children: Vec::new(),
+            });
+            self.attach(id, m);
+        }
+        self.attach(cu, id);
+        id
+    }
+
+    /// Compute the byte size of the type rooted at `ty`, following
+    /// typedefs, multiplying out arrays, etc.
+    pub fn type_size(&self, ty: DieId) -> Option<u64> {
+        let die = self.get(ty);
+        match die.tag {
+            Tag::BaseType | Tag::EnumerationType | Tag::StructureType | Tag::UnionType => {
+                die.attr_u64(Attr::ByteSize)
+            }
+            Tag::PointerType => Some(die.attr_u64(Attr::ByteSize).unwrap_or(8)),
+            Tag::Typedef => self.type_size(die.attr_ref(Attr::Type)?),
+            Tag::ArrayType => {
+                let elem = self.type_size(die.attr_ref(Attr::Type)?)?;
+                let count = die
+                    .children
+                    .iter()
+                    .filter_map(|&c| {
+                        let s = self.get(c);
+                        if s.tag == Tag::SubrangeType {
+                            s.attr_u64(Attr::Count)
+                                .or_else(|| s.attr_u64(Attr::UpperBound).map(|u| u + 1))
+                        } else {
+                            None
+                        }
+                    })
+                    .next()?;
+                Some(elem * count)
+            }
+            _ => None,
+        }
+    }
+
+    /// Render the C-ish name of the type rooted at `ty` (for header
+    /// generation): `unsigned int`, `enum sdma_states`, `struct foo *`, ...
+    pub fn type_name(&self, ty: DieId) -> String {
+        let die = self.get(ty);
+        match die.tag {
+            Tag::BaseType | Tag::Typedef => die.name().unwrap_or("<anon>").to_string(),
+            Tag::EnumerationType => format!("enum {}", die.name().unwrap_or("<anon>")),
+            Tag::StructureType => format!("struct {}", die.name().unwrap_or("<anon>")),
+            Tag::UnionType => format!("union {}", die.name().unwrap_or("<anon>")),
+            Tag::PointerType => match die.attr_ref(Attr::Type) {
+                Some(t) => format!("{} *", self.type_name(t)),
+                None => "void *".to_string(),
+            },
+            Tag::ArrayType => match die.attr_ref(Attr::Type) {
+                Some(t) => format!("{}[]", self.type_name(t)),
+                None => "<array>".to_string(),
+            },
+            _ => "<type>".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Dwarf, DieId) {
+        let mut d = Dwarf::new();
+        let cu = d.compile_unit("hfi1.ko");
+        let uint = d.base_type(cu, "unsigned int", 4);
+        let states = d.enum_type(cu, "sdma_states", 4, &[("sdma_state_s00", 0)]);
+        let sid = d.struct_type(
+            cu,
+            "sdma_state",
+            64,
+            &[
+                ("current_state", states, 40),
+                ("go_s99_running", uint, 48),
+                ("previous_state", states, 52),
+            ],
+        );
+        (d, sid)
+    }
+
+    #[test]
+    fn find_named_struct() {
+        let (d, sid) = sample();
+        assert_eq!(d.find_named(Tag::StructureType, "sdma_state"), Some(sid));
+        assert_eq!(d.find_named(Tag::StructureType, "nonexistent"), None);
+        assert!(d.find_named(Tag::BaseType, "unsigned int").is_some());
+    }
+
+    #[test]
+    fn member_attributes_resolve() {
+        let (d, sid) = sample();
+        let s = d.get(sid);
+        assert_eq!(s.attr_u64(Attr::ByteSize), Some(64));
+        let members: Vec<_> = s.children.iter().map(|&c| d.get(c)).collect();
+        assert_eq!(members.len(), 3);
+        assert_eq!(members[1].name(), Some("go_s99_running"));
+        assert_eq!(members[1].attr_u64(Attr::DataMemberLocation), Some(48));
+    }
+
+    #[test]
+    fn type_sizes() {
+        let mut d = Dwarf::new();
+        let cu = d.compile_unit("x");
+        let u64t = d.base_type(cu, "unsigned long", 8);
+        let ptr = d.pointer_type(cu, u64t);
+        let arr = d.array_type(cu, u64t, 16);
+        let td = d.typedef(cu, "u64", u64t);
+        assert_eq!(d.type_size(u64t), Some(8));
+        assert_eq!(d.type_size(ptr), Some(8));
+        assert_eq!(d.type_size(arr), Some(128));
+        assert_eq!(d.type_size(td), Some(8));
+    }
+
+    #[test]
+    fn type_names() {
+        let mut d = Dwarf::new();
+        let cu = d.compile_unit("x");
+        let uint = d.base_type(cu, "unsigned int", 4);
+        let en = d.enum_type(cu, "sdma_states", 4, &[]);
+        let st = d.struct_type(cu, "foo", 8, &[]);
+        let ptr = d.pointer_type(cu, st);
+        assert_eq!(d.type_name(uint), "unsigned int");
+        assert_eq!(d.type_name(en), "enum sdma_states");
+        assert_eq!(d.type_name(ptr), "struct foo *");
+    }
+}

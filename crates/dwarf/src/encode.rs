@@ -1,0 +1,440 @@
+//! Binary encoding/decoding of the DIE tree into `.debug_abbrev` +
+//! `.debug_info` sections (DWARF 4 flavour, 32-bit format).
+//!
+//! The extraction tool (paper §3.2) operates on the *module binary*, not
+//! on in-memory objects — so the driver model publishes encoded sections
+//! and `dwarf-extract-struct` parses them back, exactly like the real
+//! tool walks the vendor `.ko`.
+
+use crate::die::{Attr, AttrValue, Die, DieId, Dwarf, Tag};
+use crate::leb128::{read_uleb128, write_uleb128, LebError};
+use std::collections::HashMap;
+
+/// `DW_FORM_string` (inline NUL-terminated).
+const FORM_STRING: u64 = 0x08;
+/// `DW_FORM_udata` (ULEB128 constant).
+const FORM_UDATA: u64 = 0x0f;
+/// `DW_FORM_ref4` (4-byte unit-relative reference).
+const FORM_REF4: u64 = 0x13;
+
+/// A compiled kernel module: its name, version string, and debug sections.
+/// This is what the HFI1 driver model ships and what PicoDriver inspects.
+#[derive(Clone, Debug)]
+pub struct ModuleBinary {
+    /// Module name, e.g. `hfi1.ko`.
+    pub name: String,
+    /// Vendor version string, e.g. `10.8.0.0`.
+    pub version: String,
+    /// Encoded `.debug_abbrev` section.
+    pub debug_abbrev: Vec<u8>,
+    /// Encoded `.debug_info` section.
+    pub debug_info: Vec<u8>,
+}
+
+/// Errors from decoding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Ran off the end of a section / bad LEB128.
+    Truncated,
+    /// Abbreviation code not present in `.debug_abbrev`.
+    UnknownAbbrev(u64),
+    /// Unknown tag/attr/form value.
+    Malformed(&'static str),
+}
+
+impl From<LebError> for DecodeError {
+    fn from(_: LebError) -> DecodeError {
+        DecodeError::Truncated
+    }
+}
+
+fn form_for(value: &AttrValue) -> u64 {
+    match value {
+        AttrValue::Str(_) => FORM_STRING,
+        AttrValue::U64(_) => FORM_UDATA,
+        AttrValue::Ref(_) => FORM_REF4,
+    }
+}
+
+#[derive(PartialEq, Eq, Hash, Clone)]
+struct AbbrevKey {
+    tag: u64,
+    has_children: bool,
+    attrs: Vec<(u64, u64)>, // (attr, form)
+}
+
+/// Encode a DIE tree into `(debug_abbrev, debug_info)` sections.
+pub fn encode(dwarf: &Dwarf) -> (Vec<u8>, Vec<u8>) {
+    let mut abbrevs: Vec<AbbrevKey> = Vec::new();
+    let mut abbrev_codes: HashMap<AbbrevKey, u64> = HashMap::new();
+    let mut info = Vec::new();
+
+    // Compile-unit header: unit_length (patched later), version 4,
+    // debug_abbrev_offset 0, address_size 8.
+    info.extend_from_slice(&[0, 0, 0, 0]); // unit_length placeholder
+    info.extend_from_slice(&4u16.to_le_bytes());
+    info.extend_from_slice(&0u32.to_le_bytes());
+    info.push(8);
+
+    let mut offsets: HashMap<DieId, u32> = HashMap::new();
+    let mut patches: Vec<(usize, DieId)> = Vec::new(); // (info position, target)
+
+    fn emit(
+        dwarf: &Dwarf,
+        id: DieId,
+        info: &mut Vec<u8>,
+        abbrevs: &mut Vec<AbbrevKey>,
+        abbrev_codes: &mut HashMap<AbbrevKey, u64>,
+        offsets: &mut HashMap<DieId, u32>,
+        patches: &mut Vec<(usize, DieId)>,
+    ) {
+        let die = dwarf.get(id);
+        offsets.insert(id, info.len() as u32);
+        let key = AbbrevKey {
+            tag: die.tag as u64,
+            has_children: !die.children.is_empty(),
+            attrs: die
+                .attrs
+                .iter()
+                .map(|(a, v)| (*a as u64, form_for(v)))
+                .collect(),
+        };
+        let code = *abbrev_codes.entry(key.clone()).or_insert_with(|| {
+            abbrevs.push(key);
+            abbrevs.len() as u64
+        });
+        write_uleb128(info, code);
+        for (_, v) in &die.attrs {
+            match v {
+                AttrValue::Str(s) => {
+                    info.extend_from_slice(s.as_bytes());
+                    info.push(0);
+                }
+                AttrValue::U64(u) => write_uleb128(info, *u),
+                AttrValue::Ref(target) => {
+                    patches.push((info.len(), *target));
+                    info.extend_from_slice(&[0, 0, 0, 0]);
+                }
+            }
+        }
+        if !die.children.is_empty() {
+            for &c in &die.children {
+                emit(dwarf, c, info, abbrevs, abbrev_codes, offsets, patches);
+            }
+            info.push(0); // end-of-children
+        }
+    }
+
+    if let Some(root) = dwarf.root() {
+        emit(
+            dwarf,
+            root,
+            &mut info,
+            &mut abbrevs,
+            &mut abbrev_codes,
+            &mut offsets,
+            &mut patches,
+        );
+    }
+
+    for (pos, target) in patches {
+        let off = offsets[&target];
+        info[pos..pos + 4].copy_from_slice(&off.to_le_bytes());
+    }
+    let unit_length = (info.len() - 4) as u32;
+    info[0..4].copy_from_slice(&unit_length.to_le_bytes());
+
+    // Abbrev section.
+    let mut abbrev = Vec::new();
+    for (i, key) in abbrevs.iter().enumerate() {
+        write_uleb128(&mut abbrev, i as u64 + 1);
+        write_uleb128(&mut abbrev, key.tag);
+        abbrev.push(if key.has_children { 1 } else { 0 });
+        for &(a, f) in &key.attrs {
+            write_uleb128(&mut abbrev, a);
+            write_uleb128(&mut abbrev, f);
+        }
+        write_uleb128(&mut abbrev, 0);
+        write_uleb128(&mut abbrev, 0);
+    }
+    write_uleb128(&mut abbrev, 0); // end of table
+
+    (abbrev, info)
+}
+
+struct AbbrevDecl {
+    tag: u64,
+    has_children: bool,
+    attrs: Vec<(u64, u64)>,
+}
+
+fn parse_abbrev(buf: &[u8]) -> Result<HashMap<u64, AbbrevDecl>, DecodeError> {
+    let mut map = HashMap::new();
+    let mut pos = 0;
+    loop {
+        let code = read_uleb128(buf, &mut pos)?;
+        if code == 0 {
+            return Ok(map);
+        }
+        let tag = read_uleb128(buf, &mut pos)?;
+        let has_children = *buf.get(pos).ok_or(DecodeError::Truncated)? != 0;
+        pos += 1;
+        let mut attrs = Vec::new();
+        loop {
+            let a = read_uleb128(buf, &mut pos)?;
+            let f = read_uleb128(buf, &mut pos)?;
+            if a == 0 && f == 0 {
+                break;
+            }
+            attrs.push((a, f));
+        }
+        map.insert(
+            code,
+            AbbrevDecl {
+                tag,
+                has_children,
+                attrs,
+            },
+        );
+    }
+}
+
+enum RawValue {
+    U64(u64),
+    Str(String),
+    RefOff(u32),
+}
+
+/// Decode `(debug_abbrev, debug_info)` sections back into a DIE tree.
+pub fn decode(debug_abbrev: &[u8], debug_info: &[u8]) -> Result<Dwarf, DecodeError> {
+    let abbrevs = parse_abbrev(debug_abbrev)?;
+    if debug_info.len() < 11 {
+        return Err(DecodeError::Truncated);
+    }
+    let unit_length =
+        u32::from_le_bytes(debug_info[0..4].try_into().unwrap()) as usize;
+    let end = 4 + unit_length;
+    if end > debug_info.len() {
+        return Err(DecodeError::Truncated);
+    }
+    let version = u16::from_le_bytes(debug_info[4..6].try_into().unwrap());
+    if version != 4 {
+        return Err(DecodeError::Malformed("unsupported DWARF version"));
+    }
+    let mut pos = 11usize;
+
+    let mut dwarf = Dwarf::new();
+    // (die id, pending-children flag) stack.
+    let mut stack: Vec<DieId> = Vec::new();
+    let mut offset_to_id: HashMap<u32, DieId> = HashMap::new();
+    let mut pending_refs: Vec<(DieId, usize, u32)> = Vec::new(); // (die, attr idx, offset)
+
+    while pos < end {
+        let die_offset = pos as u32;
+        let code = read_uleb128(debug_info, &mut pos)?;
+        if code == 0 {
+            // End of a children list.
+            stack.pop().ok_or(DecodeError::Malformed("unbalanced null entry"))?;
+            continue;
+        }
+        let decl = abbrevs
+            .get(&code)
+            .ok_or(DecodeError::UnknownAbbrev(code))?;
+        let tag = Tag::from_u64(decl.tag).ok_or(DecodeError::Malformed("unknown tag"))?;
+        let mut attrs = Vec::with_capacity(decl.attrs.len());
+        let mut raw_refs = Vec::new();
+        for (i, &(a, f)) in decl.attrs.iter().enumerate() {
+            let attr = Attr::from_u64(a).ok_or(DecodeError::Malformed("unknown attr"))?;
+            let raw = match f {
+                FORM_UDATA => RawValue::U64(read_uleb128(debug_info, &mut pos)?),
+                FORM_STRING => {
+                    let start = pos;
+                    while *debug_info.get(pos).ok_or(DecodeError::Truncated)? != 0 {
+                        pos += 1;
+                    }
+                    let s = String::from_utf8(debug_info[start..pos].to_vec())
+                        .map_err(|_| DecodeError::Malformed("bad utf8 in string"))?;
+                    pos += 1;
+                    RawValue::Str(s)
+                }
+                FORM_REF4 => {
+                    let bytes: [u8; 4] = debug_info
+                        .get(pos..pos + 4)
+                        .ok_or(DecodeError::Truncated)?
+                        .try_into()
+                        .unwrap();
+                    pos += 4;
+                    RawValue::RefOff(u32::from_le_bytes(bytes))
+                }
+                _ => return Err(DecodeError::Malformed("unknown form")),
+            };
+            match raw {
+                RawValue::U64(u) => attrs.push((attr, AttrValue::U64(u))),
+                RawValue::Str(s) => attrs.push((attr, AttrValue::Str(s))),
+                RawValue::RefOff(off) => {
+                    // Placeholder; fixed up once every offset is known.
+                    attrs.push((attr, AttrValue::Ref(usize::MAX)));
+                    raw_refs.push((i, off));
+                }
+            }
+        }
+        let id = dwarf.add(Die {
+            tag,
+            attrs,
+            children: Vec::new(),
+        });
+        offset_to_id.insert(die_offset, id);
+        for (attr_idx, off) in raw_refs {
+            pending_refs.push((id, attr_idx, off));
+        }
+        if let Some(&parent) = stack.last() {
+            dwarf.attach(parent, id);
+        }
+        if decl.has_children {
+            stack.push(id);
+        }
+    }
+    if !stack.is_empty() {
+        return Err(DecodeError::Malformed("unterminated children list"));
+    }
+
+    // Resolve references now that all offsets are known. We rebuild the
+    // attribute in place via a setter on the arena.
+    for (id, attr_idx, off) in pending_refs {
+        let target = *offset_to_id
+            .get(&off)
+            .ok_or(DecodeError::Malformed("dangling reference"))?;
+        dwarf.set_attr_ref(id, attr_idx, target);
+    }
+    Ok(dwarf)
+}
+
+impl Dwarf {
+    /// Internal fixup used by the decoder: overwrite the `idx`-th
+    /// attribute of `die` with a resolved reference.
+    pub(crate) fn set_attr_ref(&mut self, die: DieId, idx: usize, target: DieId) {
+        if let Some((_, v)) = self.die_mut(die).attrs.get_mut(idx) {
+            *v = AttrValue::Ref(target);
+        }
+    }
+    fn die_mut(&mut self, id: DieId) -> &mut Die {
+        &mut self.dies_mut()[id]
+    }
+}
+
+impl ModuleBinary {
+    /// Build a module binary from a DIE tree.
+    pub fn from_dwarf(name: &str, version: &str, dwarf: &Dwarf) -> ModuleBinary {
+        let (debug_abbrev, debug_info) = encode(dwarf);
+        ModuleBinary {
+            name: name.to_string(),
+            version: version.to_string(),
+            debug_abbrev,
+            debug_info,
+        }
+    }
+
+    /// Parse the debug sections back into a DIE tree.
+    pub fn parse(&self) -> Result<Dwarf, DecodeError> {
+        decode(&self.debug_abbrev, &self.debug_info)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dwarf {
+        let mut d = Dwarf::new();
+        let cu = d.compile_unit("hfi1.ko");
+        let uint = d.base_type(cu, "unsigned int", 4);
+        let states = d.enum_type(cu, "sdma_states", 4, &[("s00", 0), ("s99", 9)]);
+        let ulong = d.base_type(cu, "unsigned long", 8);
+        let arr = d.array_type(cu, ulong, 4);
+        let _ptr = d.pointer_type(cu, uint);
+        d.struct_type(
+            cu,
+            "sdma_state",
+            64,
+            &[
+                ("current_state", states, 40),
+                ("go_s99_running", uint, 48),
+                ("previous_state", states, 52),
+                ("pad", arr, 0),
+            ],
+        );
+        d
+    }
+
+    #[test]
+    fn encode_decode_round_trip_structure() {
+        let d = sample();
+        let module = ModuleBinary::from_dwarf("hfi1.ko", "10.8", &d);
+        let back = module.parse().unwrap();
+        assert_eq!(back.len(), d.len());
+        let sid = back.find_named(Tag::StructureType, "sdma_state").unwrap();
+        let s = back.get(sid);
+        assert_eq!(s.attr_u64(Attr::ByteSize), Some(64));
+        let members: Vec<_> = s.children.iter().map(|&c| back.get(c)).collect();
+        assert_eq!(members.len(), 4);
+        assert_eq!(members[0].name(), Some("current_state"));
+        assert_eq!(members[0].attr_u64(Attr::DataMemberLocation), Some(40));
+        // The reference attr must resolve to the real enum DIE.
+        let ty = members[0].attr_ref(Attr::Type).unwrap();
+        assert_eq!(back.get(ty).name(), Some("sdma_states"));
+        assert_eq!(back.type_size(ty), Some(4));
+        // Array sizes survive.
+        let arr_ty = members[3].attr_ref(Attr::Type).unwrap();
+        assert_eq!(back.type_size(arr_ty), Some(32));
+    }
+
+    #[test]
+    fn abbrev_table_is_shared_across_identical_shapes() {
+        let mut d = Dwarf::new();
+        let cu = d.compile_unit("m");
+        for i in 0..10 {
+            d.base_type(cu, &format!("t{i}"), 4);
+        }
+        let (abbrev, _) = encode(&d);
+        // Only two abbrev declarations (CU + base type): the table stays
+        // tiny no matter how many DIEs share a shape.
+        let decls = parse_abbrev(&abbrev).unwrap();
+        assert_eq!(decls.len(), 2);
+    }
+
+    #[test]
+    fn truncated_sections_error() {
+        let d = sample();
+        let (abbrev, info) = encode(&d);
+        assert!(matches!(
+            decode(&abbrev, &info[..5]),
+            Err(DecodeError::Truncated)
+        ));
+        let mut short = info.clone();
+        short.truncate(info.len() - 3);
+        assert!(decode(&abbrev, &short).is_err());
+    }
+
+    #[test]
+    fn unknown_abbrev_code_detected() {
+        let d = sample();
+        let (_, info) = encode(&d);
+        // Empty abbrev table: first code lookup fails.
+        let empty = vec![0u8];
+        match decode(&empty, &info) {
+            Err(DecodeError::UnknownAbbrev(_)) => {}
+            other => panic!("expected UnknownAbbrev, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_check() {
+        let d = sample();
+        let (abbrev, mut info) = encode(&d);
+        info[4] = 9; // bogus version
+        assert!(matches!(
+            decode(&abbrev, &info),
+            Err(DecodeError::Malformed("unsupported DWARF version"))
+        ));
+    }
+}

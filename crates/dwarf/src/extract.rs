@@ -1,0 +1,330 @@
+//! `dwarf-extract-struct` — the paper's structure-extraction tool (§3.2).
+//!
+//! Given a module binary and a list of field names, the tool walks the
+//! DWARF headers until it finds the requested structure
+//! (`DW_TAG_structure_type`), locates each requested
+//! `DW_TAG_member`, and records its offset (`DW_AT_data_member_location`)
+//! and type (`DW_AT_type`). The output is:
+//!
+//! * a generated C header in the exact Listing 1 shape — an unnamed union
+//!   of a `whole_struct` character array with per-field padded wrappers;
+//! * runtime [`FieldRef`] accessors that read/write the field **by offset
+//!   over raw struct bytes**, which is how the LWK fast path touches live
+//!   Linux driver state without sharing headers.
+
+use crate::die::{Attr, Tag};
+use crate::encode::{DecodeError, ModuleBinary};
+use std::fmt::Write as _;
+
+/// Extraction failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExtractError {
+    /// The debug sections did not parse.
+    Decode(DecodeError),
+    /// No `DW_TAG_structure_type` with that name.
+    StructNotFound(String),
+    /// The structure has no member with that name.
+    FieldNotFound(String),
+    /// A member had no resolvable size/offset.
+    BadMember(String),
+}
+
+impl From<DecodeError> for ExtractError {
+    fn from(e: DecodeError) -> Self {
+        ExtractError::Decode(e)
+    }
+}
+
+/// A typed, offset-addressed handle to one field of a foreign structure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FieldRef {
+    /// Byte offset within the structure.
+    pub offset: usize,
+    /// Field size in bytes (1, 2, 4 or 8 for scalar reads).
+    pub size: usize,
+}
+
+impl FieldRef {
+    /// Read the field as a little-endian unsigned integer from the raw
+    /// bytes of a structure instance.
+    ///
+    /// Panics if the field does not fit in the buffer (that would mean
+    /// the extraction and the live structure disagree about layout).
+    pub fn read_u64(&self, bytes: &[u8]) -> u64 {
+        let mut v = [0u8; 8];
+        let src = &bytes[self.offset..self.offset + self.size.min(8)];
+        v[..src.len()].copy_from_slice(src);
+        u64::from_le_bytes(v)
+    }
+
+    /// Read as `u32` (field must be exactly 4 bytes).
+    pub fn read_u32(&self, bytes: &[u8]) -> u32 {
+        assert_eq!(self.size, 4, "field is not 4 bytes");
+        u32::from_le_bytes(bytes[self.offset..self.offset + 4].try_into().unwrap())
+    }
+
+    /// Write the field as a little-endian unsigned integer.
+    pub fn write_u64(&self, bytes: &mut [u8], v: u64) {
+        let n = self.size.min(8);
+        bytes[self.offset..self.offset + n].copy_from_slice(&v.to_le_bytes()[..n]);
+    }
+}
+
+/// One extracted field.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExtractedField {
+    /// Field name.
+    pub name: String,
+    /// Byte offset (`DW_AT_data_member_location`).
+    pub offset: u64,
+    /// Size in bytes (resolved through typedefs/arrays).
+    pub byte_size: u64,
+    /// Rendered C type name (`enum sdma_states`, `unsigned int`, ...).
+    pub type_name: String,
+}
+
+impl ExtractedField {
+    /// The runtime accessor for this field.
+    pub fn as_ref(&self) -> FieldRef {
+        FieldRef {
+            offset: self.offset as usize,
+            size: self.byte_size as usize,
+        }
+    }
+}
+
+/// The extraction result for one structure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExtractedStruct {
+    /// Structure name.
+    pub name: String,
+    /// Total size (`DW_AT_byte_size`) — the `whole_struct` array length.
+    pub byte_size: u64,
+    /// Extracted fields in the order requested.
+    pub fields: Vec<ExtractedField>,
+}
+
+impl ExtractedStruct {
+    /// Find an extracted field by name.
+    pub fn field(&self, name: &str) -> Option<&ExtractedField> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// A [`FieldRef`] for `name`; panics if absent (extraction happens at
+    /// "port" time, so a missing field is a programming error, matching
+    /// the compile error one would get from the generated header).
+    pub fn field_ref(&self, name: &str) -> FieldRef {
+        self.field(name)
+            .unwrap_or_else(|| panic!("field `{name}` was not extracted from `{}`", self.name))
+            .as_ref()
+    }
+
+    /// Generate the Listing 1 style C header: an unnamed union holding a
+    /// `whole_struct` size pad plus one padded wrapper per field.
+    pub fn to_c_header(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "struct {} {{", self.name);
+        let _ = writeln!(out, "\tunion {{");
+        let _ = writeln!(out, "\t\tchar whole_struct[{}];", self.byte_size);
+        for (i, f) in self.fields.iter().enumerate() {
+            let _ = writeln!(out, "\t\tstruct {{");
+            if f.offset > 0 {
+                let _ = writeln!(out, "\t\t\tchar padding{}[{}];", i, f.offset);
+            }
+            if let Some(elem) = f.type_name.strip_suffix("[]") {
+                let _ = writeln!(out, "\t\t\t{} {}[{}];", elem, f.name, f.byte_size);
+            } else {
+                let _ = writeln!(out, "\t\t\t{} {};", f.type_name, f.name);
+            }
+            let _ = writeln!(out, "\t\t}};");
+        }
+        let _ = writeln!(out, "\t}};");
+        let _ = writeln!(out, "}};");
+        out
+    }
+}
+
+/// Extract `struct_name` with the requested `fields` from a module binary.
+///
+/// This systematically walks the DWARF headers until it finds the
+/// requested structure as `DW_TAG_structure_type`, then for each requested
+/// field finds the appropriate `DW_TAG_member`, obtaining its offset via
+/// `DW_AT_data_member_location` and its type through `DW_AT_type`.
+pub fn extract_struct(
+    module: &ModuleBinary,
+    struct_name: &str,
+    fields: &[&str],
+) -> Result<ExtractedStruct, ExtractError> {
+    let dwarf = module.parse()?;
+    let sid = dwarf
+        .find_named(Tag::StructureType, struct_name)
+        .ok_or_else(|| ExtractError::StructNotFound(struct_name.to_string()))?;
+    let sdie = dwarf.get(sid);
+    let byte_size = sdie
+        .attr_u64(Attr::ByteSize)
+        .ok_or_else(|| ExtractError::BadMember(struct_name.to_string()))?;
+
+    let mut out_fields = Vec::with_capacity(fields.len());
+    for &fname in fields {
+        let member = sdie
+            .children
+            .iter()
+            .map(|&c| dwarf.get(c))
+            .find(|d| d.tag == Tag::Member && d.name() == Some(fname))
+            .ok_or_else(|| ExtractError::FieldNotFound(fname.to_string()))?;
+        let offset = member
+            .attr_u64(Attr::DataMemberLocation)
+            .ok_or_else(|| ExtractError::BadMember(fname.to_string()))?;
+        let ty = member
+            .attr_ref(Attr::Type)
+            .ok_or_else(|| ExtractError::BadMember(fname.to_string()))?;
+        let byte_size = dwarf
+            .type_size(ty)
+            .ok_or_else(|| ExtractError::BadMember(fname.to_string()))?;
+        out_fields.push(ExtractedField {
+            name: fname.to_string(),
+            offset,
+            byte_size,
+            type_name: dwarf.type_name(ty),
+        });
+    }
+    Ok(ExtractedStruct {
+        name: struct_name.to_string(),
+        byte_size,
+        fields: out_fields,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::die::Dwarf;
+
+    /// Build the paper's `sdma_state` example module.
+    fn listing1_module() -> ModuleBinary {
+        let mut d = Dwarf::new();
+        let cu = d.compile_unit("hfi1.ko");
+        let uint = d.base_type(cu, "unsigned int", 4);
+        let states = d.enum_type(
+            cu,
+            "sdma_states",
+            4,
+            &[("sdma_state_s00_hw_down", 0), ("sdma_state_s99_running", 9)],
+        );
+        d.struct_type(
+            cu,
+            "sdma_state",
+            64,
+            &[
+                ("current_state", states, 40),
+                ("go_s99_running", uint, 48),
+                ("previous_state", states, 52),
+            ],
+        );
+        ModuleBinary::from_dwarf("hfi1.ko", "10.8.0.0", &d)
+    }
+
+    #[test]
+    fn extracts_offsets_and_types() {
+        let m = listing1_module();
+        let s = extract_struct(
+            &m,
+            "sdma_state",
+            &["current_state", "go_s99_running", "previous_state"],
+        )
+        .unwrap();
+        assert_eq!(s.byte_size, 64);
+        assert_eq!(s.field("current_state").unwrap().offset, 40);
+        assert_eq!(s.field("go_s99_running").unwrap().offset, 48);
+        assert_eq!(s.field("previous_state").unwrap().offset, 52);
+        assert_eq!(s.field("go_s99_running").unwrap().type_name, "unsigned int");
+        assert_eq!(
+            s.field("current_state").unwrap().type_name,
+            "enum sdma_states"
+        );
+    }
+
+    #[test]
+    fn listing1_header_shape() {
+        let m = listing1_module();
+        let s = extract_struct(
+            &m,
+            "sdma_state",
+            &["current_state", "go_s99_running", "previous_state"],
+        )
+        .unwrap();
+        let header = s.to_c_header();
+        // The exact structural elements of Listing 1:
+        assert!(header.contains("struct sdma_state {"));
+        assert!(header.contains("char whole_struct[64];"));
+        assert!(header.contains("char padding0[40];"));
+        assert!(header.contains("enum sdma_states current_state;"));
+        assert!(header.contains("char padding1[48];"));
+        assert!(header.contains("unsigned int go_s99_running;"));
+        assert!(header.contains("char padding2[52];"));
+        assert!(header.contains("enum sdma_states previous_state;"));
+    }
+
+    #[test]
+    fn missing_struct_and_field_errors() {
+        let m = listing1_module();
+        assert_eq!(
+            extract_struct(&m, "nope", &[]),
+            Err(ExtractError::StructNotFound("nope".into()))
+        );
+        assert_eq!(
+            extract_struct(&m, "sdma_state", &["bogus_field"]),
+            Err(ExtractError::FieldNotFound("bogus_field".into()))
+        );
+    }
+
+    #[test]
+    fn field_refs_read_and_write_raw_bytes() {
+        let m = listing1_module();
+        let s = extract_struct(&m, "sdma_state", &["go_s99_running", "current_state"]).unwrap();
+        let mut raw = vec![0u8; s.byte_size as usize];
+        let going = s.field_ref("go_s99_running");
+        let cur = s.field_ref("current_state");
+        going.write_u64(&mut raw, 1);
+        cur.write_u64(&mut raw, 9);
+        assert_eq!(going.read_u32(&raw), 1);
+        assert_eq!(cur.read_u64(&raw), 9);
+        // Bytes outside the two fields stay zero.
+        assert!(raw[..40].iter().all(|&b| b == 0));
+        assert!(raw[44..48].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn version_skew_is_fixed_by_re_extraction() {
+        // Vendor ships a new driver with shifted offsets; re-extraction
+        // (not manual header surgery) keeps the port working.
+        let mut d = Dwarf::new();
+        let cu = d.compile_unit("hfi1.ko");
+        let uint = d.base_type(cu, "unsigned int", 4);
+        let states = d.enum_type(cu, "sdma_states", 4, &[]);
+        d.struct_type(
+            cu,
+            "sdma_state",
+            80, // grew
+            &[
+                ("new_counter", uint, 0),
+                ("current_state", states, 56), // moved
+                ("go_s99_running", uint, 64),  // moved
+            ],
+        );
+        let v2 = ModuleBinary::from_dwarf("hfi1.ko", "10.9.0.0", &d);
+        let s = extract_struct(&v2, "sdma_state", &["go_s99_running"]).unwrap();
+        assert_eq!(s.field("go_s99_running").unwrap().offset, 64);
+        let mut raw = vec![0u8; 80];
+        raw[64..68].copy_from_slice(&7u32.to_le_bytes());
+        assert_eq!(s.field_ref("go_s99_running").read_u32(&raw), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "was not extracted")]
+    fn field_ref_on_unextracted_field_panics() {
+        let m = listing1_module();
+        let s = extract_struct(&m, "sdma_state", &["current_state"]).unwrap();
+        let _ = s.field_ref("go_s99_running");
+    }
+}

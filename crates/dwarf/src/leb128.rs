@@ -1,0 +1,129 @@
+//! ULEB128 / SLEB128 variable-length integers, as used by DWARF.
+
+/// Append `v` to `out` as unsigned LEB128.
+pub fn write_uleb128(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let mut byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v != 0 {
+            byte |= 0x80;
+        }
+        out.push(byte);
+        if v == 0 {
+            break;
+        }
+    }
+}
+
+/// Append `v` to `out` as signed LEB128.
+pub fn write_sleb128(out: &mut Vec<u8>, mut v: i64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        let sign_clear = byte & 0x40 == 0;
+        if (v == 0 && sign_clear) || (v == -1 && !sign_clear) {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decode error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LebError;
+
+/// Read a ULEB128 from `buf` starting at `*pos`, advancing it.
+pub fn read_uleb128(buf: &[u8], pos: &mut usize) -> Result<u64, LebError> {
+    let mut result = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(LebError)?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(LebError);
+        }
+        result |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(result);
+        }
+        shift += 7;
+    }
+}
+
+/// Read an SLEB128 from `buf` starting at `*pos`, advancing it.
+pub fn read_sleb128(buf: &[u8], pos: &mut usize) -> Result<i64, LebError> {
+    let mut result = 0i64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(LebError)?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(LebError);
+        }
+        result |= ((byte & 0x7F) as i64) << shift;
+        shift += 7;
+        if byte & 0x80 == 0 {
+            if shift < 64 && byte & 0x40 != 0 {
+                result |= -1i64 << shift;
+            }
+            return Ok(result);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_u(v: u64) -> u64 {
+        let mut out = Vec::new();
+        write_uleb128(&mut out, v);
+        let mut pos = 0;
+        let got = read_uleb128(&out, &mut pos).unwrap();
+        assert_eq!(pos, out.len());
+        got
+    }
+
+    fn round_s(v: i64) -> i64 {
+        let mut out = Vec::new();
+        write_sleb128(&mut out, v);
+        let mut pos = 0;
+        let got = read_sleb128(&out, &mut pos).unwrap();
+        assert_eq!(pos, out.len());
+        got
+    }
+
+    #[test]
+    fn uleb_round_trips() {
+        for v in [0u64, 1, 127, 128, 300, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            assert_eq!(round_u(v), v);
+        }
+    }
+
+    #[test]
+    fn sleb_round_trips() {
+        for v in [0i64, 1, -1, 63, 64, -64, -65, 8191, -8192, i64::MAX, i64::MIN] {
+            assert_eq!(round_s(v), v);
+        }
+    }
+
+    #[test]
+    fn known_encodings() {
+        let mut out = Vec::new();
+        write_uleb128(&mut out, 624485);
+        assert_eq!(out, vec![0xE5, 0x8E, 0x26]);
+        let mut out = Vec::new();
+        write_sleb128(&mut out, -123456);
+        assert_eq!(out, vec![0xC0, 0xBB, 0x78]);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let buf = [0x80u8, 0x80];
+        let mut pos = 0;
+        assert_eq!(read_uleb128(&buf, &mut pos), Err(LebError));
+        let mut pos = 0;
+        assert_eq!(read_sleb128(&buf, &mut pos), Err(LebError));
+    }
+}

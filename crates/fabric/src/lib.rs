@@ -1,0 +1,243 @@
+//! # pico-fabric — the inter-node network model
+//!
+//! An OmniPath-like fabric reduced to what the experiments are sensitive
+//! to: per-node injection (uplink) and reception (downlink) bandwidth,
+//! cut-through latency, and a **per-SDMA-request overhead** on the wire.
+//! That last term is the hardware half of §3.4: a transfer cut into 4 KiB
+//! requests pays the inter-request gap ~2.5× more often than one cut into
+//! 10 KB requests, which is exactly the bandwidth difference Figure 4
+//! shows between the Linux driver and the PicoDriver fast path.
+//!
+//! Topology is full-bisection (OFP's fat tree keeps the paper's traffic
+//! far from topology limits), so the switch core is not modelled; only
+//! the node links and their FIFO contention are.
+
+#![warn(missing_docs)]
+
+use pico_sim::{BandwidthGate, Ns};
+
+/// Fabric parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct FabricConfig {
+    /// Per-direction link bandwidth in bytes/second (100 Gb/s ≈ 12.3 GB/s
+    /// after encoding overhead).
+    pub link_bw: f64,
+    /// One-way cut-through latency between two nodes (NIC + 2 switch hops).
+    pub base_latency: Ns,
+    /// Wire/engine gap per SDMA request (descriptor fetch + packet
+    /// header turnaround).
+    pub per_req_overhead: Ns,
+    /// Intra-node (shared-memory) copy bandwidth.
+    pub shm_bw: f64,
+    /// Intra-node delivery latency.
+    pub shm_latency: Ns,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            link_bw: 12.3e9,
+            base_latency: Ns::nanos(900),
+            per_req_overhead: Ns::nanos(100),
+            shm_bw: 6.0e9,
+            shm_latency: Ns::nanos(350),
+        }
+    }
+}
+
+/// A completed transfer schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransferSchedule {
+    /// When the sender's link accepted the last byte.
+    pub injected: Ns,
+    /// When the message is fully available at the receiver.
+    pub arrival: Ns,
+}
+
+/// The fabric connecting `n` nodes.
+pub struct Fabric {
+    cfg: FabricConfig,
+    uplinks: Vec<BandwidthGate>,
+    downlinks: Vec<BandwidthGate>,
+    messages: u64,
+    bytes: u64,
+    intra_messages: u64,
+}
+
+impl Fabric {
+    /// A fabric of `nodes` nodes.
+    pub fn new(cfg: FabricConfig, nodes: usize) -> Fabric {
+        assert!(nodes > 0);
+        Fabric {
+            uplinks: (0..nodes).map(|_| BandwidthGate::new(cfg.link_bw)).collect(),
+            downlinks: (0..nodes).map(|_| BandwidthGate::new(cfg.link_bw)).collect(),
+            cfg,
+            messages: 0,
+            bytes: 0,
+            intra_messages: 0,
+        }
+    }
+
+    /// Configuration.
+    pub fn config(&self) -> FabricConfig {
+        self.cfg
+    }
+    /// Node count.
+    pub fn nodes(&self) -> usize {
+        self.uplinks.len()
+    }
+
+    /// Schedule a transfer of `bytes` from `src` to `dst`, cut into
+    /// `nreqs` wire requests. Intra-node messages use the shared-memory
+    /// path (no NIC involvement, no request overhead).
+    pub fn transfer(
+        &mut self,
+        now: Ns,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        nreqs: u64,
+    ) -> TransferSchedule {
+        self.messages += 1;
+        self.bytes += bytes;
+        if src == dst {
+            self.intra_messages += 1;
+            let arrival =
+                now + self.cfg.shm_latency + pico_sim::transfer_time(bytes, self.cfg.shm_bw);
+            return TransferSchedule {
+                injected: arrival,
+                arrival,
+            };
+        }
+        let overhead = Ns(self.cfg.per_req_overhead.0 * nreqs);
+        let (up_start, up_finish) = self.uplinks[src].reserve_with_overhead(now, bytes, overhead);
+        // Cut-through: the head of the message reaches the receiver one
+        // base latency after injection starts; the tail is gated by both
+        // the uplink finish and the (possibly congested) downlink.
+        let (_, down_finish) = self.downlinks[dst].reserve(up_start + self.cfg.base_latency, bytes);
+        TransferSchedule {
+            injected: up_finish,
+            arrival: down_finish.max(up_finish + self.cfg.base_latency),
+        }
+    }
+
+    /// Effective achievable bandwidth for back-to-back messages of
+    /// `bytes` cut into `nreqs` requests (no contention): the Figure 4
+    /// steady-state number.
+    pub fn steady_state_bw(&self, bytes: u64, nreqs: u64) -> f64 {
+        let per_msg = pico_sim::transfer_time(bytes, self.cfg.link_bw)
+            + Ns(self.cfg.per_req_overhead.0 * nreqs);
+        bytes as f64 / per_msg.as_secs_f64()
+    }
+
+    /// Messages scheduled so far.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+    /// Bytes scheduled so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+    /// Intra-node messages.
+    pub fn intra_messages(&self) -> u64 {
+        self.intra_messages
+    }
+    /// Total busy time of a node's uplink.
+    pub fn uplink_busy(&self, node: usize) -> Ns {
+        self.uplinks[node].busy_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric(nodes: usize) -> Fabric {
+        Fabric::new(
+            FabricConfig {
+                link_bw: 1e9, // 1 GB/s => easy math
+                base_latency: Ns(1000),
+                per_req_overhead: Ns(100),
+                shm_bw: 2e9,
+                shm_latency: Ns(200),
+            },
+            nodes,
+        )
+    }
+
+    #[test]
+    fn single_transfer_latency_and_bandwidth() {
+        let mut f = fabric(2);
+        let s = f.transfer(Ns(0), 0, 1, 1000, 1);
+        // Uplink: 100ns overhead + 1000ns data = 1100ns.
+        assert_eq!(s.injected, Ns(1100));
+        // Arrival: base latency after tail injection (downlink idle).
+        assert_eq!(s.arrival, Ns(2100));
+    }
+
+    #[test]
+    fn request_count_matters() {
+        // Same bytes, more requests => slower. The §3.4 effect.
+        let mut f = fabric(2);
+        let few = f.transfer(Ns(0), 0, 1, 40_000, 4); // 10KB requests
+        let mut f2 = fabric(2);
+        let many = f2.transfer(Ns(0), 0, 1, 40_000, 10); // 4KB requests
+        assert!(many.arrival > few.arrival);
+        let bw_few = f.steady_state_bw(40_000, 4);
+        let bw_many = f.steady_state_bw(40_000, 10);
+        assert!(bw_few > bw_many);
+        // Ratio ~ (40us + 1us) / (40us + 0.4us).
+        assert!((bw_few / bw_many - 41.0 / 40.4).abs() < 1e-3);
+    }
+
+    #[test]
+    fn uplink_contention_serializes_senders() {
+        let mut f = fabric(3);
+        let a = f.transfer(Ns(0), 0, 1, 10_000, 1);
+        let b = f.transfer(Ns(0), 0, 2, 10_000, 1); // same sender
+        assert!(b.injected >= a.injected + Ns(10_000));
+    }
+
+    #[test]
+    fn downlink_incast_contention() {
+        let mut f = fabric(3);
+        let a = f.transfer(Ns(0), 0, 2, 10_000, 1);
+        let b = f.transfer(Ns(0), 1, 2, 10_000, 1); // different sender, same receiver
+        // Both inject in parallel but the receiver drains serially: the
+        // second message arrives roughly one message-time later.
+        assert_eq!(a.injected, b.injected);
+        assert!(b.arrival >= a.arrival + Ns(9_000), "a {a:?} b {b:?}");
+    }
+
+    #[test]
+    fn intra_node_uses_shared_memory() {
+        let mut f = fabric(2);
+        let s = f.transfer(Ns(0), 1, 1, 2000, 5);
+        // 200ns latency + 2000B / 2GB/s = 1000ns; request count ignored.
+        assert_eq!(s.arrival, Ns(1200));
+        assert_eq!(f.intra_messages(), 1);
+        // NIC links untouched.
+        assert_eq!(f.uplink_busy(1), Ns::ZERO);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut f = fabric(2);
+        f.transfer(Ns(0), 0, 1, 500, 1);
+        f.transfer(Ns(0), 1, 0, 700, 2);
+        assert_eq!(f.messages(), 2);
+        assert_eq!(f.bytes(), 1200);
+    }
+
+    #[test]
+    fn default_config_hits_omnipath_ballpark() {
+        let f = Fabric::new(FabricConfig::default(), 2);
+        // 4 MiB in 10KB requests ≈ 11+ GB/s; in 4KiB requests ≈ 10 GB/s.
+        let bw_pico = f.steady_state_bw(4 << 20, (4u64 << 20).div_ceil(10 * 1024));
+        let bw_linux = f.steady_state_bw(4 << 20, (4u64 << 20) / 4096);
+        assert!(bw_pico > 10.5e9, "pico {bw_pico}");
+        assert!(bw_linux < bw_pico, "linux {bw_linux} < pico {bw_pico}");
+        let gain = bw_pico / bw_linux;
+        assert!((1.05..1.35).contains(&gain), "gain {gain}");
+    }
+}

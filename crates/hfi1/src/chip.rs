@@ -1,0 +1,394 @@
+//! The OmniPath HFI silicon model: receive contexts, the RcvArray of TID
+//! entries for direct data placement, per-context eager rings, PIO send,
+//! and the 16 SDMA engines.
+//!
+//! The chip is *functional* state — registration tables and rings whose
+//! correctness the integration tests verify end to end. Timing is charged
+//! by the driver cost models and the fabric, not here.
+
+use std::collections::VecDeque;
+
+/// Chip geometry and limits.
+#[derive(Clone, Copy, Debug)]
+pub struct HfiChipConfig {
+    /// Number of SDMA engines (the real HFI has 16).
+    pub num_sdma_engines: usize,
+    /// Hardware maximum SDMA request payload (10 KB on the HFI; the
+    /// Linux driver nevertheless only ever uses ≤ PAGE_SIZE).
+    pub max_sdma_payload: u64,
+    /// RcvArray entries available per receive context.
+    pub rcv_array_entries: usize,
+    /// Eager ring capacity per context, in packets.
+    pub eager_ring_slots: usize,
+}
+
+impl Default for HfiChipConfig {
+    fn default() -> Self {
+        HfiChipConfig {
+            num_sdma_engines: 16,
+            max_sdma_payload: 10 * 1024,
+            rcv_array_entries: 2048,
+            eager_ring_slots: 2048,
+        }
+    }
+}
+
+/// A TID: index into a context's RcvArray.
+pub type TidId = u16;
+
+/// One programmed RcvArray entry: where the hardware may place expected
+/// data (a user virtual range, pre-pinned by the registering kernel).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TidEntry {
+    /// Destination user virtual address.
+    pub va: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+/// An eager packet parked in the ring until the library copies it out.
+#[derive(Clone, Debug)]
+pub struct EagerPacket {
+    /// Opaque source identifier (global rank).
+    pub src: u64,
+    /// Matching tag bits.
+    pub tag: u64,
+    /// Payload length.
+    pub len: u64,
+    /// Optional real payload (integrity-checked tests).
+    pub payload: Option<Vec<u8>>,
+}
+
+/// Chip-level errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChipError {
+    /// No receive context available.
+    NoContext,
+    /// RcvArray exhausted for this context.
+    NoTids,
+    /// Bad TID (unprogrammed / out of range).
+    BadTid,
+    /// Eager ring overflow (packet dropped; sender must back off).
+    EagerFull,
+    /// Bad context id.
+    BadContext,
+}
+
+struct RcvContext {
+    in_use: bool,
+    rcv_array: Vec<Option<TidEntry>>,
+    free_tids: Vec<TidId>,
+    eager: VecDeque<EagerPacket>,
+    eager_dropped: u64,
+}
+
+/// The HFI chip state of one node.
+pub struct HfiChip {
+    cfg: HfiChipConfig,
+    contexts: Vec<RcvContext>,
+    engine_submits: Vec<u64>,
+    pio_sends: u64,
+    tid_programs: u64,
+    tid_frees: u64,
+}
+
+impl HfiChip {
+    /// A chip with `num_contexts` receive contexts.
+    pub fn new(cfg: HfiChipConfig, num_contexts: usize) -> HfiChip {
+        HfiChip {
+            contexts: (0..num_contexts)
+                .map(|_| RcvContext {
+                    in_use: false,
+                    rcv_array: vec![None; cfg.rcv_array_entries],
+                    free_tids: (0..cfg.rcv_array_entries as TidId).rev().collect(),
+                    eager: VecDeque::new(),
+                    eager_dropped: 0,
+                })
+                .collect(),
+            cfg,
+            engine_submits: vec![0; cfg.num_sdma_engines],
+            pio_sends: 0,
+            tid_programs: 0,
+            tid_frees: 0,
+        }
+    }
+
+    /// Chip configuration.
+    pub fn config(&self) -> HfiChipConfig {
+        self.cfg
+    }
+
+    /// Claim a free receive context (done by the driver's `open`).
+    pub fn alloc_context(&mut self) -> Result<u32, ChipError> {
+        for (i, c) in self.contexts.iter_mut().enumerate() {
+            if !c.in_use {
+                c.in_use = true;
+                return Ok(i as u32);
+            }
+        }
+        Err(ChipError::NoContext)
+    }
+
+    /// Release a context and everything programmed into it.
+    pub fn free_context(&mut self, ctxt: u32) -> Result<(), ChipError> {
+        let c = self
+            .contexts
+            .get_mut(ctxt as usize)
+            .ok_or(ChipError::BadContext)?;
+        if !c.in_use {
+            return Err(ChipError::BadContext);
+        }
+        c.in_use = false;
+        c.rcv_array.iter_mut().for_each(|e| *e = None);
+        c.free_tids = (0..self.cfg.rcv_array_entries as TidId).rev().collect();
+        c.eager.clear();
+        Ok(())
+    }
+
+    /// Program RcvArray entries for the given buffer segments; returns
+    /// the TIDs, which user space uses to identify (and later free) the
+    /// registration.
+    pub fn program_tids(
+        &mut self,
+        ctxt: u32,
+        segments: &[TidEntry],
+    ) -> Result<Vec<TidId>, ChipError> {
+        let c = self
+            .contexts
+            .get_mut(ctxt as usize)
+            .ok_or(ChipError::BadContext)?;
+        if c.free_tids.len() < segments.len() {
+            return Err(ChipError::NoTids);
+        }
+        let mut tids = Vec::with_capacity(segments.len());
+        for seg in segments {
+            let tid = c.free_tids.pop().expect("checked above");
+            c.rcv_array[tid as usize] = Some(seg.clone());
+            tids.push(tid);
+        }
+        self.tid_programs += segments.len() as u64;
+        Ok(tids)
+    }
+
+    /// Unprogram previously registered TIDs.
+    pub fn unprogram_tids(&mut self, ctxt: u32, tids: &[TidId]) -> Result<(), ChipError> {
+        let c = self
+            .contexts
+            .get_mut(ctxt as usize)
+            .ok_or(ChipError::BadContext)?;
+        for &tid in tids {
+            let slot = c
+                .rcv_array
+                .get_mut(tid as usize)
+                .ok_or(ChipError::BadTid)?;
+            if slot.take().is_none() {
+                return Err(ChipError::BadTid);
+            }
+            c.free_tids.push(tid);
+        }
+        self.tid_frees += tids.len() as u64;
+        Ok(())
+    }
+
+    /// Look up a programmed TID (the "hardware" resolving where to place
+    /// arriving expected data).
+    pub fn tid_entry(&self, ctxt: u32, tid: TidId) -> Result<&TidEntry, ChipError> {
+        self.contexts
+            .get(ctxt as usize)
+            .ok_or(ChipError::BadContext)?
+            .rcv_array
+            .get(tid as usize)
+            .and_then(|e| e.as_ref())
+            .ok_or(ChipError::BadTid)
+    }
+
+    /// Number of free TIDs in a context.
+    pub fn free_tid_count(&self, ctxt: u32) -> usize {
+        self.contexts
+            .get(ctxt as usize)
+            .map_or(0, |c| c.free_tids.len())
+    }
+
+    /// Deposit an eager packet into a context's ring.
+    pub fn eager_push(&mut self, ctxt: u32, pkt: EagerPacket) -> Result<(), ChipError> {
+        let slots = self.cfg.eager_ring_slots;
+        let c = self
+            .contexts
+            .get_mut(ctxt as usize)
+            .ok_or(ChipError::BadContext)?;
+        if c.eager.len() >= slots {
+            c.eager_dropped += 1;
+            return Err(ChipError::EagerFull);
+        }
+        c.eager.push_back(pkt);
+        Ok(())
+    }
+
+    /// Pop the oldest eager packet (the library's progress loop).
+    pub fn eager_pop(&mut self, ctxt: u32) -> Option<EagerPacket> {
+        self.contexts.get_mut(ctxt as usize)?.eager.pop_front()
+    }
+
+    /// Pending eager packets in a context.
+    pub fn eager_depth(&self, ctxt: u32) -> usize {
+        self.contexts.get(ctxt as usize).map_or(0, |c| c.eager.len())
+    }
+
+    /// Dropped eager packets (ring overflow) for a context.
+    pub fn eager_dropped(&self, ctxt: u32) -> u64 {
+        self.contexts
+            .get(ctxt as usize)
+            .map_or(0, |c| c.eager_dropped)
+    }
+
+    /// Pick the least-loaded SDMA engine and record the submission.
+    pub fn reserve_engine(&mut self) -> usize {
+        let (idx, _) = self
+            .engine_submits
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &n)| (n, i))
+            .expect("at least one engine");
+        self.engine_submits[idx] += 1;
+        idx
+    }
+
+    /// Submissions per engine (load-balance observability).
+    pub fn engine_submits(&self) -> &[u64] {
+        &self.engine_submits
+    }
+
+    /// Record a PIO send (entirely user-space driven).
+    pub fn record_pio(&mut self) {
+        self.pio_sends += 1;
+    }
+    /// PIO sends so far.
+    pub fn pio_sends(&self) -> u64 {
+        self.pio_sends
+    }
+    /// TID entries programmed so far.
+    pub fn tid_programs(&self) -> u64 {
+        self.tid_programs
+    }
+    /// TID entries freed so far.
+    pub fn tid_frees(&self) -> u64 {
+        self.tid_frees
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chip() -> HfiChip {
+        HfiChip::new(
+            HfiChipConfig {
+                rcv_array_entries: 8,
+                eager_ring_slots: 4,
+                ..Default::default()
+            },
+            2,
+        )
+    }
+
+    #[test]
+    fn context_lifecycle() {
+        let mut c = chip();
+        let a = c.alloc_context().unwrap();
+        let b = c.alloc_context().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(c.alloc_context(), Err(ChipError::NoContext));
+        c.free_context(a).unwrap();
+        assert_eq!(c.alloc_context(), Ok(a));
+        assert_eq!(c.free_context(99), Err(ChipError::BadContext));
+    }
+
+    #[test]
+    fn tid_program_lookup_free_cycle() {
+        let mut c = chip();
+        let ctxt = c.alloc_context().unwrap();
+        let segs = vec![
+            TidEntry { va: 0x1000, len: 4096 },
+            TidEntry { va: 0x2000, len: 2048 },
+        ];
+        let tids = c.program_tids(ctxt, &segs).unwrap();
+        assert_eq!(tids.len(), 2);
+        assert_eq!(c.free_tid_count(ctxt), 6);
+        assert_eq!(c.tid_entry(ctxt, tids[1]).unwrap().va, 0x2000);
+        c.unprogram_tids(ctxt, &tids).unwrap();
+        assert_eq!(c.free_tid_count(ctxt), 8);
+        assert_eq!(c.tid_entry(ctxt, tids[0]), Err(ChipError::BadTid));
+        // Double unprogram is an error.
+        assert_eq!(c.unprogram_tids(ctxt, &tids[..1]), Err(ChipError::BadTid));
+        assert_eq!((c.tid_programs(), c.tid_frees()), (2, 2));
+    }
+
+    #[test]
+    fn rcv_array_exhaustion() {
+        let mut c = chip();
+        let ctxt = c.alloc_context().unwrap();
+        let segs: Vec<TidEntry> = (0..9)
+            .map(|i| TidEntry { va: i * 0x1000, len: 4096 })
+            .collect();
+        assert_eq!(c.program_tids(ctxt, &segs), Err(ChipError::NoTids));
+        // Nothing was partially programmed.
+        assert_eq!(c.free_tid_count(ctxt), 8);
+    }
+
+    #[test]
+    fn eager_ring_fifo_and_overflow() {
+        let mut c = chip();
+        let ctxt = c.alloc_context().unwrap();
+        for i in 0..4 {
+            c.eager_push(
+                ctxt,
+                EagerPacket {
+                    src: i,
+                    tag: i,
+                    len: 64,
+                    payload: None,
+                },
+            )
+            .unwrap();
+        }
+        assert_eq!(
+            c.eager_push(
+                ctxt,
+                EagerPacket {
+                    src: 9,
+                    tag: 9,
+                    len: 64,
+                    payload: None
+                }
+            ),
+            Err(ChipError::EagerFull)
+        );
+        assert_eq!(c.eager_dropped(ctxt), 1);
+        let first = c.eager_pop(ctxt).unwrap();
+        assert_eq!(first.src, 0);
+        assert_eq!(c.eager_depth(ctxt), 3);
+    }
+
+    #[test]
+    fn engine_selection_balances() {
+        let mut c = HfiChip::new(HfiChipConfig::default(), 1);
+        for _ in 0..32 {
+            c.reserve_engine();
+        }
+        assert!(c.engine_submits().iter().all(|&n| n == 2));
+    }
+
+    #[test]
+    fn freeing_context_releases_tids() {
+        let mut c = chip();
+        let ctxt = c.alloc_context().unwrap();
+        let tids = c
+            .program_tids(ctxt, &[TidEntry { va: 0, len: 4096 }])
+            .unwrap();
+        c.free_context(ctxt).unwrap();
+        let ctxt2 = c.alloc_context().unwrap();
+        assert_eq!(ctxt2, ctxt);
+        assert_eq!(c.free_tid_count(ctxt2), 8);
+        assert_eq!(c.tid_entry(ctxt2, tids[0]), Err(ChipError::BadTid));
+    }
+}

@@ -1,0 +1,25 @@
+//! # pico-hfi1 — the OmniPath HFI device and its unmodified Linux driver
+//!
+//! The slow half of the split architecture:
+//!
+//! * [`structs`] — driver data structures kept as **raw bytes** behind
+//!   versioned layouts, with real DWARF debug sections emitted for the
+//!   module binary (the input to `dwarf-extract-struct`);
+//! * [`chip`] — the silicon: receive contexts, the RcvArray of TID
+//!   entries, per-context eager rings, PIO, and 16 SDMA engines;
+//! * [`driver`] — the vendor file operations: `open`, SDMA `writev`
+//!   (`get_user_pages` + **≤ 4 KiB** requests — the limitation PicoDriver
+//!   beats), `ioctl` TID registration, completion handling, and the
+//!   administrative commands the LWK never ports.
+
+#![warn(missing_docs)]
+
+pub mod chip;
+pub mod driver;
+pub mod structs;
+
+pub use chip::{ChipError, EagerPacket, HfiChip, HfiChipConfig, TidEntry, TidId};
+pub use driver::{
+    DriverError, Hfi1Driver, HfiDriverCosts, SdmaRequest, SdmaSubmission, TidRegistration,
+};
+pub use structs::{FieldDef, FieldKind, LayoutBuilder, LayoutSet, RawStruct, StructLayout};

@@ -1,0 +1,465 @@
+//! HFI1 driver data structures — stored as raw bytes behind versioned
+//! layouts, with DWARF debug info emitted for the module binary.
+//!
+//! Fidelity point: the Linux driver accesses its state through its *own*
+//! layout handles (it was compiled against these headers); the PicoDriver
+//! never sees the layouts — it extracts offsets from the DWARF sections
+//! of the module binary (§3.2) and reads the same bytes. If extraction
+//! were wrong, the LWK would read garbage; the tests prove both sides
+//! agree, across driver versions with shifted fields.
+
+use pico_dwarf::{Dwarf, ModuleBinary};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Scalar field kinds used by the driver structs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FieldKind {
+    /// Unsigned integer of the field's size.
+    UInt,
+    /// C `enum` (4 bytes).
+    Enum(&'static str),
+    /// Pointer (8 bytes).
+    Ptr(&'static str),
+    /// Fixed array of bytes (opaque to the LWK).
+    Bytes,
+}
+
+/// One field of a driver structure.
+#[derive(Clone, Debug)]
+pub struct FieldDef {
+    /// Field name.
+    pub name: &'static str,
+    /// Byte offset.
+    pub offset: u64,
+    /// Size in bytes.
+    pub size: u64,
+    /// Kind (drives DWARF type emission).
+    pub kind: FieldKind,
+}
+
+/// A complete structure layout.
+#[derive(Clone, Debug)]
+pub struct StructLayout {
+    /// Structure name (`sdma_state`, `hfi1_filedata`, ...).
+    pub name: &'static str,
+    /// Total byte size.
+    pub size: u64,
+    /// Fields in declaration order.
+    pub fields: Vec<FieldDef>,
+}
+
+impl StructLayout {
+    /// Find a field.
+    pub fn field(&self, name: &str) -> Option<&FieldDef> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+    /// Offset of a field; panics if absent (driver-internal access).
+    pub fn offset_of(&self, name: &str) -> u64 {
+        self.field(name)
+            .unwrap_or_else(|| panic!("no field `{name}` in `{}`", self.name))
+            .offset
+    }
+}
+
+/// Builder that lays fields out sequentially with natural alignment and
+/// optional explicit padding — mirroring what a C compiler does.
+pub struct LayoutBuilder {
+    name: &'static str,
+    fields: Vec<FieldDef>,
+    cursor: u64,
+    max_align: u64,
+}
+
+impl LayoutBuilder {
+    /// Start a layout.
+    pub fn new(name: &'static str) -> LayoutBuilder {
+        LayoutBuilder {
+            name,
+            fields: Vec::new(),
+            cursor: 0,
+            max_align: 1,
+        }
+    }
+    fn push(mut self, name: &'static str, size: u64, align: u64, kind: FieldKind) -> Self {
+        self.cursor = pico_mem::addr::align_up(self.cursor, align);
+        self.fields.push(FieldDef {
+            name,
+            offset: self.cursor,
+            size,
+            kind,
+        });
+        self.cursor += size;
+        self.max_align = self.max_align.max(align);
+        self
+    }
+    /// A `u32` field.
+    pub fn u32(self, name: &'static str) -> Self {
+        self.push(name, 4, 4, FieldKind::UInt)
+    }
+    /// A `u64` field.
+    pub fn u64(self, name: &'static str) -> Self {
+        self.push(name, 8, 8, FieldKind::UInt)
+    }
+    /// An enum field (4 bytes).
+    pub fn enum_(self, name: &'static str, enum_name: &'static str) -> Self {
+        self.push(name, 4, 4, FieldKind::Enum(enum_name))
+    }
+    /// A pointer field.
+    pub fn ptr(self, name: &'static str, target: &'static str) -> Self {
+        self.push(name, 8, 8, FieldKind::Ptr(target))
+    }
+    /// An opaque byte blob (e.g. an embedded `kobject` we never mimic).
+    pub fn blob(self, name: &'static str, size: u64) -> Self {
+        self.push(name, size, 1, FieldKind::Bytes)
+    }
+    /// Finish, rounding the size up to the struct alignment (or an
+    /// explicit larger size).
+    pub fn finish(self, min_size: Option<u64>) -> StructLayout {
+        let natural = pico_mem::addr::align_up(self.cursor, self.max_align);
+        let size = min_size.map_or(natural, |m| m.max(natural));
+        StructLayout {
+            name: self.name,
+            size,
+            fields: self.fields,
+        }
+    }
+}
+
+/// A live structure instance: raw bytes + its layout.
+#[derive(Clone, Debug)]
+pub struct RawStruct {
+    layout: Arc<StructLayout>,
+    bytes: Vec<u8>,
+}
+
+impl RawStruct {
+    /// Zeroed instance.
+    pub fn new(layout: Arc<StructLayout>) -> RawStruct {
+        let bytes = vec![0; layout.size as usize];
+        RawStruct { layout, bytes }
+    }
+    /// The layout.
+    pub fn layout(&self) -> &StructLayout {
+        &self.layout
+    }
+    /// Raw bytes (what the LWK dereferences through extracted offsets).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+    /// Mutable raw bytes.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+    /// Driver-side read through the native layout.
+    pub fn get(&self, field: &str) -> u64 {
+        let f = self
+            .layout
+            .field(field)
+            .unwrap_or_else(|| panic!("no field `{field}`"));
+        let mut v = [0u8; 8];
+        let n = (f.size as usize).min(8);
+        v[..n].copy_from_slice(&self.bytes[f.offset as usize..f.offset as usize + n]);
+        u64::from_le_bytes(v)
+    }
+    /// Driver-side write through the native layout.
+    pub fn set(&mut self, field: &str, value: u64) {
+        let f = self
+            .layout
+            .field(field)
+            .unwrap_or_else(|| panic!("no field `{field}`"));
+        let n = (f.size as usize).min(8);
+        self.bytes[f.offset as usize..f.offset as usize + n]
+            .copy_from_slice(&value.to_le_bytes()[..n]);
+    }
+}
+
+/// The `sdma_state` machine states (subset of the real driver's enum).
+pub mod sdma_states {
+    /// Hardware down.
+    pub const S00_HW_DOWN: u64 = 0;
+    /// Halted, waiting for engine idle.
+    pub const S50_HW_HALT_WAIT: u64 = 5;
+    /// Running.
+    pub const S99_RUNNING: u64 = 9;
+}
+
+/// A versioned set of driver struct layouts.
+#[derive(Clone, Debug)]
+pub struct LayoutSet {
+    /// Vendor version string.
+    pub version: &'static str,
+    by_name: HashMap<&'static str, Arc<StructLayout>>,
+}
+
+impl LayoutSet {
+    /// Layouts of driver release 10.8 — `sdma_state` matches Listing 1
+    /// exactly: 64 bytes; `current_state` at 40, `go_s99_running` at 48,
+    /// `previous_state` at 52.
+    pub fn v10_8() -> LayoutSet {
+        let sdma_state = LayoutBuilder::new("sdma_state")
+            .blob("tasklet_storage", 40) // embedded tasklet_struct we never mimic
+            .enum_("current_state", "sdma_states")
+            .u32("wait_storage")
+            .u32("go_s99_running")
+            .enum_("previous_state", "sdma_states")
+            .u32("previous_op")
+            .u32("last_event")
+            .finish(Some(64));
+        debug_assert_eq!(sdma_state.offset_of("current_state"), 40);
+        debug_assert_eq!(sdma_state.offset_of("go_s99_running"), 48);
+        debug_assert_eq!(sdma_state.offset_of("previous_state"), 52);
+
+        let filedata = LayoutBuilder::new("hfi1_filedata")
+            .ptr("dd", "hfi1_devdata")
+            .u32("ctxt")
+            .u32("subctxt")
+            .u64("tid_used")
+            .u64("tid_limit")
+            .u32("sdma_queue_depth")
+            .u32("flags")
+            .finish(None);
+
+        let devdata = LayoutBuilder::new("hfi1_devdata")
+            .blob("kobj_storage", 64) // embedded kobject
+            .u32("num_sdma")
+            .u32("num_rcv_contexts")
+            .u64("rcv_entries")
+            .ptr("sdma_engines", "sdma_engine")
+            .u64("lbus_speed")
+            .finish(None);
+
+        let user_sdma_request = LayoutBuilder::new("user_sdma_request")
+            .u64("info")
+            .u32("npkts")
+            .u32("status")
+            .ptr("cb", "callback")
+            .u64("cb_arg")
+            .finish(None);
+
+        let mut by_name = HashMap::new();
+        for l in [sdma_state, filedata, devdata, user_sdma_request] {
+            by_name.insert(l.name, Arc::new(l));
+        }
+        LayoutSet {
+            version: "10.8.0.0",
+            by_name,
+        }
+    }
+
+    /// Layouts of driver release 10.9 — the vendor inserted fields, so
+    /// everything the LWK cares about moved (the §3.2 version-skew
+    /// scenario; with DWARF extraction the re-port "takes hours").
+    pub fn v10_9() -> LayoutSet {
+        let sdma_state = LayoutBuilder::new("sdma_state")
+            .blob("tasklet_storage", 48) // tasklet grew
+            .enum_("current_state", "sdma_states") // now at 48
+            .u32("wait_storage")
+            .u32("new_debug_counter") // inserted field
+            .u32("go_s99_running") // now at 60
+            .enum_("previous_state", "sdma_states") // now at 64
+            .u32("previous_op")
+            .u32("last_event")
+            .finish(Some(80));
+
+        let filedata = LayoutBuilder::new("hfi1_filedata")
+            .ptr("dd", "hfi1_devdata")
+            .u64("uuid") // inserted
+            .u32("ctxt")
+            .u32("subctxt")
+            .u64("tid_used")
+            .u64("tid_limit")
+            .u32("sdma_queue_depth")
+            .u32("flags")
+            .finish(None);
+
+        let devdata = LayoutBuilder::new("hfi1_devdata")
+            .blob("kobj_storage", 64)
+            .u32("num_sdma")
+            .u32("num_rcv_contexts")
+            .u64("rcv_entries")
+            .ptr("sdma_engines", "sdma_engine")
+            .u64("lbus_speed")
+            .finish(None);
+
+        let user_sdma_request = LayoutBuilder::new("user_sdma_request")
+            .u64("info")
+            .u64("seqnum") // inserted
+            .u32("npkts")
+            .u32("status")
+            .ptr("cb", "callback")
+            .u64("cb_arg")
+            .finish(None);
+
+        let mut by_name = HashMap::new();
+        for l in [sdma_state, filedata, devdata, user_sdma_request] {
+            by_name.insert(l.name, Arc::new(l));
+        }
+        LayoutSet {
+            version: "10.9.0.0",
+            by_name,
+        }
+    }
+
+    /// Layout of `name`.
+    pub fn layout(&self, name: &str) -> Arc<StructLayout> {
+        Arc::clone(
+            self.by_name
+                .get(name)
+                .unwrap_or_else(|| panic!("unknown driver struct `{name}`")),
+        )
+    }
+
+    /// A zeroed instance of `name`.
+    pub fn instance(&self, name: &str) -> RawStruct {
+        RawStruct::new(self.layout(name))
+    }
+
+    /// Emit the DWARF debug sections for this driver build — what Intel
+    /// ships in the `.ko` and what `dwarf-extract-struct` consumes.
+    pub fn emit_module_binary(&self) -> ModuleBinary {
+        let mut d = Dwarf::new();
+        let cu = d.compile_unit("hfi1.ko");
+        // Base types used by the fields.
+        let u32t = d.base_type(cu, "unsigned int", 4);
+        let u64t = d.base_type(cu, "unsigned long", 8);
+        let chart = d.base_type(cu, "char", 1);
+        let states = d.enum_type(
+            cu,
+            "sdma_states",
+            4,
+            &[
+                ("sdma_state_s00_hw_down", sdma_states::S00_HW_DOWN),
+                ("sdma_state_s50_hw_halt_wait", sdma_states::S50_HW_HALT_WAIT),
+                ("sdma_state_s99_running", sdma_states::S99_RUNNING),
+            ],
+        );
+        // Deterministic emission order.
+        let mut names: Vec<&&str> = self.by_name.keys().collect();
+        names.sort();
+        for name in names {
+            let layout = &self.by_name[*name];
+            let members: Vec<(&str, pico_dwarf::DieId, u64)> = layout
+                .fields
+                .iter()
+                .map(|f| {
+                    let ty = match f.kind {
+                        FieldKind::UInt => {
+                            if f.size == 8 {
+                                u64t
+                            } else {
+                                u32t
+                            }
+                        }
+                        FieldKind::Enum(_) => states,
+                        FieldKind::Ptr(_) => d.pointer_type(cu, u64t),
+                        FieldKind::Bytes => d.array_type(cu, chart, f.size),
+                    };
+                    (f.name, ty, f.offset)
+                })
+                .collect();
+            d.struct_type(cu, layout.name, layout.size, &members);
+        }
+        ModuleBinary::from_dwarf("hfi1.ko", self.version, &d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pico_dwarf::extract_struct;
+
+    #[test]
+    fn v10_8_matches_listing1_offsets() {
+        let set = LayoutSet::v10_8();
+        let l = set.layout("sdma_state");
+        assert_eq!(l.size, 64);
+        assert_eq!(l.offset_of("current_state"), 40);
+        assert_eq!(l.offset_of("go_s99_running"), 48);
+        assert_eq!(l.offset_of("previous_state"), 52);
+    }
+
+    #[test]
+    fn raw_struct_get_set_round_trip() {
+        let set = LayoutSet::v10_8();
+        let mut s = set.instance("hfi1_filedata");
+        s.set("ctxt", 7);
+        s.set("tid_limit", 1024);
+        assert_eq!(s.get("ctxt"), 7);
+        assert_eq!(s.get("tid_limit"), 1024);
+        assert_eq!(s.get("subctxt"), 0);
+    }
+
+    #[test]
+    fn dwarf_extraction_agrees_with_native_layout() {
+        for set in [LayoutSet::v10_8(), LayoutSet::v10_9()] {
+            let module = set.emit_module_binary();
+            let extracted = extract_struct(
+                &module,
+                "sdma_state",
+                &["current_state", "go_s99_running", "previous_state"],
+            )
+            .unwrap();
+            let native = set.layout("sdma_state");
+            for f in &extracted.fields {
+                assert_eq!(
+                    f.offset,
+                    native.offset_of(&f.name),
+                    "{}: field {} (driver {})",
+                    native.name,
+                    f.name,
+                    set.version
+                );
+            }
+            assert_eq!(extracted.byte_size, native.size);
+        }
+    }
+
+    #[test]
+    fn cross_version_offsets_differ_but_extraction_tracks() {
+        let a = LayoutSet::v10_8();
+        let b = LayoutSet::v10_9();
+        assert_ne!(
+            a.layout("sdma_state").offset_of("go_s99_running"),
+            b.layout("sdma_state").offset_of("go_s99_running")
+        );
+        // Native write in v10.9, extracted read in v10.9: agree.
+        let module = b.emit_module_binary();
+        let ex = extract_struct(&module, "sdma_state", &["go_s99_running"]).unwrap();
+        let mut inst = b.instance("sdma_state");
+        inst.set("go_s99_running", 1);
+        assert_eq!(ex.field_ref("go_s99_running").read_u32(inst.bytes()), 1);
+        // Stale v10.8 offsets misread v10.9 bytes — the bug class DWARF
+        // extraction eliminates.
+        let stale = extract_struct(&a.emit_module_binary(), "sdma_state", &["go_s99_running"])
+            .unwrap();
+        assert_ne!(stale.field_ref("go_s99_running").read_u32(inst.bytes()), 1);
+    }
+
+    #[test]
+    fn layout_builder_aligns_naturally() {
+        let l = LayoutBuilder::new("t")
+            .u32("a") // 0
+            .u64("b") // 8 (aligned up from 4)
+            .u32("c") // 16
+            .finish(None);
+        assert_eq!(l.offset_of("a"), 0);
+        assert_eq!(l.offset_of("b"), 8);
+        assert_eq!(l.offset_of("c"), 16);
+        assert_eq!(l.size, 24); // rounded to 8-byte alignment
+    }
+
+    #[test]
+    fn filedata_extraction_for_fast_path_fields() {
+        let set = LayoutSet::v10_8();
+        let module = set.emit_module_binary();
+        let ex = extract_struct(&module, "hfi1_filedata", &["ctxt", "tid_limit", "tid_used"])
+            .unwrap();
+        let native = set.layout("hfi1_filedata");
+        assert_eq!(ex.field("ctxt").unwrap().offset, native.offset_of("ctxt"));
+        assert_eq!(
+            ex.field("tid_limit").unwrap().offset,
+            native.offset_of("tid_limit")
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! IHK resource partitioning: CPU cores and physical memory are split
+//! between the host Linux and one (or more) LWK instances, dynamically
+//! and without rebooting the host.
+
+use pico_mem::{BuddyAllocator, PhysAddr};
+
+/// A logical CPU id within a node.
+pub type CoreId = u32;
+
+/// The CPU split of one node. Paper configuration: 68-core KNL, 4 cores
+/// kept for Linux/OS activity, 64 handed to the application partition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CpuPartition {
+    /// Cores remaining visible to Linux (daemons, IRQs, offload service).
+    pub linux_cores: Vec<CoreId>,
+    /// Cores offlined from Linux and booted into the LWK.
+    pub lwk_cores: Vec<CoreId>,
+}
+
+/// Partitioning errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionError {
+    /// Requested more LWK cores than exist.
+    NotEnoughCores,
+    /// Linux must keep at least one core.
+    LinuxNeedsACore,
+    /// Requested more reserved memory than the node has.
+    NotEnoughMemory,
+}
+
+impl CpuPartition {
+    /// Reserve the **last** `lwk` cores of a `total`-core node for the
+    /// LWK (OFP convention: system services stay on the first cores).
+    pub fn reserve(total: u32, lwk: u32) -> Result<CpuPartition, PartitionError> {
+        if lwk > total {
+            return Err(PartitionError::NotEnoughCores);
+        }
+        if lwk == total {
+            return Err(PartitionError::LinuxNeedsACore);
+        }
+        let split = total - lwk;
+        Ok(CpuPartition {
+            linux_cores: (0..split).collect(),
+            lwk_cores: (split..total).collect(),
+        })
+    }
+
+    /// All cores to Linux (the pure-Linux baseline configuration).
+    pub fn all_linux(total: u32) -> CpuPartition {
+        CpuPartition {
+            linux_cores: (0..total).collect(),
+            lwk_cores: Vec::new(),
+        }
+    }
+
+    /// Whether `core` is managed by the LWK.
+    pub fn is_lwk_core(&self, core: CoreId) -> bool {
+        self.lwk_cores.contains(&core)
+    }
+
+    /// Invariants: disjoint sets, nothing lost.
+    pub fn validate(&self, total: u32) -> bool {
+        let mut all: Vec<CoreId> = self
+            .linux_cores
+            .iter()
+            .chain(self.lwk_cores.iter())
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all.len() as u32 == total && all.len() == self.linux_cores.len() + self.lwk_cores.len()
+    }
+}
+
+/// The memory split of one node: a host range and an LWK range carved out
+/// of it, each with its own frame allocator. IHK can hand memory back and
+/// forth without rebooting — modelled by constructing a new partition.
+pub struct MemPartition {
+    /// Frame allocator for Linux-owned memory.
+    pub linux: BuddyAllocator,
+    /// Frame allocator for LWK-owned memory (`None` in the Linux baseline).
+    pub lwk: Option<BuddyAllocator>,
+}
+
+impl MemPartition {
+    /// Split `total_bytes` of physical memory, reserving `lwk_bytes` for
+    /// the LWK partition (carved from the top of the range).
+    pub fn reserve(
+        base: PhysAddr,
+        total_bytes: u64,
+        lwk_bytes: u64,
+    ) -> Result<MemPartition, PartitionError> {
+        if lwk_bytes >= total_bytes {
+            return Err(PartitionError::NotEnoughMemory);
+        }
+        let linux_bytes = total_bytes - lwk_bytes;
+        let linux = BuddyAllocator::new(base, linux_bytes);
+        let lwk = if lwk_bytes > 0 {
+            Some(BuddyAllocator::new(base + linux_bytes, lwk_bytes))
+        } else {
+            None
+        };
+        Ok(MemPartition { linux, lwk })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration() {
+        // 68-core KNL: 4 Linux cores + 64 application cores.
+        let p = CpuPartition::reserve(68, 64).unwrap();
+        assert_eq!(p.linux_cores.len(), 4);
+        assert_eq!(p.lwk_cores.len(), 64);
+        assert_eq!(p.linux_cores, vec![0, 1, 2, 3]);
+        assert!(p.is_lwk_core(4));
+        assert!(!p.is_lwk_core(3));
+        assert!(p.validate(68));
+    }
+
+    #[test]
+    fn rejects_bad_splits() {
+        assert_eq!(
+            CpuPartition::reserve(4, 8),
+            Err(PartitionError::NotEnoughCores)
+        );
+        assert_eq!(
+            CpuPartition::reserve(4, 4),
+            Err(PartitionError::LinuxNeedsACore)
+        );
+    }
+
+    #[test]
+    fn all_linux_baseline() {
+        let p = CpuPartition::all_linux(68);
+        assert_eq!(p.linux_cores.len(), 68);
+        assert!(p.lwk_cores.is_empty());
+        assert!(p.validate(68));
+    }
+
+    #[test]
+    fn memory_split_is_disjoint() {
+        let m = MemPartition::reserve(PhysAddr(0), 96 << 20, 64 << 20).unwrap();
+        assert_eq!(m.linux.capacity(), 32 << 20);
+        assert_eq!(m.lwk.as_ref().unwrap().capacity(), 64 << 20);
+        // LWK range starts where Linux's ends.
+        let mut lwk = m.lwk.unwrap();
+        let first = lwk.alloc(0).unwrap();
+        assert_eq!(first, PhysAddr(32 << 20));
+    }
+
+    #[test]
+    fn memory_overreservation_fails() {
+        assert!(MemPartition::reserve(PhysAddr(0), 1 << 20, 1 << 20).is_err());
+        assert!(MemPartition::reserve(PhysAddr(0), 1 << 20, 2 << 20).is_err());
+    }
+
+    #[test]
+    fn zero_lwk_memory_means_no_lwk_allocator() {
+        let m = MemPartition::reserve(PhysAddr(0), 1 << 20, 0).unwrap();
+        assert!(m.lwk.is_none());
+    }
+}

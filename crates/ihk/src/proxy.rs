@@ -1,0 +1,113 @@
+//! Proxy processes: for each LWK process there is a Linux-side twin that
+//! provides the execution context for offloaded system calls and owns the
+//! Linux-managed state (file descriptor table, device mappings).
+
+use std::collections::HashMap;
+
+/// LWK-side process id.
+pub type LwkPid = u32;
+/// Linux-side process id.
+pub type LinuxPid = u32;
+
+/// One proxy process.
+#[derive(Clone, Debug)]
+pub struct ProxyProcess {
+    /// Linux pid of the proxy.
+    pub linux_pid: LinuxPid,
+    /// The LWK process it mirrors.
+    pub lwk_pid: LwkPid,
+    /// Offloaded calls executed on behalf of the LWK process.
+    pub calls_serviced: u64,
+}
+
+/// The registry pairing LWK processes with their proxies.
+#[derive(Debug, Default)]
+pub struct ProxyRegistry {
+    by_lwk: HashMap<LwkPid, ProxyProcess>,
+    next_linux_pid: LinuxPid,
+}
+
+impl ProxyRegistry {
+    /// Empty registry; Linux pids are handed out from 10000 upward (the
+    /// low range belongs to system daemons).
+    pub fn new() -> ProxyRegistry {
+        ProxyRegistry {
+            by_lwk: HashMap::new(),
+            next_linux_pid: 10_000,
+        }
+    }
+
+    /// Spawn a proxy for `lwk_pid`; idempotent per LWK process.
+    pub fn spawn(&mut self, lwk_pid: LwkPid) -> LinuxPid {
+        if let Some(p) = self.by_lwk.get(&lwk_pid) {
+            return p.linux_pid;
+        }
+        let linux_pid = self.next_linux_pid;
+        self.next_linux_pid += 1;
+        self.by_lwk.insert(
+            lwk_pid,
+            ProxyProcess {
+                linux_pid,
+                lwk_pid,
+                calls_serviced: 0,
+            },
+        );
+        linux_pid
+    }
+
+    /// The proxy for `lwk_pid`, if spawned.
+    pub fn get(&self, lwk_pid: LwkPid) -> Option<&ProxyProcess> {
+        self.by_lwk.get(&lwk_pid)
+    }
+
+    /// Record one serviced offload for `lwk_pid`.
+    pub fn record_call(&mut self, lwk_pid: LwkPid) {
+        if let Some(p) = self.by_lwk.get_mut(&lwk_pid) {
+            p.calls_serviced += 1;
+        }
+    }
+
+    /// Tear down the proxy when the LWK process exits.
+    pub fn reap(&mut self, lwk_pid: LwkPid) -> Option<ProxyProcess> {
+        self.by_lwk.remove(&lwk_pid)
+    }
+
+    /// Number of live proxies.
+    pub fn len(&self) -> usize {
+        self.by_lwk.len()
+    }
+    /// Whether no proxies exist.
+    pub fn is_empty(&self) -> bool {
+        self.by_lwk.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_is_idempotent() {
+        let mut r = ProxyRegistry::new();
+        let a = r.spawn(1);
+        let b = r.spawn(1);
+        assert_eq!(a, b);
+        assert_eq!(r.len(), 1);
+        let c = r.spawn(2);
+        assert_ne!(a, c);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn call_accounting_and_reap() {
+        let mut r = ProxyRegistry::new();
+        r.spawn(7);
+        r.record_call(7);
+        r.record_call(7);
+        assert_eq!(r.get(7).unwrap().calls_serviced, 2);
+        let p = r.reap(7).unwrap();
+        assert_eq!(p.calls_serviced, 2);
+        assert!(r.is_empty());
+        assert!(r.reap(7).is_none());
+    }
+}

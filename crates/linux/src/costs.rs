@@ -1,0 +1,67 @@
+//! Calibrated time costs of Linux kernel primitives.
+//!
+//! Values are order-of-magnitude calibrations for a Knights Landing core
+//! (slow single-thread: ~1.3 GHz, in-order-ish Atom-derived) — KNL kernel
+//! paths are roughly 3–4× slower than on a Xeon. Absolute values are not
+//! the claim; the *ratios* between paths are what the experiments test.
+
+use pico_sim::Ns;
+
+/// The Linux cost table used by the node model.
+#[derive(Clone, Copy, Debug)]
+pub struct LinuxCosts {
+    /// Syscall entry/exit (trap, context, audit) on a KNL core.
+    pub syscall_entry: Ns,
+    /// VFS dispatch: fd lookup + file-operations indirection.
+    pub vfs_dispatch: Ns,
+    /// Fixed cost of a `get_user_pages()` call.
+    pub gup_base: Ns,
+    /// Per-4KiB-page cost of `get_user_pages()` (follow + pin + refcount).
+    pub gup_per_page: Ns,
+    /// IRQ entry + dispatch to handler.
+    pub irq_entry: Ns,
+    /// `kmalloc`/`kfree` pair.
+    pub kmalloc_pair: Ns,
+    /// Base cost of an anonymous `mmap` (VMA bookkeeping).
+    pub mmap_base: Ns,
+    /// Per-page fault-in/populate cost for `mmap`.
+    pub mmap_per_page: Ns,
+    /// Base `munmap` cost.
+    pub munmap_base: Ns,
+    /// Per-page teardown cost of `munmap` (incl. TLB flush amortization).
+    pub munmap_per_page: Ns,
+    /// Spin-lock acquire/release pair, uncontended.
+    pub spinlock_pair: Ns,
+}
+
+impl Default for LinuxCosts {
+    fn default() -> Self {
+        LinuxCosts {
+            syscall_entry: Ns::nanos(700),
+            vfs_dispatch: Ns::nanos(250),
+            gup_base: Ns::nanos(600),
+            gup_per_page: Ns::nanos(40),
+            irq_entry: Ns::nanos(1200),
+            kmalloc_pair: Ns::nanos(180),
+            mmap_base: Ns::micros(2),
+            mmap_per_page: Ns::nanos(400),
+            munmap_base: Ns::micros(2),
+            munmap_per_page: Ns::nanos(150),
+            spinlock_pair: Ns::nanos(60),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_ordered_sanely() {
+        let c = LinuxCosts::default();
+        assert!(c.syscall_entry > c.vfs_dispatch);
+        assert!(c.irq_entry > c.syscall_entry);
+        assert!(c.gup_per_page < c.gup_base);
+        assert!(c.mmap_base >= Ns::micros(1));
+    }
+}

@@ -1,0 +1,109 @@
+//! IRQ vectors and dispatch bookkeeping.
+//!
+//! Device interrupts are *not* handled by McKernel: all SDMA completion
+//! notifications are processed on Linux CPUs (paper §3.3). The controller
+//! here tracks vector registration and per-vector dispatch counts; the
+//! time cost of running a handler is charged to the Linux service-core
+//! pool by the node model.
+
+use pico_sim::{Counter, Ns};
+use std::collections::HashMap;
+
+/// An interrupt vector number.
+pub type IrqVector = u32;
+
+/// Identifies a registered handler (resolved by the owning subsystem).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct HandlerId(pub u64);
+
+/// Per-vector dispatch statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IrqStats {
+    /// Times the vector fired.
+    pub raised: Counter,
+    /// Cumulative handler execution time.
+    pub handler_time: Ns,
+}
+
+/// The interrupt controller of one node's Linux instance.
+#[derive(Debug, Default)]
+pub struct IrqController {
+    handlers: HashMap<IrqVector, HandlerId>,
+    stats: HashMap<IrqVector, IrqStats>,
+}
+
+/// IRQ errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IrqError {
+    /// Vector already claimed.
+    Busy,
+    /// Raising an unregistered vector.
+    NoHandler,
+}
+
+impl IrqController {
+    /// Empty controller.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Claim `vector` for `handler`.
+    pub fn request_irq(&mut self, vector: IrqVector, handler: HandlerId) -> Result<(), IrqError> {
+        if self.handlers.contains_key(&vector) {
+            return Err(IrqError::Busy);
+        }
+        self.handlers.insert(vector, handler);
+        Ok(())
+    }
+
+    /// Release `vector`.
+    pub fn free_irq(&mut self, vector: IrqVector) -> Option<HandlerId> {
+        self.handlers.remove(&vector)
+    }
+
+    /// Raise `vector`: returns the handler to run; the caller charges
+    /// `handler_time` back via [`account`](Self::account).
+    pub fn raise(&mut self, vector: IrqVector) -> Result<HandlerId, IrqError> {
+        let h = *self.handlers.get(&vector).ok_or(IrqError::NoHandler)?;
+        self.stats.entry(vector).or_default().raised.bump();
+        Ok(h)
+    }
+
+    /// Record the execution time of a completed handler run.
+    pub fn account(&mut self, vector: IrqVector, dur: Ns) {
+        self.stats.entry(vector).or_default().handler_time += dur;
+    }
+
+    /// Stats for a vector.
+    pub fn stats(&self, vector: IrqVector) -> IrqStats {
+        self.stats.get(&vector).copied().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_raise_account() {
+        let mut c = IrqController::new();
+        c.request_irq(42, HandlerId(7)).unwrap();
+        assert_eq!(c.raise(42), Ok(HandlerId(7)));
+        assert_eq!(c.raise(42), Ok(HandlerId(7)));
+        c.account(42, Ns(500));
+        c.account(42, Ns(300));
+        let s = c.stats(42);
+        assert_eq!(s.raised.get(), 2);
+        assert_eq!(s.handler_time, Ns(800));
+    }
+
+    #[test]
+    fn double_claim_and_unregistered_raise() {
+        let mut c = IrqController::new();
+        c.request_irq(1, HandlerId(1)).unwrap();
+        assert_eq!(c.request_irq(1, HandlerId(2)), Err(IrqError::Busy));
+        assert_eq!(c.raise(9), Err(IrqError::NoHandler));
+        assert_eq!(c.free_irq(1), Some(HandlerId(1)));
+        assert_eq!(c.raise(1), Err(IrqError::NoHandler));
+    }
+}

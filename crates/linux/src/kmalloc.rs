@@ -1,0 +1,188 @@
+//! `kmalloc`/`kfree` on the physical direct map.
+//!
+//! Kernel allocations are served from the direct mapping of physical
+//! memory: virtual address = direct-map base + physical address. This is
+//! exactly why the §3.1 unification matters — once McKernel shifts its
+//! direct map to the same base, any pointer `kmalloc` returns in Linux is
+//! dereferenceable in the LWK, and vice versa.
+
+use pico_mem::layout::LINUX_DIRECT_MAP;
+use pico_mem::{BuddyAllocator, PhysAddr, VirtAddr};
+use std::collections::HashMap;
+
+/// Errors from kernel allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KmallocError {
+    /// Out of kernel memory.
+    Enomem,
+    /// Freeing a pointer that was never allocated (or double free).
+    BadPointer,
+}
+
+/// A direct-map kernel heap over a frame allocator.
+pub struct KernelHeap {
+    direct_base: u64,
+    live: HashMap<u64, (PhysAddr, u8)>, // va -> (frame, order)
+    allocated_bytes: u64,
+    allocs: u64,
+    frees: u64,
+}
+
+impl KernelHeap {
+    /// A heap whose direct map starts at the Linux base (Figure 3).
+    pub fn new() -> KernelHeap {
+        KernelHeap::with_base(LINUX_DIRECT_MAP.start)
+    }
+
+    /// A heap with an explicit direct-map base (the original McKernel
+    /// layout used its own — see `pico_mem::layout`).
+    pub fn with_base(direct_base: u64) -> KernelHeap {
+        KernelHeap {
+            direct_base,
+            live: HashMap::new(),
+            allocated_bytes: 0,
+            allocs: 0,
+            frees: 0,
+        }
+    }
+
+    /// The direct-map base this heap mints pointers in.
+    pub fn direct_base(&self) -> u64 {
+        self.direct_base
+    }
+
+    /// Translate a physical address to its direct-map virtual address.
+    pub fn phys_to_virt(&self, pa: PhysAddr) -> VirtAddr {
+        VirtAddr(self.direct_base + pa.0)
+    }
+
+    /// Translate a direct-map virtual address back to physical.
+    pub fn virt_to_phys(&self, va: VirtAddr) -> PhysAddr {
+        PhysAddr(va.0 - self.direct_base)
+    }
+
+    /// Allocate `bytes`, returning a direct-map pointer.
+    pub fn kmalloc(
+        &mut self,
+        frames: &mut BuddyAllocator,
+        bytes: u64,
+    ) -> Result<VirtAddr, KmallocError> {
+        let (pa, order) = frames
+            .alloc_bytes(bytes.max(1))
+            .map_err(|_| KmallocError::Enomem)?;
+        let va = self.phys_to_virt(pa);
+        self.live.insert(va.0, (pa, order));
+        self.allocated_bytes += pico_mem::buddy::block_size(order);
+        self.allocs += 1;
+        Ok(va)
+    }
+
+    /// Free a pointer returned by [`kmalloc`](Self::kmalloc).
+    pub fn kfree(
+        &mut self,
+        frames: &mut BuddyAllocator,
+        va: VirtAddr,
+    ) -> Result<(), KmallocError> {
+        let (pa, order) = self.live.remove(&va.0).ok_or(KmallocError::BadPointer)?;
+        frames
+            .free(pa, order)
+            .map_err(|_| KmallocError::BadPointer)?;
+        self.allocated_bytes -= pico_mem::buddy::block_size(order);
+        self.frees += 1;
+        Ok(())
+    }
+
+    /// Whether `va` is a live allocation of this heap.
+    pub fn owns(&self, va: VirtAddr) -> bool {
+        self.live.contains_key(&va.0)
+    }
+
+    /// Live allocated bytes (rounded to block sizes).
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated_bytes
+    }
+    /// Total `kmalloc` calls.
+    pub fn allocs(&self) -> u64 {
+        self.allocs
+    }
+    /// Total `kfree` calls.
+    pub fn frees(&self) -> u64 {
+        self.frees
+    }
+}
+
+impl Default for KernelHeap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames() -> BuddyAllocator {
+        BuddyAllocator::new(PhysAddr(0), 16 << 20)
+    }
+
+    #[test]
+    fn pointers_live_in_the_direct_map() {
+        let mut f = frames();
+        let mut h = KernelHeap::new();
+        let p = h.kmalloc(&mut f, 100).unwrap();
+        assert!(LINUX_DIRECT_MAP.contains(p.0));
+        assert_eq!(h.virt_to_phys(p).0 + LINUX_DIRECT_MAP.start, p.0);
+        assert!(h.owns(p));
+    }
+
+    #[test]
+    fn kfree_returns_memory() {
+        let mut f = frames();
+        let before = f.free_bytes();
+        let mut h = KernelHeap::new();
+        let p = h.kmalloc(&mut f, 8192).unwrap();
+        assert_eq!(h.allocated_bytes(), 8192);
+        h.kfree(&mut f, p).unwrap();
+        assert_eq!(f.free_bytes(), before);
+        assert_eq!(h.allocated_bytes(), 0);
+        assert_eq!((h.allocs(), h.frees()), (1, 1));
+    }
+
+    #[test]
+    fn double_free_and_wild_pointer_rejected() {
+        let mut f = frames();
+        let mut h = KernelHeap::new();
+        let p = h.kmalloc(&mut f, 64).unwrap();
+        h.kfree(&mut f, p).unwrap();
+        assert_eq!(h.kfree(&mut f, p), Err(KmallocError::BadPointer));
+        assert_eq!(
+            h.kfree(&mut f, VirtAddr(LINUX_DIRECT_MAP.start + 0x123000)),
+            Err(KmallocError::BadPointer)
+        );
+    }
+
+    #[test]
+    fn unified_lwk_heap_mints_identical_pointers() {
+        // Two heaps (Linux's and the unified McKernel's) over the same
+        // frame allocator: a pointer from one is resolvable by the other
+        // because the direct-map bases agree (§3.1 requirement 2).
+        let mut f = frames();
+        let mut linux = KernelHeap::new();
+        let mck = KernelHeap::with_base(LINUX_DIRECT_MAP.start);
+        let p = linux.kmalloc(&mut f, 256).unwrap();
+        assert_eq!(mck.virt_to_phys(p), linux.virt_to_phys(p));
+        // The original McKernel direct map resolves the same VA to a
+        // *different* physical address — the §3.1 failure mode.
+        let orig = KernelHeap::with_base(pico_mem::layout::MCK_ORIG_DIRECT_MAP.start);
+        assert_ne!(orig.virt_to_phys(p), linux.virt_to_phys(p));
+    }
+
+    #[test]
+    fn oom_propagates() {
+        let mut f = BuddyAllocator::new(PhysAddr(0), 8 << 10);
+        let mut h = KernelHeap::new();
+        h.kmalloc(&mut f, 4096).unwrap();
+        h.kmalloc(&mut f, 4096).unwrap();
+        assert_eq!(h.kmalloc(&mut f, 4096), Err(KmallocError::Enomem));
+    }
+}

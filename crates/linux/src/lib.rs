@@ -1,0 +1,28 @@
+//! # pico-linux — the host (Linux-like) kernel model
+//!
+//! The side of the multi-kernel that owns device drivers, interrupts and
+//! all slow-path state:
+//!
+//! * [`vfs`] — character-device registry and per-process fd tables (the
+//!   HFI1 device file lives here; McKernel has no fd state of its own);
+//! * [`kmalloc`] — a kernel heap minting pointers in the physical direct
+//!   map, the very pointers §3.1's unification makes LWK-dereferenceable;
+//! * [`irq`] — interrupt vectors; SDMA completions are always handled on
+//!   Linux CPUs (§3.3);
+//! * [`noise`] — the OS-jitter model (`nohz_full` residual ticks, daemon
+//!   preemptions) that McKernel cores do not suffer;
+//! * [`costs`] — calibrated primitive costs for the node model.
+
+#![warn(missing_docs)]
+
+pub mod costs;
+pub mod irq;
+pub mod kmalloc;
+pub mod noise;
+pub mod vfs;
+
+pub use costs::LinuxCosts;
+pub use irq::{HandlerId, IrqController, IrqError, IrqVector};
+pub use kmalloc::{KernelHeap, KmallocError};
+pub use noise::{NoiseConfig, NoiseSource};
+pub use vfs::{DevId, DeviceRegistry, FdTable, OpenFile, Vfs, VfsError};

@@ -1,0 +1,235 @@
+//! A minimal Virtual File System layer: character-device registration and
+//! per-process file-descriptor tables.
+//!
+//! Two paper-relevant facts are encoded here. First, Linux device drivers
+//! expose functionality through VFS file operations — the HFI1 driver
+//! implements `open/writev/ioctl/poll/mmap/lseek/close` on its device
+//! file. Second, *McKernel has no VFS and no fd table*: it just forwards
+//! the fd numbers the proxy process got from Linux, so all fd state lives
+//! here, on the Linux side.
+
+use pico_ihk::LinuxPid;
+use std::collections::HashMap;
+
+/// Identifier of a registered character device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DevId(pub u32);
+
+/// VFS errors (a tiny errno subset).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VfsError {
+    /// Bad file descriptor.
+    Ebadf,
+    /// No such device.
+    Enodev,
+    /// Too many open files.
+    Emfile,
+}
+
+/// One open file: which device it refers to plus the driver's private
+/// data handle (what the real kernel stores in `file->private_data`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpenFile {
+    /// The device the fd refers to.
+    pub dev: DevId,
+    /// Driver-private context handle.
+    pub private_data: u64,
+    /// Current file position (for `lseek`).
+    pub pos: u64,
+}
+
+/// Registered character devices (e.g. `/dev/hfi1_0`).
+#[derive(Debug, Default)]
+pub struct DeviceRegistry {
+    names: Vec<String>,
+}
+
+impl DeviceRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+    /// Register a device node; returns its id.
+    pub fn register(&mut self, name: &str) -> DevId {
+        self.names.push(name.to_string());
+        DevId(self.names.len() as u32 - 1)
+    }
+    /// Find a device by name.
+    pub fn lookup(&self, name: &str) -> Option<DevId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| DevId(i as u32))
+    }
+    /// Device name.
+    pub fn name(&self, dev: DevId) -> Option<&str> {
+        self.names.get(dev.0 as usize).map(|s| s.as_str())
+    }
+}
+
+/// Maximum file descriptors per process (RLIMIT_NOFILE stand-in).
+pub const MAX_FDS: usize = 1024;
+
+/// One process's descriptor table.
+#[derive(Debug, Default)]
+pub struct FdTable {
+    files: HashMap<i32, OpenFile>,
+    next_fd: i32,
+}
+
+impl FdTable {
+    fn alloc_fd(&mut self) -> Result<i32, VfsError> {
+        if self.files.len() >= MAX_FDS {
+            return Err(VfsError::Emfile);
+        }
+        // First-fit from 3 (0..2 are std streams), like the kernel.
+        let mut fd = 3.max(self.next_fd);
+        while self.files.contains_key(&fd) {
+            fd += 1;
+        }
+        self.next_fd = fd + 1;
+        Ok(fd)
+    }
+}
+
+/// The VFS state of one Linux instance: all proxy-process fd tables.
+#[derive(Debug, Default)]
+pub struct Vfs {
+    /// Registered devices.
+    pub devices: DeviceRegistry,
+    tables: HashMap<LinuxPid, FdTable>,
+}
+
+impl Vfs {
+    /// Fresh VFS.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open `dev` on behalf of `pid`, storing the driver's private data.
+    /// Returns the new fd — the number McKernel will blindly hand back to
+    /// the application.
+    pub fn open(
+        &mut self,
+        pid: LinuxPid,
+        dev: DevId,
+        private_data: u64,
+    ) -> Result<i32, VfsError> {
+        if self.devices.name(dev).is_none() {
+            return Err(VfsError::Enodev);
+        }
+        let table = self.tables.entry(pid).or_default();
+        let fd = table.alloc_fd()?;
+        table.files.insert(
+            fd,
+            OpenFile {
+                dev,
+                private_data,
+                pos: 0,
+            },
+        );
+        Ok(fd)
+    }
+
+    /// Resolve an fd to its open-file entry.
+    pub fn resolve(&self, pid: LinuxPid, fd: i32) -> Result<OpenFile, VfsError> {
+        self.tables
+            .get(&pid)
+            .and_then(|t| t.files.get(&fd))
+            .copied()
+            .ok_or(VfsError::Ebadf)
+    }
+
+    /// `lseek` support: set the file position.
+    pub fn seek(&mut self, pid: LinuxPid, fd: i32, pos: u64) -> Result<u64, VfsError> {
+        let f = self
+            .tables
+            .get_mut(&pid)
+            .and_then(|t| t.files.get_mut(&fd))
+            .ok_or(VfsError::Ebadf)?;
+        f.pos = pos;
+        Ok(pos)
+    }
+
+    /// Close an fd; returns the entry so the driver can release its
+    /// context.
+    pub fn close(&mut self, pid: LinuxPid, fd: i32) -> Result<OpenFile, VfsError> {
+        self.tables
+            .get_mut(&pid)
+            .and_then(|t| t.files.remove(&fd))
+            .ok_or(VfsError::Ebadf)
+    }
+
+    /// Open fds of a process.
+    pub fn open_count(&self, pid: LinuxPid) -> usize {
+        self.tables.get(&pid).map_or(0, |t| t.files.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_resolve_close_cycle() {
+        let mut vfs = Vfs::new();
+        let dev = vfs.devices.register("hfi1_0");
+        let fd = vfs.open(100, dev, 0xdead).unwrap();
+        assert!(fd >= 3);
+        let f = vfs.resolve(100, fd).unwrap();
+        assert_eq!(f.dev, dev);
+        assert_eq!(f.private_data, 0xdead);
+        let closed = vfs.close(100, fd).unwrap();
+        assert_eq!(closed.private_data, 0xdead);
+        assert_eq!(vfs.resolve(100, fd), Err(VfsError::Ebadf));
+    }
+
+    #[test]
+    fn fds_are_per_process() {
+        let mut vfs = Vfs::new();
+        let dev = vfs.devices.register("hfi1_0");
+        let fd_a = vfs.open(1, dev, 1).unwrap();
+        let _fd_b = vfs.open(2, dev, 2).unwrap();
+        assert_eq!(vfs.resolve(1, fd_a).unwrap().private_data, 1);
+        // Same numeric fd in another process is independent / absent.
+        assert_eq!(vfs.open_count(1), 1);
+        assert_eq!(vfs.open_count(2), 1);
+    }
+
+    #[test]
+    fn unknown_device_rejected() {
+        let mut vfs = Vfs::new();
+        assert_eq!(vfs.open(1, DevId(42), 0), Err(VfsError::Enodev));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut vfs = Vfs::new();
+        let a = vfs.devices.register("hfi1_0");
+        let b = vfs.devices.register("hfi1_1");
+        assert_eq!(vfs.devices.lookup("hfi1_0"), Some(a));
+        assert_eq!(vfs.devices.lookup("hfi1_1"), Some(b));
+        assert_eq!(vfs.devices.lookup("mlx5_0"), None);
+        assert_eq!(vfs.devices.name(a), Some("hfi1_0"));
+    }
+
+    #[test]
+    fn seek_updates_position() {
+        let mut vfs = Vfs::new();
+        let dev = vfs.devices.register("hfi1_0");
+        let fd = vfs.open(1, dev, 0).unwrap();
+        vfs.seek(1, fd, 4096).unwrap();
+        assert_eq!(vfs.resolve(1, fd).unwrap().pos, 4096);
+        assert_eq!(vfs.seek(1, 99, 0), Err(VfsError::Ebadf));
+    }
+
+    #[test]
+    fn fd_exhaustion() {
+        let mut vfs = Vfs::new();
+        let dev = vfs.devices.register("hfi1_0");
+        for _ in 0..MAX_FDS {
+            vfs.open(1, dev, 0).unwrap();
+        }
+        assert_eq!(vfs.open(1, dev, 0), Err(VfsError::Emfile));
+    }
+}

@@ -1,0 +1,139 @@
+//! McKernel's co-operative, tick-less round-robin scheduler.
+//!
+//! No timer interrupts, no preemption: a thread runs until it yields or
+//! blocks. With the paper's deployment (one rank per core) the scheduler
+//! is nearly invisible — which is the point: zero scheduling noise.
+
+use std::collections::VecDeque;
+
+/// An LWK thread id.
+pub type ThreadId = u32;
+
+/// Thread states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Eligible to run.
+    Runnable,
+    /// Currently on the CPU.
+    Running,
+    /// Blocked (offloaded syscall in flight, waiting on completion).
+    Blocked,
+}
+
+/// A per-core co-operative run queue.
+#[derive(Debug, Default)]
+pub struct CoopScheduler {
+    queue: VecDeque<ThreadId>,
+    current: Option<ThreadId>,
+    states: std::collections::HashMap<ThreadId, ThreadState>,
+    switches: u64,
+}
+
+impl CoopScheduler {
+    /// Empty scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Admit a new thread (Runnable, queued at the tail).
+    pub fn spawn(&mut self, t: ThreadId) {
+        self.states.insert(t, ThreadState::Runnable);
+        self.queue.push_back(t);
+    }
+
+    /// Pick the next thread to run (round robin). The current thread, if
+    /// still runnable, goes to the tail.
+    pub fn schedule(&mut self) -> Option<ThreadId> {
+        if let Some(cur) = self.current.take() {
+            if self.states.get(&cur) == Some(&ThreadState::Running) {
+                self.states.insert(cur, ThreadState::Runnable);
+                self.queue.push_back(cur);
+            }
+        }
+        while let Some(t) = self.queue.pop_front() {
+            if self.states.get(&t) == Some(&ThreadState::Runnable) {
+                self.states.insert(t, ThreadState::Running);
+                self.current = Some(t);
+                self.switches += 1;
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Block the current thread (e.g. an offloaded syscall went out).
+    pub fn block_current(&mut self) {
+        if let Some(cur) = self.current.take() {
+            self.states.insert(cur, ThreadState::Blocked);
+        }
+    }
+
+    /// Wake a blocked thread.
+    pub fn wake(&mut self, t: ThreadId) {
+        if self.states.get(&t) == Some(&ThreadState::Blocked) {
+            self.states.insert(t, ThreadState::Runnable);
+            self.queue.push_back(t);
+        }
+    }
+
+    /// State of a thread.
+    pub fn state(&self, t: ThreadId) -> Option<ThreadState> {
+        self.states.get(&t).copied()
+    }
+
+    /// Context switches performed.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// The running thread, if any.
+    pub fn current(&self) -> Option<ThreadId> {
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_order() {
+        let mut s = CoopScheduler::new();
+        s.spawn(1);
+        s.spawn(2);
+        s.spawn(3);
+        assert_eq!(s.schedule(), Some(1));
+        assert_eq!(s.schedule(), Some(2));
+        assert_eq!(s.schedule(), Some(3));
+        assert_eq!(s.schedule(), Some(1)); // wraps
+        assert_eq!(s.switches(), 4);
+    }
+
+    #[test]
+    fn blocked_threads_are_skipped_until_woken() {
+        let mut s = CoopScheduler::new();
+        s.spawn(1);
+        s.spawn(2);
+        assert_eq!(s.schedule(), Some(1));
+        s.block_current(); // 1 blocks on an offloaded writev
+        assert_eq!(s.schedule(), Some(2));
+        assert_eq!(s.schedule(), Some(2)); // only 2 is runnable
+        s.wake(1);
+        assert_eq!(s.schedule(), Some(1));
+        assert_eq!(s.state(2), Some(ThreadState::Runnable));
+    }
+
+    #[test]
+    fn empty_and_all_blocked() {
+        let mut s = CoopScheduler::new();
+        assert_eq!(s.schedule(), None);
+        s.spawn(1);
+        s.schedule();
+        s.block_current();
+        assert_eq!(s.schedule(), None);
+        assert_eq!(s.current(), None);
+        // Waking a non-blocked thread is a no-op.
+        s.wake(99);
+        assert_eq!(s.schedule(), None);
+    }
+}

@@ -1,0 +1,196 @@
+//! Physical/virtual address newtypes and page-size constants.
+
+use core::fmt;
+use core::ops::{Add, Sub};
+
+/// Size of a base page (x86_64).
+pub const PAGE_4K: u64 = 4 << 10;
+/// Size of a large page.
+pub const PAGE_2M: u64 = 2 << 20;
+/// Size of a huge page.
+pub const PAGE_1G: u64 = 1 << 30;
+
+/// Hardware page sizes supported by the page-table model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PageSize {
+    /// 4 KiB base page.
+    Size4K,
+    /// 2 MiB large page.
+    Size2M,
+    /// 1 GiB huge page.
+    Size1G,
+}
+
+impl PageSize {
+    /// Size in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        match self {
+            PageSize::Size4K => PAGE_4K,
+            PageSize::Size2M => PAGE_2M,
+            PageSize::Size1G => PAGE_1G,
+        }
+    }
+    /// The page size for a block of `bytes`, if it is exactly one of the
+    /// supported sizes.
+    pub const fn from_bytes(bytes: u64) -> Option<PageSize> {
+        match bytes {
+            PAGE_4K => Some(PageSize::Size4K),
+            PAGE_2M => Some(PageSize::Size2M),
+            PAGE_1G => Some(PageSize::Size1G),
+            _ => None,
+        }
+    }
+}
+
+/// Round `x` down to a multiple of `align` (power of two).
+#[inline]
+pub const fn align_down(x: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two());
+    x & !(align - 1)
+}
+
+/// Round `x` up to a multiple of `align` (power of two).
+#[inline]
+pub const fn align_up(x: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two());
+    (x + align - 1) & !(align - 1)
+}
+
+/// Whether `x` is a multiple of `align` (power of two).
+#[inline]
+pub const fn is_aligned(x: u64, align: u64) -> bool {
+    x & (align - 1) == 0
+}
+
+macro_rules! addr_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Raw address value.
+            #[inline]
+            pub const fn as_u64(self) -> u64 {
+                self.0
+            }
+            /// Round down to `align`.
+            #[inline]
+            pub const fn align_down(self, align: u64) -> Self {
+                $name(align_down(self.0, align))
+            }
+            /// Round up to `align`.
+            #[inline]
+            pub const fn align_up(self, align: u64) -> Self {
+                $name(align_up(self.0, align))
+            }
+            /// Whether aligned to `align`.
+            #[inline]
+            pub const fn is_aligned(self, align: u64) -> bool {
+                is_aligned(self.0, align)
+            }
+        }
+
+        impl Add<u64> for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: u64) -> $name {
+                $name(self.0 + rhs)
+            }
+        }
+        impl Sub<u64> for $name {
+            type Output = $name;
+            #[inline]
+            fn sub(self, rhs: u64) -> $name {
+                $name(self.0 - rhs)
+            }
+        }
+        impl Sub<$name> for $name {
+            type Output = u64;
+            #[inline]
+            fn sub(self, rhs: $name) -> u64 {
+                self.0 - rhs.0
+            }
+        }
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({:#x})"), self.0)
+            }
+        }
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#018x}", self.0)
+            }
+        }
+    };
+}
+
+addr_newtype!(
+    /// A physical address.
+    PhysAddr
+);
+addr_newtype!(
+    /// A virtual address.
+    VirtAddr
+);
+
+impl VirtAddr {
+    /// Whether this is a canonical x86_64 address (bits 63..47 all equal
+    /// bit 47, i.e. sign-extended 48-bit).
+    pub const fn is_canonical(self) -> bool {
+        let upper = self.0 >> 47;
+        upper == 0 || upper == (1 << 17) - 1
+    }
+}
+
+/// A run of physically contiguous memory backing part of a buffer —
+/// the unit the fast path turns into SDMA requests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhysRun {
+    /// Start of the run.
+    pub pa: PhysAddr,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_helpers() {
+        assert_eq!(align_down(0x1fff, PAGE_4K), 0x1000);
+        assert_eq!(align_up(0x1001, PAGE_4K), 0x2000);
+        assert_eq!(align_up(0x2000, PAGE_4K), 0x2000);
+        assert!(is_aligned(0x200000, PAGE_2M));
+        assert!(!is_aligned(0x201000, PAGE_2M));
+    }
+
+    #[test]
+    fn page_size_round_trip() {
+        for ps in [PageSize::Size4K, PageSize::Size2M, PageSize::Size1G] {
+            assert_eq!(PageSize::from_bytes(ps.bytes()), Some(ps));
+        }
+        assert_eq!(PageSize::from_bytes(12345), None);
+    }
+
+    #[test]
+    fn addr_arithmetic() {
+        let a = VirtAddr(0x1000);
+        assert_eq!(a + 0x234, VirtAddr(0x1234));
+        assert_eq!((a + 0x234) - a, 0x234);
+        assert_eq!(a.align_up(PAGE_2M), VirtAddr(PAGE_2M));
+        assert_eq!(format!("{}", PhysAddr(0x1000)), "0x0000000000001000");
+    }
+
+    #[test]
+    fn canonical_addresses() {
+        assert!(VirtAddr(0).is_canonical());
+        assert!(VirtAddr(0x0000_7FFF_FFFF_FFFF).is_canonical());
+        assert!(!VirtAddr(0x0000_8000_0000_0000).is_canonical());
+        assert!(VirtAddr(0xFFFF_8000_0000_0000).is_canonical());
+        assert!(VirtAddr(0xFFFF_FFFF_FFFF_FFFF).is_canonical());
+        assert!(!VirtAddr(0x1234_0000_0000_0000).is_canonical());
+    }
+}

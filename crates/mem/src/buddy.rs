@@ -1,0 +1,298 @@
+//! A classic binary buddy allocator over a physical address range.
+//!
+//! This is the frame allocator behind both kernel models. Its observable
+//! behaviour matters for the paper's central optimization: whether a user
+//! buffer ends up physically contiguous decides how large the SDMA
+//! requests built from it can be (§3.4). A freshly booted LWK hands out
+//! long contiguous blocks; a long-running Linux node's memory is
+//! fragmented — we reproduce that with [`BuddyAllocator::fragment`].
+
+use crate::addr::{is_aligned, PhysAddr, PAGE_4K};
+use std::collections::BTreeSet;
+
+/// Largest supported order: `4 KiB << 18 = 1 GiB` blocks.
+pub const MAX_ORDER: u8 = 18;
+
+/// Allocation failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BuddyError {
+    /// No block of the requested order (or larger) is free.
+    OutOfMemory,
+    /// `free` called with a block that is not aligned / not within the
+    /// managed range / overlaps free memory.
+    BadFree,
+}
+
+/// Binary buddy allocator. Free lists are `BTreeSet`s so the allocator
+/// always returns the lowest-addressed block — deterministic across runs.
+#[derive(Clone, Debug)]
+pub struct BuddyAllocator {
+    base: u64,
+    size: u64,
+    /// `free[o]` holds base addresses of free blocks of size `4K << o`.
+    free: Vec<BTreeSet<u64>>,
+    allocated: u64,
+}
+
+impl BuddyAllocator {
+    /// Manage `[base, base+size)`. Both must be 4 KiB aligned and `size`
+    /// must be a non-zero multiple of 4 KiB.
+    pub fn new(base: PhysAddr, size: u64) -> BuddyAllocator {
+        assert!(is_aligned(base.0, PAGE_4K), "base must be page aligned");
+        assert!(is_aligned(size, PAGE_4K) && size > 0, "bad size");
+        let mut b = BuddyAllocator {
+            base: base.0,
+            size,
+            free: (0..=MAX_ORDER).map(|_| BTreeSet::new()).collect(),
+            allocated: 0,
+        };
+        // Seed free lists with the largest aligned blocks that tile the range.
+        let mut cur = base.0;
+        let end = base.0 + size;
+        while cur < end {
+            let mut order = MAX_ORDER;
+            loop {
+                let bs = block_size(order);
+                if is_aligned(cur - b.base, bs) && cur + bs <= end {
+                    break;
+                }
+                order -= 1;
+            }
+            b.free[order as usize].insert(cur);
+            cur += block_size(order);
+        }
+        b
+    }
+
+    /// Total managed bytes.
+    pub fn capacity(&self) -> u64 {
+        self.size
+    }
+    /// Bytes currently allocated.
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+    /// Bytes currently free.
+    pub fn free_bytes(&self) -> u64 {
+        self.size - self.allocated
+    }
+
+    /// Order needed for an allocation of `bytes`.
+    pub fn order_for(bytes: u64) -> u8 {
+        let pages = bytes.div_ceil(PAGE_4K).max(1);
+        let order = 64 - (pages - 1).leading_zeros() as u8;
+        if pages.is_power_of_two() {
+            pages.trailing_zeros() as u8
+        } else {
+            order
+        }
+    }
+
+    /// Allocate a block of order `order` (size `4K << order`).
+    pub fn alloc(&mut self, order: u8) -> Result<PhysAddr, BuddyError> {
+        if order > MAX_ORDER {
+            return Err(BuddyError::OutOfMemory);
+        }
+        // Find the smallest order ≥ requested with a free block.
+        let mut o = order;
+        while (o as usize) < self.free.len() && self.free[o as usize].is_empty() {
+            o += 1;
+        }
+        if o > MAX_ORDER {
+            return Err(BuddyError::OutOfMemory);
+        }
+        let addr = *self.free[o as usize].iter().next().unwrap();
+        self.free[o as usize].remove(&addr);
+        // Split down to the requested order, returning upper halves to the
+        // free lists.
+        while o > order {
+            o -= 1;
+            self.free[o as usize].insert(addr + block_size(o));
+        }
+        self.allocated += block_size(order);
+        Ok(PhysAddr(addr))
+    }
+
+    /// Allocate the smallest block that covers `bytes`.
+    pub fn alloc_bytes(&mut self, bytes: u64) -> Result<(PhysAddr, u8), BuddyError> {
+        let order = Self::order_for(bytes);
+        self.alloc(order).map(|a| (a, order))
+    }
+
+    /// Free a block previously obtained with [`alloc`](Self::alloc).
+    pub fn free(&mut self, addr: PhysAddr, order: u8) -> Result<(), BuddyError> {
+        let bs = block_size(order);
+        if order > MAX_ORDER
+            || addr.0 < self.base
+            || addr.0 + bs > self.base + self.size
+            || !is_aligned(addr.0 - self.base, bs)
+        {
+            return Err(BuddyError::BadFree);
+        }
+        // Double-free detection: the block (or a coalesced ancestor
+        // containing it) must not already be on a free list.
+        for o in 0..=MAX_ORDER {
+            let container = self.base + crate::addr::align_down(addr.0 - self.base, block_size(o));
+            if self.free[o as usize].contains(&container) {
+                return Err(BuddyError::BadFree);
+            }
+        }
+        let mut addr = addr.0;
+        let mut order = order;
+        // Coalesce with the buddy while possible.
+        while order < MAX_ORDER {
+            let buddy = self.base + ((addr - self.base) ^ block_size(order));
+            if buddy + block_size(order) <= self.base + self.size
+                && self.free[order as usize].remove(&buddy)
+            {
+                addr = addr.min(buddy);
+                order += 1;
+            } else {
+                break;
+            }
+        }
+        self.free[order as usize].insert(addr);
+        self.allocated -= bs;
+        Ok(())
+    }
+
+    /// The order of the largest currently free block, if any.
+    pub fn largest_free_order(&self) -> Option<u8> {
+        (0..=MAX_ORDER).rev().find(|&o| !self.free[o as usize].is_empty())
+    }
+
+    /// Fragment the allocator to emulate a long-running host: allocates
+    /// single 4 KiB pages and frees every other one, leaving a
+    /// checkerboard that prevents large contiguous allocations. `fraction`
+    /// is the share of total memory to churn (0.0 ..= 1.0).
+    ///
+    /// Returns the pages left allocated (the caller may keep or free them).
+    pub fn fragment(&mut self, fraction: f64) -> Vec<PhysAddr> {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let target_pages = ((self.size as f64 * fraction) / PAGE_4K as f64) as u64;
+        let mut taken = Vec::new();
+        for _ in 0..target_pages {
+            match self.alloc(0) {
+                Ok(p) => taken.push(p),
+                Err(_) => break,
+            }
+        }
+        // Free every other page: buddies can never coalesce past order 0.
+        let mut kept = Vec::with_capacity(taken.len() / 2);
+        for (i, p) in taken.into_iter().enumerate() {
+            if i % 2 == 0 {
+                kept.push(p);
+            } else {
+                self.free(p, 0).expect("freeing just-allocated page");
+            }
+        }
+        kept
+    }
+}
+
+/// Size in bytes of a block of the given order.
+#[inline]
+pub const fn block_size(order: u8) -> u64 {
+    PAGE_4K << order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(size: u64) -> BuddyAllocator {
+        BuddyAllocator::new(PhysAddr(0), size)
+    }
+
+    #[test]
+    fn alloc_free_round_trip() {
+        let mut b = mk(1 << 20); // 1 MiB
+        let a = b.alloc(0).unwrap();
+        assert_eq!(b.allocated(), PAGE_4K);
+        b.free(a, 0).unwrap();
+        assert_eq!(b.allocated(), 0);
+        // After freeing everything, a maximal block is available again.
+        assert_eq!(b.largest_free_order(), Some(8)); // 1 MiB = 4K << 8
+    }
+
+    #[test]
+    fn returns_lowest_address_first() {
+        let mut b = mk(1 << 20);
+        let a0 = b.alloc(0).unwrap();
+        let a1 = b.alloc(0).unwrap();
+        assert_eq!(a0, PhysAddr(0));
+        assert_eq!(a1, PhysAddr(PAGE_4K));
+    }
+
+    #[test]
+    fn split_and_coalesce() {
+        let mut b = mk(1 << 20);
+        let pages: Vec<_> = (0..4).map(|_| b.alloc(0).unwrap()).collect();
+        // Free in reverse order: must coalesce back to an order-2 block.
+        for p in pages.iter().rev() {
+            b.free(*p, 0).unwrap();
+        }
+        let big = b.alloc(2).unwrap();
+        assert_eq!(big, PhysAddr(0));
+    }
+
+    #[test]
+    fn order_for_sizes() {
+        assert_eq!(BuddyAllocator::order_for(1), 0);
+        assert_eq!(BuddyAllocator::order_for(PAGE_4K), 0);
+        assert_eq!(BuddyAllocator::order_for(PAGE_4K + 1), 1);
+        assert_eq!(BuddyAllocator::order_for(2 << 20), 9);
+        assert_eq!(BuddyAllocator::order_for((2 << 20) + 1), 10);
+    }
+
+    #[test]
+    fn out_of_memory() {
+        let mut b = mk(PAGE_4K * 2);
+        b.alloc(0).unwrap();
+        b.alloc(0).unwrap();
+        assert_eq!(b.alloc(0), Err(BuddyError::OutOfMemory));
+        assert_eq!(b.alloc(5), Err(BuddyError::OutOfMemory));
+    }
+
+    #[test]
+    fn bad_and_double_free_detected() {
+        let mut b = mk(1 << 20);
+        let a = b.alloc(0).unwrap();
+        assert_eq!(b.free(PhysAddr(0x123), 0), Err(BuddyError::BadFree));
+        assert_eq!(b.free(PhysAddr(2 << 20), 0), Err(BuddyError::BadFree));
+        b.free(a, 0).unwrap();
+        assert_eq!(b.free(a, 0), Err(BuddyError::BadFree));
+    }
+
+    #[test]
+    fn fragmentation_prevents_large_blocks() {
+        let mut b = mk(16 << 20); // 16 MiB
+        assert!(b.largest_free_order().unwrap() >= 10);
+        let _held = b.fragment(1.0);
+        // Half the memory is free but only as isolated 4 KiB pages.
+        assert_eq!(b.largest_free_order(), Some(0));
+        assert!(b.alloc(1).is_err());
+        assert!(b.alloc(0).is_ok());
+    }
+
+    #[test]
+    fn non_power_of_two_region() {
+        // 20 KiB region: 16 KiB block + 4 KiB block.
+        let mut b = BuddyAllocator::new(PhysAddr(0), 5 * PAGE_4K);
+        assert_eq!(b.capacity(), 5 * PAGE_4K);
+        let big = b.alloc(2).unwrap();
+        assert_eq!(big, PhysAddr(0));
+        let small = b.alloc(0).unwrap();
+        assert_eq!(small, PhysAddr(4 * PAGE_4K));
+        assert_eq!(b.free_bytes(), 0);
+    }
+
+    #[test]
+    fn offset_base() {
+        let mut b = BuddyAllocator::new(PhysAddr(0x10000000), 1 << 20);
+        let a = b.alloc(0).unwrap();
+        assert_eq!(a, PhysAddr(0x10000000));
+        b.free(a, 0).unwrap();
+        assert_eq!(b.allocated(), 0);
+    }
+}

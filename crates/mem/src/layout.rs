@@ -1,0 +1,355 @@
+//! Kernel virtual address space layouts (paper §3.1, Figure 3).
+//!
+//! Three layouts are modelled: the Linux x86_64 layout, the *original*
+//! McKernel layout (whose kernel image and dynamic ranges overlap Linux's
+//! — fine for a standalone LWK, fatal for PicoDriver), and the *unified*
+//! layout produced for PicoDriver. [`check_unification`] encodes the three
+//! requirements the paper lists:
+//!
+//! 1. TEXT/BSS/DATA of the two kernel images must not overlap;
+//! 2. the physical direct mappings must be identical, so dynamically
+//!    allocated data structures can be dereferenced from either kernel;
+//! 3. Linux must be able to see McKernel's TEXT (the image is mapped into
+//!    Linux at LWK boot so completion callbacks can be invoked).
+
+use core::fmt;
+
+/// A half-open virtual address range `[start, end)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Range {
+    /// Inclusive start.
+    pub start: u64,
+    /// Exclusive end.
+    pub end: u64,
+}
+
+impl Range {
+    /// Construct; panics if `end < start`.
+    pub const fn new(start: u64, end: u64) -> Range {
+        assert!(start <= end);
+        Range { start, end }
+    }
+    /// Length in bytes.
+    pub const fn len(&self) -> u64 {
+        self.end - self.start
+    }
+    /// Whether the range is empty.
+    pub const fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+    /// Whether `addr` lies inside.
+    pub const fn contains(&self, addr: u64) -> bool {
+        addr >= self.start && addr < self.end
+    }
+    /// Whether `other` lies fully inside `self`.
+    pub const fn contains_range(&self, other: &Range) -> bool {
+        other.start >= self.start && other.end <= self.end
+    }
+    /// Whether the two ranges share any byte.
+    pub const fn overlaps(&self, other: &Range) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+impl fmt::Display for Range {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#018x}, {:#018x})", self.start, self.end)
+    }
+}
+
+// ---- Figure 3 constants (x86_64, 48-bit addressing) -----------------------
+
+/// User space: `0 .. 0x0000_7FFF_FFFF_FFFF`.
+pub const USER_SPACE: Range = Range::new(0, 0x0000_8000_0000_0000);
+/// Linux direct mapping of all physical memory (64 TB).
+pub const LINUX_DIRECT_MAP: Range = Range::new(0xFFFF_8800_0000_0000, 0xFFFF_C800_0000_0000);
+/// Linux `vmalloc()`/`ioremap()` area.
+pub const LINUX_VMALLOC: Range = Range::new(0xFFFF_C900_0000_0000, 0xFFFF_E900_0000_0000);
+/// Linux kernel TEXT/DATA/BSS.
+pub const LINUX_IMAGE: Range = Range::new(0xFFFF_FFFF_8000_0000, 0xFFFF_FFFF_A000_0000);
+/// Linux kernel module space.
+pub const LINUX_MODULES: Range = Range::new(0xFFFF_FFFF_A000_0000, 0xFFFF_FFFF_FF60_0000);
+
+/// Original McKernel direct map (256 GB at its own base).
+pub const MCK_ORIG_DIRECT_MAP: Range = Range::new(0xFFFF_8000_0000_0000, 0xFFFF_8040_0000_0000);
+/// Original McKernel virtual-alloc area.
+pub const MCK_ORIG_VALLOC: Range = Range::new(0xFFFF_8600_0000_0000, 0xFFFF_8700_0000_0000);
+/// Size reserved for the McKernel ELF image.
+pub const MCK_IMAGE_SIZE: u64 = 0x0800_0000; // 128 MiB
+
+/// Roles a range can play in a kernel layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// User space.
+    User,
+    /// Direct mapping of physical memory (`kmalloc` lives here).
+    DirectMap,
+    /// Dynamically managed kernel mappings (`vmalloc`, device mappings).
+    VAlloc,
+    /// The kernel's own TEXT/DATA/BSS image.
+    KernelImage,
+    /// Loadable module space (Linux only).
+    ModuleSpace,
+    /// The *other* kernel's image, mapped for cross-kernel calls.
+    ForeignImage,
+}
+
+/// A named kernel virtual address layout.
+#[derive(Clone, Debug)]
+pub struct KernelLayout {
+    /// Human-readable name ("linux", "mckernel-original", ...).
+    pub name: &'static str,
+    regions: Vec<(Region, Range)>,
+}
+
+impl KernelLayout {
+    /// Build a layout from `(region, range)` pairs.
+    pub fn new(name: &'static str, regions: Vec<(Region, Range)>) -> KernelLayout {
+        KernelLayout { name, regions }
+    }
+
+    /// The range serving `region`, if present.
+    pub fn region(&self, region: Region) -> Option<Range> {
+        self.regions
+            .iter()
+            .find(|(r, _)| *r == region)
+            .map(|&(_, rng)| rng)
+    }
+
+    /// All regions.
+    pub fn regions(&self) -> &[(Region, Range)] {
+        &self.regions
+    }
+
+    /// Internal consistency: every kernel range must be canonical and
+    /// kernel ranges must not overlap each other. Returns violations.
+    pub fn validate(&self) -> Vec<String> {
+        let mut errs = Vec::new();
+        for (i, (ra, rra)) in self.regions.iter().enumerate() {
+            if rra.is_empty() {
+                errs.push(format!("{}: region {:?} is empty", self.name, ra));
+            }
+            // Kernel-half ranges must be canonical (sign-extended).
+            if *ra != Region::User && rra.start < 0xFFFF_8000_0000_0000 {
+                errs.push(format!(
+                    "{}: kernel region {:?} {} not in the canonical upper half",
+                    self.name, ra, rra
+                ));
+            }
+            for (rb, rrb) in self.regions.iter().skip(i + 1) {
+                // The foreign image intentionally aliases into the module
+                // space (that's how Linux sees McKernel TEXT).
+                let foreign_pair = matches!(
+                    (ra, rb),
+                    (Region::ForeignImage, Region::ModuleSpace)
+                        | (Region::ModuleSpace, Region::ForeignImage)
+                );
+                if !foreign_pair && rra.overlaps(rrb) {
+                    errs.push(format!(
+                        "{}: {:?} {} overlaps {:?} {}",
+                        self.name, ra, rra, rb, rrb
+                    ));
+                }
+            }
+        }
+        errs
+    }
+}
+
+/// The Linux x86_64 layout of Figure 3 (left column).
+pub fn linux_x86_64() -> KernelLayout {
+    KernelLayout::new(
+        "linux",
+        vec![
+            (Region::User, USER_SPACE),
+            (Region::DirectMap, LINUX_DIRECT_MAP),
+            (Region::VAlloc, LINUX_VMALLOC),
+            (Region::KernelImage, LINUX_IMAGE),
+            (Region::ModuleSpace, LINUX_MODULES),
+        ],
+    )
+}
+
+/// The original McKernel layout (middle column): image at the same address
+/// as the Linux image, its own small direct map. Valid standalone, but
+/// incompatible with cross-kernel pointer sharing.
+pub fn mckernel_original() -> KernelLayout {
+    KernelLayout::new(
+        "mckernel-original",
+        vec![
+            (Region::User, USER_SPACE),
+            (Region::DirectMap, MCK_ORIG_DIRECT_MAP),
+            (Region::VAlloc, MCK_ORIG_VALLOC),
+            // Same location as the Linux image — requirement 1 violated.
+            (Region::KernelImage, LINUX_IMAGE),
+        ],
+    )
+}
+
+/// The PicoDriver-unified McKernel layout (right column): image moved to
+/// the **top of the Linux module space**, direct map **shifted to Linux's
+/// range**, and the Linux module space visible for on-demand mappings.
+pub fn mckernel_unified() -> KernelLayout {
+    let image_end = LINUX_MODULES.end;
+    let image = Range::new(image_end - MCK_IMAGE_SIZE, image_end);
+    KernelLayout::new(
+        "mckernel-unified",
+        vec![
+            (Region::User, USER_SPACE),
+            (Region::DirectMap, LINUX_DIRECT_MAP),
+            (Region::VAlloc, MCK_ORIG_VALLOC),
+            (Region::KernelImage, image),
+            // McKernel maps the Linux module space on demand so it can
+            // dereference driver pointers living there.
+            (Region::ForeignImage, Range::new(LINUX_MODULES.start, image.start)),
+        ],
+    )
+}
+
+/// The Linux layout *after* the LWK has booted: McKernel's image is mapped
+/// into Linux (via a `vmap_area` reservation in module space) so Linux can
+/// call McKernel callbacks.
+pub fn linux_with_lwk_image(mck: &KernelLayout) -> KernelLayout {
+    let mut l = linux_x86_64();
+    let mck_image = mck
+        .region(Region::KernelImage)
+        .expect("LWK layout must have an image");
+    l.regions.push((Region::ForeignImage, mck_image));
+    l
+}
+
+/// One unification violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnificationError(pub String);
+
+impl fmt::Display for UnificationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Check the three §3.1 requirements between a Linux layout and an LWK
+/// layout. Returns all violations (empty = unified correctly).
+pub fn check_unification(linux: &KernelLayout, lwk: &KernelLayout) -> Vec<UnificationError> {
+    let mut errs = Vec::new();
+    let li = linux.region(Region::KernelImage).unwrap();
+    let mi = match lwk.region(Region::KernelImage) {
+        Some(r) => r,
+        None => {
+            errs.push(UnificationError("LWK has no kernel image".into()));
+            return errs;
+        }
+    };
+    // Requirement 1: images must not overlap.
+    if li.overlaps(&mi) {
+        errs.push(UnificationError(format!(
+            "kernel images overlap: linux {} vs lwk {}",
+            li, mi
+        )));
+    }
+    // Requirement 2: identical direct maps, so kmalloc'd pointers are
+    // dereferenceable from both kernels.
+    let ld = linux.region(Region::DirectMap).unwrap();
+    match lwk.region(Region::DirectMap) {
+        Some(md) if md == ld => {}
+        Some(md) => errs.push(UnificationError(format!(
+            "direct maps differ: linux {} vs lwk {}",
+            ld, md
+        ))),
+        None => errs.push(UnificationError("LWK has no direct map".into())),
+    }
+    // Requirement 3: Linux must see the LWK image (mapped at the same VA),
+    // which in turn requires the LWK image to live inside a range Linux
+    // can reserve — the module space.
+    let lm = linux.region(Region::ModuleSpace).unwrap();
+    if !lm.contains_range(&mi) {
+        errs.push(UnificationError(format!(
+            "LWK image {} is outside the Linux module space {} — Linux cannot map it",
+            mi, lm
+        )));
+    }
+    match linux.region(Region::ForeignImage) {
+        Some(fi) if fi == mi => {}
+        Some(fi) => errs.push(UnificationError(format!(
+            "Linux maps the LWK image at {} but the LWK linked it at {}",
+            fi, mi
+        ))),
+        None => errs.push(UnificationError(
+            "Linux has no mapping of the LWK image (callbacks unreachable)".into(),
+        )),
+    }
+    errs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_basics() {
+        let a = Range::new(10, 20);
+        let b = Range::new(15, 25);
+        let c = Range::new(20, 30);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(a.contains(10) && !a.contains(20));
+        assert!(Range::new(0, 100).contains_range(&a));
+        assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn figure3_layouts_validate() {
+        assert!(linux_x86_64().validate().is_empty());
+        assert!(mckernel_original().validate().is_empty());
+        assert!(mckernel_unified().validate().is_empty());
+    }
+
+    #[test]
+    fn original_mckernel_fails_unification() {
+        let mck = mckernel_original();
+        let linux = linux_x86_64();
+        let errs = check_unification(&linux, &mck);
+        // Image overlap, direct map mismatch, not-in-module-space, no
+        // foreign mapping: all four problems present.
+        assert!(errs.len() >= 3, "{errs:?}");
+        assert!(errs.iter().any(|e| e.0.contains("images overlap")));
+        assert!(errs.iter().any(|e| e.0.contains("direct maps differ")));
+    }
+
+    #[test]
+    fn unified_mckernel_passes_once_linux_maps_it() {
+        let mck = mckernel_unified();
+        let linux = linux_with_lwk_image(&mck);
+        let errs = check_unification(&linux, &mck);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn unified_without_linux_side_mapping_is_incomplete() {
+        let mck = mckernel_unified();
+        let linux = linux_x86_64(); // LWK not booted / image not mapped
+        let errs = check_unification(&linux, &mck);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].0.contains("callbacks unreachable"));
+    }
+
+    #[test]
+    fn unified_image_sits_at_top_of_module_space() {
+        let mck = mckernel_unified();
+        let img = mck.region(Region::KernelImage).unwrap();
+        assert_eq!(img.end, LINUX_MODULES.end);
+        assert_eq!(img.len(), MCK_IMAGE_SIZE);
+    }
+
+    #[test]
+    fn kmalloc_pointer_valid_in_both_after_unification() {
+        // A pointer inside the Linux direct map must fall inside the
+        // unified LWK's direct map too (requirement 2 in action).
+        let mck = mckernel_unified();
+        let ptr = LINUX_DIRECT_MAP.start + 0x1234_5678;
+        assert!(mck.region(Region::DirectMap).unwrap().contains(ptr));
+        // ...and it does NOT under the original layout.
+        let orig = mckernel_original();
+        assert!(!orig.region(Region::DirectMap).unwrap().contains(ptr));
+    }
+}

@@ -1,0 +1,29 @@
+//! # pico-mem — physical memory, page tables, and kernel VA layouts
+//!
+//! The memory substrate shared by the Linux and McKernel models:
+//!
+//! * [`buddy::BuddyAllocator`] — binary buddy frame allocator with a
+//!   fragmentation injector (long-running Linux hosts vs freshly booted
+//!   LWK partitions);
+//! * [`pagetable::PageTable`] — real 4-level x86_64-style radix tables
+//!   with 4 KiB / 2 MiB / 1 GiB leaves and a contiguous-run walker (the
+//!   PicoDriver fast path of §3.4);
+//! * [`layout`] — the Figure 3 kernel virtual-address layouts and the
+//!   §3.1 unification invariants;
+//! * [`vma::AddressSpace`] — user address spaces with the two anonymous
+//!   backing policies (Linux `Fragmented4k` vs McKernel
+//!   `ContiguousLarge`), `get_user_pages`, and pinning.
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod buddy;
+pub mod layout;
+pub mod pagetable;
+pub mod vma;
+
+pub use addr::{PageSize, PhysAddr, PhysRun, VirtAddr, PAGE_1G, PAGE_2M, PAGE_4K};
+pub use buddy::{BuddyAllocator, BuddyError};
+pub use layout::{check_unification, KernelLayout, Range, Region};
+pub use pagetable::{PageTable, PtError, Translation};
+pub use vma::{AddressSpace, GupPages, MapError, MapPolicy, MapStats};

@@ -1,0 +1,413 @@
+//! A 4-level, x86_64-style radix page table.
+//!
+//! The PicoDriver fast path (§3.4) walks page tables directly — instead of
+//! collecting `struct page` references via `get_user_pages()` — to discover
+//! physically contiguous runs and build SDMA requests up to 10 KB. This
+//! module provides that structure faithfully: 512-entry tables, leaf
+//! entries at level 1 (4 KiB), level 2 (2 MiB) and level 3 (1 GiB), and a
+//! walker that reports how many levels it touched (the fast-path cost
+//! model charges per level).
+
+use crate::addr::{is_aligned, PageSize, PhysAddr, PhysRun, VirtAddr};
+
+/// Page-table entry permission/state flags.
+pub mod flags {
+    /// Entry is valid.
+    pub const PRESENT: u8 = 1 << 0;
+    /// Writable.
+    pub const WRITE: u8 = 1 << 1;
+    /// User-accessible.
+    pub const USER: u8 = 1 << 2;
+    /// Backing frames are pinned (cannot be reclaimed/swapped).
+    pub const PINNED: u8 = 1 << 3;
+}
+
+/// Errors from page-table operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PtError {
+    /// Address not aligned for the requested page size.
+    Misaligned,
+    /// The range is already (partially) mapped.
+    AlreadyMapped,
+    /// Attempt to unmap / translate an unmapped address.
+    NotMapped,
+    /// A huge-page leaf sits where a lower-level table is required.
+    SplitsHugePage,
+    /// Non-canonical virtual address.
+    NonCanonical,
+}
+
+/// One leaf translation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Translation {
+    /// Physical address corresponding to the queried virtual address.
+    pub pa: PhysAddr,
+    /// Size of the mapping's page.
+    pub page_size: PageSize,
+    /// Entry flags.
+    pub flags: u8,
+    /// Levels traversed to find the leaf (1 ..= 4).
+    pub levels_walked: u8,
+}
+
+enum Entry {
+    Empty,
+    Table(Box<Table>),
+    Leaf {
+        /// Physical base of the page.
+        pa: u64,
+        flags: u8,
+    },
+}
+
+struct Table {
+    entries: Vec<Entry>, // always 512
+}
+
+impl Table {
+    fn new() -> Box<Table> {
+        Box::new(Table {
+            entries: (0..512).map(|_| Entry::Empty).collect(),
+        })
+    }
+}
+
+/// Index of `va` at `level` (4 = PML4 .. 1 = PT).
+#[inline]
+fn index(va: u64, level: u8) -> usize {
+    ((va >> (12 + 9 * (level - 1) as u64)) & 0x1FF) as usize
+}
+
+/// The level at which a leaf of the given size lives.
+#[inline]
+fn leaf_level(size: PageSize) -> u8 {
+    match size {
+        PageSize::Size4K => 1,
+        PageSize::Size2M => 2,
+        PageSize::Size1G => 3,
+    }
+}
+
+/// A 4-level page table.
+pub struct PageTable {
+    root: Box<Table>,
+    mapped_pages: u64,
+}
+
+impl Default for PageTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PageTable {
+    /// An empty table.
+    pub fn new() -> PageTable {
+        PageTable {
+            root: Table::new(),
+            mapped_pages: 0,
+        }
+    }
+
+    /// Number of leaf mappings currently installed.
+    pub fn mapped_pages(&self) -> u64 {
+        self.mapped_pages
+    }
+
+    /// Install a mapping `va -> pa` of the given page size.
+    pub fn map(
+        &mut self,
+        va: VirtAddr,
+        pa: PhysAddr,
+        size: PageSize,
+        fl: u8,
+    ) -> Result<(), PtError> {
+        if !va.is_canonical() {
+            return Err(PtError::NonCanonical);
+        }
+        if !is_aligned(va.0, size.bytes()) || !is_aligned(pa.0, size.bytes()) {
+            return Err(PtError::Misaligned);
+        }
+        let target = leaf_level(size);
+        let mut table = &mut self.root;
+        let mut level = 4u8;
+        while level > target {
+            let idx = index(va.0, level);
+            match &mut table.entries[idx] {
+                Entry::Empty => {
+                    table.entries[idx] = Entry::Table(Table::new());
+                }
+                Entry::Leaf { .. } => return Err(PtError::AlreadyMapped),
+                Entry::Table(_) => {}
+            }
+            table = match &mut table.entries[idx] {
+                Entry::Table(t) => t,
+                _ => unreachable!(),
+            };
+            level -= 1;
+        }
+        let idx = index(va.0, target);
+        match &table.entries[idx] {
+            Entry::Empty => {
+                table.entries[idx] = Entry::Leaf {
+                    pa: pa.0,
+                    flags: fl | flags::PRESENT,
+                };
+                self.mapped_pages += 1;
+                Ok(())
+            }
+            _ => Err(PtError::AlreadyMapped),
+        }
+    }
+
+    /// Remove the mapping covering `va`; returns what was mapped.
+    pub fn unmap(&mut self, va: VirtAddr) -> Result<(PhysAddr, PageSize), PtError> {
+        if !va.is_canonical() {
+            return Err(PtError::NonCanonical);
+        }
+        let mut table = &mut self.root;
+        let mut level = 4u8;
+        loop {
+            let idx = index(va.0, level);
+            match &mut table.entries[idx] {
+                Entry::Empty => return Err(PtError::NotMapped),
+                Entry::Leaf { pa, .. } => {
+                    let size = match level {
+                        1 => PageSize::Size4K,
+                        2 => PageSize::Size2M,
+                        3 => PageSize::Size1G,
+                        _ => return Err(PtError::NotMapped),
+                    };
+                    if !is_aligned(va.0, size.bytes()) {
+                        // Unmapping mid-page: caller must pass the page base.
+                        return Err(PtError::Misaligned);
+                    }
+                    let pa = PhysAddr(*pa);
+                    table.entries[idx] = Entry::Empty;
+                    self.mapped_pages -= 1;
+                    return Ok((pa, size));
+                }
+                Entry::Table(_) => {}
+            }
+            table = match &mut table.entries[idx] {
+                Entry::Table(t) => t,
+                _ => unreachable!(),
+            };
+            if level == 1 {
+                return Err(PtError::NotMapped);
+            }
+            level -= 1;
+        }
+    }
+
+    /// Translate `va` to a physical address.
+    pub fn translate(&self, va: VirtAddr) -> Result<Translation, PtError> {
+        if !va.is_canonical() {
+            return Err(PtError::NonCanonical);
+        }
+        let mut table = &self.root;
+        let mut level = 4u8;
+        let mut walked = 0u8;
+        loop {
+            walked += 1;
+            let idx = index(va.0, level);
+            match &table.entries[idx] {
+                Entry::Empty => return Err(PtError::NotMapped),
+                Entry::Leaf { pa, flags: fl } => {
+                    let size = match level {
+                        1 => PageSize::Size4K,
+                        2 => PageSize::Size2M,
+                        3 => PageSize::Size1G,
+                        _ => return Err(PtError::NotMapped),
+                    };
+                    let offset = va.0 & (size.bytes() - 1);
+                    return Ok(Translation {
+                        pa: PhysAddr(pa + offset),
+                        page_size: size,
+                        flags: *fl,
+                        levels_walked: walked,
+                    });
+                }
+                Entry::Table(t) => {
+                    if level == 1 {
+                        return Err(PtError::NotMapped);
+                    }
+                    table = t;
+                    level -= 1;
+                }
+            }
+        }
+    }
+
+    /// Walk `[va, va+len)` and return the physically contiguous runs that
+    /// back it, merging adjacent physical ranges — exactly what the
+    /// PicoDriver fast path does before cutting SDMA requests (§3.4).
+    ///
+    /// Also returns the total number of page-table levels touched, for the
+    /// walk-cost model. Fails if any byte of the range is unmapped.
+    pub fn contiguous_runs(
+        &self,
+        va: VirtAddr,
+        len: u64,
+    ) -> Result<(Vec<PhysRun>, u64), PtError> {
+        if len == 0 {
+            return Ok((Vec::new(), 0));
+        }
+        let mut runs: Vec<PhysRun> = Vec::new();
+        let mut cursor = va.0;
+        let end = va.0 + len;
+        let mut levels = 0u64;
+        while cursor < end {
+            let tr = self.translate(VirtAddr(cursor))?;
+            levels += tr.levels_walked as u64;
+            let page_end = (cursor & !(tr.page_size.bytes() - 1)) + tr.page_size.bytes();
+            let chunk = (end - cursor).min(page_end - cursor);
+            match runs.last_mut() {
+                Some(last) if last.pa.0 + last.len == tr.pa.0 => {
+                    last.len += chunk;
+                }
+                _ => runs.push(PhysRun {
+                    pa: tr.pa,
+                    len: chunk,
+                }),
+            }
+            cursor += chunk;
+        }
+        Ok((runs, levels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{PAGE_2M, PAGE_4K};
+
+    #[test]
+    fn map_translate_4k() {
+        let mut pt = PageTable::new();
+        pt.map(VirtAddr(0x4000), PhysAddr(0x8000), PageSize::Size4K, flags::WRITE)
+            .unwrap();
+        let t = pt.translate(VirtAddr(0x4123)).unwrap();
+        assert_eq!(t.pa, PhysAddr(0x8123));
+        assert_eq!(t.page_size, PageSize::Size4K);
+        assert_eq!(t.levels_walked, 4);
+        assert!(t.flags & flags::WRITE != 0);
+        assert_eq!(pt.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn map_translate_2m_walks_fewer_levels() {
+        let mut pt = PageTable::new();
+        pt.map(
+            VirtAddr(PAGE_2M),
+            PhysAddr(4 * PAGE_2M),
+            PageSize::Size2M,
+            flags::WRITE | flags::PINNED,
+        )
+        .unwrap();
+        let t = pt.translate(VirtAddr(PAGE_2M + 0x1234)).unwrap();
+        assert_eq!(t.pa, PhysAddr(4 * PAGE_2M + 0x1234));
+        assert_eq!(t.page_size, PageSize::Size2M);
+        assert_eq!(t.levels_walked, 3);
+        assert!(t.flags & flags::PINNED != 0);
+    }
+
+    #[test]
+    fn misaligned_and_overlap_rejected() {
+        let mut pt = PageTable::new();
+        assert_eq!(
+            pt.map(VirtAddr(0x1001), PhysAddr(0), PageSize::Size4K, 0),
+            Err(PtError::Misaligned)
+        );
+        pt.map(VirtAddr(0x1000), PhysAddr(0), PageSize::Size4K, 0)
+            .unwrap();
+        assert_eq!(
+            pt.map(VirtAddr(0x1000), PhysAddr(0x2000), PageSize::Size4K, 0),
+            Err(PtError::AlreadyMapped)
+        );
+        // Mapping a 2M page over an existing PT at the same slot fails.
+        assert_eq!(
+            pt.map(VirtAddr(0), PhysAddr(0), PageSize::Size2M, 0),
+            Err(PtError::AlreadyMapped)
+        );
+    }
+
+    #[test]
+    fn unmap_restores_not_mapped() {
+        let mut pt = PageTable::new();
+        pt.map(VirtAddr(0x2000), PhysAddr(0x6000), PageSize::Size4K, 0)
+            .unwrap();
+        let (pa, sz) = pt.unmap(VirtAddr(0x2000)).unwrap();
+        assert_eq!((pa, sz), (PhysAddr(0x6000), PageSize::Size4K));
+        assert_eq!(pt.translate(VirtAddr(0x2000)), Err(PtError::NotMapped));
+        assert_eq!(pt.unmap(VirtAddr(0x2000)), Err(PtError::NotMapped));
+        assert_eq!(pt.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn non_canonical_rejected() {
+        let mut pt = PageTable::new();
+        let bad = VirtAddr(0x0001_0000_0000_0000);
+        assert_eq!(
+            pt.map(bad, PhysAddr(0), PageSize::Size4K, 0),
+            Err(PtError::NonCanonical)
+        );
+        assert_eq!(pt.translate(bad), Err(PtError::NonCanonical));
+    }
+
+    #[test]
+    fn contiguous_runs_merge_adjacent_frames() {
+        let mut pt = PageTable::new();
+        // Three adjacent physical pages, one gap, then one more.
+        for (i, pa) in [0x10000u64, 0x11000, 0x12000, 0x20000].iter().enumerate() {
+            pt.map(
+                VirtAddr(0x4000 + i as u64 * PAGE_4K),
+                PhysAddr(*pa),
+                PageSize::Size4K,
+                0,
+            )
+            .unwrap();
+        }
+        let (runs, levels) = pt
+            .contiguous_runs(VirtAddr(0x4000), 4 * PAGE_4K)
+            .unwrap();
+        assert_eq!(
+            runs,
+            vec![
+                PhysRun { pa: PhysAddr(0x10000), len: 3 * PAGE_4K },
+                PhysRun { pa: PhysAddr(0x20000), len: PAGE_4K },
+            ]
+        );
+        assert_eq!(levels, 16); // 4 pages x 4 levels
+    }
+
+    #[test]
+    fn contiguous_runs_through_large_page() {
+        let mut pt = PageTable::new();
+        pt.map(VirtAddr(0), PhysAddr(PAGE_2M), PageSize::Size2M, 0)
+            .unwrap();
+        // A 100 KiB window starting inside the 2M page is one run and one walk.
+        let (runs, levels) = pt
+            .contiguous_runs(VirtAddr(0x3000), 100 * 1024)
+            .unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].pa, PhysAddr(PAGE_2M + 0x3000));
+        assert_eq!(runs[0].len, 100 * 1024);
+        assert_eq!(levels, 3);
+    }
+
+    #[test]
+    fn contiguous_runs_partial_unmapped_fails() {
+        let mut pt = PageTable::new();
+        pt.map(VirtAddr(0x1000), PhysAddr(0x5000), PageSize::Size4K, 0)
+            .unwrap();
+        assert_eq!(
+            pt.contiguous_runs(VirtAddr(0x1000), 2 * PAGE_4K),
+            Err(PtError::NotMapped)
+        );
+        // Zero-length walk is trivially fine.
+        let (runs, levels) = pt.contiguous_runs(VirtAddr(0x1000), 0).unwrap();
+        assert!(runs.is_empty());
+        assert_eq!(levels, 0);
+    }
+}

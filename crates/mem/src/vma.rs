@@ -1,0 +1,489 @@
+//! User address spaces and anonymous-mapping policies.
+//!
+//! The paper's fast-path optimization hinges on *how the LWK backs
+//! anonymous memory*: McKernel backs `ANONYMOUS` mappings with physically
+//! contiguous memory using large pages whenever possible and pins them;
+//! Linux hands out whatever 4 KiB frames the (fragmented) buddy allocator
+//! produces. The two policies are [`MapPolicy::Fragmented4k`] and
+//! [`MapPolicy::ContiguousLarge`].
+
+use crate::addr::{PageSize, PhysAddr, PhysRun, VirtAddr, PAGE_2M, PAGE_4K};
+use crate::buddy::{BuddyAllocator, BuddyError};
+use crate::pagetable::{flags, PageTable, PtError};
+use std::collections::BTreeMap;
+
+/// How anonymous mappings are backed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MapPolicy {
+    /// Linux-style: one 4 KiB frame at a time, no contiguity guarantee.
+    Fragmented4k,
+    /// McKernel-style: greedy largest-block allocation; 2 MiB page-table
+    /// leaves where alignment allows; physically contiguous as much as the
+    /// frame allocator permits.
+    ContiguousLarge,
+}
+
+/// Errors from address-space operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MapError {
+    /// Frame allocator exhausted.
+    OutOfMemory,
+    /// Bad arguments (zero length, unmapped range, ...).
+    Invalid,
+    /// Range is pinned and the operation would violate the pin.
+    Pinned,
+}
+
+impl From<BuddyError> for MapError {
+    fn from(_: BuddyError) -> MapError {
+        MapError::OutOfMemory
+    }
+}
+impl From<PtError> for MapError {
+    fn from(_: PtError) -> MapError {
+        MapError::Invalid
+    }
+}
+
+/// A physical block owned by a VMA (to return to the buddy on unmap).
+#[derive(Clone, Copy, Debug)]
+struct OwnedBlock {
+    pa: PhysAddr,
+    order: u8,
+}
+
+/// One virtual memory area.
+#[derive(Debug)]
+pub struct Vma {
+    /// Start virtual address.
+    pub start: VirtAddr,
+    /// Length in bytes (multiple of 4 KiB).
+    pub len: u64,
+    /// Whether the backing frames are pinned (LWK mappings always are).
+    pub pinned: bool,
+    /// `get_user_pages` pin references currently outstanding.
+    pub gup_pins: u64,
+    blocks: Vec<OwnedBlock>,
+    /// Page-table leaves installed for this VMA: `(va, page_size)`.
+    leaves: Vec<(VirtAddr, PageSize)>,
+}
+
+/// Result of a `get_user_pages()` call: the 4 KiB frames backing the range.
+#[derive(Clone, Debug)]
+pub struct GupPages {
+    /// One entry per 4 KiB page, in virtual order.
+    pub frames: Vec<PhysAddr>,
+}
+
+/// Statistics a mapping operation reports (fed into the cost models).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MapStats {
+    /// Page-table leaves installed.
+    pub leaves_mapped: u64,
+    /// Of which large (2 MiB) leaves.
+    pub large_leaves: u64,
+    /// Distinct physical blocks allocated.
+    pub blocks_allocated: u64,
+}
+
+/// A user process address space: page table + VMA list + bump allocator
+/// for `mmap` placement.
+pub struct AddressSpace {
+    /// The process page table (what the PicoDriver fast path walks).
+    pub page_table: PageTable,
+    vmas: BTreeMap<u64, Vma>,
+    policy: MapPolicy,
+    next_mmap: u64,
+}
+
+impl AddressSpace {
+    /// Create an address space placing mappings from `mmap_base` upward.
+    pub fn new(policy: MapPolicy, mmap_base: VirtAddr) -> AddressSpace {
+        assert!(mmap_base.is_aligned(PAGE_2M), "mmap base should be 2M aligned");
+        AddressSpace {
+            page_table: PageTable::new(),
+            vmas: BTreeMap::new(),
+            policy,
+            next_mmap: mmap_base.0,
+        }
+    }
+
+    /// The backing policy.
+    pub fn policy(&self) -> MapPolicy {
+        self.policy
+    }
+
+    /// Number of live VMAs.
+    pub fn vma_count(&self) -> usize {
+        self.vmas.len()
+    }
+
+    /// Look up the VMA containing `va`.
+    pub fn find_vma(&self, va: VirtAddr) -> Option<&Vma> {
+        self.vmas
+            .range(..=va.0)
+            .next_back()
+            .map(|(_, v)| v)
+            .filter(|v| va.0 < v.start.0 + v.len)
+    }
+
+    /// Map `len` bytes of anonymous memory; frames come from `phys`.
+    ///
+    /// Returns the chosen virtual address and mapping statistics.
+    pub fn mmap_anonymous(
+        &mut self,
+        phys: &mut BuddyAllocator,
+        len: u64,
+        pinned: bool,
+    ) -> Result<(VirtAddr, MapStats), MapError> {
+        if len == 0 {
+            return Err(MapError::Invalid);
+        }
+        let len = crate::addr::align_up(len, PAGE_4K);
+        // Reserve VA, 2M aligned so large leaves are possible.
+        let va = VirtAddr(self.next_mmap);
+        self.next_mmap = crate::addr::align_up(self.next_mmap + len, PAGE_2M) + PAGE_2M;
+
+        let mut vma = Vma {
+            start: va,
+            len,
+            pinned,
+            gup_pins: 0,
+            blocks: Vec::new(),
+            leaves: Vec::new(),
+        };
+        let mut stats = MapStats::default();
+        let result = match self.policy {
+            MapPolicy::Fragmented4k => {
+                self.populate_fragmented(phys, &mut vma, &mut stats)
+            }
+            MapPolicy::ContiguousLarge => {
+                self.populate_contiguous(phys, &mut vma, &mut stats)
+            }
+        };
+        if let Err(e) = result {
+            // Roll back everything this VMA touched.
+            self.teardown_vma(phys, &mut vma);
+            return Err(e);
+        }
+        self.vmas.insert(va.0, vma);
+        Ok((va, stats))
+    }
+
+    fn populate_fragmented(
+        &mut self,
+        phys: &mut BuddyAllocator,
+        vma: &mut Vma,
+        stats: &mut MapStats,
+    ) -> Result<(), MapError> {
+        let mut off = 0;
+        while off < vma.len {
+            let frame = phys.alloc(0)?;
+            vma.blocks.push(OwnedBlock { pa: frame, order: 0 });
+            stats.blocks_allocated += 1;
+            let va = vma.start + off;
+            self.page_table
+                .map(va, frame, PageSize::Size4K, user_flags(vma.pinned))?;
+            vma.leaves.push((va, PageSize::Size4K));
+            stats.leaves_mapped += 1;
+            off += PAGE_4K;
+        }
+        Ok(())
+    }
+
+    fn populate_contiguous(
+        &mut self,
+        phys: &mut BuddyAllocator,
+        vma: &mut Vma,
+        stats: &mut MapStats,
+    ) -> Result<(), MapError> {
+        let mut off = 0;
+        while off < vma.len {
+            let remaining = vma.len - off;
+            let va = vma.start + off;
+            // Prefer a 2 MiB leaf when both VA alignment and length allow.
+            if va.is_aligned(PAGE_2M) && remaining >= PAGE_2M {
+                if let Ok(frame) = phys.alloc(9) {
+                    debug_assert!(frame.is_aligned(PAGE_2M));
+                    vma.blocks.push(OwnedBlock { pa: frame, order: 9 });
+                    stats.blocks_allocated += 1;
+                    self.page_table
+                        .map(va, frame, PageSize::Size2M, user_flags(vma.pinned))?;
+                    vma.leaves.push((va, PageSize::Size2M));
+                    stats.leaves_mapped += 1;
+                    stats.large_leaves += 1;
+                    off += PAGE_2M;
+                    continue;
+                }
+            }
+            // Otherwise grab the largest power-of-two block ≤ remaining
+            // (physically contiguous even if mapped with 4 KiB leaves) and
+            // shrink on allocation failure.
+            let max_order = order_fitting(remaining).min(9);
+            let (frame, order) = alloc_shrinking(phys, max_order)?;
+            vma.blocks.push(OwnedBlock { pa: frame, order });
+            stats.blocks_allocated += 1;
+            let block_len = crate::buddy::block_size(order).min(remaining);
+            let mut inner = 0;
+            while inner < block_len {
+                self.page_table.map(
+                    va + inner,
+                    frame + inner,
+                    PageSize::Size4K,
+                    user_flags(vma.pinned),
+                )?;
+                vma.leaves.push((va + inner, PageSize::Size4K));
+                stats.leaves_mapped += 1;
+                inner += PAGE_4K;
+            }
+            off += block_len;
+        }
+        Ok(())
+    }
+
+    fn teardown_vma(&mut self, phys: &mut BuddyAllocator, vma: &mut Vma) {
+        for (va, _) in vma.leaves.drain(..) {
+            let _ = self.page_table.unmap(va);
+        }
+        for b in vma.blocks.drain(..) {
+            let _ = phys.free(b.pa, b.order);
+        }
+    }
+
+    /// Unmap the VMA starting at `va` (whole-VMA munmap, the common case
+    /// for the buffers we model). Returns the number of page-table leaves
+    /// removed (feeds the TLB-shootdown cost model).
+    pub fn munmap(
+        &mut self,
+        phys: &mut BuddyAllocator,
+        va: VirtAddr,
+    ) -> Result<u64, MapError> {
+        let mut vma = self.vmas.remove(&va.0).ok_or(MapError::Invalid)?;
+        if vma.gup_pins > 0 {
+            // Pages pinned by get_user_pages can't be unmapped from under
+            // the device.
+            self.vmas.insert(va.0, vma);
+            return Err(MapError::Pinned);
+        }
+        let leaves = vma.leaves.len() as u64;
+        self.teardown_vma(phys, &mut vma);
+        Ok(leaves)
+    }
+
+    /// Linux-style `get_user_pages()`: translate and pin every 4 KiB page
+    /// backing `[va, va+len)`. The caller must later call
+    /// [`put_user_pages`](Self::put_user_pages).
+    pub fn get_user_pages(&mut self, va: VirtAddr, len: u64) -> Result<GupPages, MapError> {
+        if len == 0 {
+            return Err(MapError::Invalid);
+        }
+        let start = va.align_down(PAGE_4K);
+        let end = (va + len).align_up(PAGE_4K);
+        let npages = (end - start) / PAGE_4K;
+        let mut frames = Vec::with_capacity(npages as usize);
+        for i in 0..npages {
+            let t = self.page_table.translate(start + i * PAGE_4K)?;
+            frames.push(t.pa.align_down(PAGE_4K));
+        }
+        // Pin the owning VMA(s).
+        let vma = self
+            .vmas
+            .range_mut(..=start.0)
+            .next_back()
+            .map(|(_, v)| v)
+            .filter(|v| start.0 < v.start.0 + v.len)
+            .ok_or(MapError::Invalid)?;
+        vma.gup_pins += 1;
+        Ok(GupPages { frames })
+    }
+
+    /// Release one `get_user_pages` pin on the VMA containing `va`.
+    pub fn put_user_pages(&mut self, va: VirtAddr) -> Result<(), MapError> {
+        let vma = self
+            .vmas
+            .range_mut(..=va.0)
+            .next_back()
+            .map(|(_, v)| v)
+            .filter(|v| va.0 < v.start.0 + v.len)
+            .ok_or(MapError::Invalid)?;
+        if vma.gup_pins == 0 {
+            return Err(MapError::Invalid);
+        }
+        vma.gup_pins -= 1;
+        Ok(())
+    }
+
+    /// The physically contiguous runs backing `[va, va+len)` and the
+    /// page-table levels walked — the PicoDriver fast path. Only valid on
+    /// pinned mappings (McKernel guarantees anonymous mappings are pinned;
+    /// walking an unpinned range would race with reclaim).
+    pub fn contiguous_runs(
+        &self,
+        va: VirtAddr,
+        len: u64,
+    ) -> Result<(Vec<PhysRun>, u64), MapError> {
+        let vma = self.find_vma(va).ok_or(MapError::Invalid)?;
+        if !vma.pinned {
+            return Err(MapError::Pinned);
+        }
+        if va.0 + len > vma.start.0 + vma.len {
+            return Err(MapError::Invalid);
+        }
+        Ok(self.page_table.contiguous_runs(va, len)?)
+    }
+}
+
+fn user_flags(pinned: bool) -> u8 {
+    let mut f = flags::USER | flags::WRITE;
+    if pinned {
+        f |= flags::PINNED;
+    }
+    f
+}
+
+/// Largest order such that `4K << order <= bytes` (0 if bytes < 8 KiB).
+fn order_fitting(bytes: u64) -> u8 {
+    let pages = (bytes / PAGE_4K).max(1);
+    (63 - pages.leading_zeros() as u8).min(crate::buddy::MAX_ORDER)
+}
+
+/// Allocate at `max_order`, shrinking the request until success.
+fn alloc_shrinking(
+    phys: &mut BuddyAllocator,
+    max_order: u8,
+) -> Result<(PhysAddr, u8), MapError> {
+    let mut order = max_order;
+    loop {
+        match phys.alloc(order) {
+            Ok(pa) => return Ok((pa, order)),
+            Err(_) if order > 0 => order -= 1,
+            Err(_) => return Err(MapError::OutOfMemory),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: VirtAddr = VirtAddr(0x7000_0000_0000);
+
+    fn fresh_phys(mib: u64) -> BuddyAllocator {
+        BuddyAllocator::new(PhysAddr(0), mib << 20)
+    }
+
+    #[test]
+    fn contiguous_policy_uses_large_pages() {
+        let mut phys = fresh_phys(64);
+        let mut asp = AddressSpace::new(MapPolicy::ContiguousLarge, BASE);
+        let (va, stats) = asp.mmap_anonymous(&mut phys, 4 << 20, true).unwrap();
+        assert_eq!(stats.large_leaves, 2, "4 MiB should be two 2 MiB leaves");
+        let (runs, _) = asp.contiguous_runs(va, 4 << 20).unwrap();
+        assert_eq!(runs.len(), 1, "fresh allocator => fully contiguous");
+        assert_eq!(runs[0].len, 4 << 20);
+    }
+
+    #[test]
+    fn fragmented_policy_on_fragmented_buddy_yields_many_runs() {
+        let mut phys = fresh_phys(64);
+        let _held = phys.fragment(0.5);
+        let mut asp = AddressSpace::new(MapPolicy::Fragmented4k, BASE);
+        let (va, stats) = asp.mmap_anonymous(&mut phys, 1 << 20, true).unwrap();
+        assert_eq!(stats.large_leaves, 0);
+        assert_eq!(stats.leaves_mapped, 256);
+        let (runs, _) = asp.contiguous_runs(va, 1 << 20).unwrap();
+        // Checkerboarded physical memory: every page is its own run.
+        assert!(runs.len() > 200, "expected heavy fragmentation, got {} runs", runs.len());
+    }
+
+    #[test]
+    fn contiguous_policy_survives_fragmentation_gracefully() {
+        let mut phys = fresh_phys(64);
+        let _held = phys.fragment(0.5);
+        let mut asp = AddressSpace::new(MapPolicy::ContiguousLarge, BASE);
+        // No 2M blocks available; falls back to 4K without failing.
+        let (va, stats) = asp.mmap_anonymous(&mut phys, 1 << 20, true).unwrap();
+        assert_eq!(stats.large_leaves, 0);
+        let (runs, _) = asp.contiguous_runs(va, 1 << 20).unwrap();
+        assert!(!runs.is_empty());
+    }
+
+    #[test]
+    fn gup_returns_all_frames_and_pins() {
+        let mut phys = fresh_phys(16);
+        let mut asp = AddressSpace::new(MapPolicy::Fragmented4k, BASE);
+        let (va, _) = asp.mmap_anonymous(&mut phys, 64 * 1024, false).unwrap();
+        let gup = asp.get_user_pages(va, 64 * 1024).unwrap();
+        assert_eq!(gup.frames.len(), 16);
+        // Pinned: munmap must fail until released.
+        assert_eq!(asp.munmap(&mut phys, va), Err(MapError::Pinned));
+        asp.put_user_pages(va).unwrap();
+        assert!(asp.munmap(&mut phys, va).is_ok());
+    }
+
+    #[test]
+    fn gup_handles_unaligned_ranges() {
+        let mut phys = fresh_phys(16);
+        let mut asp = AddressSpace::new(MapPolicy::Fragmented4k, BASE);
+        let (va, _) = asp.mmap_anonymous(&mut phys, 32 * 1024, false).unwrap();
+        // 5000 bytes starting 100 bytes in: touches pages 0 and 1.
+        let gup = asp.get_user_pages(va + 100, 5000).unwrap();
+        assert_eq!(gup.frames.len(), 2);
+        asp.put_user_pages(va).unwrap();
+    }
+
+    #[test]
+    fn munmap_returns_frames_to_buddy() {
+        let mut phys = fresh_phys(16);
+        let before = phys.free_bytes();
+        let mut asp = AddressSpace::new(MapPolicy::ContiguousLarge, BASE);
+        let (va, _) = asp.mmap_anonymous(&mut phys, 2 << 20, true).unwrap();
+        assert!(phys.free_bytes() < before);
+        let leaves = asp.munmap(&mut phys, va).unwrap();
+        assert_eq!(leaves, 1); // one 2M leaf
+        assert_eq!(phys.free_bytes(), before);
+        assert_eq!(asp.vma_count(), 0);
+    }
+
+    #[test]
+    fn unpinned_range_rejects_fast_path_walk() {
+        let mut phys = fresh_phys(16);
+        let mut asp = AddressSpace::new(MapPolicy::Fragmented4k, BASE);
+        let (va, _) = asp.mmap_anonymous(&mut phys, PAGE_4K, false).unwrap();
+        assert_eq!(asp.contiguous_runs(va, PAGE_4K), Err(MapError::Pinned));
+    }
+
+    #[test]
+    fn out_of_memory_rolls_back() {
+        let mut phys = fresh_phys(1); // 1 MiB only
+        let mut asp = AddressSpace::new(MapPolicy::Fragmented4k, BASE);
+        let err = asp.mmap_anonymous(&mut phys, 4 << 20, false).unwrap_err();
+        assert_eq!(err, MapError::OutOfMemory);
+        assert_eq!(asp.vma_count(), 0);
+        assert_eq!(phys.allocated(), 0, "partial allocation must be rolled back");
+        assert_eq!(asp.page_table.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn find_vma_boundaries() {
+        let mut phys = fresh_phys(16);
+        let mut asp = AddressSpace::new(MapPolicy::Fragmented4k, BASE);
+        let (va, _) = asp.mmap_anonymous(&mut phys, 2 * PAGE_4K, false).unwrap();
+        assert!(asp.find_vma(va).is_some());
+        assert!(asp.find_vma(va + 2 * PAGE_4K - 1).is_some());
+        assert!(asp.find_vma(va + 2 * PAGE_4K).is_none());
+        assert!(asp.find_vma(VirtAddr(va.0 - 1)).is_none());
+    }
+
+    #[test]
+    fn zero_length_requests_rejected() {
+        let mut phys = fresh_phys(16);
+        let mut asp = AddressSpace::new(MapPolicy::Fragmented4k, BASE);
+        assert_eq!(
+            asp.mmap_anonymous(&mut phys, 0, false).unwrap_err(),
+            MapError::Invalid
+        );
+        let (va, _) = asp.mmap_anonymous(&mut phys, PAGE_4K, false).unwrap();
+        assert_eq!(asp.get_user_pages(va, 0).unwrap_err(), MapError::Invalid);
+    }
+}

@@ -1,0 +1,249 @@
+//! Collective communication algorithms, expressed as per-round
+//! send/receive schedules over point-to-point messages.
+//!
+//! * Barrier / Allreduce — dissemination (butterfly): ⌈log₂ n⌉ rounds,
+//!   every rank sends and receives each round;
+//! * Bcast — binomial tree from the root;
+//! * Alltoall(v) — ring schedule within a group: `g-1` rounds;
+//! * Scan — shifted dissemination (partial prefixes).
+//!
+//! Each generator is a pure function `(rank, size, round) -> Xfer`, which
+//! makes exhaustive property tests cheap.
+
+use pico_psm::RankId;
+
+/// One rank's traffic in one round of a collective.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Xfer {
+    /// Peer to send to this round (if any).
+    pub send_to: Option<RankId>,
+    /// Peer to receive from this round (if any).
+    pub recv_from: Option<RankId>,
+}
+
+/// ⌈log₂ n⌉ (0 for n ≤ 1).
+pub fn ceil_log2(n: u32) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        32 - (n - 1).leading_zeros()
+    }
+}
+
+/// Rounds needed by the dissemination algorithms.
+pub fn dissemination_rounds(n: u32) -> u32 {
+    ceil_log2(n)
+}
+
+/// Dissemination round `k`: send to `(r + 2^k) mod n`, receive from
+/// `(r - 2^k) mod n`. Used by Barrier and Allreduce.
+pub fn dissemination_round(rank: RankId, n: u32, round: u32) -> Xfer {
+    if n <= 1 {
+        return Xfer::default();
+    }
+    let d = 1u32 << round;
+    Xfer {
+        send_to: Some((rank + d) % n),
+        recv_from: Some((rank + n - d % n) % n),
+    }
+}
+
+/// Rounds needed by a binomial broadcast.
+pub fn bcast_rounds(n: u32) -> u32 {
+    ceil_log2(n)
+}
+
+/// Binomial-tree broadcast round `k` (relative to `root`): ranks that
+/// already hold the data (relative rank < 2^k) send to `rel + 2^k`.
+pub fn bcast_round(rank: RankId, n: u32, root: RankId, round: u32) -> Xfer {
+    if n <= 1 {
+        return Xfer::default();
+    }
+    let rel = (rank + n - root) % n;
+    let d = 1u32 << round;
+    let mut x = Xfer::default();
+    if rel < d {
+        let peer = rel + d;
+        if peer < n {
+            x.send_to = Some((peer + root) % n);
+        }
+    } else if rel < 2 * d {
+        x.recv_from = Some((rel - d + root) % n);
+    }
+    x
+}
+
+/// Rounds needed by the ring all-to-all within a group of `g` ranks.
+pub fn alltoall_rounds(g: u32) -> u32 {
+    g.saturating_sub(1)
+}
+
+/// Ring all-to-all round `k` (1-based internally): member `m` of a group
+/// starting at `base` with `g` members sends to `m+k` and receives from
+/// `m-k` (mod g).
+pub fn alltoall_round(rank: RankId, base: RankId, g: u32, round: u32) -> Xfer {
+    if g <= 1 {
+        return Xfer::default();
+    }
+    debug_assert!(rank >= base && rank < base + g);
+    let m = rank - base;
+    let k = round + 1;
+    Xfer {
+        send_to: Some(base + (m + k) % g),
+        recv_from: Some(base + (m + g - k % g) % g),
+    }
+}
+
+/// Rounds needed by the inclusive scan.
+pub fn scan_rounds(n: u32) -> u32 {
+    ceil_log2(n)
+}
+
+/// Scan round `k`: send partial prefix to `r + 2^k` (if it exists),
+/// receive from `r - 2^k` (if it exists).
+pub fn scan_round(rank: RankId, n: u32, round: u32) -> Xfer {
+    let d = 1u32 << round;
+    Xfer {
+        send_to: (rank + d < n).then(|| rank + d),
+        recv_from: (rank >= d).then(|| rank - d),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn log2_values() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+        assert_eq!(ceil_log2(1024), 10);
+    }
+
+    /// Every round's send/recv schedules must be consistent: if a sends
+    /// to b, then b receives from a.
+    fn check_pairing(n: u32, round: u32, gen: impl Fn(RankId) -> Xfer) {
+        for r in 0..n {
+            let x = gen(r);
+            if let Some(dst) = x.send_to {
+                let peer = gen(dst);
+                assert_eq!(
+                    peer.recv_from,
+                    Some(r),
+                    "n={n} round={round}: {r} sends to {dst} but {dst} expects {:?}",
+                    peer.recv_from
+                );
+            }
+            if let Some(src) = x.recv_from {
+                let peer = gen(src);
+                assert_eq!(peer.send_to, Some(r));
+            }
+        }
+    }
+
+    #[test]
+    fn dissemination_schedules_pair_up() {
+        for n in [2u32, 3, 4, 5, 7, 8, 16, 33] {
+            for round in 0..dissemination_rounds(n) {
+                check_pairing(n, round, |r| dissemination_round(r, n, round));
+            }
+        }
+    }
+
+    #[test]
+    fn dissemination_reaches_everyone() {
+        // After all rounds, transitively, rank 0's signal reaches all.
+        for n in [2u32, 3, 5, 8, 13, 32] {
+            let mut heard: HashSet<u32> = HashSet::from([0]);
+            for round in 0..dissemination_rounds(n) {
+                let snapshot = heard.clone();
+                for &r in &snapshot {
+                    if let Some(dst) = dissemination_round(r, n, round).send_to {
+                        heard.insert(dst);
+                    }
+                }
+            }
+            assert_eq!(heard.len() as u32, n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn bcast_tree_covers_all_ranks() {
+        for n in [1u32, 2, 3, 4, 6, 8, 17, 64] {
+            for root in [0u32, n.saturating_sub(1) / 2] {
+                let mut have: HashSet<u32> = HashSet::from([root % n.max(1)]);
+                for round in 0..bcast_rounds(n) {
+                    check_pairing(n, round, |r| bcast_round(r, n, root, round));
+                    let snapshot = have.clone();
+                    for &r in &snapshot {
+                        if let Some(dst) = bcast_round(r, n, root, round).send_to {
+                            assert!(snapshot.contains(&r), "sender must already have data");
+                            have.insert(dst);
+                        }
+                    }
+                }
+                assert_eq!(have.len() as u32, n.max(1), "n={n} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_receivers_receive_exactly_once() {
+        let n = 16;
+        let mut recv_count = vec![0u32; n as usize];
+        for round in 0..bcast_rounds(n) {
+            for r in 0..n {
+                if bcast_round(r, n, 3, round).recv_from.is_some() {
+                    recv_count[r as usize] += 1;
+                }
+            }
+        }
+        for (r, &c) in recv_count.iter().enumerate() {
+            let expect = u32::from(r as u32 != 3);
+            assert_eq!(c, expect, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn alltoall_every_pair_exactly_once() {
+        for g in [2u32, 3, 5, 8] {
+            let base = 0;
+            let mut pairs = HashSet::new();
+            for round in 0..alltoall_rounds(g) {
+                check_pairing(g, round, |m| alltoall_round(base + m, base, g, round));
+                for m in 0..g {
+                    let x = alltoall_round(base + m, base, g, round);
+                    let dst = x.send_to.unwrap();
+                    assert_ne!(dst, base + m, "no self-sends in rounds");
+                    assert!(pairs.insert((base + m, dst)), "duplicate pair g={g}");
+                }
+            }
+            assert_eq!(pairs.len() as u32, g * (g - 1));
+        }
+    }
+
+    #[test]
+    fn scan_respects_boundaries() {
+        let n = 10;
+        for round in 0..scan_rounds(n) {
+            check_pairing(n, round, |r| scan_round(r, n, round));
+            // Rank 0 never receives; last rank never sends beyond the end.
+            assert_eq!(scan_round(0, n, round).recv_from, None);
+            assert_eq!(scan_round(n - 1, n, round).send_to, None);
+        }
+    }
+
+    #[test]
+    fn single_rank_collectives_are_empty() {
+        assert_eq!(dissemination_round(0, 1, 0), Xfer::default());
+        assert_eq!(bcast_round(0, 1, 0, 0), Xfer::default());
+        assert_eq!(alltoall_round(5, 5, 1, 0), Xfer::default());
+        assert_eq!(dissemination_rounds(1), 0);
+        assert_eq!(alltoall_rounds(1), 0);
+    }
+}

@@ -1,0 +1,239 @@
+//! MPI-layer types: the op-list programs ranks execute, the call names
+//! the profiler reports, and the host-call interface.
+
+use pico_sim::Ns;
+
+/// A rank's logical buffer id, resolved to a virtual address by the host
+/// (buffers are pre-allocated through the rank's kernel before the run).
+pub type BufId = u32;
+
+/// The MPI calls the profiler distinguishes — the rows of Table 1 and
+/// the keys of the `I_MPI_STATS`-style output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MpiCall {
+    /// `MPI_Init` (device open, mappings, warm-up).
+    Init,
+    /// `MPI_Wait`.
+    Wait,
+    /// `MPI_Waitall`.
+    Waitall,
+    /// `MPI_Barrier`.
+    Barrier,
+    /// `MPI_Allreduce`.
+    Allreduce,
+    /// `MPI_Bcast`.
+    Bcast,
+    /// `MPI_Alltoallv`.
+    Alltoallv,
+    /// `MPI_Scan`.
+    Scan,
+    /// `MPI_Cart_create`.
+    CartCreate,
+    /// `MPI_Comm_create`.
+    CommCreate,
+    /// `MPI_Isend` (posting cost only).
+    Isend,
+    /// `MPI_Irecv` (posting cost only).
+    Irecv,
+    /// Blocking `MPI_Send`.
+    Send,
+    /// Blocking `MPI_Recv`.
+    Recv,
+    /// `MPI_Start` (persistent requests; UMT uses them).
+    Start,
+    /// `MPI_Request_free`.
+    RequestFree,
+    /// `MPI_Init_thread`.
+    InitThread,
+    /// `MPI_Finalize`.
+    Finalize,
+}
+
+impl MpiCall {
+    /// The display name used in reports (`MPI_` prefix stripped, as the
+    /// paper's Table 1 does).
+    pub fn name(self) -> &'static str {
+        match self {
+            MpiCall::Init => "Init",
+            MpiCall::Wait => "Wait",
+            MpiCall::Waitall => "Waitall",
+            MpiCall::Barrier => "Barrier",
+            MpiCall::Allreduce => "Allreduce",
+            MpiCall::Bcast => "Bcast",
+            MpiCall::Alltoallv => "Alltoallv",
+            MpiCall::Scan => "Scan",
+            MpiCall::CartCreate => "Cart_create",
+            MpiCall::CommCreate => "Comm_create",
+            MpiCall::Isend => "Isend",
+            MpiCall::Irecv => "Irecv",
+            MpiCall::Send => "Send",
+            MpiCall::Recv => "Recv",
+            MpiCall::Start => "Start",
+            MpiCall::RequestFree => "Request_free",
+            MpiCall::InitThread => "Init_thread",
+            MpiCall::Finalize => "Finalize",
+        }
+    }
+}
+
+/// Operations a rank program may perform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// `MPI_Init` / `MPI_Init_thread`: device open + mappings + barrier.
+    Init {
+        /// Record under `Init_thread` instead of `Init` (HACC does).
+        threaded: bool,
+    },
+    /// Pure computation for the given nominal duration (noise applies).
+    Compute(Ns),
+    /// Non-blocking send.
+    Isend {
+        /// Destination rank.
+        dst: u32,
+        /// User tag.
+        tag: u32,
+        /// Message size.
+        bytes: u64,
+        /// Source buffer.
+        buf: BufId,
+    },
+    /// Non-blocking receive.
+    Irecv {
+        /// Source rank (`u32::MAX` = any source).
+        src: u32,
+        /// User tag.
+        tag: u32,
+        /// Buffer capacity / expected size.
+        bytes: u64,
+        /// Destination buffer.
+        buf: BufId,
+    },
+    /// Blocking send (post + wait), profiled as `Send`.
+    Send {
+        /// Destination rank.
+        dst: u32,
+        /// User tag.
+        tag: u32,
+        /// Message size.
+        bytes: u64,
+        /// Source buffer.
+        buf: BufId,
+    },
+    /// Blocking receive (post + wait), profiled as `Recv`.
+    Recv {
+        /// Source rank (`u32::MAX` = any source).
+        src: u32,
+        /// User tag.
+        tag: u32,
+        /// Expected size.
+        bytes: u64,
+        /// Destination buffer.
+        buf: BufId,
+    },
+    /// Wait for all outstanding requests, profiled as `Waitall`.
+    WaitAll,
+    /// Wait for all outstanding requests, profiled as `Wait` (apps that
+    /// loop over `MPI_Wait` show up this way in profiles).
+    WaitEach,
+    /// Barrier over all ranks.
+    Barrier,
+    /// Allreduce of `bytes` over all ranks.
+    Allreduce {
+        /// Vector size.
+        bytes: u64,
+    },
+    /// Broadcast from `root`.
+    Bcast {
+        /// Root rank.
+        root: u32,
+        /// Message size.
+        bytes: u64,
+    },
+    /// All-to-all within the rank's group of `group` consecutive ranks.
+    Alltoallv {
+        /// Group size (must divide the job size).
+        group: u32,
+        /// Bytes exchanged with each peer.
+        bytes_per_peer: u64,
+    },
+    /// Inclusive scan.
+    Scan {
+        /// Vector size.
+        bytes: u64,
+    },
+    /// `MPI_Cart_create`: synchronization + topology setup.
+    CartCreate {
+        /// Per-rank setup computation.
+        setup: Ns,
+    },
+    /// `MPI_Comm_create`: small allreduce + setup.
+    CommCreate,
+    /// Anonymous `mmap` of a scratch region (kernel-visible op).
+    MmapScratch {
+        /// Region size.
+        bytes: u64,
+    },
+    /// `munmap` the most recent scratch region.
+    MunmapScratch,
+    /// `open()` + `read()` + `close()` of an input file (offloaded I/O).
+    ReadInput {
+        /// Bytes read.
+        bytes: u64,
+    },
+    /// `nanosleep` (apps and runtimes back off this way).
+    Nanosleep(Ns),
+    /// `MPI_Finalize`: barrier + teardown.
+    Finalize,
+}
+
+/// Kernel-visible operations the host must perform on behalf of the rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HostOp {
+    /// Open the HFI device, map its regions, spawn the proxy: `MPI_Init`.
+    InitDevice,
+    /// Anonymous mmap of `bytes`.
+    MmapScratch {
+        /// Region size.
+        bytes: u64,
+    },
+    /// Unmap the most recent scratch mapping.
+    MunmapScratch,
+    /// open+read+close of `bytes` from an input file.
+    ReadInput {
+        /// Bytes read.
+        bytes: u64,
+    },
+    /// nanosleep for the duration.
+    Nanosleep(Ns),
+    /// Close the device, reap the proxy: `MPI_Finalize`.
+    FiniDevice,
+}
+
+/// What the engine asks of the host after a `step`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepResult {
+    /// The rank computes for the given nominal duration; the host applies
+    /// core noise and calls `step` again at the perturbed end time.
+    Computing(Ns),
+    /// The rank is inside a blocking MPI call; the host must execute
+    /// pending PSM actions / deliver completions, then `step` again.
+    Blocked,
+    /// The host must perform a kernel-visible operation, charge its
+    /// time, and `step` again.
+    HostCall(HostOp),
+    /// The program finished.
+    Done,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_names_match_paper_table() {
+        assert_eq!(MpiCall::CartCreate.name(), "Cart_create");
+        assert_eq!(MpiCall::Waitall.name(), "Waitall");
+        assert_eq!(MpiCall::InitThread.name(), "Init_thread");
+        assert_eq!(MpiCall::RequestFree.name(), "Request_free");
+    }
+}

@@ -1,0 +1,26 @@
+//! # pico-psm — the Performance Scaled Messaging library model
+//!
+//! The user-level communications layer of the OmniPath stack (§2.2.1):
+//!
+//! * [`mq`] — the Matched Queues facility: tag matching with posted and
+//!   unexpected queues, MPI-ordering semantics;
+//! * [`proto`] — the wire protocol: eager packets, RTS/CTS rendezvous,
+//!   expected (SDMA) data; plus [`PsmAction`], the requests an endpoint
+//!   makes of its host kernel (PIO sends, TID `ioctl`s, SDMA `writev`s);
+//! * [`ep`] — the per-rank [`Endpoint`] state machine: PIO eager below
+//!   the 64 KB threshold, windowed TID rendezvous above it, with
+//!   registration pipelined ahead of the data.
+//!
+//! The endpoint is host-agnostic: tests drive it with a zero-cost
+//! loopback; `pico-cluster` drives it through the kernel and fabric
+//! models, which is where the three OS configurations differ.
+
+#![warn(missing_docs)]
+
+pub mod ep;
+pub mod mq;
+pub mod proto;
+
+pub use ep::{Endpoint, PsmConfig};
+pub use mq::{MatchedQueue, MqHandle, PostedRecv, RankId, Tag, Unexpected};
+pub use proto::{PsmAction, PsmPacket};

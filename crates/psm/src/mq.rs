@@ -1,0 +1,194 @@
+//! The Matched Queues (MQ) facility: tag matching between posted receives
+//! and incoming sends, with an unexpected-message queue.
+
+use std::collections::VecDeque;
+
+/// A rank id in the global job.
+pub type RankId = u32;
+
+/// A 64-bit match tag (the MPI layer packs communicator/tag/source bits).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Tag(pub u64);
+
+/// A request handle returned to the caller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MqHandle(pub u64);
+
+/// A posted receive waiting for a match.
+#[derive(Clone, Debug)]
+pub struct PostedRecv {
+    /// Source filter (`None` = any source).
+    pub src: Option<RankId>,
+    /// Tag to match exactly.
+    pub tag: Tag,
+    /// Destination user buffer address.
+    pub va: u64,
+    /// Buffer capacity.
+    pub len: u64,
+    /// Completion handle.
+    pub handle: MqHandle,
+}
+
+/// An arrival with no matching posted receive yet.
+#[derive(Clone, Debug)]
+pub struct Unexpected<T> {
+    /// Sender.
+    pub src: RankId,
+    /// Tag.
+    pub tag: Tag,
+    /// Protocol payload (eager data or rendezvous descriptor).
+    pub body: T,
+}
+
+/// The matched queue: posted receives + unexpected arrivals, FIFO within
+/// a matching class (MPI ordering semantics).
+#[derive(Debug)]
+pub struct MatchedQueue<T> {
+    posted: VecDeque<PostedRecv>,
+    unexpected: VecDeque<Unexpected<T>>,
+    max_unexpected: usize,
+}
+
+impl<T> Default for MatchedQueue<T> {
+    fn default() -> Self {
+        MatchedQueue {
+            posted: VecDeque::new(),
+            unexpected: VecDeque::new(),
+            max_unexpected: 0,
+        }
+    }
+}
+
+impl<T> MatchedQueue<T> {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Post a receive. If an unexpected arrival matches, it is consumed
+    /// and returned instead of queueing the receive.
+    pub fn post_recv(&mut self, recv: PostedRecv) -> Option<Unexpected<T>> {
+        if let Some(pos) = self
+            .unexpected
+            .iter()
+            .position(|u| u.tag == recv.tag && recv.src.is_none_or(|s| s == u.src))
+        {
+            return self.unexpected.remove(pos);
+        }
+        self.posted.push_back(recv);
+        None
+    }
+
+    /// Match an arrival against posted receives. On a match, the posted
+    /// receive *and the body* are returned; otherwise the arrival is
+    /// stored as unexpected and `None` is returned.
+    pub fn match_arrival(&mut self, src: RankId, tag: Tag, body: T) -> Option<(PostedRecv, T)> {
+        if let Some(pos) = self
+            .posted
+            .iter()
+            .position(|p| p.tag == tag && p.src.is_none_or(|s| s == src))
+        {
+            return self.posted.remove(pos).map(|p| (p, body));
+        }
+        self.unexpected.push_back(Unexpected { src, tag, body });
+        self.max_unexpected = self.max_unexpected.max(self.unexpected.len());
+        None
+    }
+
+    /// Posted receives waiting.
+    pub fn posted_len(&self) -> usize {
+        self.posted.len()
+    }
+    /// Unexpected arrivals waiting.
+    pub fn unexpected_len(&self) -> usize {
+        self.unexpected.len()
+    }
+    /// High-water mark of the unexpected queue.
+    pub fn max_unexpected(&self) -> usize {
+        self.max_unexpected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recv(src: Option<RankId>, tag: u64, handle: u64) -> PostedRecv {
+        PostedRecv {
+            src,
+            tag: Tag(tag),
+            va: 0,
+            len: 0,
+            handle: MqHandle(handle),
+        }
+    }
+
+    #[test]
+    fn posted_then_arrival_matches() {
+        let mut mq: MatchedQueue<()> = MatchedQueue::new();
+        assert!(mq.post_recv(recv(Some(1), 7, 100)).is_none());
+        let (m, _) = mq.match_arrival(1, Tag(7), ()).unwrap();
+        assert_eq!(m.handle, MqHandle(100));
+        assert_eq!(mq.posted_len(), 0);
+    }
+
+    #[test]
+    fn arrival_then_post_consumes_unexpected() {
+        let mut mq: MatchedQueue<u32> = MatchedQueue::new();
+        assert!(mq.match_arrival(2, Tag(9), 42).is_none());
+        assert_eq!(mq.unexpected_len(), 1);
+        let u = mq.post_recv(recv(Some(2), 9, 5)).unwrap();
+        assert_eq!(u.body, 42);
+        assert_eq!(mq.unexpected_len(), 0);
+        assert_eq!(mq.posted_len(), 0);
+    }
+
+    #[test]
+    fn source_filter_respected() {
+        let mut mq: MatchedQueue<()> = MatchedQueue::new();
+        mq.post_recv(recv(Some(3), 1, 1));
+        // Wrong source: becomes unexpected.
+        assert!(mq.match_arrival(4, Tag(1), ()).is_none());
+        // Right source matches.
+        assert!(mq.match_arrival(3, Tag(1), ()).is_some());
+    }
+
+    #[test]
+    fn any_source_matches_first_arrival() {
+        let mut mq: MatchedQueue<u32> = MatchedQueue::new();
+        mq.post_recv(recv(None, 5, 1));
+        assert!(mq.match_arrival(9, Tag(5), 0).is_some());
+        // And any-source post consumes a queued unexpected.
+        mq.match_arrival(7, Tag(5), 1);
+        assert!(mq.post_recv(recv(None, 5, 2)).is_some());
+    }
+
+    #[test]
+    fn fifo_ordering_within_matching_class() {
+        let mut mq: MatchedQueue<u32> = MatchedQueue::new();
+        mq.match_arrival(1, Tag(2), 10);
+        mq.match_arrival(1, Tag(2), 11);
+        let first = mq.post_recv(recv(Some(1), 2, 1)).unwrap();
+        let second = mq.post_recv(recv(Some(1), 2, 2)).unwrap();
+        assert_eq!(first.body, 10);
+        assert_eq!(second.body, 11);
+        // Posted receives also match FIFO.
+        mq.post_recv(recv(Some(1), 3, 31));
+        mq.post_recv(recv(Some(1), 3, 32));
+        assert_eq!(mq.match_arrival(1, Tag(3), 0).unwrap().0.handle, MqHandle(31));
+        assert_eq!(mq.match_arrival(1, Tag(3), 0).unwrap().0.handle, MqHandle(32));
+    }
+
+    #[test]
+    fn high_water_mark_tracks() {
+        let mut mq: MatchedQueue<()> = MatchedQueue::new();
+        for i in 0..5 {
+            mq.match_arrival(i, Tag(i as u64), ());
+        }
+        for i in 0..5 {
+            mq.post_recv(recv(Some(i), i as u64, i as u64));
+        }
+        assert_eq!(mq.unexpected_len(), 0);
+        assert_eq!(mq.max_unexpected(), 5);
+    }
+}

@@ -1,0 +1,167 @@
+//! The PSM transfer protocols (§2.2.1): eager PIO sends below the 64 KB
+//! threshold, and rendezvous (RTS/CTS) with direct data placement into
+//! TID-registered buffers above it — the SDMA path whose kernel
+//! involvement motivates PicoDriver.
+
+use crate::mq::{MqHandle, RankId, Tag};
+
+/// The PSM wire packets exchanged between endpoints.
+#[derive(Clone, Debug)]
+pub enum PsmPacket {
+    /// Eager data: sent by PIO, lands in the receiver's eager ring.
+    Eager {
+        /// Match tag.
+        tag: Tag,
+        /// Payload length.
+        len: u64,
+        /// Optional real payload for integrity-checked runs.
+        payload: Option<Vec<u8>>,
+    },
+    /// Rendezvous request-to-send.
+    Rts {
+        /// Match tag.
+        tag: Tag,
+        /// Full message length.
+        len: u64,
+        /// Sender-side message id (echoed in CTS).
+        msg_id: u64,
+    },
+    /// Clear-to-send for one window: the receiver registered TIDs.
+    Cts {
+        /// The sender's message id.
+        msg_id: u64,
+        /// Which window may be sent.
+        window: u32,
+        /// Byte offset of the window.
+        offset: u64,
+        /// Window length.
+        len: u64,
+    },
+    /// Expected (SDMA) data for one window: placed directly into the
+    /// registered buffer, no receiver-side copy.
+    SdmaData {
+        /// Receiver-side message key: (sender rank is implicit in
+        /// delivery), sender's msg_id.
+        msg_id: u64,
+        /// Window index.
+        window: u32,
+        /// Window length.
+        len: u64,
+        /// Optional payload.
+        payload: Option<Vec<u8>>,
+    },
+}
+
+impl PsmPacket {
+    /// Wire size of the packet (header + payload).
+    pub fn wire_bytes(&self) -> u64 {
+        const HDR: u64 = 64;
+        match self {
+            PsmPacket::Eager { len, .. } => HDR + len,
+            PsmPacket::Rts { .. } | PsmPacket::Cts { .. } => HDR,
+            PsmPacket::SdmaData { len, .. } => HDR + len,
+        }
+    }
+}
+
+/// Actions the endpoint asks its host (the node model) to perform.
+#[derive(Clone, Debug)]
+pub enum PsmAction {
+    /// Send a packet from user space via PIO (eager data and all control
+    /// traffic): no kernel involvement.
+    PioSend {
+        /// Destination rank.
+        dst: RankId,
+        /// The packet.
+        packet: PsmPacket,
+    },
+    /// Register TIDs for one window of an expected receive
+    /// (`ioctl(TID_UPDATE)` — offloaded or fast-pathed by the kernel).
+    TidRegister {
+        /// Receiver-side message key (sender rank, sender msg id).
+        src: RankId,
+        /// Sender's message id.
+        msg_id: u64,
+        /// Window index.
+        window: u32,
+        /// Buffer address of the window.
+        va: u64,
+        /// Window length.
+        len: u64,
+    },
+    /// Unregister the TIDs of a completed window (`ioctl(TID_FREE)`).
+    TidUnregister {
+        /// Receiver-side message key.
+        src: RankId,
+        /// Sender's message id.
+        msg_id: u64,
+        /// Window index.
+        window: u32,
+        /// Registration cookie handed back by the kernel layer.
+        tids: Vec<u16>,
+        /// Window buffer address (cache key).
+        va: u64,
+        /// Window length (cache key).
+        len: u64,
+    },
+    /// Submit one window by SDMA (`writev` on the device file —
+    /// offloaded, local-Linux, or PicoDriver fast path).
+    SdmaSend {
+        /// Destination rank.
+        dst: RankId,
+        /// Sender's message id.
+        msg_id: u64,
+        /// Window index.
+        window: u32,
+        /// Source buffer address of the window.
+        va: u64,
+        /// Window length.
+        len: u64,
+        /// Optional payload slice for integrity-checked runs.
+        payload: Option<Vec<u8>>,
+    },
+    /// A request completed; surface it to the MPI layer.
+    Completed {
+        /// The completed handle.
+        handle: MqHandle,
+        /// For receives: the delivered payload (if carried).
+        payload: Option<Vec<u8>>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes() {
+        assert_eq!(
+            PsmPacket::Eager {
+                tag: Tag(0),
+                len: 100,
+                payload: None
+            }
+            .wire_bytes(),
+            164
+        );
+        assert_eq!(
+            PsmPacket::Rts {
+                tag: Tag(0),
+                len: 1 << 20,
+                msg_id: 1
+            }
+            .wire_bytes(),
+            64
+        );
+        assert_eq!(
+            PsmPacket::SdmaData {
+                msg_id: 1,
+                window: 0,
+                len: 1000,
+                payload: None
+            }
+            .wire_bytes(),
+            1064
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! The event queue at the heart of the discrete-event engine.
+//!
+//! Events are ordered by `(time, sequence)`: ties in simulated time are
+//! broken by insertion order, which makes every run bit-for-bit
+//! reproducible regardless of hash-map iteration order elsewhere.
+
+use crate::time::Ns;
+use core::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the queue: payload `E` scheduled for time `at`.
+struct Entry<E> {
+    at: Ns,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-heap of timed events.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: Ns,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Ns::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Current simulated time (the time of the last popped event).
+    #[inline]
+    pub fn now(&self) -> Ns {
+        self.now
+    }
+
+    /// Total number of events popped so far (a cheap progress metric).
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `ev` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error; debug builds panic,
+    /// release builds clamp to `now` to keep long runs alive.
+    pub fn schedule(&mut self, at: Ns, ev: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduled into the past: at={at} now={}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, ev });
+    }
+
+    /// Schedule `ev` at `now + delay`.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: Ns, ev: E) {
+        self.schedule(self.now + delay, ev);
+    }
+
+    /// Pop the next event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<(Ns, E)> {
+        let e = self.heap.pop()?;
+        debug_assert!(e.at >= self.now, "heap returned an out-of-order event");
+        self.now = e.at;
+        self.popped += 1;
+        Some((e.at, e.ev))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Ns> {
+        self.heap.peek().map(|e| e.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Ns(30), "c");
+        q.schedule(Ns(10), "a");
+        q.schedule(Ns(20), "b");
+        assert_eq!(q.peek_time(), Some(Ns(10)));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(q.now(), Ns(30));
+        assert_eq!(q.events_processed(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Ns(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        let expect: Vec<i32> = (0..100).collect();
+        assert_eq!(order, expect);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(Ns(100), ());
+        q.pop();
+        q.schedule_in(Ns(50), ());
+        assert_eq!(q.peek_time(), Some(Ns(150)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled into the past")]
+    fn scheduling_into_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(Ns(100), ());
+        q.pop();
+        q.schedule(Ns(10), ());
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_stays_sorted() {
+        let mut q = EventQueue::new();
+        q.schedule(Ns(10), 1u32);
+        q.schedule(Ns(40), 4);
+        assert_eq!(q.pop().unwrap(), (Ns(10), 1));
+        q.schedule(Ns(20), 2);
+        q.schedule(Ns(30), 3);
+        assert_eq!(q.pop().unwrap(), (Ns(20), 2));
+        assert_eq!(q.pop().unwrap(), (Ns(30), 3));
+        assert_eq!(q.pop().unwrap(), (Ns(40), 4));
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! # pico-sim — deterministic discrete-event simulation engine
+//!
+//! The foundation of the PicoDriver reproduction. Provides:
+//!
+//! * [`Ns`] — integral nanosecond time, exact and platform-independent;
+//! * [`EventQueue`] — a `(time, sequence)`-ordered event heap with
+//!   deterministic tie-breaking;
+//! * [`Rng`] — seedable, splittable xoshiro256** with the distributions the
+//!   workload and OS-noise models need (exponential, normal, Poisson);
+//! * [`ServerPool`] / [`BandwidthGate`] — analytic FIFO queueing resources
+//!   that return exact start/finish schedules in O(1), used for the Linux
+//!   syscall-offload service CPUs, SDMA engines and fabric links;
+//! * [`stats`] — counters, per-key time accumulators (the MPI and kernel
+//!   profilers), histograms and Welford mean/variance.
+//!
+//! Design rule: *components never read wall-clock time or global RNG* —
+//! every source of nondeterminism is injected, so the same seed always
+//! yields bit-identical experiment output.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::EventQueue;
+pub use resource::{BandwidthGate, Grant, ServerPool};
+pub use rng::Rng;
+pub use stats::{Counter, Histogram, TimeByKey, Welford};
+pub use time::{transfer_time, Ns};

@@ -1,0 +1,250 @@
+//! Analytic queueing resources.
+//!
+//! Rather than simulating every queued job as its own event, these models
+//! compute start/finish times in closed form when work is submitted. This
+//! is exact for FIFO disciplines and keeps the event count per operation
+//! O(1) — essential when a 256-node run pushes millions of messages.
+
+use crate::time::{transfer_time, Ns};
+
+/// A FIFO queue served by `k` identical servers (e.g. the four Linux CPUs
+/// that service offloaded system calls).
+///
+/// Jobs are assigned to the earliest-available server. The model returns,
+/// at submission time, the exact `(start, finish)` schedule the job will
+/// observe, and accumulates utilization statistics.
+#[derive(Clone, Debug)]
+pub struct ServerPool {
+    /// Next instant each server becomes free.
+    free_at: Vec<Ns>,
+    /// Total busy time accumulated over all servers.
+    busy: Ns,
+    /// Total wait (queueing delay) experienced by jobs.
+    waited: Ns,
+    jobs: u64,
+}
+
+/// Schedule granted to a submitted job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grant {
+    /// When service begins (≥ submission time).
+    pub start: Ns,
+    /// When service completes.
+    pub finish: Ns,
+    /// Index of the server that runs the job.
+    pub server: usize,
+}
+
+impl ServerPool {
+    /// A pool with `servers` identical servers, all idle at time zero.
+    pub fn new(servers: usize) -> ServerPool {
+        assert!(servers > 0, "a server pool needs at least one server");
+        ServerPool {
+            free_at: vec![Ns::ZERO; servers],
+            busy: Ns::ZERO,
+            waited: Ns::ZERO,
+            jobs: 0,
+        }
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Submit a job at `now` needing `service` time; returns its schedule.
+    pub fn submit(&mut self, now: Ns, service: Ns) -> Grant {
+        // Earliest-free server; ties broken by lowest index (deterministic).
+        let (server, &free) = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &t)| (t, i))
+            .expect("non-empty pool");
+        let start = now.max(free);
+        let finish = start + service;
+        self.free_at[server] = finish;
+        self.busy += service;
+        self.waited += start - now;
+        self.jobs += 1;
+        Grant {
+            start,
+            finish,
+            server,
+        }
+    }
+
+    /// When would a job submitted `now` start, without actually enqueuing?
+    pub fn would_start(&self, now: Ns) -> Ns {
+        let free = self.free_at.iter().copied().min().unwrap_or(Ns::ZERO);
+        now.max(free)
+    }
+
+    /// Total busy time summed over servers.
+    pub fn busy_time(&self) -> Ns {
+        self.busy
+    }
+    /// Total queueing delay experienced by all jobs.
+    pub fn total_wait(&self) -> Ns {
+        self.waited
+    }
+    /// Jobs submitted so far.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+    /// Mean queueing delay per job.
+    pub fn mean_wait(&self) -> Ns {
+        if self.jobs == 0 {
+            Ns::ZERO
+        } else {
+            Ns(self.waited.0 / self.jobs)
+        }
+    }
+}
+
+/// A single FIFO bandwidth pipe (a NIC uplink, a DMA engine, a memory bus).
+///
+/// A reservation of `bytes` at rate `bytes_per_sec` occupies the pipe
+/// exclusively for the transfer duration; concurrent senders queue.
+#[derive(Clone, Debug)]
+pub struct BandwidthGate {
+    bytes_per_sec: f64,
+    free_at: Ns,
+    moved: u64,
+    busy: Ns,
+}
+
+impl BandwidthGate {
+    /// A pipe of the given capacity, idle at time zero.
+    pub fn new(bytes_per_sec: f64) -> BandwidthGate {
+        assert!(bytes_per_sec > 0.0);
+        BandwidthGate {
+            bytes_per_sec,
+            free_at: Ns::ZERO,
+            moved: 0,
+            busy: Ns::ZERO,
+        }
+    }
+
+    /// Capacity in bytes/second.
+    pub fn rate(&self) -> f64 {
+        self.bytes_per_sec
+    }
+
+    /// Reserve the pipe for `bytes` starting no earlier than `now`.
+    /// Returns `(start, finish)`.
+    pub fn reserve(&mut self, now: Ns, bytes: u64) -> (Ns, Ns) {
+        let start = now.max(self.free_at);
+        let dur = transfer_time(bytes, self.bytes_per_sec);
+        let finish = start + dur;
+        self.free_at = finish;
+        self.moved += bytes;
+        self.busy += dur;
+        (start, finish)
+    }
+
+    /// Like [`reserve`](Self::reserve) but also charges a fixed per-use
+    /// overhead before the bytes flow (packetization, doorbell, etc.).
+    pub fn reserve_with_overhead(&mut self, now: Ns, bytes: u64, overhead: Ns) -> (Ns, Ns) {
+        let start = now.max(self.free_at);
+        let dur = overhead + transfer_time(bytes, self.bytes_per_sec);
+        let finish = start + dur;
+        self.free_at = finish;
+        self.moved += bytes;
+        self.busy += dur;
+        (start, finish)
+    }
+
+    /// Next instant the pipe is free.
+    pub fn free_at(&self) -> Ns {
+        self.free_at
+    }
+    /// Total bytes moved.
+    pub fn bytes_moved(&self) -> u64 {
+        self.moved
+    }
+    /// Total busy time.
+    pub fn busy_time(&self) -> Ns {
+        self.busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_server_fifo() {
+        let mut p = ServerPool::new(1);
+        let a = p.submit(Ns(0), Ns(100));
+        assert_eq!((a.start, a.finish), (Ns(0), Ns(100)));
+        let b = p.submit(Ns(10), Ns(50));
+        // b waits for a to finish.
+        assert_eq!((b.start, b.finish), (Ns(100), Ns(150)));
+        assert_eq!(p.total_wait(), Ns(90));
+        assert_eq!(p.mean_wait(), Ns(45));
+        assert_eq!(p.busy_time(), Ns(150));
+    }
+
+    #[test]
+    fn multi_server_spreads_load() {
+        let mut p = ServerPool::new(4);
+        // Four simultaneous jobs run in parallel...
+        for _ in 0..4 {
+            let g = p.submit(Ns(0), Ns(100));
+            assert_eq!(g.start, Ns(0));
+        }
+        // ...the fifth queues behind the earliest finisher.
+        let g = p.submit(Ns(0), Ns(100));
+        assert_eq!(g.start, Ns(100));
+        assert_eq!(p.jobs(), 5);
+    }
+
+    #[test]
+    fn would_start_does_not_mutate() {
+        let mut p = ServerPool::new(1);
+        p.submit(Ns(0), Ns(100));
+        assert_eq!(p.would_start(Ns(20)), Ns(100));
+        assert_eq!(p.jobs(), 1);
+        // Idle server: starts immediately.
+        let p2 = ServerPool::new(2);
+        assert_eq!(p2.would_start(Ns(7)), Ns(7));
+    }
+
+    #[test]
+    fn contention_grows_wait_linearly() {
+        // 1 server, N simultaneous unit jobs => job i waits i units.
+        let mut p = ServerPool::new(1);
+        let mut last_finish = Ns::ZERO;
+        for i in 0..10u64 {
+            let g = p.submit(Ns(0), Ns(10));
+            assert_eq!(g.start, Ns(10 * i));
+            last_finish = g.finish;
+        }
+        assert_eq!(last_finish, Ns(100));
+    }
+
+    #[test]
+    fn bandwidth_gate_serializes() {
+        let mut g = BandwidthGate::new(1e9); // 1 GB/s => 1 ns/byte
+        let (s1, f1) = g.reserve(Ns(0), 1000);
+        assert_eq!((s1, f1), (Ns(0), Ns(1000)));
+        let (s2, f2) = g.reserve(Ns(500), 500);
+        assert_eq!((s2, f2), (Ns(1000), Ns(1500)));
+        assert_eq!(g.bytes_moved(), 1500);
+        assert_eq!(g.busy_time(), Ns(1500));
+    }
+
+    #[test]
+    fn gate_overhead_charged_once_per_reservation() {
+        let mut g = BandwidthGate::new(1e9);
+        let (_, f) = g.reserve_with_overhead(Ns(0), 1000, Ns(250));
+        assert_eq!(f, Ns(1250));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_servers_rejected() {
+        let _ = ServerPool::new(0);
+    }
+}

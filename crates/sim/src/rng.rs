@@ -1,0 +1,277 @@
+//! Deterministic pseudo-random number generation for the simulator.
+//!
+//! The engine needs RNG that is (a) fast, (b) seedable and splittable so
+//! that every rank / node / component gets an independent, reproducible
+//! stream, and (c) free of global state. We implement SplitMix64 (for
+//! seeding) and xoshiro256** (for the main stream) directly — both are
+//! public-domain algorithms — instead of pulling `rand`'s generic machinery
+//! into the hot path.
+
+use crate::time::Ns;
+
+/// SplitMix64 step. Used to expand a single `u64` seed into the xoshiro
+/// state, and as the "split" function for deriving substream seeds.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256** deterministic RNG.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+    /// Cached second output of the last Box-Muller draw.
+    gauss_spare: Option<f64>,
+}
+
+impl Rng {
+    /// Create an RNG from a 64-bit seed (expanded via SplitMix64).
+    pub fn new(seed: u64) -> Rng {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng {
+            s,
+            gauss_spare: None,
+        }
+    }
+
+    /// Derive an independent substream for component `tag`.
+    ///
+    /// Streams derived with different tags from the same parent are
+    /// decorrelated (each tag is mixed through SplitMix64 twice).
+    pub fn substream(&self, tag: u64) -> Rng {
+        let mut sm = self.s[0] ^ tag.wrapping_mul(0xA24B_AED4_963E_E407);
+        let mixed = splitmix64(&mut sm) ^ splitmix64(&mut sm);
+        Rng::new(mixed)
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, bound)`. Uses Lemire's multiply-shift rejection-free
+    /// approximation, which is unbiased enough for simulation workloads and
+    /// branch-free in the common case.
+    #[inline]
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let x = self.next_u64();
+        ((x as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[lo, hi)`.
+    #[inline]
+    pub fn gen_range_in(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(hi > lo);
+        lo + self.gen_range(hi - lo)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+
+    /// Exponentially distributed value with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean >= 0.0);
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let u = 1.0 - self.unit_f64(); // (0, 1]
+        -mean * u.ln()
+    }
+
+    /// Standard normal (Box-Muller with caching of the spare value).
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        loop {
+            let u1 = self.unit_f64();
+            if u1 <= f64::MIN_POSITIVE {
+                continue;
+            }
+            let u2 = self.unit_f64();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = core::f64::consts::TAU * u2;
+            self.gauss_spare = Some(r * theta.sin());
+            return r * theta.cos();
+        }
+    }
+
+    /// Normal with mean/σ, truncated below at zero (for durations).
+    pub fn normal_pos(&mut self, mean: f64, sigma: f64) -> f64 {
+        (mean + sigma * self.standard_normal()).max(0.0)
+    }
+
+    /// Poisson-distributed count with the given rate `lambda`.
+    ///
+    /// Uses Knuth's method for small lambda and a normal approximation for
+    /// large lambda (simulation noise models never need exact tails there).
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        debug_assert!(lambda >= 0.0);
+        if lambda <= 0.0 {
+            return 0;
+        }
+        if lambda < 30.0 {
+            let l = (-lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= self.unit_f64();
+                if p <= l {
+                    return k;
+                }
+                k += 1;
+            }
+        } else {
+            let z = self.standard_normal();
+            let v = lambda + lambda.sqrt() * z;
+            if v < 0.0 {
+                0
+            } else {
+                v.round() as u64
+            }
+        }
+    }
+
+    /// A duration jittered multiplicatively: `base * N(1, rel_sigma)`,
+    /// truncated to be non-negative.
+    pub fn jitter(&mut self, base: Ns, rel_sigma: f64) -> Ns {
+        if rel_sigma == 0.0 {
+            return base;
+        }
+        let k = (1.0 + rel_sigma * self.standard_normal()).max(0.0);
+        base.mul_f64(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn substreams_differ() {
+        let root = Rng::new(7);
+        let mut a = root.substream(1);
+        let mut b = root.substream(2);
+        let matches = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(matches, 0, "substreams should not be correlated");
+    }
+
+    #[test]
+    fn gen_range_respects_bound() {
+        let mut r = Rng::new(1);
+        for _ in 0..10_000 {
+            let v = r.gen_range(17);
+            assert!(v < 17);
+        }
+        for _ in 0..10_000 {
+            let v = r.gen_range_in(5, 9);
+            assert!((5..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_unit_interval() {
+        let mut r = Rng::new(3);
+        let mut sum = 0.0;
+        const N: usize = 100_000;
+        for _ in 0..N {
+            let u = r.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / N as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = Rng::new(9);
+        const N: usize = 200_000;
+        let mean = 123.0;
+        let sum: f64 = (0..N).map(|_| r.exponential(mean)).sum();
+        let got = sum / N as f64;
+        assert!((got - mean).abs() / mean < 0.02, "mean {got}");
+        assert_eq!(r.exponential(0.0), 0.0);
+    }
+
+    #[test]
+    fn poisson_mean_small_and_large() {
+        let mut r = Rng::new(11);
+        for &lambda in &[0.5, 4.0, 80.0] {
+            const N: usize = 50_000;
+            let sum: u64 = (0..N).map(|_| r.poisson(lambda)).sum();
+            let got = sum as f64 / N as f64;
+            assert!(
+                (got - lambda).abs() / lambda.max(1.0) < 0.05,
+                "lambda {lambda} got {got}"
+            );
+        }
+        assert_eq!(r.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn normal_mean_and_sigma() {
+        let mut r = Rng::new(13);
+        const N: usize = 200_000;
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for _ in 0..N {
+            let z = r.standard_normal();
+            sum += z;
+            sq += z * z;
+        }
+        let mean = sum / N as f64;
+        let var = sq / N as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn jitter_zero_sigma_is_identity() {
+        let mut r = Rng::new(5);
+        assert_eq!(r.jitter(Ns(1000), 0.0), Ns(1000));
+        // Jittered values stay non-negative even for huge sigma.
+        for _ in 0..1000 {
+            let _ = r.jitter(Ns(10), 5.0);
+        }
+    }
+}

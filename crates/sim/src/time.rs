@@ -1,0 +1,240 @@
+//! Simulated time.
+//!
+//! All simulation time is kept as integral nanoseconds ([`Ns`]). Using an
+//! integer (rather than `f64` seconds) keeps event ordering exact and the
+//! simulation deterministic across platforms.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) simulated time, in nanoseconds.
+///
+/// `Ns` is deliberately a thin newtype: it is `Copy`, ordered, and supports
+/// saturating-free arithmetic (overflow would indicate a simulation bug, so
+/// debug builds panic via the standard integer overflow checks).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ns(pub u64);
+
+impl Ns {
+    /// Zero time.
+    pub const ZERO: Ns = Ns(0);
+    /// The largest representable time; used as an "infinite" deadline.
+    pub const MAX: Ns = Ns(u64::MAX);
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn nanos(n: u64) -> Ns {
+        Ns(n)
+    }
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn micros(us: u64) -> Ns {
+        Ns(us * 1_000)
+    }
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn millis(ms: u64) -> Ns {
+        Ns(ms * 1_000_000)
+    }
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn secs(s: u64) -> Ns {
+        Ns(s * 1_000_000_000)
+    }
+    /// Construct from fractional seconds (rounded to the nearest nanosecond).
+    ///
+    /// Negative inputs clamp to zero.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Ns {
+        if s <= 0.0 {
+            return Ns::ZERO;
+        }
+        Ns((s * 1e9).round() as u64)
+    }
+
+    /// This time as fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+    /// This time as fractional microseconds.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+    /// Raw nanosecond count.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction (useful for "time remaining" computations).
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Ns) -> Ns {
+        Ns(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiply by a non-negative float, rounding to the nearest nanosecond.
+    ///
+    /// Used by the noise / perturbation models.
+    #[inline]
+    pub fn mul_f64(self, k: f64) -> Ns {
+        debug_assert!(k >= 0.0, "time scale factor must be non-negative");
+        Ns((self.0 as f64 * k).round() as u64)
+    }
+
+    /// The larger of two times.
+    #[inline]
+    pub fn max(self, other: Ns) -> Ns {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+    /// The smaller of two times.
+    #[inline]
+    pub fn min(self, other: Ns) -> Ns {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Ns {
+    type Output = Ns;
+    #[inline]
+    fn add(self, rhs: Ns) -> Ns {
+        Ns(self.0 + rhs.0)
+    }
+}
+impl AddAssign for Ns {
+    #[inline]
+    fn add_assign(&mut self, rhs: Ns) {
+        self.0 += rhs.0;
+    }
+}
+impl Sub for Ns {
+    type Output = Ns;
+    #[inline]
+    fn sub(self, rhs: Ns) -> Ns {
+        Ns(self.0 - rhs.0)
+    }
+}
+impl SubAssign for Ns {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Ns) {
+        self.0 -= rhs.0;
+    }
+}
+impl Mul<u64> for Ns {
+    type Output = Ns;
+    #[inline]
+    fn mul(self, rhs: u64) -> Ns {
+        Ns(self.0 * rhs)
+    }
+}
+impl Div<u64> for Ns {
+    type Output = Ns;
+    #[inline]
+    fn div(self, rhs: u64) -> Ns {
+        Ns(self.0 / rhs)
+    }
+}
+impl Sum for Ns {
+    fn sum<I: Iterator<Item = Ns>>(iter: I) -> Ns {
+        iter.fold(Ns::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for Ns {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for Ns {
+    /// Human-friendly display: picks ns / µs / ms / s based on magnitude.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.0;
+        if n < 10_000 {
+            write!(f, "{}ns", n)
+        } else if n < 10_000_000 {
+            write!(f, "{:.2}us", n as f64 / 1e3)
+        } else if n < 10_000_000_000 {
+            write!(f, "{:.2}ms", n as f64 / 1e6)
+        } else {
+            write!(f, "{:.3}s", n as f64 / 1e9)
+        }
+    }
+}
+
+/// Time needed to move `bytes` at `bytes_per_sec`, rounded up to ≥ 1 ns for
+/// any non-empty transfer so that causality is never zero-length.
+#[inline]
+pub fn transfer_time(bytes: u64, bytes_per_sec: f64) -> Ns {
+    if bytes == 0 {
+        return Ns::ZERO;
+    }
+    debug_assert!(bytes_per_sec > 0.0);
+    let ns = (bytes as f64 / bytes_per_sec) * 1e9;
+    Ns((ns.ceil() as u64).max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Ns::micros(3), Ns(3_000));
+        assert_eq!(Ns::millis(2), Ns(2_000_000));
+        assert_eq!(Ns::secs(1), Ns(1_000_000_000));
+        assert_eq!(Ns::from_secs_f64(1.5), Ns(1_500_000_000));
+        assert_eq!(Ns::from_secs_f64(-1.0), Ns::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Ns(100);
+        let b = Ns(40);
+        assert_eq!(a + b, Ns(140));
+        assert_eq!(a - b, Ns(60));
+        assert_eq!(a * 3, Ns(300));
+        assert_eq!(a / 4, Ns(25));
+        assert_eq!(b.saturating_sub(a), Ns::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+        let total: Ns = [a, b, Ns(1)].into_iter().sum();
+        assert_eq!(total, Ns(141));
+    }
+
+    #[test]
+    fn mul_f64_rounds() {
+        assert_eq!(Ns(1000).mul_f64(1.25), Ns(1250));
+        assert_eq!(Ns(3).mul_f64(0.5), Ns(2)); // 1.5 rounds to 2
+    }
+
+    #[test]
+    fn transfer_time_basics() {
+        assert_eq!(transfer_time(0, 1e9), Ns::ZERO);
+        // 1 GB/s => 1 byte takes 1 ns.
+        assert_eq!(transfer_time(1, 1e9), Ns(1));
+        // 10 GB/s => 4 MiB takes ~419 µs.
+        let t = transfer_time(4 << 20, 10e9);
+        assert!(t > Ns::micros(400) && t < Ns::micros(430), "{t}");
+        // Non-empty transfers always take at least a nanosecond.
+        assert!(transfer_time(1, 1e18) >= Ns(1));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", Ns(5)), "5ns");
+        assert_eq!(format!("{}", Ns::micros(150)), "150.00us");
+        assert_eq!(format!("{}", Ns::millis(12)), "12.00ms");
+        assert_eq!(format!("{}", Ns::secs(70)), "70.000s");
+    }
+}

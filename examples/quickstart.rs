@@ -1,0 +1,22 @@
+//! Quickstart: simulate a 2-node OmniPath ping-pong under the three OS
+//! configurations and print achieved bandwidth.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pico_apps::App;
+use pico_cluster::{pingpong_bandwidth, OsConfig};
+
+fn main() {
+    println!("PicoDriver reproduction — quickstart");
+    println!("4 MiB MPI ping-pong between two KNL nodes:\n");
+    for os in OsConfig::ALL {
+        let bw = pingpong_bandwidth(os, 4 << 20, 30);
+        println!("  {:<14} {:>9.1} MB/s", os.label(), bw);
+    }
+    println!("\nThe PicoDriver configuration wins because its fast path");
+    println!("walks pinned page tables and emits 10 KB SDMA requests,");
+    println!("while the unmodified Linux driver stops at 4 KiB (paper §3.4).");
+    let _ = App::PingPong { bytes: 1, reps: 1 }; // (see pico-apps for more workloads)
+}

@@ -1,0 +1,41 @@
+//! The §3.1 / Figure 3 demo: why the original McKernel layout cannot
+//! host a PicoDriver, and what the unified layout guarantees.
+
+use pico_mem::layout;
+use picodriver::{UnifiedKernelSpace, UnifyError};
+
+fn main() {
+    // Try to unify the ORIGINAL McKernel layout with Linux: every §3.1
+    // requirement fails.
+    let linux = layout::linux_x86_64();
+    let original = layout::mckernel_original();
+    match UnifiedKernelSpace::from_layouts(linux, original) {
+        Err(UnifyError::Violations(v)) => {
+            println!("original McKernel layout: {} violations", v.len());
+            for e in &v {
+                println!("  - {e}");
+            }
+        }
+        other => panic!("expected violations, got {other:?}"),
+    }
+
+    // Boot the unified layout (image relocated to the top of the Linux
+    // module space, direct map shifted, image mapped into Linux).
+    let u = UnifiedKernelSpace::boot().expect("unification");
+    println!("\nunified: LWK image at {}", u.lwk_image());
+
+    // Requirement 2: a Linux kmalloc pointer is LWK-dereferenceable.
+    let kptr = layout::LINUX_DIRECT_MAP.start + 0xdead_beef;
+    println!(
+        "kmalloc'd pointer {kptr:#x} dereferenceable from the LWK: {}",
+        u.lwk_can_deref(kptr)
+    );
+
+    // Requirement 3: a completion callback in LWK TEXT is callable from
+    // Linux IRQ context.
+    let callback = u.lwk_image().start + 0x1000;
+    println!(
+        "LWK callback {callback:#x} callable from Linux: {}",
+        u.linux_can_call(callback)
+    );
+}

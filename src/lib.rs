@@ -1,0 +1,24 @@
+//! # picodriver-suite
+//!
+//! Umbrella crate for the reproduction of *PicoDriver: Fast-path Device
+//! Drivers for Multi-kernel Operating Systems* (HPDC'18). Re-exports the
+//! workspace crates so the examples and integration tests exercise the
+//! public API exactly as a downstream user would.
+//!
+//! Start at [`picodriver`] (the paper's contribution) and
+//! [`pico_cluster`] (the experiment runner); see `DESIGN.md` for the
+//! system inventory and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use pico_apps as apps;
+pub use pico_cluster as cluster;
+pub use pico_dwarf as dwarf;
+pub use pico_fabric as fabric;
+pub use pico_hfi1 as hfi1;
+pub use pico_ihk as ihk;
+pub use pico_linux as linux;
+pub use pico_mckernel as mckernel;
+pub use pico_mem as mem;
+pub use pico_mpi as mpi;
+pub use pico_psm as psm;
+pub use pico_sim as sim;
+pub use picodriver as core;

@@ -1,0 +1,169 @@
+//! Cross-crate integration tests: the whole stack, exercised end to end
+//! through the umbrella crate's re-exported APIs.
+
+use pico_apps::{App, JobShape};
+use pico_cluster::{paper_config, run_app, ClusterConfig, OsConfig};
+use pico_dwarf::extract_struct;
+use pico_hfi1::structs::LayoutSet;
+use pico_ihk::Sysno;
+use picodriver::{HfiShadow, PicoPort, UnifiedKernelSpace};
+
+/// The full §3 pipeline: module binary → DWARF port → fast path reading
+/// live driver state — across both driver versions.
+#[test]
+fn port_pipeline_is_version_robust() {
+    for layouts in [LayoutSet::v10_8(), LayoutSet::v10_9()] {
+        let module = layouts.emit_module_binary();
+        let (port, shadow) = PicoPort::port_hfi1(&module).expect("port");
+        assert_eq!(port.fastpath_syscalls.len(), 2);
+        let driver =
+            pico_hfi1::Hfi1Driver::new(layouts, pico_hfi1::HfiDriverCosts::default(), 16);
+        for e in 0..16 {
+            assert!(shadow.engine_running(driver.sdma_state[e].bytes()));
+        }
+        assert_eq!(shadow.num_sdma(driver.devdata.bytes()), 16);
+    }
+}
+
+/// Listing 1, byte for byte at the structural level.
+#[test]
+fn listing1_header_from_real_extraction() {
+    let module = LayoutSet::v10_8().emit_module_binary();
+    let s = extract_struct(
+        &module,
+        "sdma_state",
+        &["current_state", "go_s99_running", "previous_state"],
+    )
+    .unwrap();
+    let hdr = s.to_c_header();
+    for needle in [
+        "char whole_struct[64];",
+        "char padding0[40];",
+        "enum sdma_states current_state;",
+        "char padding1[48];",
+        "unsigned int go_s99_running;",
+        "char padding2[52];",
+        "enum sdma_states previous_state;",
+    ] {
+        assert!(hdr.contains(needle), "missing `{needle}` in:\n{hdr}");
+    }
+}
+
+/// §3.1 invariants hold for the booted unified space and fail for the
+/// original layout.
+#[test]
+fn unification_invariants() {
+    let u = UnifiedKernelSpace::boot().unwrap();
+    assert!(u.lwk_can_deref(pico_mem::layout::LINUX_DIRECT_MAP.start + 42));
+    assert!(u.linux_can_call(u.lwk_image().start + 16));
+    let bad = UnifiedKernelSpace::from_layouts(
+        pico_mem::layout::linux_x86_64(),
+        pico_mem::layout::mckernel_original(),
+    );
+    assert!(bad.is_err());
+}
+
+/// End-to-end data integrity: a backed 4 MiB rendezvous transfer crosses
+/// kernels, SDMA, TID placement and fabric, and arrives intact.
+#[test]
+fn backed_rendezvous_end_to_end() {
+    for os in OsConfig::ALL {
+        let app = App::PingPong { bytes: 2 << 20, reps: 2 };
+        let mut cfg = paper_config(os, app, 2, Some(1));
+        cfg.backed = true;
+        let res = run_app(cfg, app, 1);
+        assert_eq!(res.ranks_done, 2, "{os:?}");
+        assert!(res.delivered_payloads >= 4, "{os:?}: payloads must arrive");
+        assert!(res.tid_programs > 0);
+    }
+}
+
+/// The headline result, end to end: UMT2013 collapses under offloading
+/// and the PicoDriver restores (and beats) Linux performance.
+#[test]
+fn headline_umt_result() {
+    let shape = JobShape { nodes: 2, ranks_per_node: 16 };
+    let wall = |os| {
+        let cfg = ClusterConfig::paper(os, shape);
+        // Steady-state: difference of two run lengths cancels init.
+        let short = run_app(cfg.clone(), App::Umt2013, 4).wall_time;
+        let long = run_app(cfg, App::Umt2013, 8).wall_time;
+        long - short
+    };
+    let linux = wall(OsConfig::Linux);
+    let mck = wall(OsConfig::McKernel);
+    let hfi = wall(OsConfig::McKernelHfi);
+    assert!(
+        mck.as_secs_f64() > 1.2 * linux.as_secs_f64(),
+        "offloading must hurt: mck {mck} vs linux {linux}"
+    );
+    assert!(
+        hfi.as_secs_f64() < 1.05 * linux.as_secs_f64(),
+        "fast path must restore Linux-level performance: hfi {hfi} vs linux {linux}"
+    );
+    assert!(hfi < mck);
+}
+
+/// The Figure 8 claim in miniature: the fast path collapses kernel time,
+/// and writev/ioctl shares shrink.
+#[test]
+fn kernel_time_collapses_with_fast_path() {
+    let shape = JobShape { nodes: 2, ranks_per_node: 16 };
+    let run = |os| {
+        let cfg = ClusterConfig::paper(os, shape);
+        run_app(cfg, App::Umt2013, 6)
+    };
+    let mck = run(OsConfig::McKernel);
+    let hfi = run(OsConfig::McKernelHfi);
+    let ratio = hfi.kernel_time().as_secs_f64() / mck.kernel_time().as_secs_f64();
+    assert!(
+        ratio < 0.35,
+        "kernel time should collapse (paper: ~7%), got {ratio:.2}"
+    );
+    // writev+ioctl dominate McKernel kernel time...
+    let share = |r: &pico_cluster::RunResult| {
+        let (_, w) = r.kernel_profile.get(&Sysno::Writev);
+        let (_, i) = r.kernel_profile.get(&Sysno::Ioctl);
+        (w + i).as_secs_f64() / r.kernel_time().as_secs_f64()
+    };
+    assert!(share(&mck) > 0.5, "mck share {}", share(&mck));
+    // ...and much less of the (already tiny) +HFI kernel time.
+    assert!(share(&hfi) < share(&mck));
+}
+
+/// Weak-scaling LAMMPS is unaffected by the driver architecture — the
+/// "no regression" guarantee of Figure 5.
+#[test]
+fn lammps_no_regression() {
+    let shape = JobShape { nodes: 2, ranks_per_node: 16 };
+    let wall = |os| {
+        let cfg = ClusterConfig::paper(os, shape);
+        let short = run_app(cfg.clone(), App::Lammps, 4).wall_time;
+        let long = run_app(cfg, App::Lammps, 8).wall_time;
+        (long - short).as_secs_f64()
+    };
+    let linux = wall(OsConfig::Linux);
+    let hfi = wall(OsConfig::McKernelHfi);
+    let rel = linux / hfi;
+    assert!(
+        (0.9..1.15).contains(&rel),
+        "LAMMPS should be within a few % of Linux, got {rel:.3}"
+    );
+}
+
+/// Determinism across the whole stack: same seed, same everything.
+#[test]
+fn full_stack_determinism() {
+    let run = || {
+        let cfg = ClusterConfig::paper(
+            OsConfig::McKernelHfi,
+            JobShape { nodes: 2, ranks_per_node: 8 },
+        );
+        run_app(cfg, App::Qbox, 3)
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.wall_time, b.wall_time);
+    assert_eq!(a.rank_finish, b.rank_finish);
+    assert_eq!(a.fabric_bytes, b.fabric_bytes);
+    assert_eq!(a.kernel_time(), b.kernel_time());
+}

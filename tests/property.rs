@@ -1,0 +1,181 @@
+//! Property-based tests on the core data structures and invariants.
+
+use pico_dwarf::leb128;
+use pico_mem::{AddressSpace, BuddyAllocator, MapPolicy, PhysAddr, VirtAddr, PAGE_4K};
+use pico_mpi::coll;
+use pico_sim::{Ns, Rng, ServerPool};
+use proptest::prelude::*;
+
+proptest! {
+    /// LEB128 round-trips for arbitrary integers.
+    #[test]
+    fn leb128_round_trip(v in any::<u64>(), s in any::<i64>()) {
+        let mut buf = Vec::new();
+        leb128::write_uleb128(&mut buf, v);
+        let mut pos = 0;
+        prop_assert_eq!(leb128::read_uleb128(&buf, &mut pos).unwrap(), v);
+        prop_assert_eq!(pos, buf.len());
+
+        let mut buf = Vec::new();
+        leb128::write_sleb128(&mut buf, s);
+        let mut pos = 0;
+        prop_assert_eq!(leb128::read_sleb128(&buf, &mut pos).unwrap(), s);
+    }
+
+    /// The buddy allocator conserves memory under arbitrary alloc/free
+    /// interleavings and never double-allocates a region.
+    #[test]
+    fn buddy_conservation(ops in proptest::collection::vec((0u8..6, any::<bool>()), 1..200)) {
+        let mut b = BuddyAllocator::new(PhysAddr(0), 16 << 20);
+        let cap = b.capacity();
+        let mut live: Vec<(PhysAddr, u8)> = Vec::new();
+        for (order, do_free) in ops {
+            if do_free && !live.is_empty() {
+                let (pa, o) = live.swap_remove(live.len() / 2);
+                prop_assert!(b.free(pa, o).is_ok());
+            } else if let Ok(pa) = b.alloc(order) {
+                // No overlap with any live block.
+                let size = pico_mem::buddy::block_size(order);
+                for &(lpa, lo) in &live {
+                    let lsize = pico_mem::buddy::block_size(lo);
+                    prop_assert!(
+                        pa.0 + size <= lpa.0 || lpa.0 + lsize <= pa.0,
+                        "overlap: {pa:?}+{size} vs {lpa:?}+{lsize}"
+                    );
+                }
+                live.push((pa, order));
+            }
+            let live_bytes: u64 = live
+                .iter()
+                .map(|&(_, o)| pico_mem::buddy::block_size(o))
+                .sum();
+            prop_assert_eq!(b.allocated(), live_bytes);
+            prop_assert_eq!(b.free_bytes(), cap - live_bytes);
+        }
+        for (pa, o) in live {
+            prop_assert!(b.free(pa, o).is_ok());
+        }
+        prop_assert_eq!(b.allocated(), 0);
+    }
+
+    /// Whatever the allocation policy and mapping size, the physically
+    /// contiguous runs of a mapping exactly tile its length, and every
+    /// byte translates to where the run walk says it is.
+    #[test]
+    fn contiguous_runs_tile_mappings(
+        kb in 4u64..512,
+        contiguous in any::<bool>(),
+        frag in any::<bool>(),
+    ) {
+        let mut frames = BuddyAllocator::new(PhysAddr(0), 64 << 20);
+        if frag {
+            let _held = frames.fragment(0.5);
+        }
+        let policy = if contiguous { MapPolicy::ContiguousLarge } else { MapPolicy::Fragmented4k };
+        let mut asp = AddressSpace::new(policy, VirtAddr(0x7000_0000_0000));
+        let len = kb * 1024;
+        let (va, _) = asp.mmap_anonymous(&mut frames, len, true).unwrap();
+        let (runs, _) = asp.contiguous_runs(va, len).unwrap();
+        let total: u64 = runs.iter().map(|r| r.len).sum();
+        prop_assert_eq!(total, len);
+        // Runs are maximal: adjacent runs are not physically contiguous.
+        for w in runs.windows(2) {
+            prop_assert_ne!(w[0].pa.0 + w[0].len, w[1].pa.0);
+        }
+        // Spot-check translations at run boundaries.
+        let mut off = 0;
+        for r in &runs {
+            let t = asp.page_table.translate(va + off).unwrap();
+            prop_assert_eq!(t.pa, r.pa);
+            off += r.len;
+        }
+    }
+
+    /// Request counting: the number of SDMA requests for a buffer is
+    /// exactly sum(ceil(run/cap)) and is monotonically non-increasing in
+    /// the cap.
+    #[test]
+    fn request_counts_monotone_in_cap(kb in 64u64..1024) {
+        let mut frames = BuddyAllocator::new(PhysAddr(0), 64 << 20);
+        let mut asp = AddressSpace::new(MapPolicy::ContiguousLarge, VirtAddr(0x7000_0000_0000));
+        let len = kb * 1024;
+        let (va, _) = asp.mmap_anonymous(&mut frames, len, true).unwrap();
+        let (runs, _) = asp.contiguous_runs(va, len).unwrap();
+        let count = |cap: u64| -> u64 { runs.iter().map(|r| r.len.div_ceil(cap)).sum() };
+        let c4 = count(4 * 1024);
+        let c8 = count(8 * 1024);
+        let c10 = count(10 * 1024);
+        prop_assert!(c4 >= c8 && c8 >= c10);
+        prop_assert_eq!(c4, len.div_ceil(PAGE_4K).max(1));
+    }
+
+    /// Every collective schedule pairs up: if a sends to b in round k,
+    /// b receives from a in round k (for arbitrary job sizes).
+    #[test]
+    fn collective_schedules_pair(n in 2u32..70, root in 0u32..70) {
+        let root = root % n;
+        for round in 0..coll::dissemination_rounds(n) {
+            for r in 0..n {
+                let x = coll::dissemination_round(r, n, round);
+                if let Some(dst) = x.send_to {
+                    prop_assert_eq!(coll::dissemination_round(dst, n, round).recv_from, Some(r));
+                }
+            }
+        }
+        for round in 0..coll::bcast_rounds(n) {
+            for r in 0..n {
+                let x = coll::bcast_round(r, n, root, round);
+                if let Some(dst) = x.send_to {
+                    prop_assert_eq!(coll::bcast_round(dst, n, root, round).recv_from, Some(r));
+                }
+            }
+        }
+        for round in 0..coll::scan_rounds(n) {
+            for r in 0..n {
+                let x = coll::scan_round(r, n, round);
+                if let Some(dst) = x.send_to {
+                    prop_assert_eq!(coll::scan_round(dst, n, round).recv_from, Some(r));
+                }
+            }
+        }
+    }
+
+    /// The FIFO server pool never starts a job before its submission,
+    /// never overlaps more jobs than servers, and work is conserved.
+    #[test]
+    fn server_pool_sanity(jobs in proptest::collection::vec((0u64..1000, 1u64..500), 1..100), servers in 1usize..8) {
+        let mut pool = ServerPool::new(servers);
+        let mut total = Ns::ZERO;
+        let mut intervals = Vec::new();
+        let mut t = 0u64;
+        for (gap, service) in jobs {
+            t += gap;
+            let g = pool.submit(Ns(t), Ns(service));
+            prop_assert!(g.start >= Ns(t));
+            prop_assert_eq!(g.finish - g.start, Ns(service));
+            prop_assert!(g.server < servers);
+            total += Ns(service);
+            intervals.push((g.server, g.start, g.finish));
+        }
+        prop_assert_eq!(pool.busy_time(), total);
+        // Per-server intervals never overlap.
+        for s in 0..servers {
+            let mut iv: Vec<_> = intervals.iter().filter(|&&(sv, _, _)| sv == s).collect();
+            iv.sort_by_key(|&&(_, st, _)| st);
+            for w in iv.windows(2) {
+                prop_assert!(w[0].2 <= w[1].1, "server {s} overlap");
+            }
+        }
+    }
+
+    /// RNG distributions stay in range for arbitrary seeds.
+    #[test]
+    fn rng_ranges(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut r = Rng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(r.gen_range(bound) < bound);
+            let u = r.unit_f64();
+            prop_assert!((0.0..1.0).contains(&u));
+        }
+    }
+}
