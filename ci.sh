@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Offline CI gate: tier-1 verify + lints. No network access is assumed —
+# the workspace has no external dependencies.
+#
+#   ./ci.sh          tier-1 (release build + full test suite) + clippy + fmt check
+#   ./ci.sh --bench  additionally run the simbench regression gate (slower)
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "== workspace tests =="
+cargo test -q --workspace
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustfmt check =="
+cargo fmt --all --check || echo "(fmt drift, non-fatal)"
+
+if [[ "${1:-}" == "--bench" ]]; then
+    echo "== simbench regression gate =="
+    cargo run --release -p pico-bench --bin simbench
+fi
+
+echo "CI OK"

@@ -304,7 +304,7 @@ fn umt2013(shape: JobShape, iters: u32, rank: u32) -> Vec<Op> {
 
 fn hacc(shape: JobShape, iters: u32, rank: u32) -> Vec<Op> {
     let n = shape.nranks();
-    assert!(n % 2 == 0, "HACC skeleton needs an even rank count");
+    assert!(n.is_multiple_of(2), "HACC skeleton needs an even rank count");
     let nb = neighbors(rank, n, shape.ranks_per_node, shape.ranks_per_node * 2);
     let mut p = vec![
         Op::Init { threaded: true },
@@ -324,7 +324,7 @@ fn hacc(shape: JobShape, iters: u32, rank: u32) -> Vec<Op> {
         // Short-range force computation.
         p.push(Op::Compute(Ns::micros(3000)));
         // Long-range solve step: blocking exchange around the ring.
-        if rank % 2 == 0 {
+        if rank.is_multiple_of(2) {
             p.push(Op::Send { dst: (rank + 1) % n, tag: 70, bytes: 64 * 1024, buf: 12 });
             p.push(Op::Recv { src: (rank + n - 1) % n, tag: 71, bytes: 64 * 1024, buf: 13 });
         } else {

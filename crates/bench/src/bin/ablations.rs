@@ -10,10 +10,13 @@
 use pico_apps::{App, JobShape};
 use pico_cluster::{run_app, ClusterConfig, OsConfig};
 use pico_linux::NoiseConfig;
-use rayon::prelude::*;
+use pico_sim::par_map;
 
 fn pingpong_bw(mut cfg: ClusterConfig, bytes: u64, reps: u32) -> f64 {
-    cfg.shape = JobShape { nodes: 2, ranks_per_node: 1 };
+    cfg.shape = JobShape {
+        nodes: 2,
+        ranks_per_node: 1,
+    };
     cfg.psm.ranks_per_node = 1;
     let run = |r: u32| {
         run_app(cfg.clone(), App::PingPong { bytes, reps: r }, 1)
@@ -25,88 +28,90 @@ fn pingpong_bw(mut cfg: ClusterConfig, bytes: u64, reps: u32) -> f64 {
 }
 
 fn main() {
-    let shape2 = JobShape { nodes: 2, ranks_per_node: 1 };
+    let shape2 = JobShape {
+        nodes: 2,
+        ranks_per_node: 1,
+    };
 
     println!("== Ablation: fast-path SDMA request cap (4 MiB ping-pong, MB/s) ==");
     let caps = [4 * 1024u64, 8 * 1024, 10 * 1024];
-    let rows: Vec<(u64, f64)> = caps
-        .par_iter()
-        .map(|&cap| {
-            let mut cfg = ClusterConfig::paper(OsConfig::McKernelHfi, shape2);
-            cfg.sdma_cap = cap;
-            (cap, pingpong_bw(cfg, 4 << 20, 30))
-        })
-        .collect();
+    let rows: Vec<(u64, f64)> = par_map(caps.to_vec(), |cap| {
+        let mut cfg = ClusterConfig::paper(OsConfig::McKernelHfi, shape2);
+        cfg.sdma_cap = cap;
+        (cap, pingpong_bw(cfg, 4 << 20, 30))
+    });
     for (cap, bw) in rows {
         println!("  cap {:>6} B: {:>9.1} MB/s", cap, bw);
     }
 
     println!("\n== Ablation: LWK large pages / contiguity off (4 MiB ping-pong) ==");
-    let rows: Vec<(bool, f64)> = [true, false]
-        .par_iter()
-        .map(|&lp| {
-            let mut cfg =
-                ClusterConfig::paper(OsConfig::McKernelHfi, shape2);
-            cfg.lwk_large_pages = lp;
-            (lp, pingpong_bw(cfg, 4 << 20, 30))
-        })
-        .collect();
+    let rows: Vec<(bool, f64)> = par_map(vec![true, false], |lp| {
+        let mut cfg = ClusterConfig::paper(OsConfig::McKernelHfi, shape2);
+        cfg.lwk_large_pages = lp;
+        (lp, pingpong_bw(cfg, 4 << 20, 30))
+    });
     for (lp, bw) in rows {
         println!("  large pages {:>5}: {:>9.1} MB/s", lp, bw);
     }
 
     println!("\n== Ablation: Linux service cores vs UMT2013 slowdown (4 nodes) ==");
-    let shape = JobShape { nodes: 4, ranks_per_node: 32 };
+    let shape = JobShape {
+        nodes: 4,
+        ranks_per_node: 32,
+    };
     let linux_wall = {
         let cfg = ClusterConfig::paper(OsConfig::Linux, shape);
         run_app(cfg, App::Umt2013, 8).wall_time.as_secs_f64()
     };
-    let rows: Vec<(usize, f64)> = [1usize, 2, 4, 8]
-        .par_iter()
-        .map(|&cores| {
-            let mut cfg = ClusterConfig::paper(OsConfig::McKernel, shape);
-            cfg.service_cores = cores;
-            let w = run_app(cfg, App::Umt2013, 8).wall_time.as_secs_f64();
-            (cores, 100.0 * linux_wall / w)
-        })
-        .collect();
+    let rows: Vec<(usize, f64)> = par_map(vec![1usize, 2, 4, 8], |cores| {
+        let mut cfg = ClusterConfig::paper(OsConfig::McKernel, shape);
+        cfg.service_cores = cores;
+        let w = run_app(cfg, App::Umt2013, 8).wall_time.as_secs_f64();
+        (cores, 100.0 * linux_wall / w)
+    });
     for (cores, rel) in rows {
         println!("  {} service cores: {:>6.1}% of Linux", cores, rel);
     }
 
     println!("\n== Ablation: TID registration cache (UMT2013, 2 nodes, ioctl count) ==");
-    let shape = JobShape { nodes: 2, ranks_per_node: 16 };
-    let rows: Vec<(bool, u64, f64)> = [true, false]
-        .par_iter()
-        .map(|&cache| {
-            let mut cfg = ClusterConfig::paper(OsConfig::McKernelHfi, shape);
-            cfg.tid_cache = cache;
-            let res = run_app(cfg, App::Umt2013, 8);
-            let (ioctls, t) = res.kernel_profile.get(&pico_ihk::Sysno::Ioctl);
-            (cache, ioctls, t.as_secs_f64() * 1e3)
-        })
-        .collect();
+    let shape = JobShape {
+        nodes: 2,
+        ranks_per_node: 16,
+    };
+    let rows: Vec<(bool, u64, f64)> = par_map(vec![true, false], |cache| {
+        let mut cfg = ClusterConfig::paper(OsConfig::McKernelHfi, shape);
+        cfg.tid_cache = cache;
+        let res = run_app(cfg, App::Umt2013, 8);
+        let (ioctls, t) = res.kernel_profile.get(&pico_ihk::Sysno::Ioctl);
+        (cache, ioctls, t.as_secs_f64() * 1e3)
+    });
     for (cache, ioctls, ms) in rows {
-        println!("  cache {:>5}: {:>7} ioctl records, {:>8.2} ms kernel time", cache, ioctls, ms);
+        println!(
+            "  cache {:>5}: {:>7} ioctl records, {:>8.2} ms kernel time",
+            cache, ioctls, ms
+        );
     }
 
     println!("\n== Ablation: OS noise off (Nekbone, 8 nodes, wall ms) ==");
-    let shape = JobShape { nodes: 8, ranks_per_node: 32 };
-    let rows: Vec<(&str, f64)> = [
-        ("Linux + noise", OsConfig::Linux, false),
-        ("Linux silent", OsConfig::Linux, true),
-        ("McKernel", OsConfig::McKernel, false),
-    ]
-    .par_iter()
-    .map(|&(label, os, silence)| {
-        let mut cfg = ClusterConfig::paper(os, shape);
-        if silence {
-            cfg.noise_override = Some(NoiseConfig::none());
-        }
-        let w = run_app(cfg, App::Nekbone, 20).wall_time.as_secs_f64();
-        (label, w * 1e3)
-    })
-    .collect();
+    let shape = JobShape {
+        nodes: 8,
+        ranks_per_node: 32,
+    };
+    let rows: Vec<(&str, f64)> = par_map(
+        vec![
+            ("Linux + noise", OsConfig::Linux, false),
+            ("Linux silent", OsConfig::Linux, true),
+            ("McKernel", OsConfig::McKernel, false),
+        ],
+        |(label, os, silence)| {
+            let mut cfg = ClusterConfig::paper(os, shape);
+            if silence {
+                cfg.noise_override = Some(NoiseConfig::none());
+            }
+            let w = run_app(cfg, App::Nekbone, 20).wall_time.as_secs_f64();
+            (label, w * 1e3)
+        },
+    );
     for (label, ms) in rows {
         println!("  {:<14} {:>9.3} ms", label, ms);
     }

@@ -1,0 +1,140 @@
+//! Engine throughput regression gate.
+//!
+//! Two measurements, written to `results/BENCH_sim.json`:
+//!
+//! 1. **Raw event-queue throughput** — events/sec through the timing-wheel
+//!    [`EventQueue`] vs the reference binary-heap [`HeapEventQueue`], on a
+//!    schedule/pop mix modeled on the cluster simulator's traffic (mostly
+//!    near-future wakes and packet deliveries, same-timestamp storms, a
+//!    tail of far-future timers). The wheel must hold a ≥2× advantage.
+//! 2. **End-to-end sweep wall time** — the Figure 6a UMT2013 weak-scaling
+//!    sweep (1..8 nodes), the simulator's own events/sec included.
+//!
+//! Run with `cargo run --release -p pico-bench --bin simbench`.
+
+use pico_apps::App;
+use pico_cluster::{paper_config, run_app};
+use pico_cluster::OsConfig;
+use pico_sim::{EventQueue, HeapEventQueue, Json, Ns, Rng};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One synthetic churn round: `n` live events, `total` schedule+pop pairs.
+///
+/// The traffic mix mirrors the cluster hot loop: ~70% of schedules land
+/// within a few microseconds (wakes, packet hops), ~20% are same-timestamp
+/// storms (collective fan-out), ~10% are far-future timers (noise ticks).
+fn churn_wheel(n: usize, total: u64, seed: u64) -> (f64, u64) {
+    let mut q: EventQueue<u32> = EventQueue::new();
+    let mut rng = Rng::new(seed);
+    for i in 0..n {
+        q.schedule(Ns(rng.gen_range(4096)), i as u32);
+    }
+    let start = Instant::now();
+    let mut processed = 0u64;
+    while processed < total {
+        let (t, ev) = q.pop().expect("queue never empties");
+        black_box(ev);
+        let dt = match rng.gen_range(10) {
+            0..=6 => rng.gen_range(3000) + 1,
+            7..=8 => 0,
+            _ => 100_000 + rng.gen_range(2_000_000),
+        };
+        q.schedule(Ns(t.0 + dt), ev);
+        processed += 1;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (processed as f64 / secs, q.events_processed())
+}
+
+/// Same churn against the reference heap (same seed → same event stream).
+fn churn_heap(n: usize, total: u64, seed: u64) -> f64 {
+    let mut q: HeapEventQueue<u32> = HeapEventQueue::new();
+    let mut rng = Rng::new(seed);
+    for i in 0..n {
+        q.schedule(Ns(rng.gen_range(4096)), i as u32);
+    }
+    let start = Instant::now();
+    let mut processed = 0u64;
+    while processed < total {
+        let (t, ev) = q.pop().expect("queue never empties");
+        black_box(ev);
+        let dt = match rng.gen_range(10) {
+            0..=6 => rng.gen_range(3000) + 1,
+            7..=8 => 0,
+            _ => 100_000 + rng.gen_range(2_000_000),
+        };
+        q.schedule(Ns(t.0 + dt), ev);
+        processed += 1;
+    }
+    processed as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let live = 4096usize;
+    let total = 4_000_000u64;
+    let seed = 0x51B0_BEEF;
+
+    // Interleave the two once each for warmup, then measure.
+    churn_wheel(live, total / 8, seed);
+    churn_heap(live, total / 8, seed);
+    let (wheel_eps, wheel_events) = churn_wheel(live, total, seed);
+    let heap_eps = churn_heap(live, total, seed);
+    let speedup = wheel_eps / heap_eps;
+    println!(
+        "queue churn ({live} live, {total} events): wheel {:.2} Mev/s, heap {:.2} Mev/s, {:.2}x",
+        wheel_eps / 1e6,
+        heap_eps / 1e6,
+        speedup
+    );
+    assert!(wheel_events >= total);
+
+    // End-to-end: Figure 6a sweep at small scale, wall time + sim throughput.
+    let sweep_start = Instant::now();
+    let mut sweep_rows = Vec::new();
+    for nodes in [1u32, 2, 4, 8] {
+        for os in OsConfig::ALL {
+            let cfg = paper_config(os, App::Umt2013, nodes, None);
+            let res = run_app(cfg, App::Umt2013, 8);
+            assert_eq!(res.clamped_events, 0, "hot loop scheduled into the past");
+            sweep_rows.push(Json::obj([
+                ("nodes", Json::UInt(nodes as u64)),
+                ("os", Json::str(os.label())),
+                ("sim_events", Json::UInt(res.sim_events)),
+                ("events_per_sec", Json::Num(res.events_per_sec)),
+                ("wall_time_s", Json::Num(res.wall_time.as_secs_f64())),
+            ]));
+        }
+    }
+    let sweep_secs = sweep_start.elapsed().as_secs_f64();
+    println!("fig6a-style sweep (1..8 nodes, all OS configs): {sweep_secs:.2}s");
+
+    let doc = Json::obj([
+        ("bench", Json::str("simbench")),
+        (
+            "queue",
+            Json::obj([
+                ("live_events", Json::UInt(live as u64)),
+                ("total_events", Json::UInt(total)),
+                ("wheel_events_per_sec", Json::Num(wheel_eps)),
+                ("heap_events_per_sec", Json::Num(heap_eps)),
+                ("speedup", Json::Num(speedup)),
+            ]),
+        ),
+        (
+            "sweep",
+            Json::obj([
+                ("wall_time_s", Json::Num(sweep_secs)),
+                ("runs", Json::Arr(sweep_rows)),
+            ]),
+        ),
+    ]);
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_sim.json", doc.to_string()).expect("write artifact");
+    println!("wrote results/BENCH_sim.json");
+
+    if speedup < 2.0 {
+        eprintln!("REGRESSION: wheel/heap speedup {speedup:.2}x below the 2x gate");
+        std::process::exit(1);
+    }
+}

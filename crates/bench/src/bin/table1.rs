@@ -3,14 +3,13 @@
 
 use pico_apps::App;
 use pico_cluster::{comm_profile, format_table1, OsConfig};
-use rayon::prelude::*;
+use pico_sim::par_map;
 
 fn main() {
     for (app, iters) in [(App::Umt2013, 10), (App::Hacc, 8), (App::Qbox, 8)] {
-        let cells: Vec<_> = OsConfig::ALL
-            .par_iter()
-            .map(|&os| (os, comm_profile(app, os, 8, iters, 5)))
-            .collect();
+        let cells: Vec<_> = par_map(OsConfig::ALL.to_vec(), |os| {
+            (os, comm_profile(app, os, 8, iters, 5))
+        });
         println!("{}", format_table1(app.name(), &cells));
     }
 }

@@ -1,13 +1,16 @@
-//! # pico-bench — experiment binaries and criterion micro-benches
+//! # pico-bench — experiment binaries and micro-benches
 //!
 //! One binary per table/figure of the paper's evaluation (run with
 //! `cargo run --release -p pico-bench --bin figN`), plus an `ablations`
-//! binary for the design-choice studies DESIGN.md lists, and criterion
-//! benches over the performance-critical simulator components.
+//! binary for the design-choice studies DESIGN.md lists, a `simbench`
+//! binary for the engine throughput regression gate, and self-contained
+//! micro-benches over the performance-critical simulator components
+//! (`cargo bench -p pico-bench`).
 
 #![warn(missing_docs)]
 
 use pico_cluster::ScalingPoint;
+use std::time::Instant;
 
 /// Standard node counts for the scaling figures. The paper sweeps 1-256;
 /// the default here stops at 64 (4096 ranks simulated) to keep a full
@@ -32,9 +35,65 @@ pub fn full_flag() -> bool {
 pub fn to_jsonl(points: &[ScalingPoint]) -> String {
     points
         .iter()
-        .map(|p| serde_json::to_string(p).expect("serializable"))
+        .map(|p| p.to_json().to_string())
         .collect::<Vec<_>>()
         .join("\n")
+}
+
+/// Measured timing of one micro-bench: total wall time over `iters` runs.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchTiming {
+    /// Number of timed iterations.
+    pub iters: u64,
+    /// Total wall time in nanoseconds.
+    pub total_ns: u128,
+}
+
+impl BenchTiming {
+    /// Mean nanoseconds per iteration.
+    pub fn ns_per_iter(&self) -> f64 {
+        self.total_ns as f64 / self.iters as f64
+    }
+
+    /// Iterations per second.
+    pub fn per_sec(&self) -> f64 {
+        if self.total_ns == 0 {
+            return f64::INFINITY;
+        }
+        self.iters as f64 * 1e9 / self.total_ns as f64
+    }
+}
+
+/// Minimal self-timed bench runner: warm up, then run `f` enough times to
+/// accumulate ~`budget_ms` of wall time (at least `min_iters`), and report
+/// the mean. Good enough for the regression gate; no external harness.
+pub fn time_it<F: FnMut()>(min_iters: u64, budget_ms: u64, mut f: F) -> BenchTiming {
+    for _ in 0..min_iters.min(16) {
+        f();
+    }
+    let budget = u128::from(budget_ms) * 1_000_000;
+    let mut iters = 0u64;
+    let start = Instant::now();
+    let total_ns = loop {
+        f();
+        iters += 1;
+        let elapsed = start.elapsed().as_nanos();
+        if iters >= min_iters && elapsed >= budget {
+            break elapsed;
+        }
+    };
+    BenchTiming { iters, total_ns }
+}
+
+/// Print one bench line in a stable, greppable format.
+pub fn report(name: &str, t: &BenchTiming) {
+    println!(
+        "{:<32} {:>12.1} ns/iter {:>14.0} iters/s ({} iters)",
+        name,
+        t.ns_per_iter(),
+        t.per_sec(),
+        t.iters
+    );
 }
 
 #[cfg(test)]
@@ -44,9 +103,6 @@ mod tests {
     #[test]
     fn node_count_sets() {
         assert_eq!(node_counts(false, 1), vec![1, 2, 4, 8, 16, 32, 64]);
-        assert_eq!(
-            node_counts(true, 4),
-            vec![4, 8, 16, 32, 64, 128, 256]
-        );
+        assert_eq!(node_counts(true, 4), vec![4, 8, 16, 32, 64, 128, 256]);
     }
 }

@@ -1,23 +1,32 @@
 //! The experiment runners behind every table and figure of §4, plus the
 //! report formatting (`I_MPI_STATS`-style Table 1 rows, Figure 8/9
-//! syscall breakdowns). The heavy sweeps fan out with rayon — each
-//! simulation is independent and deterministic.
+//! syscall breakdowns). The heavy sweeps fan out with the in-tree
+//! order-preserving [`par_map`] — each simulation is independent and
+//! deterministic, so the artifacts are identical at any worker count.
 
 use crate::config::OsConfig;
 use crate::world::{paper_config, run_app, RunResult};
 use pico_apps::App;
 use pico_ihk::Sysno;
-use pico_sim::Ns;
-use rayon::prelude::*;
-use serde::Serialize;
+use pico_sim::{par_map, Json, Ns};
 
 /// One row of the Figure 4 bandwidth plot.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig4Row {
     /// Message size in bytes.
     pub bytes: u64,
     /// Bandwidth in MB/s per OS config (Linux, McKernel, McKernel+HFI1).
     pub bw_mbs: [f64; 3],
+}
+
+impl Fig4Row {
+    /// JSON form (for the plotting artifacts).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("bytes", Json::UInt(self.bytes)),
+            ("bw_mbs", Json::arr(self.bw_mbs.iter().map(|&b| Json::Num(b)))),
+        ])
+    }
 }
 
 /// Ping-pong bandwidth for one OS config and message size.
@@ -45,23 +54,19 @@ pub fn pingpong_bandwidth(os: OsConfig, bytes: u64, reps: u32) -> f64 {
 /// Figure 4: ping-pong bandwidth across message sizes for all three OS
 /// configurations.
 pub fn fig4(sizes: &[u64], reps: u32) -> Vec<Fig4Row> {
-    sizes
-        .par_iter()
-        .map(|&bytes| {
-            let bw: Vec<f64> = OsConfig::ALL
-                .par_iter()
-                .map(|&os| pingpong_bandwidth(os, bytes, reps))
-                .collect();
-            Fig4Row {
-                bytes,
-                bw_mbs: [bw[0], bw[1], bw[2]],
-            }
-        })
-        .collect()
+    par_map(sizes.to_vec(), |bytes| {
+        let bw = par_map(OsConfig::ALL.to_vec(), |os| {
+            pingpong_bandwidth(os, bytes, reps)
+        });
+        Fig4Row {
+            bytes,
+            bw_mbs: [bw[0], bw[1], bw[2]],
+        }
+    })
 }
 
 /// One point of a weak-scaling figure (5a/5b/6a/6b/7).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ScalingPoint {
     /// Node count.
     pub nodes: u32,
@@ -69,6 +74,20 @@ pub struct ScalingPoint {
     pub relative: [f64; 3],
     /// Absolute wall times.
     pub wall: [f64; 3],
+}
+
+impl ScalingPoint {
+    /// JSON form (for the plotting artifacts).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("nodes", Json::UInt(self.nodes as u64)),
+            (
+                "relative",
+                Json::arr(self.relative.iter().map(|&r| Json::Num(r))),
+            ),
+            ("wall", Json::arr(self.wall.iter().map(|&w| Json::Num(w)))),
+        ])
+    }
 }
 
 /// Run `app` across `node_counts` × the three OS configurations and
@@ -85,50 +104,44 @@ pub fn scaling(
     iters: u32,
     rpn_override: Option<u32>,
 ) -> Vec<ScalingPoint> {
-    node_counts
-        .par_iter()
-        .map(|&nodes| {
-            let walls: Vec<Ns> = OsConfig::ALL
-                .par_iter()
-                .map(|&os| {
-                    let run = |n_iters: u32| {
-                        let cfg = paper_config(os, app, nodes, rpn_override);
-                        let expect = cfg.shape.nranks();
-                        let res = run_app(cfg, app, n_iters);
-                        assert_eq!(
-                            res.ranks_done, expect,
-                            "{} on {:?} at {} nodes did not complete",
-                            app.name(),
-                            os,
-                            nodes
-                        );
-                        res.wall_time
-                    };
-                    let short = run(iters);
-                    let long = run(2 * iters);
-                    long.saturating_sub(short)
-                })
-                .collect();
-            let linux = walls[0].as_secs_f64();
-            ScalingPoint {
-                nodes,
-                relative: [
-                    1.0,
-                    linux / walls[1].as_secs_f64(),
-                    linux / walls[2].as_secs_f64(),
-                ],
-                wall: [
-                    walls[0].as_secs_f64(),
-                    walls[1].as_secs_f64(),
-                    walls[2].as_secs_f64(),
-                ],
-            }
-        })
-        .collect()
+    par_map(node_counts.to_vec(), |nodes| {
+        let walls: Vec<Ns> = par_map(OsConfig::ALL.to_vec(), |os| {
+            let run = |n_iters: u32| {
+                let cfg = paper_config(os, app, nodes, rpn_override);
+                let expect = cfg.shape.nranks();
+                let res = run_app(cfg, app, n_iters);
+                assert_eq!(
+                    res.ranks_done, expect,
+                    "{} on {:?} at {} nodes did not complete",
+                    app.name(),
+                    os,
+                    nodes
+                );
+                res.wall_time
+            };
+            let short = run(iters);
+            let long = run(2 * iters);
+            long.saturating_sub(short)
+        });
+        let linux = walls[0].as_secs_f64();
+        ScalingPoint {
+            nodes,
+            relative: [
+                1.0,
+                linux / walls[1].as_secs_f64(),
+                linux / walls[2].as_secs_f64(),
+            ],
+            wall: [
+                walls[0].as_secs_f64(),
+                walls[1].as_secs_f64(),
+                walls[2].as_secs_f64(),
+            ],
+        }
+    })
 }
 
 /// One Table 1 row: a top MPI call of one app × OS cell.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table1Row {
     /// Call name (`Wait`, `Barrier`, ...).
     pub call: String,
@@ -172,7 +185,7 @@ pub fn profile_rows(res: &RunResult, k: usize) -> Vec<Table1Row> {
 
 /// A Figure 8/9 style syscall breakdown: per-syscall share of kernel
 /// time, plus the absolute total for the 7 %/25 % comparison.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SyscallBreakdown {
     /// OS label.
     pub os: String,

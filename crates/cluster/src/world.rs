@@ -115,6 +115,16 @@ pub struct RunResult {
     pub ranks_done: u32,
     /// Payloads delivered to receives (backed runs only).
     pub delivered_payloads: u64,
+    /// Events popped from the queue over the whole run (deterministic).
+    pub sim_events: u64,
+    /// Events silently clamped after past-scheduling (must be zero; a
+    /// nonzero value means a model scheduled into the past in a release
+    /// build).
+    pub clamped_events: u64,
+    /// Simulator throughput: events popped per wall-clock second. The
+    /// only *nondeterministic* field — it measures the engine, not the
+    /// simulated system, and is excluded from determinism comparisons.
+    pub events_per_sec: f64,
 }
 
 impl RunResult {
@@ -128,9 +138,21 @@ impl RunResult {
     }
 }
 
+/// Scalar configuration copied out of [`ClusterConfig`] once at build
+/// time, so the per-event dispatch loop reads hot locals instead of
+/// chasing the config struct.
+#[derive(Clone, Copy)]
+struct HotCfg {
+    os: OsConfig,
+    pio_base: Ns,
+    pio_bw: f64,
+    copy_bw: f64,
+}
+
 /// The simulator.
 pub struct World {
     cfg: ClusterConfig,
+    hot: HotCfg,
     lc: LinuxCosts,
     mmc: MckMmCosts,
     nodes: Vec<Node>,
@@ -138,6 +160,14 @@ pub struct World {
     fabric: Fabric,
     queue: EventQueue<Ev>,
     delivered_payloads: u64,
+    /// Per-rank timestamp of the latest queued `Ev::Wake` (`Ns::MAX` =
+    /// none): lets the loop coalesce same-timestamp wake storms into one
+    /// dispatch instead of queueing duplicates.
+    pending_wake: Vec<Ns>,
+    /// Pooled scratch for draining PSM actions (no per-flush allocation).
+    action_scratch: Vec<PsmAction>,
+    /// Pooled scratch for draining parked inboxes.
+    inbox_scratch: Vec<(u32, PsmPacket)>,
 }
 
 impl World {
@@ -205,13 +235,22 @@ impl World {
         }
         let mut queue = EventQueue::new();
         let mut skew_rng = root_rng.substream(7);
+        let mut pending_wake = Vec::with_capacity(ranks.len());
         for (r, rank) in ranks.iter_mut().enumerate() {
             let skew = Ns(skew_rng.gen_range(cfg.launch_skew.0.max(1)));
             rank.clock = skew;
             queue.schedule(skew, Ev::Wake(r));
+            pending_wake.push(skew);
         }
+        let hot = HotCfg {
+            os: cfg.os,
+            pio_base: cfg.pio_base,
+            pio_bw: cfg.pio_bw,
+            copy_bw: cfg.copy_bw,
+        };
         World {
             cfg,
+            hot,
             lc,
             mmc,
             nodes,
@@ -219,6 +258,9 @@ impl World {
             fabric,
             queue,
             delivered_payloads: 0,
+            pending_wake,
+            action_scratch: Vec::new(),
+            inbox_scratch: Vec::new(),
         }
     }
 
@@ -299,8 +341,22 @@ impl World {
         self.run_with_debug(false)
     }
 
+    /// Schedule a wake for rank `r` at `at`, coalescing duplicates: a
+    /// wake identical to the latest one already queued for this rank
+    /// (same rank, same timestamp) would dispatch to an already-served
+    /// rank, so it is skipped at the source.
+    #[inline]
+    fn schedule_wake(&mut self, r: usize, at: Ns) {
+        if self.pending_wake[r] == at {
+            return;
+        }
+        self.pending_wake[r] = at;
+        self.queue.schedule(at, Ev::Wake(r));
+    }
+
     /// Run; optionally print stuck-rank diagnostics at exhaustion.
     pub fn run_with_debug(mut self, debug: bool) -> RunResult {
+        let started = std::time::Instant::now();
         let mut safety = 0u64;
         while let Some((t, ev)) = self.queue.pop() {
             safety += 1;
@@ -311,6 +367,9 @@ impl World {
             );
             match ev {
                 Ev::Wake(r) => {
+                    if self.pending_wake[r] == t {
+                        self.pending_wake[r] = Ns::MAX;
+                    }
                     if !self.ranks[r].done {
                         let now = t.max(self.ranks[r].clock);
                         self.run_rank(r, now);
@@ -323,9 +382,11 @@ impl World {
                     let busy_until = self.ranks[dst].clock;
                     if busy_until > t {
                         // Rank busy (computing or mid-offload): park the
-                        // packet and make sure the rank gets poked.
+                        // packet and make sure the rank gets poked. Storms
+                        // of packets parking behind the same busy window
+                        // coalesce into a single wake.
                         self.ranks[dst].inbox.push((src, packet));
-                        self.queue.schedule(busy_until, Ev::Wake(dst));
+                        self.schedule_wake(dst, busy_until);
                     } else {
                         let mut now = t;
                         self.deliver_packet(dst, src, packet, &mut now);
@@ -352,10 +413,13 @@ impl World {
                 eprintln!("--- stuck ranks ---\n{d}");
             }
         }
-        self.collect()
+        let elapsed = started.elapsed().as_secs_f64();
+        self.collect(elapsed)
     }
 
-    fn collect(self) -> RunResult {
+    fn collect(self, elapsed_secs: f64) -> RunResult {
+        let sim_events = self.queue.events_processed();
+        let clamped_events = self.queue.clamped_events();
         let mut mpi = TimeByKey::new();
         let mut kprof = TimeByKey::new();
         let mut rank_finish = Vec::with_capacity(self.ranks.len());
@@ -394,6 +458,13 @@ impl World {
             pio_sends: pio,
             ranks_done: done,
             delivered_payloads: delivered,
+            sim_events,
+            clamped_events,
+            events_per_sec: if elapsed_secs > 0.0 {
+                sim_events as f64 / elapsed_secs
+            } else {
+                0.0
+            },
         }
     }
 
@@ -401,7 +472,7 @@ impl World {
         // Receive-side copy-out cost for eager data (library copies from
         // the eager ring into the user buffer).
         if let PsmPacket::Eager { len, .. } = &packet {
-            *now += transfer_time(*len, self.cfg.copy_bw);
+            *now += transfer_time(*len, self.hot.copy_bw);
         }
         self.ranks[dst].ep.on_packet(src, packet);
     }
@@ -409,10 +480,17 @@ impl World {
     /// Run rank `r` from time `now` until it blocks, computes, or ends.
     fn run_rank(&mut self, r: usize, mut now: Ns) {
         loop {
-            // Drain parked packets first.
-            let parked = std::mem::take(&mut self.ranks[r].inbox);
-            for (src, packet) in parked {
-                self.deliver_packet(r, src, packet, &mut now);
+            // Drain parked packets first, through the pooled scratch so
+            // the park/drain cycle reuses one buffer's capacity.
+            if !self.ranks[r].inbox.is_empty() {
+                let mut parked = std::mem::replace(
+                    &mut self.ranks[r].inbox,
+                    std::mem::take(&mut self.inbox_scratch),
+                );
+                for (src, packet) in parked.drain(..) {
+                    self.deliver_packet(r, src, packet, &mut now);
+                }
+                self.inbox_scratch = parked;
             }
             self.flush_actions(r, &mut now);
             let res = {
@@ -431,7 +509,7 @@ impl World {
                     let real = self.ranks[r].noise.perturb(d);
                     let wake = now + real;
                     self.ranks[r].clock = wake;
-                    self.queue.schedule(wake, Ev::Wake(r));
+                    self.schedule_wake(r, wake);
                     return;
                 }
                 StepResult::HostCall(op) => {
@@ -459,26 +537,33 @@ impl World {
     /// Execute all pending PSM actions of rank `r`, advancing its clock.
     /// Returns whether any action was processed.
     fn flush_actions(&mut self, r: usize, now: &mut Ns) -> bool {
-        let mut any = false;
+        if !self.ranks[r].ep.has_actions() {
+            return false;
+        }
+        // Pooled scratch: actions drain into one reused vector instead of
+        // a fresh allocation per flush (the former per-send hot cost).
+        let mut actions = std::mem::take(&mut self.action_scratch);
         loop {
-            let actions = self.ranks[r].ep.drain_actions();
+            self.ranks[r].ep.drain_actions_into(&mut actions);
             if actions.is_empty() {
-                return any;
+                break;
             }
-            any = true;
-            for a in actions {
+            for a in actions.drain(..) {
                 self.handle_action(r, a, now);
             }
         }
+        self.action_scratch = actions;
+        true
     }
 
     fn handle_action(&mut self, r: usize, a: PsmAction, now: &mut Ns) {
         match a {
             PsmAction::PioSend { dst, packet } => {
                 let bytes = packet.wire_bytes();
-                *now += self.cfg.pio_base + transfer_time(bytes, self.cfg.pio_bw);
+                *now += self.hot.pio_base + transfer_time(bytes, self.hot.pio_bw);
                 let src_node = self.ranks[r].node;
-                let dst_node = (dst / self.cfg.shape.ranks_per_node) as usize;
+                // Hoisted node lookup: no division in the per-packet path.
+                let dst_node = self.ranks[dst as usize].node;
                 // PIO packets ride the wire in ~8 KB chunks.
                 let nreqs = bytes.div_ceil(8 * 1024).max(1);
                 let sched = self.fabric.transfer(*now, src_node, dst_node, bytes, nreqs);
@@ -532,7 +617,7 @@ impl World {
     fn sys_tid_register(&mut self, r: usize, va: VirtAddr, len: u64, now: &mut Ns) -> Vec<u16> {
         let start = *now;
         let node = self.ranks[r].node;
-        let (tids, route_done) = match self.cfg.os {
+        let (tids, route_done) = match self.hot.os {
             OsConfig::Linux => {
                 let rank = &mut self.ranks[r];
                 let node = &mut self.nodes[node];
@@ -572,7 +657,7 @@ impl World {
     fn sys_tid_unregister(&mut self, r: usize, va: VirtAddr, len: u64, tids: &[u16], now: &mut Ns) {
         let start = *now;
         let node = self.ranks[r].node;
-        match self.cfg.os {
+        match self.hot.os {
             OsConfig::Linux => {
                 let rank = &mut self.ranks[r];
                 let noderef = &mut self.nodes[node];
@@ -620,7 +705,7 @@ impl World {
     ) {
         let start = *now;
         let node_idx = self.ranks[r].node;
-        let (sub, wire_start): (SdmaSubmission, Ns) = match self.cfg.os {
+        let (sub, wire_start): (SdmaSubmission, Ns) = match self.hot.os {
             OsConfig::Linux => {
                 let rank = &mut self.ranks[r];
                 let noderef = &mut self.nodes[node_idx];
@@ -667,7 +752,7 @@ impl World {
         };
         self.ranks[r].kprof.record(Sysno::Writev, *now - start);
         // Wire the window to the destination node.
-        let dst_node = (dst / self.cfg.shape.ranks_per_node) as usize;
+        let dst_node = self.ranks[dst as usize].node;
         let sched = self
             .fabric
             .transfer(wire_start, node_idx, dst_node, len + 64, sub.nreqs);
@@ -703,7 +788,7 @@ impl World {
 
     fn on_sdma_sent(&mut self, r: usize, msg_id: u64, window: u32, va: u64) {
         let node_idx = self.ranks[r].node;
-        match self.cfg.os {
+        match self.hot.os {
             OsConfig::Linux | OsConfig::McKernel => {
                 // The original completion callback: unpin + Linux kfree.
                 let rank = &mut self.ranks[r];

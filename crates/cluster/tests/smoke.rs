@@ -14,6 +14,12 @@ fn tiny_iters(os: OsConfig, app: App, nodes: u32, rpn: u32, iters: u32) -> pico_
     let expect = nodes * rpn;
     let res = run_app(cfg, app, iters);
     assert_eq!(res.ranks_done, expect, "{} under {:?}", app.name(), os);
+    assert_eq!(
+        res.clamped_events, 0,
+        "{} under {:?}: hot loop scheduled events into the past",
+        app.name(),
+        os
+    );
     res
 }
 
@@ -26,6 +32,8 @@ fn pingpong_completes_on_all_configs() {
         assert_eq!(res.ranks_done, 2);
         assert!(res.wall_time > pico_sim::Ns::ZERO);
         assert!(res.pio_sends > 0, "eager messages must use PIO");
+        assert_eq!(res.clamped_events, 0);
+        assert!(res.sim_events > 0, "throughput counter must tick");
     }
 }
 
@@ -134,4 +142,6 @@ fn determinism_same_seed_same_result() {
     assert_eq!(a.fabric_messages, b.fabric_messages);
     assert_eq!(a.offloaded_calls, b.offloaded_calls);
     assert_eq!(a.rank_finish, b.rank_finish);
+    assert_eq!(a.sim_events, b.sim_events, "event streams must be identical");
+    assert_eq!(a.clamped_events, 0);
 }

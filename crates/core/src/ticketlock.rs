@@ -49,10 +49,24 @@ impl<T> TicketLock<T> {
     }
 
     /// Acquire, spinning until our ticket is served. Fair: strictly FIFO.
+    ///
+    /// Spin-then-yield: a real LWK core would spin forever (it owns the
+    /// CPU), but the test/bench harness oversubscribes host cores, and a
+    /// pure spin livelocks when the ticket owner is descheduled — on a
+    /// single-CPU host each waiter burns a full quantum. Bounded spinning
+    /// keeps the fast path identical while staying schedulable anywhere;
+    /// the simulator charges lock costs via [`LockCostModel`], never by
+    /// measuring this loop.
     pub fn lock(&self) -> TicketGuard<'_, T> {
         let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        let mut spins = 0u32;
         while self.owner.load(Ordering::Acquire) != ticket {
-            core::hint::spin_loop();
+            spins += 1;
+            if spins.is_multiple_of(1 << 10) {
+                std::thread::yield_now();
+            } else {
+                core::hint::spin_loop();
+            }
         }
         self.acquisitions.fetch_add(1, Ordering::Relaxed);
         TicketGuard { lock: self }

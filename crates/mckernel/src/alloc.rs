@@ -14,9 +14,72 @@
 //! drains on its next allocation. Block liveness is tracked atomically so
 //! double frees are caught even across CPUs.
 
-use crossbeam::queue::SegQueue;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Sentinel for "no block" in [`RemoteFreeStack`] links.
+const NIL: u32 = u32::MAX;
+
+/// A lock-free multi-producer single-drainer stack of block indices.
+///
+/// Foreign CPUs push freed block indices concurrently (Treiber-style CAS
+/// on `head`); the owning core drains the whole stack with one atomic
+/// `swap`. Links live in a preallocated per-block `next` array, so no
+/// node allocation happens at free time — a block can be pushed at most
+/// once at a time (liveness bits catch double frees before we get here),
+/// which also rules out the classic ABA hazard: `pop` is always a full
+/// steal, never a single-node unlink.
+struct RemoteFreeStack {
+    head: AtomicU32,
+    next: Vec<AtomicU32>,
+    len: AtomicUsize,
+}
+
+impl RemoteFreeStack {
+    fn new(capacity: usize) -> RemoteFreeStack {
+        RemoteFreeStack {
+            head: AtomicU32::new(NIL),
+            next: (0..capacity).map(|_| AtomicU32::new(NIL)).collect(),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Push `idx` from any thread.
+    fn push(&self, idx: u32) {
+        let mut old = self.head.load(Ordering::Relaxed);
+        loop {
+            self.next[idx as usize].store(old, Ordering::Relaxed);
+            match self
+                .head
+                .compare_exchange_weak(old, idx, Ordering::Release, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(cur) => old = cur,
+            }
+        }
+        self.len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Steal the entire stack (owner only), appending the indices to
+    /// `out` in LIFO order.
+    fn drain_into(&self, out: &mut Vec<u32>) {
+        let mut cur = self.head.swap(NIL, Ordering::Acquire);
+        let mut n = 0;
+        while cur != NIL {
+            out.push(cur);
+            cur = self.next[cur as usize].load(Ordering::Relaxed);
+            n += 1;
+        }
+        if n > 0 {
+            self.len.fetch_sub(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Approximate number of queued indices (exact once producers quiesce).
+    fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+}
 
 /// Identifies one allocatable block: the core whose pool owns it and its
 /// index within that pool.
@@ -56,8 +119,8 @@ struct CorePool {
     /// LIFO free list, touched only via this mutex (uncontended in the
     /// common case: only the owning core locks it).
     local: Mutex<Vec<u32>>,
-    /// Lock-free queue of blocks freed by foreign CPUs.
-    remote: SegQueue<u32>,
+    /// Lock-free stack of blocks freed by foreign CPUs.
+    remote: RemoteFreeStack,
     /// Liveness bits for double-free detection.
     state: Vec<AtomicU8>,
 }
@@ -77,7 +140,7 @@ impl ScalableAllocator {
         let pools = (0..cores)
             .map(|_| CorePool {
                 local: Mutex::new((0..blocks_per_core as u32).rev().collect()),
-                remote: SegQueue::new(),
+                remote: RemoteFreeStack::new(blocks_per_core),
                 state: (0..blocks_per_core).map(|_| AtomicU8::new(BLOCK_FREE)).collect(),
             })
             .collect();
@@ -100,9 +163,7 @@ impl ScalableAllocator {
     pub fn alloc(&self, core: usize) -> Result<BlockId, AllocError> {
         let pool = self.pools.get(core).ok_or(AllocError::BadCore)?;
         let mut local = pool.local.lock().expect("pool poisoned");
-        while let Some(idx) = pool.remote.pop() {
-            local.push(idx);
-        }
+        pool.remote.drain_into(&mut local);
         let idx = local.pop().ok_or(AllocError::OutOfBlocks)?;
         drop(local);
         let prev = pool.state[idx as usize].swap(BLOCK_LIVE, Ordering::AcqRel);

@@ -215,6 +215,7 @@ impl MpiRank {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn start_coll(
         &mut self,
         now: Ns,
@@ -604,6 +605,7 @@ mod tests {
         }
 
         /// Run to completion; panics on deadlock.
+        #[allow(clippy::needless_range_loop)] // r indexes three parallel arrays
         fn run(&mut self) {
             let n = self.ranks.len();
             let mut done = vec![false; n];

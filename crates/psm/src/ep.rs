@@ -145,6 +145,12 @@ impl Endpoint {
     pub fn drain_actions(&mut self) -> Vec<PsmAction> {
         std::mem::take(&mut self.actions)
     }
+    /// Drain the pending actions into `out`, reusing its capacity. The
+    /// cluster hot loop uses this with a pooled scratch vector so a
+    /// message send costs no allocation.
+    pub fn drain_actions_into(&mut self, out: &mut Vec<PsmAction>) {
+        out.append(&mut self.actions);
+    }
     /// Whether actions are pending.
     pub fn has_actions(&self) -> bool {
         !self.actions.is_empty()
@@ -266,13 +272,11 @@ impl Endpoint {
     pub fn on_packet(&mut self, src: RankId, packet: PsmPacket) {
         match packet {
             PsmPacket::Eager { tag, len, payload } => {
-                if let Some((posted, body)) =
+                if let Some((posted, ArrivalBody::Eager { len, payload })) =
                     self.mq
                         .match_arrival(src, tag, ArrivalBody::Eager { len, payload })
                 {
-                    if let ArrivalBody::Eager { len, payload } = body {
-                        self.complete_eager_recv(posted.handle, len, payload);
-                    }
+                    self.complete_eager_recv(posted.handle, len, payload);
                 }
             }
             PsmPacket::Rts { tag, len, msg_id } => {

@@ -3,10 +3,45 @@
 //! Events are ordered by `(time, sequence)`: ties in simulated time are
 //! broken by insertion order, which makes every run bit-for-bit
 //! reproducible regardless of hash-map iteration order elsewhere.
+//!
+//! # Implementation
+//!
+//! [`EventQueue`] is a **hierarchical timing wheel**: the overwhelming
+//! majority of events in a cluster replay are scheduled a small delta
+//! ahead of `now` (PIO costs, fabric hops, service grants), so they land
+//! in a ring of near-future buckets and are popped with O(1) bucket
+//! indexing instead of O(log n) heap percolation. The three tiers:
+//!
+//! 1. **run** — all events sharing the single *current* timestamp, stored
+//!    in insertion (= sequence) order. Pops and same-time appends are
+//!    O(1); this is also what makes same-timestamp wake storms cheap.
+//! 2. **wheel** — a ring of `NSLOTS` buckets of `2^SLOT_BITS` ns each,
+//!    covering the near-future horizon past `now`. A bucket is sorted
+//!    lazily, only when the wheel cursor reaches it.
+//! 3. **overflow** — a plain binary min-heap for events beyond the
+//!    horizon (compute segments, launch skew). Each event migrates out of
+//!    the overflow at most once, when the horizon advances over it.
+//!
+//! The pop order is *identical* to a global `(time, seq)` min-heap — the
+//! reference implementation is kept in-tree as [`HeapEventQueue`] and the
+//! equivalence is enforced by randomized tests and used as the benchmark
+//! baseline.
 
 use crate::time::Ns;
 use core::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Slot granularity: each wheel bucket covers `2^SLOT_BITS` nanoseconds.
+const SLOT_BITS: u32 = 10;
+/// Number of buckets in the ring; horizon = `NSLOTS << SLOT_BITS` ns (~1 ms).
+const NSLOTS: usize = 1 << 10;
+/// Words of the bucket-occupancy bitmap.
+const OCC_WORDS: usize = NSLOTS / 64;
+
+#[inline]
+fn page_of(at: Ns) -> u64 {
+    at.0 >> SLOT_BITS
+}
 
 /// An entry in the queue: payload `E` scheduled for time `at`.
 struct Entry<E> {
@@ -36,12 +71,30 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// A deterministic min-heap of timed events.
+/// A deterministic timing-wheel queue of timed events, popping in exact
+/// `(time, sequence)` order.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Events at exactly `run_at`, in sequence order (front pops first).
+    run: VecDeque<E>,
+    /// Timestamp of the events in `run`.
+    run_at: Ns,
+    /// Events of the current page with `at > run_at`, sorted *descending*
+    /// by `(at, seq)` so groups pop O(1) off the tail.
+    cur: Vec<Entry<E>>,
+    /// Near-future ring; bucket `p % NSLOTS` holds page `p` events,
+    /// unsorted, for pages in `(window_page, window_page + NSLOTS)`.
+    slots: Vec<Vec<Entry<E>>>,
+    /// Occupancy bitmap over `slots`.
+    occ: [u64; OCC_WORDS],
+    /// Far-future events (page >= window_page + NSLOTS), min-heap.
+    overflow: BinaryHeap<Entry<E>>,
+    /// Page of the wheel cursor (== `page_of(run_at)` while non-empty).
+    window_page: u64,
+    len: usize,
     next_seq: u64,
     now: Ns,
     popped: u64,
+    clamped: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -54,10 +107,18 @@ impl<E> EventQueue<E> {
     /// An empty queue at time zero.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            run: VecDeque::new(),
+            run_at: Ns::ZERO,
+            cur: Vec::new(),
+            slots: (0..NSLOTS).map(|_| Vec::new()).collect(),
+            occ: [0; OCC_WORDS],
+            overflow: BinaryHeap::new(),
+            window_page: 0,
+            len: 0,
             next_seq: 0,
             now: Ns::ZERO,
             popped: 0,
+            clamped: 0,
         }
     }
 
@@ -73,6 +134,226 @@ impl<E> EventQueue<E> {
         self.popped
     }
 
+    /// Events that were scheduled in the past and silently clamped to
+    /// `now` (release builds only; debug builds panic instead). A nonzero
+    /// value indicates a model bug — the smoke tests assert it is zero.
+    #[inline]
+    pub fn clamped_events(&self) -> u64 {
+        self.clamped
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedule `ev` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error; debug builds panic,
+    /// release builds clamp to `now` (counted in [`clamped_events`]) to
+    /// keep long runs alive.
+    ///
+    /// [`clamped_events`]: EventQueue::clamped_events
+    pub fn schedule(&mut self, at: Ns, ev: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduled into the past: at={at} now={}",
+            self.now
+        );
+        let at = if at < self.now {
+            self.clamped += 1;
+            self.now
+        } else {
+            at
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.len += 1;
+        if at == self.run_at {
+            // Same-timestamp fast path: sequence order == insertion order.
+            self.run.push_back(ev);
+            return;
+        }
+        let page = page_of(at);
+        if page == self.window_page {
+            insert_desc(&mut self.cur, Entry { at, seq, ev });
+        } else if page < self.window_page + NSLOTS as u64 {
+            let s = page as usize & (NSLOTS - 1);
+            self.slots[s].push(Entry { at, seq, ev });
+            self.occ[s / 64] |= 1 << (s % 64);
+        } else {
+            self.overflow.push(Entry { at, seq, ev });
+        }
+    }
+
+    /// Schedule `ev` at `now + delay`.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: Ns, ev: E) {
+        self.schedule(self.now + delay, ev);
+    }
+
+    /// Pop the next event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<(Ns, E)> {
+        loop {
+            if let Some(ev) = self.run.pop_front() {
+                debug_assert!(self.run_at >= self.now, "wheel returned an out-of-order event");
+                self.now = self.run_at;
+                self.popped += 1;
+                self.len -= 1;
+                return Some((self.run_at, ev));
+            }
+            if !self.cur.is_empty() {
+                self.pull_group();
+                continue;
+            }
+            if !self.advance_window() {
+                return None;
+            }
+        }
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Ns> {
+        if !self.run.is_empty() {
+            return Some(self.run_at);
+        }
+        if let Some(e) = self.cur.last() {
+            return Some(e.at);
+        }
+        // Earliest occupied bucket beats the overflow (all overflow pages
+        // lie beyond every wheel page).
+        if let Some(d) = self.first_occupied_distance() {
+            let s = (self.window_page + d) as usize & (NSLOTS - 1);
+            return self.slots[s].iter().map(|e| e.at).min();
+        }
+        self.overflow.peek().map(|e| e.at)
+    }
+
+    /// Move the tail group of `cur` (the earliest timestamp) into `run`.
+    fn pull_group(&mut self) {
+        let at = self.cur.last().expect("pull_group on empty cur").at;
+        self.run_at = at;
+        while self.cur.last().is_some_and(|e| e.at == at) {
+            // Tail pops of a descending sort yield ascending `seq`.
+            self.run.push_back(self.cur.pop().expect("tail present").ev);
+        }
+    }
+
+    /// Distance (in pages, 1..NSLOTS) from `window_page` to the first
+    /// occupied bucket, scanning the ring in time order.
+    fn first_occupied_distance(&self) -> Option<u64> {
+        let start = self.window_page as usize & (NSLOTS - 1);
+        // Scan the occupancy bitmap in two runs: (start, NSLOTS) then
+        // [0, start] — i.e. circular order, nearest page first.
+        for d in 1..=NSLOTS as u64 {
+            let s = (start + d as usize) & (NSLOTS - 1);
+            if self.occ[s / 64] & (1 << (s % 64)) != 0 {
+                return Some(d);
+            }
+        }
+        None
+    }
+
+    /// Advance the wheel cursor to the next non-empty page, refilling
+    /// `cur` (sorted) and migrating newly in-horizon overflow events.
+    /// Returns `false` when the queue is exhausted.
+    fn advance_window(&mut self) -> bool {
+        debug_assert!(self.run.is_empty() && self.cur.is_empty());
+        let new_page = if let Some(d) = self.first_occupied_distance() {
+            // Wheel pages always precede every overflow page.
+            self.window_page + d
+        } else if let Some(e) = self.overflow.peek() {
+            page_of(e.at)
+        } else {
+            return false;
+        };
+        self.window_page = new_page;
+        let s = new_page as usize & (NSLOTS - 1);
+        if self.occ[s / 64] & (1 << (s % 64)) != 0 {
+            self.cur = std::mem::take(&mut self.slots[s]);
+            self.occ[s / 64] &= !(1 << (s % 64));
+        }
+        // Pull far-future events that the new horizon now covers.
+        let horizon_end = new_page + NSLOTS as u64;
+        while let Some(e) = self.overflow.peek() {
+            if page_of(e.at) >= horizon_end {
+                break;
+            }
+            let e = self.overflow.pop().expect("peeked entry");
+            let p = page_of(e.at);
+            if p == new_page {
+                self.cur.push(e);
+            } else {
+                let s2 = p as usize & (NSLOTS - 1);
+                self.slots[s2].push(e);
+                self.occ[s2 / 64] |= 1 << (s2 % 64);
+            }
+        }
+        debug_assert!(!self.cur.is_empty(), "advanced to an empty page");
+        self.cur
+            .sort_unstable_by_key(|e| std::cmp::Reverse((e.at, e.seq)));
+        true
+    }
+}
+
+/// Binary insert into a `(at, seq)`-descending vector.
+fn insert_desc<E>(v: &mut Vec<Entry<E>>, e: Entry<E>) {
+    let pos = v.partition_point(|x| (x.at, x.seq) > (e.at, e.seq));
+    v.insert(pos, e);
+}
+
+/// The original global binary-heap event queue.
+///
+/// Kept in-tree as (a) the reference model the timing wheel is checked
+/// against property-test style, and (b) the baseline for the `simbench`
+/// throughput comparison. Semantics are identical to [`EventQueue`].
+pub struct HeapEventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: Ns,
+    popped: u64,
+    clamped: u64,
+}
+
+impl<E> Default for HeapEventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> HeapEventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        HeapEventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Ns::ZERO,
+            popped: 0,
+            clamped: 0,
+        }
+    }
+
+    /// Current simulated time (the time of the last popped event).
+    #[inline]
+    pub fn now(&self) -> Ns {
+        self.now
+    }
+    /// Total number of events popped so far.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+    /// Events clamped after being scheduled into the past.
+    #[inline]
+    pub fn clamped_events(&self) -> u64 {
+        self.clamped
+    }
     /// Number of pending events.
     #[inline]
     pub fn len(&self) -> usize {
@@ -84,17 +365,20 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Schedule `ev` at absolute time `at`.
-    ///
-    /// Scheduling in the past is a logic error; debug builds panic,
-    /// release builds clamp to `now` to keep long runs alive.
+    /// Schedule `ev` at absolute time `at` (debug-panics / clamps like
+    /// [`EventQueue::schedule`]).
     pub fn schedule(&mut self, at: Ns, ev: E) {
         debug_assert!(
             at >= self.now,
             "scheduled into the past: at={at} now={}",
             self.now
         );
-        let at = at.max(self.now);
+        let at = if at < self.now {
+            self.clamped += 1;
+            self.now
+        } else {
+            at
+        };
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { at, seq, ev });
@@ -124,6 +408,7 @@ impl<E> EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::Rng;
 
     #[test]
     fn pops_in_time_order() {
@@ -159,12 +444,24 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "scheduled into the past")]
     fn scheduling_into_past_panics_in_debug() {
         let mut q = EventQueue::new();
         q.schedule(Ns(100), ());
         q.pop();
         q.schedule(Ns(10), ());
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn scheduling_into_past_clamps_and_counts_in_release() {
+        let mut q = EventQueue::new();
+        q.schedule(Ns(100), ());
+        q.pop();
+        q.schedule(Ns(10), ());
+        assert_eq!(q.clamped_events(), 1);
+        assert_eq!(q.pop(), Some((Ns(100), ())));
     }
 
     #[test]
@@ -179,5 +476,75 @@ mod tests {
         assert_eq!(q.pop().unwrap(), (Ns(30), 3));
         assert_eq!(q.pop().unwrap(), (Ns(40), 4));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_future_overflow_round_trips() {
+        let mut q = EventQueue::new();
+        // Far beyond the wheel horizon (~1 ms): exercises the overflow
+        // heap and the migrate-on-advance path.
+        q.schedule(Ns::secs(3), "far");
+        q.schedule(Ns::millis(2), "mid");
+        q.schedule(Ns(5), "near");
+        assert_eq!(q.pop().unwrap().1, "near");
+        assert_eq!(q.pop().unwrap().1, "mid");
+        // While parked at 2 ms, schedule inside the new horizon.
+        q.schedule(Ns::millis(2) + Ns(100), "after-mid");
+        assert_eq!(q.pop().unwrap(), (Ns::millis(2) + Ns(100), "after-mid"));
+        assert_eq!(q.pop().unwrap(), (Ns::secs(3), "far"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn wheel_wraps_many_horizons() {
+        let mut q = EventQueue::new();
+        let step = Ns((NSLOTS as u64) << (SLOT_BITS - 1)); // half a horizon
+        let mut expect = Vec::new();
+        for i in 0..64u64 {
+            q.schedule(Ns(step.0 * i), i);
+            expect.push(i);
+        }
+        let got: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(got, expect);
+    }
+
+    /// The wheel pops the exact `(time, seq)` sequence of the reference
+    /// heap under random schedule/pop interleavings (the in-crate half of
+    /// the equivalence property; the umbrella test suite runs a larger
+    /// version).
+    #[test]
+    fn matches_reference_heap_randomized() {
+        for seed in 0..20u64 {
+            let mut rng = Rng::new(0xE7E_ED15 ^ seed.wrapping_mul(0x9E37_79B9));
+            let mut wheel = EventQueue::new();
+            let mut heap = HeapEventQueue::new();
+            let mut id = 0u64;
+            for _ in 0..2_000 {
+                if rng.chance(0.6) || wheel.is_empty() {
+                    // Mix of near, mid and far deltas, with frequent ties.
+                    let delta = match rng.gen_range(10) {
+                        0..=4 => rng.gen_range(1 << SLOT_BITS),           // in-page
+                        5..=7 => rng.gen_range((NSLOTS as u64) << SLOT_BITS), // in-horizon
+                        8 => 0,                                            // tie with now
+                        _ => rng.gen_range(1 << 28),                       // far future
+                    };
+                    let at = Ns(wheel.now().0 + delta);
+                    wheel.schedule(at, id);
+                    heap.schedule(at, id);
+                    id += 1;
+                } else {
+                    assert_eq!(wheel.pop(), heap.pop(), "seed {seed}");
+                    assert_eq!(wheel.now(), heap.now());
+                }
+                assert_eq!(wheel.len(), heap.len());
+            }
+            loop {
+                let (a, b) = (wheel.pop(), heap.pop());
+                assert_eq!(a, b, "seed {seed} drain");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
     }
 }

@@ -11,7 +11,10 @@
 //!   that return exact start/finish schedules in O(1), used for the Linux
 //!   syscall-offload service CPUs, SDMA engines and fabric links;
 //! * [`stats`] — counters, per-key time accumulators (the MPI and kernel
-//!   profilers), histograms and Welford mean/variance.
+//!   profilers), histograms and Welford mean/variance;
+//! * [`par`] — an order-preserving scoped-thread parallel map for the
+//!   experiment sweeps (no external runtime, deterministic output);
+//! * [`json`] — a minimal JSON builder for the result artifacts.
 //!
 //! Design rule: *components never read wall-clock time or global RNG* —
 //! every source of nondeterminism is injected, so the same seed always
@@ -20,12 +23,16 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod json;
+pub mod par;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use event::EventQueue;
+pub use event::{EventQueue, HeapEventQueue};
+pub use json::Json;
+pub use par::{par_map, par_map_threads};
 pub use resource::{BandwidthGate, Grant, ServerPool};
 pub use rng::Rng;
 pub use stats::{Counter, Histogram, TimeByKey, Welford};

@@ -1,0 +1,121 @@
+//! Minimal deterministic fork-join parallelism over `std::thread::scope`.
+//!
+//! The experiment sweeps fan out independent, deterministic simulations;
+//! all we need from a parallel runtime is an order-preserving `map`. This
+//! replaces the former `rayon` dependency so the workspace builds with no
+//! network access. Results are written into their input slot, so the
+//! output order — and therefore every downstream artifact — is identical
+//! regardless of the worker count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of workers used by [`par_map`]: the `PICO_THREADS` environment
+/// variable if set, otherwise the machine's available parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("PICO_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` on `threads` workers, preserving input order.
+///
+/// Work is claimed from a shared atomic index, so load-balancing matches
+/// rayon's behaviour for uneven item costs; each result lands in the slot
+/// of its input index, so the output is bit-identical for any `threads`.
+pub fn par_map_threads<T, U, F>(threads: usize, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let outputs: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = inputs[i].lock().expect("input poisoned").take().expect("item taken twice");
+                let out = f(item);
+                *outputs[i].lock().expect("output poisoned") = Some(out);
+            });
+        }
+    });
+    outputs
+        .into_iter()
+        .map(|m| m.into_inner().expect("output poisoned").expect("worker died before writing"))
+        .collect()
+}
+
+/// Map `f` over `items` in parallel with [`default_threads`] workers,
+/// preserving input order.
+pub fn par_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    par_map_threads(default_threads(), items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let v: Vec<u64> = (0..100).collect();
+        let out = par_map(v, |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let work = |x: u64| {
+            // Uneven cost to exercise the work-stealing index.
+            let mut acc = x;
+            for i in 0..(x % 7) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            acc
+        };
+        let a = par_map_threads(1, (0..64).collect(), work);
+        let b = par_map_threads(3, (0..64).collect(), work);
+        let c = par_map_threads(16, (0..64).collect(), work);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let out: Vec<u32> = par_map(Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+        assert_eq!(par_map(vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn nested_par_map_works() {
+        let out = par_map((0u64..8).collect(), |x| {
+            par_map((0u64..8).collect(), move |y| x * 8 + y)
+        });
+        let flat: Vec<u64> = out.into_iter().flatten().collect();
+        assert_eq!(flat, (0..64).collect::<Vec<u64>>());
+    }
+}

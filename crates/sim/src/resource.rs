@@ -94,11 +94,7 @@ impl ServerPool {
     }
     /// Mean queueing delay per job.
     pub fn mean_wait(&self) -> Ns {
-        if self.jobs == 0 {
-            Ns::ZERO
-        } else {
-            Ns(self.waited.0 / self.jobs)
-        }
+        Ns(self.waited.0.checked_div(self.jobs).unwrap_or(0))
     }
 }
 

@@ -3,12 +3,11 @@
 //! these), and log₂-bucketed histograms.
 
 use crate::time::Ns;
-use serde::Serialize;
 use std::collections::HashMap;
 use std::hash::Hash;
 
 /// A monotonically increasing counter.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Counter(pub u64);
 
 impl Counter {
@@ -105,7 +104,7 @@ impl<K: Eq + Hash + Clone> TimeByKey<K> {
 }
 
 /// A log₂-bucketed histogram of `u64` samples (latencies, sizes).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Histogram {
     /// `buckets[i]` counts samples with `floor(log2(v)) == i`; bucket 0
     /// additionally holds zeros.
@@ -199,7 +198,7 @@ impl Histogram {
 
 /// Running mean/variance (Welford) for f64 samples: used by the harness to
 /// aggregate repeated simulation runs.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct Welford {
     n: u64,
     mean: f64,

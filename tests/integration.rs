@@ -6,7 +6,7 @@ use pico_cluster::{paper_config, run_app, ClusterConfig, OsConfig};
 use pico_dwarf::extract_struct;
 use pico_hfi1::structs::LayoutSet;
 use pico_ihk::Sysno;
-use picodriver::{HfiShadow, PicoPort, UnifiedKernelSpace};
+use picodriver::{PicoPort, UnifiedKernelSpace};
 
 /// The full §3 pipeline: module binary → DWARF port → fast path reading
 /// live driver state — across both driver versions.

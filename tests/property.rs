@@ -1,46 +1,71 @@
 //! Property-based tests on the core data structures and invariants.
+//!
+//! Driven by the in-tree deterministic [`Rng`] (seeded per case) rather
+//! than an external property-testing framework, so they run fully
+//! offline. Each property loops over many generated cases; a failure
+//! message includes the case seed, which reproduces the input exactly.
 
 use pico_dwarf::leb128;
 use pico_mem::{AddressSpace, BuddyAllocator, MapPolicy, PhysAddr, VirtAddr, PAGE_4K};
 use pico_mpi::coll;
-use pico_sim::{Ns, Rng, ServerPool};
-use proptest::prelude::*;
+use pico_sim::{EventQueue, HeapEventQueue, Ns, Rng, ServerPool};
 
-proptest! {
-    /// LEB128 round-trips for arbitrary integers.
-    #[test]
-    fn leb128_round_trip(v in any::<u64>(), s in any::<i64>()) {
+/// Per-case RNG: one master seed per property, split by case index.
+fn case_rng(master: u64, case: u64) -> Rng {
+    Rng::new(master ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// LEB128 round-trips for arbitrary integers.
+#[test]
+fn leb128_round_trip() {
+    let edges_u = [0u64, 1, 127, 128, u64::MAX];
+    let edges_s = [0i64, -1, 63, -64, 64, i64::MIN, i64::MAX];
+    let mut cases: Vec<(u64, i64)> = edges_u
+        .iter()
+        .flat_map(|&v| edges_s.iter().map(move |&s| (v, s)))
+        .collect();
+    for case in 0..256 {
+        let mut r = case_rng(0x001E_B128, case);
+        cases.push((r.next_u64(), r.next_u64() as i64));
+    }
+    for (v, s) in cases {
         let mut buf = Vec::new();
         leb128::write_uleb128(&mut buf, v);
         let mut pos = 0;
-        prop_assert_eq!(leb128::read_uleb128(&buf, &mut pos).unwrap(), v);
-        prop_assert_eq!(pos, buf.len());
+        assert_eq!(leb128::read_uleb128(&buf, &mut pos).unwrap(), v);
+        assert_eq!(pos, buf.len());
 
         let mut buf = Vec::new();
         leb128::write_sleb128(&mut buf, s);
         let mut pos = 0;
-        prop_assert_eq!(leb128::read_sleb128(&buf, &mut pos).unwrap(), s);
+        assert_eq!(leb128::read_sleb128(&buf, &mut pos).unwrap(), s, "sleb {s}");
     }
+}
 
-    /// The buddy allocator conserves memory under arbitrary alloc/free
-    /// interleavings and never double-allocates a region.
-    #[test]
-    fn buddy_conservation(ops in proptest::collection::vec((0u8..6, any::<bool>()), 1..200)) {
+/// The buddy allocator conserves memory under arbitrary alloc/free
+/// interleavings and never double-allocates a region.
+#[test]
+fn buddy_conservation() {
+    for case in 0..64 {
+        let mut r = case_rng(0x000B_0DD7, case);
+        let nops = 1 + r.gen_range(200) as usize;
         let mut b = BuddyAllocator::new(PhysAddr(0), 16 << 20);
         let cap = b.capacity();
         let mut live: Vec<(PhysAddr, u8)> = Vec::new();
-        for (order, do_free) in ops {
+        for _ in 0..nops {
+            let order = r.gen_range(6) as u8;
+            let do_free = r.chance(0.5);
             if do_free && !live.is_empty() {
                 let (pa, o) = live.swap_remove(live.len() / 2);
-                prop_assert!(b.free(pa, o).is_ok());
+                assert!(b.free(pa, o).is_ok(), "case {case}");
             } else if let Ok(pa) = b.alloc(order) {
                 // No overlap with any live block.
                 let size = pico_mem::buddy::block_size(order);
                 for &(lpa, lo) in &live {
                     let lsize = pico_mem::buddy::block_size(lo);
-                    prop_assert!(
+                    assert!(
                         pa.0 + size <= lpa.0 || lpa.0 + lsize <= pa.0,
-                        "overlap: {pa:?}+{size} vs {lpa:?}+{lsize}"
+                        "case {case} overlap: {pa:?}+{size} vs {lpa:?}+{lsize}"
                     );
                 }
                 live.push((pa, order));
@@ -49,53 +74,64 @@ proptest! {
                 .iter()
                 .map(|&(_, o)| pico_mem::buddy::block_size(o))
                 .sum();
-            prop_assert_eq!(b.allocated(), live_bytes);
-            prop_assert_eq!(b.free_bytes(), cap - live_bytes);
+            assert_eq!(b.allocated(), live_bytes, "case {case}");
+            assert_eq!(b.free_bytes(), cap - live_bytes, "case {case}");
         }
         for (pa, o) in live {
-            prop_assert!(b.free(pa, o).is_ok());
+            assert!(b.free(pa, o).is_ok(), "case {case}");
         }
-        prop_assert_eq!(b.allocated(), 0);
+        assert_eq!(b.allocated(), 0, "case {case}");
     }
+}
 
-    /// Whatever the allocation policy and mapping size, the physically
-    /// contiguous runs of a mapping exactly tile its length, and every
-    /// byte translates to where the run walk says it is.
-    #[test]
-    fn contiguous_runs_tile_mappings(
-        kb in 4u64..512,
-        contiguous in any::<bool>(),
-        frag in any::<bool>(),
-    ) {
+/// Whatever the allocation policy and mapping size, the physically
+/// contiguous runs of a mapping exactly tile its length, and every
+/// byte translates to where the run walk says it is.
+#[test]
+fn contiguous_runs_tile_mappings() {
+    for case in 0..48 {
+        let mut r = case_rng(0x00C0_4716, case);
+        let kb = 4 + r.gen_range(508);
+        let contiguous = case % 2 == 0;
+        let frag = (case / 2) % 2 == 0;
         let mut frames = BuddyAllocator::new(PhysAddr(0), 64 << 20);
+        let _held;
         if frag {
-            let _held = frames.fragment(0.5);
+            _held = frames.fragment(0.5);
         }
-        let policy = if contiguous { MapPolicy::ContiguousLarge } else { MapPolicy::Fragmented4k };
+        let policy = if contiguous {
+            MapPolicy::ContiguousLarge
+        } else {
+            MapPolicy::Fragmented4k
+        };
         let mut asp = AddressSpace::new(policy, VirtAddr(0x7000_0000_0000));
         let len = kb * 1024;
         let (va, _) = asp.mmap_anonymous(&mut frames, len, true).unwrap();
         let (runs, _) = asp.contiguous_runs(va, len).unwrap();
         let total: u64 = runs.iter().map(|r| r.len).sum();
-        prop_assert_eq!(total, len);
+        assert_eq!(total, len, "case {case}");
         // Runs are maximal: adjacent runs are not physically contiguous.
         for w in runs.windows(2) {
-            prop_assert_ne!(w[0].pa.0 + w[0].len, w[1].pa.0);
+            assert_ne!(w[0].pa.0 + w[0].len, w[1].pa.0, "case {case}");
         }
         // Spot-check translations at run boundaries.
         let mut off = 0;
-        for r in &runs {
+        for run in &runs {
             let t = asp.page_table.translate(va + off).unwrap();
-            prop_assert_eq!(t.pa, r.pa);
-            off += r.len;
+            assert_eq!(t.pa, run.pa, "case {case}");
+            off += run.len;
         }
     }
+}
 
-    /// Request counting: the number of SDMA requests for a buffer is
-    /// exactly sum(ceil(run/cap)) and is monotonically non-increasing in
-    /// the cap.
-    #[test]
-    fn request_counts_monotone_in_cap(kb in 64u64..1024) {
+/// Request counting: the number of SDMA requests for a buffer is
+/// exactly sum(ceil(run/cap)) and is monotonically non-increasing in
+/// the cap.
+#[test]
+fn request_counts_monotone_in_cap() {
+    for case in 0..32 {
+        let mut r = case_rng(0x5D3A, case);
+        let kb = 64 + r.gen_range(960);
         let mut frames = BuddyAllocator::new(PhysAddr(0), 64 << 20);
         let mut asp = AddressSpace::new(MapPolicy::ContiguousLarge, VirtAddr(0x7000_0000_0000));
         let len = kb * 1024;
@@ -105,20 +141,28 @@ proptest! {
         let c4 = count(4 * 1024);
         let c8 = count(8 * 1024);
         let c10 = count(10 * 1024);
-        prop_assert!(c4 >= c8 && c8 >= c10);
-        prop_assert_eq!(c4, len.div_ceil(PAGE_4K).max(1));
+        assert!(c4 >= c8 && c8 >= c10, "case {case}");
+        assert_eq!(c4, len.div_ceil(PAGE_4K).max(1), "case {case}");
     }
+}
 
-    /// Every collective schedule pairs up: if a sends to b in round k,
-    /// b receives from a in round k (for arbitrary job sizes).
-    #[test]
-    fn collective_schedules_pair(n in 2u32..70, root in 0u32..70) {
-        let root = root % n;
+/// Every collective schedule pairs up: if a sends to b in round k,
+/// b receives from a in round k (for arbitrary job sizes).
+#[test]
+fn collective_schedules_pair() {
+    for case in 0..64 {
+        let mut rng = case_rng(0x00C0_11EC, case);
+        let n = 2 + rng.gen_range(68) as u32;
+        let root = rng.gen_range(n as u64) as u32;
         for round in 0..coll::dissemination_rounds(n) {
             for r in 0..n {
                 let x = coll::dissemination_round(r, n, round);
                 if let Some(dst) = x.send_to {
-                    prop_assert_eq!(coll::dissemination_round(dst, n, round).recv_from, Some(r));
+                    assert_eq!(
+                        coll::dissemination_round(dst, n, round).recv_from,
+                        Some(r),
+                        "case {case}"
+                    );
                 }
             }
         }
@@ -126,7 +170,11 @@ proptest! {
             for r in 0..n {
                 let x = coll::bcast_round(r, n, root, round);
                 if let Some(dst) = x.send_to {
-                    prop_assert_eq!(coll::bcast_round(dst, n, root, round).recv_from, Some(r));
+                    assert_eq!(
+                        coll::bcast_round(dst, n, root, round).recv_from,
+                        Some(r),
+                        "case {case}"
+                    );
                 }
             }
         }
@@ -134,48 +182,134 @@ proptest! {
             for r in 0..n {
                 let x = coll::scan_round(r, n, round);
                 if let Some(dst) = x.send_to {
-                    prop_assert_eq!(coll::scan_round(dst, n, round).recv_from, Some(r));
+                    assert_eq!(
+                        coll::scan_round(dst, n, round).recv_from,
+                        Some(r),
+                        "case {case}"
+                    );
                 }
             }
         }
     }
+}
 
-    /// The FIFO server pool never starts a job before its submission,
-    /// never overlaps more jobs than servers, and work is conserved.
-    #[test]
-    fn server_pool_sanity(jobs in proptest::collection::vec((0u64..1000, 1u64..500), 1..100), servers in 1usize..8) {
+/// The FIFO server pool never starts a job before its submission,
+/// never overlaps more jobs than servers, and work is conserved.
+#[test]
+fn server_pool_sanity() {
+    for case in 0..48 {
+        let mut r = case_rng(0x0005_E4E5, case);
+        let servers = 1 + r.gen_range(7) as usize;
+        let njobs = 1 + r.gen_range(99) as usize;
         let mut pool = ServerPool::new(servers);
         let mut total = Ns::ZERO;
         let mut intervals = Vec::new();
         let mut t = 0u64;
-        for (gap, service) in jobs {
+        for _ in 0..njobs {
+            let gap = r.gen_range(1000);
+            let service = 1 + r.gen_range(499);
             t += gap;
             let g = pool.submit(Ns(t), Ns(service));
-            prop_assert!(g.start >= Ns(t));
-            prop_assert_eq!(g.finish - g.start, Ns(service));
-            prop_assert!(g.server < servers);
+            assert!(g.start >= Ns(t), "case {case}");
+            assert_eq!(g.finish - g.start, Ns(service), "case {case}");
+            assert!(g.server < servers, "case {case}");
             total += Ns(service);
             intervals.push((g.server, g.start, g.finish));
         }
-        prop_assert_eq!(pool.busy_time(), total);
+        assert_eq!(pool.busy_time(), total, "case {case}");
         // Per-server intervals never overlap.
         for s in 0..servers {
             let mut iv: Vec<_> = intervals.iter().filter(|&&(sv, _, _)| sv == s).collect();
             iv.sort_by_key(|&&(_, st, _)| st);
             for w in iv.windows(2) {
-                prop_assert!(w[0].2 <= w[1].1, "server {s} overlap");
+                assert!(w[0].2 <= w[1].1, "case {case} server {s} overlap");
             }
         }
     }
+}
 
-    /// RNG distributions stay in range for arbitrary seeds.
-    #[test]
-    fn rng_ranges(seed in any::<u64>(), bound in 1u64..1_000_000) {
-        let mut r = Rng::new(seed);
+/// RNG distributions stay in range for arbitrary seeds.
+#[test]
+fn rng_ranges() {
+    for case in 0..256 {
+        let mut r = case_rng(0x4A6D_5EED, case);
+        let bound = 1 + r.next_u64() % 1_000_000;
         for _ in 0..100 {
-            prop_assert!(r.gen_range(bound) < bound);
+            assert!(r.gen_range(bound) < bound);
             let u = r.unit_f64();
-            prop_assert!((0.0..1.0).contains(&u));
+            assert!((0.0..1.0).contains(&u));
         }
+    }
+}
+
+/// The timing-wheel [`EventQueue`] pops the exact `(time, seq)` sequence
+/// of the reference binary-heap model under arbitrary schedule/pop
+/// interleavings — near, same-timestamp, cross-page and far-future
+/// deltas, including draining to empty and refilling (window resets).
+#[test]
+fn wheel_pops_heap_sequence() {
+    for case in 0..32 {
+        let mut r = case_rng(0x0003_EE10_FEA9, case);
+        let mut wheel: EventQueue<u32> = EventQueue::new();
+        let mut heap: HeapEventQueue<u32> = HeapEventQueue::new();
+        let mut next_id = 0u32;
+        for _ in 0..4000 {
+            if r.chance(0.55) {
+                let dt = match r.gen_range(5) {
+                    0 => 0,                                  // same-timestamp storm
+                    1 => r.gen_range(1024),                  // same page
+                    2 => r.gen_range(1 << 20),               // in horizon
+                    3 => (1 << 20) + r.gen_range(1 << 24),   // overflow
+                    _ => r.gen_range(64),                    // near
+                };
+                let at = Ns(wheel.now().0 + dt);
+                wheel.schedule(at, next_id);
+                heap.schedule(at, next_id);
+                next_id += 1;
+            } else {
+                assert_eq!(wheel.pop(), heap.pop(), "case {case}");
+            }
+            assert_eq!(wheel.len(), heap.len(), "case {case}");
+            assert_eq!(wheel.peek_time(), heap.peek_time(), "case {case}");
+        }
+        while let Some(got) = wheel.pop() {
+            assert_eq!(Some(got), heap.pop(), "case {case} drain");
+        }
+        assert!(heap.pop().is_none(), "case {case}");
+        assert_eq!(wheel.events_processed(), heap.events_processed());
+    }
+}
+
+/// A full simulated run is byte-identical across repeated runs and
+/// across `par_map` worker counts (the sweep fan-out must not leak
+/// nondeterminism into results).
+#[test]
+fn sweeps_identical_across_thread_counts() {
+    use pico_apps::App;
+    use pico_cluster::{paper_config, run_app, OsConfig};
+    use pico_sim::par_map_threads;
+
+    let digest = |os: OsConfig| -> String {
+        let app = App::PingPong { bytes: 64 * 1024, reps: 4 };
+        let cfg = paper_config(os, app, 2, Some(1));
+        let res = run_app(cfg, app, 1);
+        assert_eq!(res.clamped_events, 0, "no event may be clamped to `now`");
+        // events_per_sec is wall-clock derived and deliberately excluded;
+        // the MPI profile is digested through its sorted view (the raw
+        // HashMap's iteration order is not stable).
+        format!(
+            "{:?}|{}|{}|{:?}|{:?}",
+            res.wall_time,
+            res.ranks_done,
+            res.sim_events,
+            res.rank_finish,
+            res.mpi_profile.sorted_desc()
+        )
+    };
+    let configs: Vec<OsConfig> = OsConfig::ALL.to_vec();
+    let serial: Vec<String> = configs.iter().map(|&os| digest(os)).collect();
+    for threads in [1usize, 4] {
+        let par = par_map_threads(threads, configs.clone(), digest);
+        assert_eq!(par, serial, "thread count {threads} changed results");
     }
 }
