@@ -2,8 +2,9 @@
 # Offline CI gate: tier-1 verify + lints. No network access is assumed —
 # the workspace has no external dependencies.
 #
-#   ./ci.sh          tier-1 (release build + full test suite) + clippy + fmt check
-#   ./ci.sh --bench  additionally run the simbench regression gate (slower)
+#   ./ci.sh          tier-1 (release build + full test suite) + clippy + fmt
+#                    check + the reduced simbench smoke gate
+#   ./ci.sh --bench  additionally run the full simbench regression gate (slower)
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -22,6 +23,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== rustfmt check =="
 cargo fmt --all --check || echo "(fmt drift, non-fatal)"
+
+echo "== simbench smoke gate (queue speedup, train batching, clamped events) =="
+cargo run --release -p pico-bench --bin simbench -- --smoke
 
 if [[ "${1:-}" == "--bench" ]]; then
     echo "== simbench regression gate =="

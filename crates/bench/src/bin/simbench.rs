@@ -1,20 +1,25 @@
 //! Engine throughput regression gate.
 //!
-//! Two measurements, written to `results/BENCH_sim.json`:
+//! Three measurements, written to `results/BENCH_sim.json`:
 //!
 //! 1. **Raw event-queue throughput** — events/sec through the timing-wheel
 //!    [`EventQueue`] vs the reference binary-heap [`HeapEventQueue`], on a
 //!    schedule/pop mix modeled on the cluster simulator's traffic (mostly
 //!    near-future wakes and packet deliveries, same-timestamp storms, a
 //!    tail of far-future timers). The wheel must hold a ≥2× advantage.
-//! 2. **End-to-end sweep wall time** — the Figure 6a UMT2013 weak-scaling
+//! 2. **Packet-train batching** — a 4 MB rendezvous ping-pong with fabric
+//!    batching on vs the per-packet reference: wall times must agree and
+//!    the batched run must spend ≥5× fewer simulator events.
+//! 3. **End-to-end sweep wall time** — the Figure 6a UMT2013 weak-scaling
 //!    sweep (1..8 nodes), the simulator's own events/sec included.
 //!
-//! Run with `cargo run --release -p pico-bench --bin simbench`.
+//! Run with `cargo run --release -p pico-bench --bin simbench`. Pass
+//! `--smoke` for the reduced CI variant: smaller churn and sweep, same
+//! gates (every run still asserts `clamped_events == 0`).
 
 use pico_apps::App;
-use pico_cluster::{paper_config, run_app};
 use pico_cluster::OsConfig;
+use pico_cluster::{paper_config, run_app};
 use pico_sim::{EventQueue, HeapEventQueue, Json, Ns, Rng};
 use std::hint::black_box;
 use std::time::Instant;
@@ -70,9 +75,60 @@ fn churn_heap(n: usize, total: u64, seed: u64) -> f64 {
     processed as f64 / start.elapsed().as_secs_f64()
 }
 
+/// The packet-train gate: batched vs per-packet reference on a 4 MB
+/// rendezvous ping-pong. Returns one JSON row per OS config.
+fn train_gate(reps: u32) -> Vec<Json> {
+    let app = App::PingPong { bytes: 4 << 20, reps };
+    let mut rows = Vec::new();
+    for os in OsConfig::ALL {
+        let mut on = paper_config(os, app, 2, Some(1));
+        on.batch_fabric = true;
+        let mut off = on.clone();
+        off.batch_fabric = false;
+        let ron = run_app(on, app, 1);
+        let roff = run_app(off, app, 1);
+        assert_eq!(ron.clamped_events, 0, "{os:?}: batched run clamped events");
+        assert_eq!(roff.clamped_events, 0, "{os:?}: reference run clamped events");
+        assert_eq!(
+            ron.wall_time, roff.wall_time,
+            "{os:?}: batched wall time must match the per-packet reference"
+        );
+        let ratio = roff.sim_events as f64 / ron.sim_events as f64;
+        println!(
+            "train gate {:14} {} reps: {} -> {} events ({ratio:.2}x), {} trains, {} members, max {}",
+            os.label(),
+            reps,
+            roff.sim_events,
+            ron.sim_events,
+            ron.fabric_trains,
+            ron.fabric_train_members,
+            ron.fabric_max_train,
+        );
+        if ratio < 5.0 {
+            eprintln!(
+                "REGRESSION: train batching event reduction {ratio:.2}x below the 5x gate ({os:?})"
+            );
+            std::process::exit(1);
+        }
+        rows.push(Json::obj([
+            ("os", Json::str(os.label())),
+            ("reps", Json::UInt(reps as u64)),
+            ("events_reference", Json::UInt(roff.sim_events)),
+            ("events_batched", Json::UInt(ron.sim_events)),
+            ("event_reduction", Json::Num(ratio)),
+            ("fabric_trains", Json::UInt(ron.fabric_trains)),
+            ("fabric_train_members", Json::UInt(ron.fabric_train_members)),
+            ("fabric_max_train", Json::UInt(ron.fabric_max_train)),
+            ("wall_time_s", Json::Num(ron.wall_time.as_secs_f64())),
+        ]));
+    }
+    rows
+}
+
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let live = 4096usize;
-    let total = 4_000_000u64;
+    let total = if smoke { 400_000u64 } else { 4_000_000u64 };
     let seed = 0x51B0_BEEF;
 
     // Interleave the two once each for warmup, then measure.
@@ -89,28 +145,40 @@ fn main() {
     );
     assert!(wheel_events >= total);
 
+    // Packet-train batching gate: wall-identical, ≥5× fewer events.
+    let train_rows = train_gate(if smoke { 12 } else { 50 });
+
     // End-to-end: Figure 6a sweep at small scale, wall time + sim throughput.
     let sweep_start = Instant::now();
     let mut sweep_rows = Vec::new();
-    for nodes in [1u32, 2, 4, 8] {
+    let sweep_nodes: &[u32] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let sweep_iters = if smoke { 2 } else { 8 };
+    for &nodes in sweep_nodes {
         for os in OsConfig::ALL {
             let cfg = paper_config(os, App::Umt2013, nodes, None);
-            let res = run_app(cfg, App::Umt2013, 8);
+            let res = run_app(cfg, App::Umt2013, sweep_iters);
             assert_eq!(res.clamped_events, 0, "hot loop scheduled into the past");
             sweep_rows.push(Json::obj([
                 ("nodes", Json::UInt(nodes as u64)),
                 ("os", Json::str(os.label())),
                 ("sim_events", Json::UInt(res.sim_events)),
                 ("events_per_sec", Json::Num(res.events_per_sec)),
+                ("fabric_trains", Json::UInt(res.fabric_trains)),
+                ("fabric_train_members", Json::UInt(res.fabric_train_members)),
                 ("wall_time_s", Json::Num(res.wall_time.as_secs_f64())),
             ]));
         }
     }
     let sweep_secs = sweep_start.elapsed().as_secs_f64();
-    println!("fig6a-style sweep (1..8 nodes, all OS configs): {sweep_secs:.2}s");
+    println!(
+        "fig6a-style sweep ({}..{} nodes, all OS configs): {sweep_secs:.2}s",
+        sweep_nodes[0],
+        sweep_nodes[sweep_nodes.len() - 1]
+    );
 
     let doc = Json::obj([
         ("bench", Json::str("simbench")),
+        ("smoke", Json::Bool(smoke)),
         (
             "queue",
             Json::obj([
@@ -121,6 +189,7 @@ fn main() {
                 ("speedup", Json::Num(speedup)),
             ]),
         ),
+        ("trains", Json::Arr(train_rows)),
         (
             "sweep",
             Json::obj([

@@ -78,6 +78,12 @@ pub struct ClusterConfig {
     pub host_fragmentation: f64,
     /// Carry real payloads end to end (small runs only).
     pub backed: bool,
+    /// Coalesce same-link packet bursts into trains: one fabric
+    /// reservation and one delivery event per burst, with an analytic
+    /// per-packet arrival spread. Off = the per-packet reference model
+    /// (one `Ev::Packet` per hop), kept for equivalence testing the way
+    /// `HeapEventQueue` backs the timing wheel.
+    pub batch_fabric: bool,
 }
 
 impl ClusterConfig {
@@ -108,6 +114,7 @@ impl ClusterConfig {
             pico_init_cost: Ns::millis(1),
             host_fragmentation: 0.4,
             backed: false,
+            batch_fabric: true,
         }
     }
 }

@@ -17,7 +17,7 @@
 
 use crate::config::{ClusterConfig, OsConfig};
 use pico_apps::{App, AppSpec, JobShape};
-use pico_fabric::Fabric;
+use pico_fabric::{Fabric, TrainMember, TransferSchedule};
 use pico_hfi1::structs::LayoutSet;
 use pico_hfi1::{Hfi1Driver, HfiChip, HfiChipConfig, HfiDriverCosts, SdmaSubmission};
 use pico_ihk::{Delegator, ProxyRegistry, Sysno};
@@ -49,6 +49,52 @@ enum Ev {
         window: u32,
         va: u64,
     },
+    /// A burst of packets that rode one fabric reservation: delivered
+    /// member by member at their analytic arrivals (the event fires at
+    /// the first one; members are in arrival order).
+    PacketTrain { members: Vec<TrainPacket> },
+    /// Sender-side SDMA completions batched from one action flush; the
+    /// event fires at the last member's IRQ finish (the only completion
+    /// an in-order pipelined sender can act on).
+    SdmaSentBatch { members: Vec<SentMember> },
+}
+
+/// One in-flight member of an [`Ev::PacketTrain`].
+struct TrainPacket {
+    arrival: Ns,
+    dst: usize,
+    src: u32,
+    packet: PsmPacket,
+}
+
+/// One member of an [`Ev::SdmaSentBatch`].
+#[derive(Clone, Copy)]
+struct SentMember {
+    rank: usize,
+    msg_id: u64,
+    window: u32,
+    va: u64,
+}
+
+/// A packet parked in the per-link train accumulator between its
+/// emission (during an event dispatch) and the train flush that turns
+/// the burst into one fabric reservation.
+struct PendingMember {
+    /// Global emission sequence: completion IRQs are serviced on the
+    /// Linux cores in exactly the order the per-packet path would have
+    /// submitted them, even when a flush spans several links.
+    seq: u64,
+    /// When the sender handed the packet to the NIC.
+    at: Ns,
+    dst: usize,
+    src: u32,
+    /// Wire bytes / wire requests (the fabric schedule inputs).
+    bytes: u64,
+    nreqs: u64,
+    packet: PsmPacket,
+    /// Sender-side completion IRQ to batch, for SDMA windows:
+    /// `(rank, msg_id, window, va, completion_cpu)`.
+    completion: Option<(usize, u64, u32, u64, Ns)>,
 }
 
 /// One node's kernel + device complex.
@@ -107,6 +153,17 @@ pub struct RunResult {
     pub fabric_bytes: u64,
     /// Messages through the fabric.
     pub fabric_messages: u64,
+    /// Packet trains scheduled on the fabric (bursts of ≥ 2 packets
+    /// that shared one link reservation).
+    pub fabric_trains: u64,
+    /// Packets that rode one of those trains.
+    pub fabric_train_members: u64,
+    /// Longest train scheduled.
+    pub fabric_max_train: u64,
+    /// Backed-run payloads whose bytes failed the wrapping-increment
+    /// self-check after delivery (must be zero; nonzero means the train
+    /// or reassembly path corrupted a payload).
+    pub payload_errors: u64,
     /// TID entries programmed on all chips.
     pub tid_programs: u64,
     /// PIO sends on all chips.
@@ -147,6 +204,7 @@ struct HotCfg {
     pio_base: Ns,
     pio_bw: f64,
     copy_bw: f64,
+    batch: bool,
 }
 
 /// The simulator.
@@ -168,6 +226,38 @@ pub struct World {
     action_scratch: Vec<PsmAction>,
     /// Pooled scratch for draining parked inboxes.
     inbox_scratch: Vec<(u32, PsmPacket)>,
+    /// Per-link train accumulator: packets emitted during the current
+    /// event dispatch, keyed `(src_node, dst_node)`, flushed to the
+    /// fabric once per dispatch. Empty whenever the loop is between
+    /// dispatches (and always, when `batch_fabric` is off).
+    pending_trains: Vec<(usize, usize, Vec<PendingMember>)>,
+    /// Recycled member vectors for the accumulator.
+    member_pool: Vec<Vec<PendingMember>>,
+    /// Pooled scratch for the fabric call and its returned schedules.
+    fabric_member_scratch: Vec<TrainMember>,
+    sched_scratch: Vec<TransferSchedule>,
+    /// Pooled scratch for collecting batched SDMA completions across
+    /// the trains of one flush: `(seq, src_node, irq_start, cpu, member)`.
+    sent_scratch: Vec<(u64, usize, Ns, Ns, SentMember)>,
+    /// Global packet-emission counter backing [`PendingMember::seq`].
+    emit_seq: u64,
+    /// Monotone id of the train dispatch in flight, with per-rank
+    /// epoch marks: a rank greedily delivered-to this dispatch keeps
+    /// taking members directly; a rank parked this dispatch keeps
+    /// parking (one coalesced wake), captured at `train_park_clock`.
+    train_epoch: u64,
+    train_delivered: Vec<u64>,
+    train_parked: Vec<u64>,
+    train_park_clock: Vec<Ns>,
+    /// Pooled scratch listing the ranks greedily engaged by the train
+    /// dispatch in flight (for the end-of-dispatch wake sweep).
+    engaged_scratch: Vec<usize>,
+    /// Per-node multiset of pending event times (batching mode only).
+    /// Every queued event runs ranks of exactly one node, so a train
+    /// dispatch may run ahead of events that touch *other* nodes — their
+    /// gates and inboxes are disjoint from the continuation's — but must
+    /// yield to anything pending on the destination node itself.
+    node_pending: Vec<std::collections::BTreeMap<Ns, u32>>,
 }
 
 impl World {
@@ -236,10 +326,15 @@ impl World {
         let mut queue = EventQueue::new();
         let mut skew_rng = root_rng.substream(7);
         let mut pending_wake = Vec::with_capacity(ranks.len());
+        let mut node_pending: Vec<std::collections::BTreeMap<Ns, u32>> =
+            vec![std::collections::BTreeMap::new(); nodes.len()];
         for (r, rank) in ranks.iter_mut().enumerate() {
             let skew = Ns(skew_rng.gen_range(cfg.launch_skew.0.max(1)));
             rank.clock = skew;
             queue.schedule(skew, Ev::Wake(r));
+            if cfg.batch_fabric {
+                *node_pending[rank.node].entry(skew).or_insert(0) += 1;
+            }
             pending_wake.push(skew);
         }
         let hot = HotCfg {
@@ -247,7 +342,9 @@ impl World {
             pio_base: cfg.pio_base,
             pio_bw: cfg.pio_bw,
             copy_bw: cfg.copy_bw,
+            batch: cfg.batch_fabric,
         };
+        let nranks = ranks.len();
         World {
             cfg,
             hot,
@@ -261,6 +358,18 @@ impl World {
             pending_wake,
             action_scratch: Vec::new(),
             inbox_scratch: Vec::new(),
+            pending_trains: Vec::new(),
+            member_pool: Vec::new(),
+            fabric_member_scratch: Vec::new(),
+            sched_scratch: Vec::new(),
+            sent_scratch: Vec::new(),
+            emit_seq: 0,
+            train_epoch: 0,
+            train_delivered: vec![0; nranks],
+            train_parked: vec![0; nranks],
+            train_park_clock: vec![Ns::ZERO; nranks],
+            engaged_scratch: Vec::new(),
+            node_pending,
         }
     }
 
@@ -351,7 +460,48 @@ impl World {
             return;
         }
         self.pending_wake[r] = at;
-        self.queue.schedule(at, Ev::Wake(r));
+        self.schedule_ev(at, Ev::Wake(r));
+    }
+
+    /// The node whose ranks (and whose fabric gates / SDMA engine) an
+    /// event's dispatch can touch. Every variant runs ranks of exactly
+    /// one node; anything it sends to other nodes becomes a *new*
+    /// queued event, accounted on its own node when scheduled.
+    fn ev_node(&self, ev: &Ev) -> usize {
+        match ev {
+            Ev::Wake(r) => self.ranks[*r].node,
+            Ev::Packet { dst, .. } => self.ranks[*dst].node,
+            Ev::SdmaSent { rank, .. } => self.ranks[*rank].node,
+            Ev::PacketTrain { members } => self.ranks[members[0].dst].node,
+            Ev::SdmaSentBatch { members } => self.ranks[members[0].rank].node,
+        }
+    }
+
+    /// May a train dispatch keep running rank `dst` up to a member due
+    /// at `arrival`? Yes unless an event pending at or before `arrival`
+    /// touches `dst`'s node (the reference model dispatches it first and
+    /// its side effects must stay ahead of the continuation's), or this
+    /// dispatch staged an intra-node burst whose shared-memory arrivals
+    /// on the same node are not yet scheduled.
+    fn continuation_clear(&self, dst: usize, arrival: Ns) -> bool {
+        let node = self.ranks[dst].node;
+        if self.node_pending[node].range(..=arrival).next().is_some() {
+            return false;
+        }
+        !self
+            .pending_trains
+            .iter()
+            .any(|(s, d, ms)| *s == node && *d == node && !ms.is_empty())
+    }
+
+    /// Schedule an event, keeping the per-node pending-time multiset in
+    /// step (batching mode only — the reference path never consults it).
+    fn schedule_ev(&mut self, at: Ns, ev: Ev) {
+        if self.hot.batch {
+            let n = self.ev_node(&ev);
+            *self.node_pending[n].entry(at).or_insert(0) += 1;
+        }
+        self.queue.schedule(at, ev);
     }
 
     /// Run; optionally print stuck-rank diagnostics at exhaustion.
@@ -365,6 +515,15 @@ impl World {
                 "runaway simulation: {} events",
                 safety
             );
+            if self.hot.batch {
+                let n = self.ev_node(&ev);
+                match self.node_pending[n].get_mut(&t) {
+                    Some(c) if *c > 1 => *c -= 1,
+                    _ => {
+                        self.node_pending[n].remove(&t);
+                    }
+                }
+            }
             match ev {
                 Ev::Wake(r) => {
                     if self.pending_wake[r] == t {
@@ -405,7 +564,28 @@ impl World {
                         self.run_rank(rank, now);
                     }
                 }
+                Ev::PacketTrain { members } => {
+                    self.on_packet_train(members);
+                }
+                Ev::SdmaSentBatch { members } => {
+                    for m in &members {
+                        self.on_sdma_sent(m.rank, m.msg_id, m.window, m.va);
+                    }
+                    for (i, m) in members.iter().enumerate() {
+                        // One run per distinct sender rank.
+                        if members[..i].iter().any(|p| p.rank == m.rank) {
+                            continue;
+                        }
+                        if !self.ranks[m.rank].done {
+                            let now = t.max(self.ranks[m.rank].clock);
+                            self.run_rank(m.rank, now);
+                        }
+                    }
+                }
             }
+            // Coalesce everything the dispatch emitted into trains: one
+            // fabric reservation and one delivery event per link burst.
+            self.flush_trains();
         }
         if debug {
             let d = self.debug_stuck();
@@ -425,6 +605,7 @@ impl World {
         let mut rank_finish = Vec::with_capacity(self.ranks.len());
         let mut done = 0;
         let mut delivered = self.delivered_payloads;
+        let mut payload_errors = 0u64;
         for r in &self.ranks {
             mpi.merge(r.engine.profile());
             kprof.merge(&r.kprof);
@@ -433,6 +614,17 @@ impl World {
                 done += 1;
             }
             delivered += r.delivered.iter().filter(|(_, p)| p.is_some()).count() as u64;
+            // Backed runs carry a wrapping-increment pattern end to end;
+            // any byte out of sequence means delivery corrupted it.
+            for p in r.delivered.iter().filter_map(|(_, p)| p.as_deref()) {
+                let Some(&base) = p.first() else { continue };
+                if p.iter()
+                    .enumerate()
+                    .any(|(i, &b)| b != base.wrapping_add(i as u8))
+                {
+                    payload_errors += 1;
+                }
+            }
         }
         let wall = rank_finish.iter().copied().max().unwrap_or(Ns::ZERO);
         let mut offloaded = 0;
@@ -454,6 +646,10 @@ impl World {
             offload_queue_wait: queue_wait,
             fabric_bytes: self.fabric.bytes(),
             fabric_messages: self.fabric.messages(),
+            fabric_trains: self.fabric.trains(),
+            fabric_train_members: self.fabric.train_members(),
+            fabric_max_train: self.fabric.max_train_len(),
+            payload_errors,
             tid_programs,
             pio_sends: pio,
             ranks_done: done,
@@ -556,6 +752,275 @@ impl World {
         true
     }
 
+    /// Add a packet to the train accumulator bucket of its link. The
+    /// bucket list is scanned linearly: one dispatch touches a handful
+    /// of links at most.
+    fn enqueue_member(&mut self, src_node: usize, dst_node: usize, mut m: PendingMember) {
+        m.seq = self.emit_seq;
+        self.emit_seq += 1;
+        for (s, d, v) in &mut self.pending_trains {
+            if *s == src_node && *d == dst_node {
+                v.push(m);
+                return;
+            }
+        }
+        let mut v = self.member_pool.pop().unwrap_or_default();
+        v.push(m);
+        self.pending_trains.push((src_node, dst_node, v));
+    }
+
+    /// Turn everything the last event dispatch emitted into trains: one
+    /// `Fabric::transfer_train` reservation and one delivery event per
+    /// `(src_node, dst_node)` burst (members in accumulation order, the
+    /// same order the per-packet path would have reserved the link in).
+    fn flush_trains(&mut self) {
+        if self.pending_trains.is_empty() {
+            return;
+        }
+        let mut trains = std::mem::take(&mut self.pending_trains);
+        for (src_node, dst_node, members) in &mut trains {
+            self.flush_one_train(*src_node, *dst_node, members);
+            debug_assert!(members.is_empty());
+            self.member_pool.push(std::mem::take(members));
+        }
+        // Scheduling events never emits packets, so nothing accumulated
+        // while flushing; keep the outer allocation warm.
+        debug_assert!(self.pending_trains.is_empty());
+        trains.clear();
+        self.pending_trains = trains;
+        self.flush_completions();
+    }
+
+    /// Service the flush's sender-side completion IRQs on the Linux
+    /// cores in global emission order (the exact submission order of
+    /// the per-packet path, even when the flush spanned several links),
+    /// then fire one event per `(rank, msg_id)` group at its last
+    /// window's finish — the only completion an in-order pipelined
+    /// sender can act on. A single-window message keeps its own event,
+    /// so its completion time is unchanged by batching.
+    fn flush_completions(&mut self) {
+        if self.sent_scratch.is_empty() {
+            return;
+        }
+        let mut sent = std::mem::take(&mut self.sent_scratch);
+        sent.sort_by_key(|&(seq, ..)| seq);
+        let mut i = 0;
+        while i < sent.len() {
+            let (_, node, start, cpu, first) = sent[i];
+            let mut at = self.nodes[node].delegator.service(start, cpu).finish;
+            let mut j = i + 1;
+            while j < sent.len() {
+                let (_, n2, s2, c2, m2) = sent[j];
+                if (m2.rank, m2.msg_id) != (first.rank, first.msg_id) {
+                    break;
+                }
+                debug_assert_eq!(n2, node, "one message stays on one node");
+                at = at.max(self.nodes[n2].delegator.service(s2, c2).finish);
+                j += 1;
+            }
+            if j - i == 1 {
+                self.schedule_ev(
+                    at,
+                    Ev::SdmaSent {
+                        rank: first.rank,
+                        msg_id: first.msg_id,
+                        window: first.window,
+                        va: first.va,
+                    },
+                );
+            } else {
+                let group: Vec<SentMember> = sent[i..j].iter().map(|&(.., m)| m).collect();
+                self.schedule_ev(at, Ev::SdmaSentBatch { members: group });
+            }
+            i = j;
+        }
+        sent.clear();
+        self.sent_scratch = sent;
+    }
+
+    fn flush_one_train(&mut self, src_node: usize, dst_node: usize, members: &mut Vec<PendingMember>) {
+        // One reservation per gate for the whole burst.
+        let mut fm = std::mem::take(&mut self.fabric_member_scratch);
+        fm.clear();
+        fm.extend(members.iter().map(|m| TrainMember {
+            at: m.at,
+            bytes: m.bytes,
+            nreqs: m.nreqs,
+        }));
+        let mut scheds = std::mem::take(&mut self.sched_scratch);
+        scheds.clear();
+        self.fabric.transfer_train(src_node, dst_node, &fm, &mut scheds);
+        // Collect the sender-side completion IRQs; they are serviced in
+        // global emission order by `flush_completions` once every train
+        // of the flush has its fabric schedule.
+        for (m, sched) in members.iter().zip(&scheds) {
+            if let Some((rank, msg_id, window, va, cpu)) = m.completion {
+                self.sent_scratch.push((
+                    m.seq,
+                    src_node,
+                    sched.injected + self.lc.irq_entry,
+                    cpu,
+                    SentMember {
+                        rank,
+                        msg_id,
+                        window,
+                        va,
+                    },
+                ));
+            }
+        }
+        // Deliver: a singleton burst stays a plain packet event; a real
+        // train becomes one event at its first arrival.
+        if members.len() == 1 {
+            let m = members.pop().expect("one member");
+            self.schedule_ev(
+                scheds[0].arrival,
+                Ev::Packet {
+                    dst: m.dst,
+                    src: m.src,
+                    packet: m.packet,
+                },
+            );
+        } else {
+            let mut packets: Vec<TrainPacket> = members
+                .drain(..)
+                .zip(scheds.iter())
+                .map(|(m, s)| TrainPacket {
+                    arrival: s.arrival,
+                    dst: m.dst,
+                    src: m.src,
+                    packet: m.packet,
+                })
+                .collect();
+            // Link arrivals are monotone by FIFO construction, but the
+            // shared-memory path isn't when emissions interleave: keep
+            // delivery in time order (stable, so ties keep link order).
+            packets.sort_by_key(|p| p.arrival);
+            let first = packets[0].arrival;
+            self.schedule_ev(first, Ev::PacketTrain { members: packets });
+        }
+        fm.clear();
+        self.fabric_member_scratch = fm;
+        scheds.clear();
+        self.sched_scratch = scheds;
+    }
+
+    /// Deliver a train's members in arrival order, preserving the
+    /// per-packet semantics member by member:
+    ///
+    /// * a member due **now** (the event timestamp) reaches its
+    ///   destination exactly like a plain `Ev::Packet` would: an idle
+    ///   rank takes it, a busy rank parks it behind one coalesced wake;
+    /// * a rank that took a member keeps taking its later members this
+    ///   dispatch — it is inside the MPI library, consuming the train
+    ///   as it drains off the wire;
+    /// * a future arrival for a rank the dispatch has not engaged (or
+    ///   one that would outrun a parked rank's pending wake) must not
+    ///   be delivered early or out of order: the remainder of the train
+    ///   is handed back to the queue at that member's arrival.
+    fn on_packet_train(&mut self, members: Vec<TrainPacket>) {
+        self.train_epoch += 1;
+        let epoch = self.train_epoch;
+        let t = members[0].arrival;
+        let mut engaged = std::mem::take(&mut self.engaged_scratch);
+        engaged.clear();
+        let mut it = members.into_iter();
+        while let Some(m) = it.next() {
+            let dst = m.dst;
+            if self.ranks[dst].done {
+                continue;
+            }
+            if self.train_delivered[dst] == epoch && self.continuation_clear(dst, m.arrival) {
+                // The rank is inside the library and nothing touching its
+                // node is due before this member drains off the wire:
+                // consume it in this dispatch, replaying the park-and-drain
+                // semantics the per-packet path would apply event by event.
+                // (With a same-node event pending in between, the remainder
+                // is resplit below instead — the reference model would have
+                // dispatched that event first, and its fabric/IRQ
+                // reservations and inbox pushes must stay ahead of ours.
+                // Events on other nodes commute with the continuation:
+                // their gates, SDMA engines, and inboxes are disjoint.)
+                let mut member = Some((m.src, m.packet));
+                while let Some((src, packet)) = member.take() {
+                    let clock = self.ranks[dst].clock;
+                    if m.arrival < clock {
+                        // Arrives mid-processing: parks, like a packet
+                        // event popping while the rank is busy. Drained
+                        // at the coalesced wake — emulated by the next
+                        // idle-time member, or made real at dispatch end.
+                        self.ranks[dst].inbox.push((src, packet));
+                    } else if !self.ranks[dst].inbox.is_empty() {
+                        // The parked prefix's wake (at `clock`) pops
+                        // before this member's arrival: drain it first.
+                        self.run_rank(dst, clock);
+                        member = Some((src, packet));
+                    } else {
+                        self.ranks[dst].inbox.push((src, packet));
+                        self.run_rank(dst, m.arrival);
+                    }
+                }
+                continue;
+            }
+            let parked = self.train_parked[dst] == epoch;
+            if parked && m.arrival <= self.train_park_clock[dst] {
+                self.ranks[dst].inbox.push((m.src, m.packet));
+                continue;
+            }
+            if !parked && m.arrival <= t {
+                let clock = self.ranks[dst].clock;
+                if clock <= t {
+                    self.train_delivered[dst] = epoch;
+                    engaged.push(dst);
+                    self.ranks[dst].inbox.push((m.src, m.packet));
+                    self.run_rank(dst, t);
+                } else {
+                    self.ranks[dst].inbox.push((m.src, m.packet));
+                    self.train_parked[dst] = epoch;
+                    self.train_park_clock[dst] = clock;
+                    self.schedule_wake(dst, clock);
+                }
+                continue;
+            }
+            // A future arrival for a rank the dispatch has not engaged
+            // (or one that would outrun a parked rank's pending wake, or
+            // an engaged rank's member another event must precede): hand
+            // the remainder back to the queue at its arrival.
+            let rest: Vec<TrainPacket> = std::iter::once(m).chain(it).collect();
+            let at = rest[0].arrival;
+            if rest.len() == 1 {
+                let p = rest.into_iter().next().expect("one member");
+                self.schedule_ev(
+                    at,
+                    Ev::Packet {
+                        dst: p.dst,
+                        src: p.src,
+                        packet: p.packet,
+                    },
+                );
+            } else {
+                self.schedule_ev(at, Ev::PacketTrain { members: rest });
+            }
+            break;
+        }
+        // Members parked during greedy continuation never got their
+        // drain emulated: give them the coalesced wake the per-packet
+        // path would have scheduled — run inline when the node is clear
+        // up to the wake time (no event spent), as a real event when the
+        // reference model would dispatch something else first.
+        for dst in engaged.drain(..) {
+            if !self.ranks[dst].done && !self.ranks[dst].inbox.is_empty() {
+                let clock = self.ranks[dst].clock;
+                if self.continuation_clear(dst, clock) {
+                    self.run_rank(dst, clock);
+                } else {
+                    self.schedule_wake(dst, clock);
+                }
+            }
+        }
+        self.engaged_scratch = engaged;
+    }
+
     fn handle_action(&mut self, r: usize, a: PsmAction, now: &mut Ns) {
         match a {
             PsmAction::PioSend { dst, packet } => {
@@ -566,16 +1031,34 @@ impl World {
                 let dst_node = self.ranks[dst as usize].node;
                 // PIO packets ride the wire in ~8 KB chunks.
                 let nreqs = bytes.div_ceil(8 * 1024).max(1);
-                let sched = self.fabric.transfer(*now, src_node, dst_node, bytes, nreqs);
                 self.nodes[src_node].chip.record_pio();
-                self.queue.schedule(
-                    sched.arrival,
-                    Ev::Packet {
-                        dst: dst as usize,
-                        src: self.ranks[r].engine.rank(),
-                        packet,
-                    },
-                );
+                let src = self.ranks[r].engine.rank();
+                if self.hot.batch {
+                    self.enqueue_member(
+                        src_node,
+                        dst_node,
+                        PendingMember {
+                            seq: 0, // assigned by enqueue_member
+                            at: *now,
+                            dst: dst as usize,
+                            src,
+                            bytes,
+                            nreqs,
+                            packet,
+                            completion: None,
+                        },
+                    );
+                } else {
+                    let sched = self.fabric.transfer(*now, src_node, dst_node, bytes, nreqs);
+                    self.schedule_ev(
+                        sched.arrival,
+                        Ev::Packet {
+                            dst: dst as usize,
+                            src,
+                            packet,
+                        },
+                    );
+                }
             }
             PsmAction::TidRegister {
                 src,
@@ -753,29 +1236,50 @@ impl World {
         self.ranks[r].kprof.record(Sysno::Writev, *now - start);
         // Wire the window to the destination node.
         let dst_node = self.ranks[dst as usize].node;
+        let packet = PsmPacket::SdmaData {
+            msg_id,
+            window,
+            len,
+            payload,
+        };
+        // Sender-side completion IRQ: handled on the Linux service cores
+        // (McKernel handles no device interrupts).
+        let completion_cpu = self.nodes[node_idx].driver.costs().completion + self.lc.kmalloc_pair;
+        if self.hot.batch {
+            // Pipelined windows of one flush ride the wire as a train;
+            // the IRQ is serviced (and the delegator charged) when the
+            // train's fabric schedule is known, at flush time.
+            self.enqueue_member(
+                node_idx,
+                dst_node,
+                PendingMember {
+                    seq: 0, // assigned by enqueue_member
+                    at: wire_start,
+                    dst: dst as usize,
+                    src: self.ranks[r].engine.rank(),
+                    bytes: len + 64,
+                    nreqs: sub.nreqs,
+                    packet,
+                    completion: Some((r, msg_id, window, va.0, completion_cpu)),
+                },
+            );
+            return;
+        }
         let sched = self
             .fabric
             .transfer(wire_start, node_idx, dst_node, len + 64, sub.nreqs);
-        self.queue.schedule(
+        self.schedule_ev(
             sched.arrival,
             Ev::Packet {
                 dst: dst as usize,
                 src: self.ranks[r].engine.rank(),
-                packet: PsmPacket::SdmaData {
-                    msg_id,
-                    window,
-                    len,
-                    payload,
-                },
+                packet,
             },
         );
-        // Sender-side completion IRQ: handled on the Linux service cores
-        // (McKernel handles no device interrupts).
-        let completion_cpu = self.nodes[node_idx].driver.costs().completion + self.lc.kmalloc_pair;
         let grant = self.nodes[node_idx]
             .delegator
             .service(sched.injected + self.lc.irq_entry, completion_cpu);
-        self.queue.schedule(
+        self.schedule_ev(
             grant.finish,
             Ev::SdmaSent {
                 rank: r,

@@ -130,6 +130,64 @@ fn backed_run_delivers_payloads() {
     assert!(res.delivered_payloads > 0, "payloads must flow end to end");
 }
 
+/// A 4 MB rendezvous ping-pong drives 8-window SDMA bursts through the
+/// train path while the receiver is busy copying earlier windows: later
+/// members park behind the copy and drain at one coalesced wake. The
+/// batched run must agree with the per-packet reference exactly while
+/// spending far fewer events.
+#[test]
+fn train_parks_members_behind_busy_rank() {
+    for os in OsConfig::ALL {
+        let app = App::PingPong { bytes: 4 << 20, reps: 8 };
+        let mut on = paper_config(os, app, 2, Some(1));
+        on.batch_fabric = true;
+        let mut off = on.clone();
+        off.batch_fabric = false;
+        let ron = run_app(on, app, 1);
+        let roff = run_app(off, app, 1);
+        assert_eq!(ron.ranks_done, 2, "{os:?}");
+        assert_eq!(ron.clamped_events, 0, "{os:?}");
+        assert_eq!(roff.clamped_events, 0, "{os:?}");
+        assert!(
+            ron.fabric_trains > 0 && ron.fabric_max_train >= 4,
+            "{os:?}: rendezvous windows must coalesce into trains (got {} trains, max {})",
+            ron.fabric_trains,
+            ron.fabric_max_train
+        );
+        assert_eq!(roff.fabric_trains, 0, "{os:?}: reference path must not batch");
+        assert_eq!(
+            ron.wall_time, roff.wall_time,
+            "{os:?}: parking and wake coalescing under trains must match the reference"
+        );
+        assert_eq!(ron.delivered_payloads, roff.delivered_payloads, "{os:?}");
+        assert!(
+            ron.sim_events < roff.sim_events,
+            "{os:?}: trains must reduce event count ({} vs {})",
+            ron.sim_events,
+            roff.sim_events
+        );
+    }
+}
+
+/// Backed (payload-carrying) run of a CORAL skeleton through the train
+/// path: every byte must survive coalesced delivery.
+#[test]
+fn backed_coral_payloads_survive_trains() {
+    let app = App::Umt2013;
+    let mut cfg = paper_config(OsConfig::McKernelHfi, app, 2, Some(2));
+    cfg.backed = true;
+    cfg.batch_fabric = true;
+    let res = run_app(cfg, app, 2);
+    assert_eq!(res.ranks_done, 4);
+    assert_eq!(res.clamped_events, 0);
+    assert!(res.delivered_payloads > 0, "payloads must flow end to end");
+    assert_eq!(
+        res.payload_errors, 0,
+        "train delivery must not corrupt or reorder payload bytes"
+    );
+    assert!(res.fabric_trains > 0, "the run must exercise the train path");
+}
+
 #[test]
 fn determinism_same_seed_same_result() {
     let run = || {

@@ -54,6 +54,18 @@ pub struct TransferSchedule {
     pub arrival: Ns,
 }
 
+/// One member of a packet train: a packet emitted at `at` onto the
+/// same `(src, dst)` link as its neighbours.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainMember {
+    /// When the sender handed the packet to the NIC.
+    pub at: Ns,
+    /// Wire bytes of the packet.
+    pub bytes: u64,
+    /// SDMA/wire requests the packet is cut into.
+    pub nreqs: u64,
+}
+
 /// The fabric connecting `n` nodes.
 pub struct Fabric {
     cfg: FabricConfig,
@@ -62,6 +74,9 @@ pub struct Fabric {
     messages: u64,
     bytes: u64,
     intra_messages: u64,
+    trains: u64,
+    train_members: u64,
+    max_train_len: u64,
 }
 
 impl Fabric {
@@ -75,6 +90,9 @@ impl Fabric {
             messages: 0,
             bytes: 0,
             intra_messages: 0,
+            trains: 0,
+            train_members: 0,
+            max_train_len: 0,
         }
     }
 
@@ -85,6 +103,52 @@ impl Fabric {
     /// Node count.
     pub fn nodes(&self) -> usize {
         self.uplinks.len()
+    }
+
+    /// Wire occupancy of `bytes` cut into `nreqs` requests: the data time
+    /// at link bandwidth plus the per-request engine gap. The single
+    /// source of the §3.4 overhead term — both the event-driven
+    /// [`transfer`](Self::transfer)/[`transfer_train`](Self::transfer_train)
+    /// path and the analytic [`steady_state_bw`](Self::steady_state_bw)
+    /// number derive from it, so they cannot drift.
+    pub fn wire_time(&self, bytes: u64, nreqs: u64) -> Ns {
+        Ns(self.cfg.per_req_overhead.0 * nreqs) + pico_sim::transfer_time(bytes, self.cfg.link_bw)
+    }
+
+    /// Shared-memory delivery schedule for an intra-node packet.
+    fn shm_schedule(&self, at: Ns, bytes: u64) -> TransferSchedule {
+        let arrival = at + self.cfg.shm_latency + pico_sim::transfer_time(bytes, self.cfg.shm_bw);
+        TransferSchedule {
+            injected: arrival,
+            arrival,
+        }
+    }
+
+    /// The FIFO link math for one packet, against link cursors `up_free`
+    /// / `down_free` (advanced in place). Both the per-packet and the
+    /// train path go through here, so their schedules are identical by
+    /// construction.
+    fn link_schedule(
+        &self,
+        up_free: &mut Ns,
+        down_free: &mut Ns,
+        at: Ns,
+        bytes: u64,
+        nreqs: u64,
+    ) -> TransferSchedule {
+        let up_start = at.max(*up_free);
+        let up_finish = up_start + self.wire_time(bytes, nreqs);
+        // Cut-through: the head of the message reaches the receiver one
+        // base latency after injection starts; the tail is gated by both
+        // the uplink finish and the (possibly congested) downlink.
+        let down_start = (up_start + self.cfg.base_latency).max(*down_free);
+        let down_finish = down_start + pico_sim::transfer_time(bytes, self.cfg.link_bw);
+        *up_free = up_finish;
+        *down_free = down_finish;
+        TransferSchedule {
+            injected: up_finish,
+            arrival: down_finish.max(up_finish + self.cfg.base_latency),
+        }
     }
 
     /// Schedule a transfer of `bytes` from `src` to `dst`, cut into
@@ -102,32 +166,69 @@ impl Fabric {
         self.bytes += bytes;
         if src == dst {
             self.intra_messages += 1;
-            let arrival =
-                now + self.cfg.shm_latency + pico_sim::transfer_time(bytes, self.cfg.shm_bw);
-            return TransferSchedule {
-                injected: arrival,
-                arrival,
-            };
+            return self.shm_schedule(now, bytes);
         }
-        let overhead = Ns(self.cfg.per_req_overhead.0 * nreqs);
-        let (up_start, up_finish) = self.uplinks[src].reserve_with_overhead(now, bytes, overhead);
-        // Cut-through: the head of the message reaches the receiver one
-        // base latency after injection starts; the tail is gated by both
-        // the uplink finish and the (possibly congested) downlink.
-        let (_, down_finish) = self.downlinks[dst].reserve(up_start + self.cfg.base_latency, bytes);
-        TransferSchedule {
-            injected: up_finish,
-            arrival: down_finish.max(up_finish + self.cfg.base_latency),
+        let mut up_free = self.uplinks[src].free_at();
+        let mut down_free = self.downlinks[dst].free_at();
+        let sched = self.link_schedule(&mut up_free, &mut down_free, now, bytes, nreqs);
+        let up_busy = self.wire_time(bytes, nreqs);
+        let down_busy = pico_sim::transfer_time(bytes, self.cfg.link_bw);
+        self.uplinks[src].commit_train(up_free, bytes, up_busy);
+        self.downlinks[dst].commit_train(down_free, bytes, down_busy);
+        sched
+    }
+
+    /// Schedule a whole burst of packets on the same `(src, dst)` link
+    /// with **one reservation per gate**: the member schedule is computed
+    /// analytically with the same FIFO rule the per-packet path uses
+    /// (each member starts at `max(emit, link_free)`), then the uplink
+    /// and downlink are advanced once for the whole train. For
+    /// back-to-back members of equal size the resulting arrivals are a
+    /// first arrival plus a per-member stride of
+    /// `wire_time(bytes, nreqs)`; members emitted slower than the wire
+    /// drains follow their emission times instead. Appends one
+    /// [`TransferSchedule`] per member to `out`.
+    pub fn transfer_train(
+        &mut self,
+        src: usize,
+        dst: usize,
+        members: &[TrainMember],
+        out: &mut Vec<TransferSchedule>,
+    ) {
+        if members.is_empty() {
+            return;
         }
+        self.messages += members.len() as u64;
+        let total: u64 = members.iter().map(|m| m.bytes).sum();
+        self.bytes += total;
+        if members.len() >= 2 {
+            self.trains += 1;
+            self.train_members += members.len() as u64;
+            self.max_train_len = self.max_train_len.max(members.len() as u64);
+        }
+        if src == dst {
+            self.intra_messages += members.len() as u64;
+            out.extend(members.iter().map(|m| self.shm_schedule(m.at, m.bytes)));
+            return;
+        }
+        let mut up_free = self.uplinks[src].free_at();
+        let mut down_free = self.downlinks[dst].free_at();
+        let mut up_busy = Ns::ZERO;
+        let mut down_busy = Ns::ZERO;
+        for m in members {
+            out.push(self.link_schedule(&mut up_free, &mut down_free, m.at, m.bytes, m.nreqs));
+            up_busy += self.wire_time(m.bytes, m.nreqs);
+            down_busy += pico_sim::transfer_time(m.bytes, self.cfg.link_bw);
+        }
+        self.uplinks[src].commit_train(up_free, total, up_busy);
+        self.downlinks[dst].commit_train(down_free, total, down_busy);
     }
 
     /// Effective achievable bandwidth for back-to-back messages of
     /// `bytes` cut into `nreqs` requests (no contention): the Figure 4
     /// steady-state number.
     pub fn steady_state_bw(&self, bytes: u64, nreqs: u64) -> f64 {
-        let per_msg = pico_sim::transfer_time(bytes, self.cfg.link_bw)
-            + Ns(self.cfg.per_req_overhead.0 * nreqs);
-        bytes as f64 / per_msg.as_secs_f64()
+        bytes as f64 / self.wire_time(bytes, nreqs).as_secs_f64()
     }
 
     /// Messages scheduled so far.
@@ -141,6 +242,20 @@ impl Fabric {
     /// Intra-node messages.
     pub fn intra_messages(&self) -> u64 {
         self.intra_messages
+    }
+    /// Trains scheduled so far (bursts of ≥ 2 packets delivered through
+    /// one reservation; singleton `transfer_train` calls count as plain
+    /// messages only).
+    pub fn trains(&self) -> u64 {
+        self.trains
+    }
+    /// Packets that rode a train (members of the counted trains).
+    pub fn train_members(&self) -> u64 {
+        self.train_members
+    }
+    /// Longest train scheduled so far.
+    pub fn max_train_len(&self) -> u64 {
+        self.max_train_len
     }
     /// Total busy time of a node's uplink.
     pub fn uplink_busy(&self, node: usize) -> Ns {
@@ -227,6 +342,91 @@ mod tests {
         f.transfer(Ns(0), 1, 0, 700, 2);
         assert_eq!(f.messages(), 2);
         assert_eq!(f.bytes(), 1200);
+    }
+
+    #[test]
+    fn train_matches_per_packet_transfers_exactly() {
+        // Any member mix (back-to-back, gapped, mixed sizes) must yield
+        // the same schedules and gate state as per-packet transfers.
+        let mixes: &[&[TrainMember]] = &[
+            &[
+                TrainMember { at: Ns(0), bytes: 64, nreqs: 1 },
+                TrainMember { at: Ns(10), bytes: 64, nreqs: 1 },
+                TrainMember { at: Ns(20), bytes: 64, nreqs: 1 },
+            ],
+            &[
+                TrainMember { at: Ns(0), bytes: 512 * 1024, nreqs: 52 },
+                TrainMember { at: Ns(500), bytes: 512 * 1024, nreqs: 52 },
+                TrainMember { at: Ns(1000), bytes: 1000, nreqs: 1 },
+            ],
+            // Members emitted slower than the wire drains: arrivals track
+            // emission, not the stride.
+            &[
+                TrainMember { at: Ns(0), bytes: 100, nreqs: 1 },
+                TrainMember { at: Ns(50_000), bytes: 100, nreqs: 1 },
+            ],
+        ];
+        for members in mixes {
+            let mut per_packet = fabric(2);
+            // Pre-load both links so queueing is exercised.
+            per_packet.transfer(Ns(0), 0, 1, 3000, 1);
+            let reference: Vec<TransferSchedule> = members
+                .iter()
+                .map(|m| per_packet.transfer(m.at, 0, 1, m.bytes, m.nreqs))
+                .collect();
+            let mut trained = fabric(2);
+            trained.transfer(Ns(0), 0, 1, 3000, 1);
+            let mut out = Vec::new();
+            trained.transfer_train(0, 1, members, &mut out);
+            assert_eq!(out, reference);
+            assert_eq!(trained.bytes(), per_packet.bytes());
+            assert_eq!(trained.messages(), per_packet.messages());
+            assert_eq!(trained.uplink_busy(0), per_packet.uplink_busy(0));
+            assert_eq!(trained.trains(), 1);
+            assert_eq!(trained.train_members(), members.len() as u64);
+        }
+    }
+
+    #[test]
+    fn back_to_back_train_arrivals_form_a_stride() {
+        // Equal members emitted at the same instant: arrival spread is
+        // first + i * wire_time.
+        let mut f = fabric(2);
+        let members: Vec<TrainMember> = (0..4)
+            .map(|_| TrainMember { at: Ns(0), bytes: 10_000, nreqs: 1 })
+            .collect();
+        let mut out = Vec::new();
+        f.transfer_train(0, 1, &members, &mut out);
+        let stride = f.wire_time(10_000, 1);
+        for (i, s) in out.iter().enumerate() {
+            assert_eq!(s.arrival, out[0].arrival + Ns(stride.0 * i as u64));
+        }
+        assert_eq!(f.max_train_len(), 4);
+    }
+
+    #[test]
+    fn intra_node_train_skips_the_nic() {
+        let mut f = fabric(2);
+        let members = [
+            TrainMember { at: Ns(0), bytes: 2000, nreqs: 5 },
+            TrainMember { at: Ns(100), bytes: 2000, nreqs: 5 },
+        ];
+        let mut out = Vec::new();
+        f.transfer_train(1, 1, &members, &mut out);
+        assert_eq!(out[0].arrival, Ns(1200));
+        assert_eq!(out[1].arrival, Ns(1300));
+        assert_eq!(f.intra_messages(), 2);
+        assert_eq!(f.uplink_busy(1), Ns::ZERO);
+    }
+
+    #[test]
+    fn wire_time_is_the_steady_state_denominator() {
+        let f = fabric(2);
+        let bytes = 40_000u64;
+        let wt = f.wire_time(bytes, 4);
+        assert_eq!(wt, Ns(40_000 + 400));
+        let bw = f.steady_state_bw(bytes, 4);
+        assert!((bw - bytes as f64 / wt.as_secs_f64()).abs() < 1e-6);
     }
 
     #[test]

@@ -31,7 +31,13 @@ impl Default for PsmConfig {
         PsmConfig {
             eager_threshold: 64 * 1024,
             window: 512 * 1024,
-            pipeline_depth: 2,
+            // Deep enough to cover a 4 MB message: the receiver registers
+            // all its windows up front, so the CTS burst (and the SDMA
+            // window burst it triggers) forms one packet train on the
+            // wire instead of trickling out two windows at a time.
+            // 8 × 512 KiB windows ≈ 1024 RcvArray entries worst-case
+            // (fragmented 4 KiB pages), half a context's 2048 budget.
+            pipeline_depth: 8,
             ranks_per_node: 0,
         }
     }
@@ -142,6 +148,12 @@ impl Endpoint {
     }
 
     /// Drain the pending actions for the host to execute.
+    ///
+    /// Ordering contract: actions of the same kind produced by one
+    /// protocol step come out **contiguously** (a rendezvous start emits
+    /// its `TidRegister`s as one run; the registrations' `Cts` sends come
+    /// out as one run). The host's packet-train accumulator relies on
+    /// this to coalesce a burst into a single fabric reservation.
     pub fn drain_actions(&mut self) -> Vec<PsmAction> {
         std::mem::take(&mut self.actions)
     }
@@ -649,6 +661,47 @@ mod tests {
                 .find(|&&(r, h, _)| r == 1 && h == rh)
                 .unwrap();
             assert!(payload.as_ref().unwrap().iter().all(|&b| b == i as u8));
+        }
+    }
+
+    #[test]
+    fn rendezvous_start_emits_contiguous_bursts() {
+        // The burst contract drain_actions documents: a rendezvous start
+        // emits its TidRegister actions as one contiguous run, and the
+        // CTS PioSends those registrations trigger come out as one
+        // contiguous run — no interleaving that would break a train.
+        let depth = PsmConfig::default().pipeline_depth;
+        let windows = 6u32.min(depth);
+        let len = PsmConfig::default().window * windows as u64;
+        let mut a = Endpoint::new(0, PsmConfig::default());
+        let mut b = Endpoint::new(1, PsmConfig::default());
+        b.irecv(Some(0), Tag(1), 0x1000, len);
+        a.isend(1, Tag(1), 0x2000, len, None);
+        let rts = a
+            .drain_actions()
+            .into_iter()
+            .find_map(|act| match act {
+                PsmAction::PioSend { packet, .. } => Some(packet),
+                _ => None,
+            })
+            .expect("rendezvous send starts with RTS");
+        b.on_packet(0, rts);
+        let regs = b.drain_actions();
+        assert_eq!(regs.len(), windows as usize, "one registration per window");
+        for (i, act) in regs.iter().enumerate() {
+            let PsmAction::TidRegister { window, msg_id, src, .. } = act else {
+                panic!("expected a contiguous TidRegister burst, got {act:?}");
+            };
+            assert_eq!(*window, i as u32);
+            b.on_tid_registered(*src, *msg_id, *window, vec![0, 1]);
+        }
+        let cts = b.drain_actions();
+        assert_eq!(cts.len(), windows as usize);
+        for (i, act) in cts.iter().enumerate() {
+            let PsmAction::PioSend { packet: PsmPacket::Cts { window, .. }, .. } = act else {
+                panic!("expected a contiguous CTS burst, got {act:?}");
+            };
+            assert_eq!(*window, i as u32);
         }
     }
 

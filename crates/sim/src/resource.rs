@@ -142,13 +142,32 @@ impl BandwidthGate {
     /// Like [`reserve`](Self::reserve) but also charges a fixed per-use
     /// overhead before the bytes flow (packetization, doorbell, etc.).
     pub fn reserve_with_overhead(&mut self, now: Ns, bytes: u64, overhead: Ns) -> (Ns, Ns) {
+        self.reserve_span(now, bytes, overhead + transfer_time(bytes, self.bytes_per_sec))
+    }
+
+    /// Reserve the pipe for an externally computed duration `dur` (e.g. a
+    /// [`wire time`](crate::transfer_time) plus per-request overheads)
+    /// starting no earlier than `now`. Returns `(start, finish)`.
+    pub fn reserve_span(&mut self, now: Ns, bytes: u64, dur: Ns) -> (Ns, Ns) {
         let start = now.max(self.free_at);
-        let dur = overhead + transfer_time(bytes, self.bytes_per_sec);
         let finish = start + dur;
         self.free_at = finish;
         self.moved += bytes;
         self.busy += dur;
         (start, finish)
+    }
+
+    /// Commit a batch of reservations whose schedule was computed
+    /// externally (a *train*): advance the pipe to `free_at` and account
+    /// `bytes`/`busy` in one write. The caller is responsible for having
+    /// computed the member schedule with the same FIFO rule `reserve`
+    /// uses (`start = max(at, free_at)`), so a train commit is
+    /// indistinguishable from the equivalent sequence of reserves.
+    pub fn commit_train(&mut self, free_at: Ns, bytes: u64, busy: Ns) {
+        debug_assert!(free_at >= self.free_at, "train commit must move forward");
+        self.free_at = free_at;
+        self.moved += bytes;
+        self.busy += busy;
     }
 
     /// Next instant the pipe is free.
@@ -242,5 +261,30 @@ mod tests {
     #[should_panic]
     fn zero_servers_rejected() {
         let _ = ServerPool::new(0);
+    }
+
+    #[test]
+    fn train_commit_matches_reserve_sequence() {
+        // A train commit replaying the FIFO rule externally must leave
+        // the gate in the same state as the per-reservation path.
+        let mut seq = BandwidthGate::new(1e9);
+        let members = [(Ns(0), 1000u64, Ns(100)), (Ns(50), 500, Ns(50)), (Ns(5000), 200, Ns(20))];
+        for &(at, bytes, ovh) in &members {
+            seq.reserve_with_overhead(at, bytes, ovh);
+        }
+        let mut train = BandwidthGate::new(1e9);
+        let mut free = train.free_at();
+        let (mut bytes_total, mut busy_total) = (0u64, Ns::ZERO);
+        for &(at, bytes, ovh) in &members {
+            let start = at.max(free);
+            let dur = ovh + transfer_time(bytes, 1e9);
+            free = start + dur;
+            bytes_total += bytes;
+            busy_total += dur;
+        }
+        train.commit_train(free, bytes_total, busy_total);
+        assert_eq!(train.free_at(), seq.free_at());
+        assert_eq!(train.bytes_moved(), seq.bytes_moved());
+        assert_eq!(train.busy_time(), seq.busy_time());
     }
 }

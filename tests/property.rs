@@ -280,6 +280,67 @@ fn wheel_pops_heap_sequence() {
     }
 }
 
+/// Packet trains are a pure event-count optimization: a batched run
+/// must produce the same physics as the per-packet reference model.
+/// Wall time must match within the documented tolerance (DESIGN.md
+/// "Packet trains": 0.1% on these configs; coalesced delivery can
+/// reorder library entry against unrelated events, so bit-equality is
+/// not guaranteed for every workload), and the conserved quantities —
+/// ranks finished, payloads delivered, fabric bytes/messages — must be
+/// exactly equal.
+#[test]
+fn packet_trains_match_per_packet_reference() {
+    use pico_apps::{App, JobShape};
+    use pico_cluster::{ClusterConfig, OsConfig, World};
+
+    let apps = [
+        (App::PingPong { bytes: 8 * 1024, reps: 6 }, 1, 1u32),    // eager PIO
+        (App::PingPong { bytes: 256 * 1024, reps: 4 }, 1, 1),     // 1-window rendezvous
+        (App::PingPong { bytes: 2 << 20, reps: 3 }, 1, 1),        // 4-window train
+        (App::Umt2013, 2, 2),                                     // halo exchange
+        (App::Hacc, 2, 2),                                        // overlapped isends
+        (App::Nekbone, 2, 1),                                     // CG allreduce
+        (App::Lammps, 2, 1),                                      // neighbor exchange
+        (App::PingPong { bytes: 4 << 20, reps: 2 }, 1, 1),        // 8-window train
+    ];
+    let mut case = 0u64;
+    for (app, rpn, iters) in apps {
+        for os in OsConfig::ALL {
+            let seed = case_rng(0x7124_1145, case).next_u64();
+            case += 1;
+            let shape = JobShape { nodes: 2, ranks_per_node: rpn };
+            let mut cfg = ClusterConfig::paper(os, shape);
+            cfg.seed = seed;
+            let mut unbatched = cfg.clone();
+            unbatched.batch_fabric = false;
+            let on = World::new(cfg, app, iters).run();
+            let off = World::new(unbatched, app, iters).run();
+            let label = format!("case {case} {:?} {}", app, os.label());
+            assert_eq!(on.ranks_done, off.ranks_done, "{label}");
+            assert_eq!(on.delivered_payloads, off.delivered_payloads, "{label}");
+            assert_eq!(on.fabric_bytes, off.fabric_bytes, "{label}");
+            assert_eq!(on.fabric_messages, off.fabric_messages, "{label}");
+            assert_eq!(on.clamped_events, 0, "{label}");
+            assert_eq!(off.clamped_events, 0, "{label}");
+            let dev = (on.wall_time.0 as f64 - off.wall_time.0 as f64).abs()
+                / off.wall_time.0.max(1) as f64;
+            assert!(
+                dev <= 0.001,
+                "{label}: wall {} (batched) vs {} (reference), deviation {:.4}%",
+                on.wall_time,
+                off.wall_time,
+                dev * 100.0
+            );
+            assert!(
+                on.sim_events <= off.sim_events,
+                "{label}: batching must not add events ({} vs {})",
+                on.sim_events,
+                off.sim_events
+            );
+        }
+    }
+}
+
 /// A full simulated run is byte-identical across repeated runs and
 /// across `par_map` worker counts (the sweep fan-out must not leak
 /// nondeterminism into results).
