@@ -18,9 +18,8 @@
 //! gates (every run still asserts `clamped_events == 0`).
 
 use pico_apps::App;
-use pico_cluster::OsConfig;
-use pico_cluster::{paper_config, run_app};
-use pico_sim::{EventQueue, HeapEventQueue, Json, Ns, Rng};
+use pico_cluster::{paper_config, run_app, FabricMode, OsConfig};
+use pico_sim::{EventQueue, HeapEventQueue, Json, Ns, Rng, WheelProfile};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -29,7 +28,7 @@ use std::time::Instant;
 /// The traffic mix mirrors the cluster hot loop: ~70% of schedules land
 /// within a few microseconds (wakes, packet hops), ~20% are same-timestamp
 /// storms (collective fan-out), ~10% are far-future timers (noise ticks).
-fn churn_wheel(n: usize, total: u64, seed: u64) -> (f64, u64) {
+fn churn_wheel(n: usize, total: u64, seed: u64) -> (f64, u64, WheelProfile, (usize, usize)) {
     let mut q: EventQueue<u32> = EventQueue::new();
     let mut rng = Rng::new(seed);
     for i in 0..n {
@@ -49,7 +48,54 @@ fn churn_wheel(n: usize, total: u64, seed: u64) -> (f64, u64) {
         processed += 1;
     }
     let secs = start.elapsed().as_secs_f64();
-    (processed as f64 / secs, q.events_processed())
+    (processed as f64 / secs, q.events_processed(), *q.profile(), q.occupancy())
+}
+
+/// Dump the wheel's placement counters, page-span histogram, and final
+/// slot occupancy from the churn run — the profile that motivated (and
+/// now monitors) the coarse second level.
+fn wheel_profile_dump(prof: &WheelProfile, occ: (usize, usize)) -> Json {
+    let total = prof.total().max(1);
+    let pct = |c: u64| 100.0 * c as f64 / total as f64;
+    println!(
+        "wheel profile: run {:.1}% cur {:.1}% fine {:.1}% coarse {:.1}% overflow {:.1}% ({} schedules)",
+        pct(prof.sched_run),
+        pct(prof.sched_cur),
+        pct(prof.sched_fine),
+        pct(prof.sched_coarse),
+        pct(prof.sched_overflow),
+        prof.total(),
+    );
+    let last = prof
+        .span_hist
+        .iter()
+        .rposition(|&c| c > 0)
+        .unwrap_or(0);
+    print!("  page-span log2 hist:");
+    for (i, &c) in prof.span_hist.iter().take(last + 1).enumerate() {
+        print!(" {i}:{c}");
+    }
+    println!();
+    println!("  final occupancy: {} fine slots, {} coarse buckets", occ.0, occ.1);
+    Json::obj([
+        ("sched_run", Json::UInt(prof.sched_run)),
+        ("sched_cur", Json::UInt(prof.sched_cur)),
+        ("sched_fine", Json::UInt(prof.sched_fine)),
+        ("sched_coarse", Json::UInt(prof.sched_coarse)),
+        ("sched_overflow", Json::UInt(prof.sched_overflow)),
+        (
+            "span_hist",
+            Json::Arr(
+                prof.span_hist
+                    .iter()
+                    .take(last + 1)
+                    .map(|&c| Json::UInt(c))
+                    .collect(),
+            ),
+        ),
+        ("occupied_fine_slots", Json::UInt(occ.0 as u64)),
+        ("occupied_coarse_buckets", Json::UInt(occ.1 as u64)),
+    ])
 }
 
 /// Same churn against the reference heap (same seed → same event stream).
@@ -75,25 +121,36 @@ fn churn_heap(n: usize, total: u64, seed: u64) -> f64 {
     processed as f64 / start.elapsed().as_secs_f64()
 }
 
-/// The packet-train gate: batched vs per-packet reference on a 4 MB
-/// rendezvous ping-pong. Returns one JSON row per OS config.
+/// The coalescing gates: per-flush trains and persistent flows vs the
+/// per-packet reference on a 4 MB rendezvous ping-pong. Trains must cut
+/// events ≥5×, flows ≥20×; both must reproduce the reference wall time
+/// exactly. Returns one JSON row per OS config.
 fn train_gate(reps: u32) -> Vec<Json> {
     let app = App::PingPong { bytes: 4 << 20, reps };
     let mut rows = Vec::new();
     for os in OsConfig::ALL {
-        let mut on = paper_config(os, app, 2, Some(1));
-        on.batch_fabric = true;
-        let mut off = on.clone();
-        off.batch_fabric = false;
-        let ron = run_app(on, app, 1);
+        let mut trains = paper_config(os, app, 2, Some(1));
+        trains.batch_fabric = FabricMode::Trains;
+        let mut off = trains.clone();
+        off.batch_fabric = FabricMode::PerPacket;
+        let mut flows = trains.clone();
+        flows.batch_fabric = FabricMode::Flows;
+        let ron = run_app(trains, app, 1);
         let roff = run_app(off, app, 1);
-        assert_eq!(ron.clamped_events, 0, "{os:?}: batched run clamped events");
+        let rflow = run_app(flows, app, 1);
+        assert_eq!(ron.clamped_events, 0, "{os:?}: train run clamped events");
         assert_eq!(roff.clamped_events, 0, "{os:?}: reference run clamped events");
+        assert_eq!(rflow.clamped_events, 0, "{os:?}: flow run clamped events");
         assert_eq!(
             ron.wall_time, roff.wall_time,
-            "{os:?}: batched wall time must match the per-packet reference"
+            "{os:?}: train wall time must match the per-packet reference"
+        );
+        assert_eq!(
+            rflow.wall_time, roff.wall_time,
+            "{os:?}: flow wall time must match the per-packet reference"
         );
         let ratio = roff.sim_events as f64 / ron.sim_events as f64;
+        let flow_ratio = roff.sim_events as f64 / rflow.sim_events as f64;
         println!(
             "train gate {:14} {} reps: {} -> {} events ({ratio:.2}x), {} trains, {} members, max {}",
             os.label(),
@@ -104,9 +161,26 @@ fn train_gate(reps: u32) -> Vec<Json> {
             ron.fabric_train_members,
             ron.fabric_max_train,
         );
+        println!(
+            "flow gate  {:14} {} reps: {} -> {} events ({flow_ratio:.2}x), {} flows, {} members, max {}, {} soft",
+            os.label(),
+            reps,
+            roff.sim_events,
+            rflow.sim_events,
+            rflow.fabric_flows,
+            rflow.fabric_flow_members,
+            rflow.fabric_max_flow,
+            rflow.soft_deliveries,
+        );
         if ratio < 5.0 {
             eprintln!(
                 "REGRESSION: train batching event reduction {ratio:.2}x below the 5x gate ({os:?})"
+            );
+            std::process::exit(1);
+        }
+        if flow_ratio < 20.0 {
+            eprintln!(
+                "REGRESSION: flow event reduction {flow_ratio:.2}x below the 20x gate ({os:?})"
             );
             std::process::exit(1);
         }
@@ -115,14 +189,70 @@ fn train_gate(reps: u32) -> Vec<Json> {
             ("reps", Json::UInt(reps as u64)),
             ("events_reference", Json::UInt(roff.sim_events)),
             ("events_batched", Json::UInt(ron.sim_events)),
+            ("events_flows", Json::UInt(rflow.sim_events)),
             ("event_reduction", Json::Num(ratio)),
+            ("event_reduction_flows", Json::Num(flow_ratio)),
             ("fabric_trains", Json::UInt(ron.fabric_trains)),
             ("fabric_train_members", Json::UInt(ron.fabric_train_members)),
             ("fabric_max_train", Json::UInt(ron.fabric_max_train)),
+            ("fabric_flows", Json::UInt(rflow.fabric_flows)),
+            ("fabric_flow_members", Json::UInt(rflow.fabric_flow_members)),
+            ("fabric_max_flow", Json::UInt(rflow.fabric_max_flow)),
+            ("soft_deliveries", Json::UInt(rflow.soft_deliveries)),
+            ("fabric_resplits_trains", Json::UInt(ron.fabric_resplits)),
+            ("fabric_resplits_flows", Json::UInt(rflow.fabric_resplits)),
+            ("fabric_flow_pauses", Json::UInt(rflow.fabric_flow_pauses)),
             ("wall_time_s", Json::Num(ron.wall_time.as_secs_f64())),
         ]));
     }
     rows
+}
+
+/// The Qbox resplit gate: the ROADMAP flagged Qbox as the workload
+/// whose per-flush trains resplit the most. Persistent flows merge
+/// successive flushes, so one flow resplits once where several short
+/// trains each paid a requeue — the count must not grow, and the flow
+/// run must stay within the trains run's wall time envelope.
+fn qbox_resplit_gate(iters: u32) -> Json {
+    let app = App::Qbox;
+    let mut trains = paper_config(OsConfig::McKernelHfi, app, 2, Some(8));
+    trains.batch_fabric = FabricMode::Trains;
+    let mut flows = trains.clone();
+    flows.batch_fabric = FabricMode::Flows;
+    let rt = run_app(trains, app, iters);
+    let rf = run_app(flows, app, iters);
+    assert_eq!(rt.clamped_events, 0, "qbox train run clamped events");
+    assert_eq!(rf.clamped_events, 0, "qbox flow run clamped events");
+    println!(
+        "qbox resplits: trains {} -> flows {} (+{} lazy pauses; events {} -> {}, {} flows, max {})",
+        rt.fabric_resplits,
+        rf.fabric_resplits,
+        rf.fabric_flow_pauses,
+        rt.sim_events,
+        rf.sim_events,
+        rf.fabric_flows,
+        rf.fabric_max_flow,
+    );
+    if rf.fabric_resplits >= rt.fabric_resplits {
+        eprintln!(
+            "REGRESSION: flows must reduce Qbox resplits below train mode ({} vs {})",
+            rf.fabric_resplits, rt.fabric_resplits
+        );
+        std::process::exit(1);
+    }
+    Json::obj([
+        ("app", Json::str("Qbox")),
+        ("iters", Json::UInt(iters as u64)),
+        ("resplits_trains", Json::UInt(rt.fabric_resplits)),
+        ("resplits_flows", Json::UInt(rf.fabric_resplits)),
+        ("flow_pauses", Json::UInt(rf.fabric_flow_pauses)),
+        ("events_trains", Json::UInt(rt.sim_events)),
+        ("events_flows", Json::UInt(rf.sim_events)),
+        ("fabric_flows", Json::UInt(rf.fabric_flows)),
+        ("fabric_max_flow", Json::UInt(rf.fabric_max_flow)),
+        ("wall_trains_s", Json::Num(rt.wall_time.as_secs_f64())),
+        ("wall_flows_s", Json::Num(rf.wall_time.as_secs_f64())),
+    ])
 }
 
 fn main() {
@@ -134,7 +264,7 @@ fn main() {
     // Interleave the two once each for warmup, then measure.
     churn_wheel(live, total / 8, seed);
     churn_heap(live, total / 8, seed);
-    let (wheel_eps, wheel_events) = churn_wheel(live, total, seed);
+    let (wheel_eps, wheel_events, wheel_prof, wheel_occ) = churn_wheel(live, total, seed);
     let heap_eps = churn_heap(live, total, seed);
     let speedup = wheel_eps / heap_eps;
     println!(
@@ -144,9 +274,12 @@ fn main() {
         speedup
     );
     assert!(wheel_events >= total);
+    let wheel_profile_row = wheel_profile_dump(&wheel_prof, wheel_occ);
 
-    // Packet-train batching gate: wall-identical, ≥5× fewer events.
+    // Coalescing gates: wall-identical, trains ≥5× / flows ≥20× fewer
+    // events; Qbox resplits must not grow under flows.
     let train_rows = train_gate(if smoke { 12 } else { 50 });
+    let qbox_row = qbox_resplit_gate(if smoke { 2 } else { 5 });
 
     // End-to-end: Figure 6a sweep at small scale, wall time + sim throughput.
     let sweep_start = Instant::now();
@@ -187,9 +320,11 @@ fn main() {
                 ("wheel_events_per_sec", Json::Num(wheel_eps)),
                 ("heap_events_per_sec", Json::Num(heap_eps)),
                 ("speedup", Json::Num(speedup)),
+                ("wheel_profile", wheel_profile_row),
             ]),
         ),
         ("trains", Json::Arr(train_rows)),
+        ("qbox_resplits", qbox_row),
         (
             "sweep",
             Json::obj([

@@ -33,6 +33,36 @@ impl OsConfig {
     pub const ALL: [OsConfig; 3] = [OsConfig::Linux, OsConfig::McKernel, OsConfig::McKernelHfi];
 }
 
+/// How same-link packet bursts travel through the fabric model. The three
+/// values form a reference tower: each faster mode is equivalence-tested
+/// against the one below it the way the timing wheel is tested against
+/// `HeapEventQueue`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FabricMode {
+    /// One `Ev::Packet` per hop — the per-packet reference model.
+    PerPacket,
+    /// PR 2 behaviour: coalesce each dispatch's same-link burst into one
+    /// fabric reservation and one delivery event with an analytic
+    /// per-packet arrival spread; the train dies at the flush boundary.
+    Trains,
+    /// Persistent per-link flows: the train stays open across dispatches,
+    /// successive flushes extend the fabric reservation, and delivery
+    /// rides the zero-event soft schedule; only conflicts (lazy resplit),
+    /// `flow_linger_ns` idleness, or the member cap close a flow.
+    Flows,
+}
+
+impl FabricMode {
+    /// Whether bursts are coalesced at all (trains or flows).
+    pub fn batches(self) -> bool {
+        self != FabricMode::PerPacket
+    }
+    /// Whether trains persist across dispatches as flows.
+    pub fn flows(self) -> bool {
+        self == FabricMode::Flows
+    }
+}
+
 /// Full cluster configuration.
 #[derive(Clone, Debug)]
 pub struct ClusterConfig {
@@ -78,12 +108,20 @@ pub struct ClusterConfig {
     pub host_fragmentation: f64,
     /// Carry real payloads end to end (small runs only).
     pub backed: bool,
-    /// Coalesce same-link packet bursts into trains: one fabric
-    /// reservation and one delivery event per burst, with an analytic
-    /// per-packet arrival spread. Off = the per-packet reference model
-    /// (one `Ev::Packet` per hop), kept for equivalence testing the way
+    /// Fabric burst coalescing mode (see [`FabricMode`]). The slower
+    /// modes are kept as reference models for equivalence testing the way
     /// `HeapEventQueue` backs the timing wheel.
-    pub batch_fabric: bool,
+    pub batch_fabric: FabricMode,
+    /// Close a persistent flow whose link has been idle this long; closed
+    /// flows finalize their statistics and the next burst opens a fresh
+    /// one. Also paces the `Ev::FlowClose` reaper timers (one per active
+    /// link, rescheduled at this cadence). Only read in
+    /// [`FabricMode::Flows`].
+    pub flow_linger_ns: Ns,
+    /// Hard cap on members accumulated by one flow before it is closed
+    /// and a successor opened — bounds the member vector a single
+    /// delivery dispatch may own. Only read in [`FabricMode::Flows`].
+    pub flow_member_cap: usize,
 }
 
 impl ClusterConfig {
@@ -114,7 +152,9 @@ impl ClusterConfig {
             pico_init_cost: Ns::millis(1),
             host_fragmentation: 0.4,
             backed: false,
-            batch_fabric: true,
+            batch_fabric: FabricMode::Flows,
+            flow_linger_ns: Ns::millis(2),
+            flow_member_cap: 4096,
         }
     }
 }

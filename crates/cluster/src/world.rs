@@ -57,6 +57,24 @@ enum Ev {
     /// event fires at the last member's IRQ finish (the only completion
     /// an in-order pipelined sender can act on).
     SdmaSentBatch { members: Vec<SentMember> },
+    /// Flow-mode reaper timer: close `flows[slot]` if its link has idled
+    /// past `flow_linger_ns`, else re-arm. Touches no rank state (pure
+    /// flow bookkeeping), so it is exempt from `node_pending` accounting
+    /// and commutes with train continuations.
+    FlowClose { slot: usize },
+}
+
+/// Where a train dispatch's members came from — decides where an
+/// undeliverable remainder is handed back to.
+#[derive(Clone, Copy)]
+enum TrainSource {
+    /// A queued `Ev::PacketTrain` (or a soft one): the remainder is
+    /// re-emitted as a fresh train at its first arrival.
+    Event,
+    /// The pending members of `flows[i]`: the remainder goes back into
+    /// the slot (lazy resplit) and re-defers as its soft entry, so later
+    /// appends keep extending it in place.
+    Flow(usize),
 }
 
 /// One in-flight member of an [`Ev::PacketTrain`].
@@ -95,6 +113,53 @@ struct PendingMember {
     /// Sender-side completion IRQ to batch, for SDMA windows:
     /// `(rank, msg_id, window, va, completion_cpu)`.
     completion: Option<(usize, u64, u32, u64, Ns)>,
+}
+
+/// A deferred delivery on the flow-mode *soft schedule*: flush products
+/// that the train mode would have queued as events, kept outside the
+/// queue and merged against it by `(at, seq)` — the seq is allocated
+/// from the queue's own counter, so executing the smaller key first
+/// reproduces the train-mode pop order exactly while the soft side costs
+/// zero `sim_events`.
+struct SoftItem {
+    at: Ns,
+    seq: u64,
+    kind: SoftKind,
+}
+
+enum SoftKind {
+    /// Deliver the pending members of `flows[i]`.
+    Flow(usize),
+    /// Any other flush product (intra-node train, parked singleton,
+    /// batched sender completions), dispatched exactly like the event.
+    Ev(Ev),
+}
+
+/// A persistent per-link flow: the train accumulator of one
+/// `(src_node, dst_node)` link kept open across event dispatches.
+/// Successive flushes extend the fabric reservation
+/// ([`Fabric::extend_train`]) and append to `members`; delivery rides
+/// one soft-schedule entry that a lazy resplit re-defers at the first
+/// conflicting member. Slots are allocated once per link and never
+/// freed — `open` flips as flows close (linger, member cap, reaper) and
+/// successors reuse the slot.
+struct FlowSlot {
+    src: usize,
+    dst: usize,
+    /// Whether a flow is currently open on this link (stats identity).
+    open: bool,
+    /// Committed-but-undelivered members, in arrival order.
+    members: Vec<TrainPacket>,
+    /// Whether a `SoftKind::Flow` entry for `members` is on the soft
+    /// schedule (and has a matching `node_pending` entry).
+    pending: bool,
+    /// Members accumulated by the open flow so far (the
+    /// `extend_train` continuation length; resets when the flow closes).
+    len: u64,
+    /// Last append or delivery on this link, for linger decisions.
+    last_activity: Ns,
+    /// Whether an `Ev::FlowClose` reaper event is in the queue.
+    reaper_armed: bool,
 }
 
 /// One node's kernel + device complex.
@@ -160,6 +225,28 @@ pub struct RunResult {
     pub fabric_train_members: u64,
     /// Longest train scheduled.
     pub fabric_max_train: u64,
+    /// Train deliveries that stopped at a member the dispatch could not
+    /// consume and *re-committed* the remainder as a fresh scheduler
+    /// item — a new train losing its accumulator. This is the resplit
+    /// work ROADMAP flagged on Qbox: every one pays a requeue and a
+    /// fresh dispatch. Flow suffixes that stay in their slot are counted
+    /// as [`fabric_flow_pauses`](Self::fabric_flow_pauses) instead.
+    pub fabric_resplits: u64,
+    /// Flow deliveries that stopped at a conflicting member and
+    /// re-deferred the suffix *in place* as the flow's pending delivery
+    /// (the lazy resplit). Zero queue events each — the cheap cousin of
+    /// [`fabric_resplits`](Self::fabric_resplits).
+    pub fabric_flow_pauses: u64,
+    /// Persistent flows opened ([`FabricMode::Flows`] only).
+    pub fabric_flows: u64,
+    /// Members delivered through those flows.
+    pub fabric_flow_members: u64,
+    /// Longest flow (members accumulated by one flow before it closed).
+    pub fabric_max_flow: u64,
+    /// Deliveries executed on the zero-event soft schedule
+    /// ([`FabricMode::Flows`] only): work that [`FabricMode::Trains`]
+    /// would have spent queue events on.
+    pub soft_deliveries: u64,
     /// Backed-run payloads whose bytes failed the wrapping-increment
     /// self-check after delivery (must be zero; nonzero means the train
     /// or reassembly path corrupted a payload).
@@ -204,7 +291,10 @@ struct HotCfg {
     pio_base: Ns,
     pio_bw: f64,
     copy_bw: f64,
+    /// Bursts coalesce at all (`Trains` or `Flows`).
     batch: bool,
+    /// Trains persist across dispatches and ride the soft schedule.
+    flows: bool,
 }
 
 /// The simulator.
@@ -256,8 +346,28 @@ pub struct World {
     /// Every queued event runs ranks of exactly one node, so a train
     /// dispatch may run ahead of events that touch *other* nodes — their
     /// gates and inboxes are disjoint from the continuation's — but must
-    /// yield to anything pending on the destination node itself.
+    /// yield to anything pending on the destination node itself. Soft
+    /// schedule items are accounted here exactly like queued events.
     node_pending: Vec<std::collections::BTreeMap<Ns, u32>>,
+    /// Flow-mode soft schedule, sorted *descending* by `(at, seq)` so the
+    /// next item pops O(1) off the tail (same trick as the wheel's `cur`).
+    soft: Vec<SoftItem>,
+    /// Persistent per-link flow slots, scanned linearly (a run touches a
+    /// handful of directed links).
+    flows: Vec<FlowSlot>,
+    /// Resplit counter behind [`RunResult::fabric_resplits`].
+    resplits: u64,
+    /// Lazy-pause counter behind [`RunResult::fabric_flow_pauses`].
+    flow_pauses: u64,
+    /// Flow counters behind the `fabric_flow*` results.
+    flows_opened: u64,
+    flow_members_total: u64,
+    max_flow_len: u64,
+    /// Soft-schedule dispatches (would-be events under `Trains`).
+    soft_deliveries: u64,
+    /// Time of the dispatch in flight (== the popped item's timestamp;
+    /// runs ahead of `queue.now()` during soft dispatches).
+    sim_now: Ns,
 }
 
 impl World {
@@ -332,7 +442,7 @@ impl World {
             let skew = Ns(skew_rng.gen_range(cfg.launch_skew.0.max(1)));
             rank.clock = skew;
             queue.schedule(skew, Ev::Wake(r));
-            if cfg.batch_fabric {
+            if cfg.batch_fabric.batches() {
                 *node_pending[rank.node].entry(skew).or_insert(0) += 1;
             }
             pending_wake.push(skew);
@@ -342,7 +452,8 @@ impl World {
             pio_base: cfg.pio_base,
             pio_bw: cfg.pio_bw,
             copy_bw: cfg.copy_bw,
-            batch: cfg.batch_fabric,
+            batch: cfg.batch_fabric.batches(),
+            flows: cfg.batch_fabric.flows(),
         };
         let nranks = ranks.len();
         World {
@@ -370,6 +481,15 @@ impl World {
             train_park_clock: vec![Ns::ZERO; nranks],
             engaged_scratch: Vec::new(),
             node_pending,
+            soft: Vec::new(),
+            flows: Vec::new(),
+            resplits: 0,
+            flow_pauses: 0,
+            flows_opened: 0,
+            flow_members_total: 0,
+            max_flow_len: 0,
+            soft_deliveries: 0,
+            sim_now: Ns::ZERO,
         }
     }
 
@@ -467,13 +587,16 @@ impl World {
     /// event's dispatch can touch. Every variant runs ranks of exactly
     /// one node; anything it sends to other nodes becomes a *new*
     /// queued event, accounted on its own node when scheduled.
-    fn ev_node(&self, ev: &Ev) -> usize {
+    /// `None` for pure-bookkeeping events (`FlowClose`), which touch no
+    /// rank state and commute with everything.
+    fn ev_node(&self, ev: &Ev) -> Option<usize> {
         match ev {
-            Ev::Wake(r) => self.ranks[*r].node,
-            Ev::Packet { dst, .. } => self.ranks[*dst].node,
-            Ev::SdmaSent { rank, .. } => self.ranks[*rank].node,
-            Ev::PacketTrain { members } => self.ranks[members[0].dst].node,
-            Ev::SdmaSentBatch { members } => self.ranks[members[0].rank].node,
+            Ev::Wake(r) => Some(self.ranks[*r].node),
+            Ev::Packet { dst, .. } => Some(self.ranks[*dst].node),
+            Ev::SdmaSent { rank, .. } => Some(self.ranks[*rank].node),
+            Ev::PacketTrain { members } => Some(self.ranks[members[0].dst].node),
+            Ev::SdmaSentBatch { members } => Some(self.ranks[members[0].rank].node),
+            Ev::FlowClose { .. } => None,
         }
     }
 
@@ -498,93 +621,97 @@ impl World {
     /// step (batching mode only — the reference path never consults it).
     fn schedule_ev(&mut self, at: Ns, ev: Ev) {
         if self.hot.batch {
-            let n = self.ev_node(&ev);
-            *self.node_pending[n].entry(at).or_insert(0) += 1;
+            if let Some(n) = self.ev_node(&ev) {
+                *self.node_pending[n].entry(at).or_insert(0) += 1;
+            }
         }
         self.queue.schedule(at, ev);
+    }
+
+    /// Drop one `node_pending` mark for node `n` at time `t` (the inverse
+    /// of the bookkeeping in [`schedule_ev`](Self::schedule_ev) /
+    /// [`push_soft`](Self::push_soft), applied when the event or soft
+    /// item is dispatched).
+    fn node_pending_remove(&mut self, n: usize, t: Ns) {
+        match self.node_pending[n].get_mut(&t) {
+            Some(c) if *c > 1 => *c -= 1,
+            _ => {
+                self.node_pending[n].remove(&t);
+            }
+        }
+    }
+
+    /// Put a deferred delivery on the soft schedule, stamped with a seq
+    /// from the queue's counter (so it merges into the exact train-mode
+    /// pop order) and accounted in `node_pending` like a queued event.
+    fn push_soft(&mut self, at: Ns, kind: SoftKind) {
+        let node = match &kind {
+            SoftKind::Flow(i) => Some(self.flows[*i].dst),
+            SoftKind::Ev(ev) => self.ev_node(ev),
+        };
+        if let Some(n) = node {
+            *self.node_pending[n].entry(at).or_insert(0) += 1;
+        }
+        let seq = self.queue.alloc_seq();
+        let item = SoftItem { at, seq, kind };
+        let pos = self
+            .soft
+            .partition_point(|s| (s.at, s.seq) > (at, seq));
+        self.soft.insert(pos, item);
+    }
+
+    /// Emit a flush product: a queued event under `Trains` (and the
+    /// per-packet reference), a zero-event soft item under `Flows`.
+    fn emit_ev(&mut self, at: Ns, ev: Ev) {
+        if self.hot.flows {
+            self.push_soft(at, SoftKind::Ev(ev));
+        } else {
+            self.schedule_ev(at, ev);
+        }
     }
 
     /// Run; optionally print stuck-rank diagnostics at exhaustion.
     pub fn run_with_debug(mut self, debug: bool) -> RunResult {
         let started = std::time::Instant::now();
         let mut safety = 0u64;
-        while let Some((t, ev)) = self.queue.pop() {
+        loop {
             safety += 1;
             assert!(
                 safety < 2_000_000_000,
-                "runaway simulation: {} events",
+                "runaway simulation: {} dispatches",
                 safety
             );
-            if self.hot.batch {
-                let n = self.ev_node(&ev);
-                match self.node_pending[n].get_mut(&t) {
-                    Some(c) if *c > 1 => *c -= 1,
-                    _ => {
-                        self.node_pending[n].remove(&t);
+            // Merge the soft schedule with the queue by `(time, seq)`:
+            // both sides draw seqs from one counter, so this pop order is
+            // bit-identical to train mode's — the soft side just doesn't
+            // pay queue events.
+            let take_soft = match (
+                self.soft.last().map(|s| (s.at, s.seq)),
+                self.queue.peek_key(),
+            ) {
+                (Some(s), Some(q)) => s < q,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_soft {
+                let item = self.soft.pop().expect("non-empty soft schedule");
+                self.soft_deliveries += 1;
+                self.sim_now = item.at;
+                self.dispatch_soft(item);
+            } else {
+                let (t, ev) = self.queue.pop().expect("non-empty queue");
+                self.sim_now = t;
+                if self.hot.batch {
+                    if let Some(n) = self.ev_node(&ev) {
+                        self.node_pending_remove(n, t);
                     }
                 }
-            }
-            match ev {
-                Ev::Wake(r) => {
-                    if self.pending_wake[r] == t {
-                        self.pending_wake[r] = Ns::MAX;
-                    }
-                    if !self.ranks[r].done {
-                        let now = t.max(self.ranks[r].clock);
-                        self.run_rank(r, now);
-                    }
-                }
-                Ev::Packet { dst, src, packet } => {
-                    if self.ranks[dst].done {
-                        continue;
-                    }
-                    let busy_until = self.ranks[dst].clock;
-                    if busy_until > t {
-                        // Rank busy (computing or mid-offload): park the
-                        // packet and make sure the rank gets poked. Storms
-                        // of packets parking behind the same busy window
-                        // coalesce into a single wake.
-                        self.ranks[dst].inbox.push((src, packet));
-                        self.schedule_wake(dst, busy_until);
-                    } else {
-                        let mut now = t;
-                        self.deliver_packet(dst, src, packet, &mut now);
-                        self.run_rank(dst, now);
-                    }
-                }
-                Ev::SdmaSent {
-                    rank,
-                    msg_id,
-                    window,
-                    va,
-                } => {
-                    self.on_sdma_sent(rank, msg_id, window, va);
-                    let now = t.max(self.ranks[rank].clock);
-                    if !self.ranks[rank].done {
-                        self.run_rank(rank, now);
-                    }
-                }
-                Ev::PacketTrain { members } => {
-                    self.on_packet_train(members);
-                }
-                Ev::SdmaSentBatch { members } => {
-                    for m in &members {
-                        self.on_sdma_sent(m.rank, m.msg_id, m.window, m.va);
-                    }
-                    for (i, m) in members.iter().enumerate() {
-                        // One run per distinct sender rank.
-                        if members[..i].iter().any(|p| p.rank == m.rank) {
-                            continue;
-                        }
-                        if !self.ranks[m.rank].done {
-                            let now = t.max(self.ranks[m.rank].clock);
-                            self.run_rank(m.rank, now);
-                        }
-                    }
-                }
+                self.dispatch_ev(t, ev);
             }
             // Coalesce everything the dispatch emitted into trains: one
-            // fabric reservation and one delivery event per link burst.
+            // fabric reservation per link burst, delivered by one event
+            // (`Trains`) or by extending the link's open flow (`Flows`).
             self.flush_trains();
         }
         if debug {
@@ -595,6 +722,104 @@ impl World {
         }
         let elapsed = started.elapsed().as_secs_f64();
         self.collect(elapsed)
+    }
+
+    /// Execute one soft-schedule item (its `node_pending` mark drops
+    /// first, exactly like an event pop).
+    fn dispatch_soft(&mut self, item: SoftItem) {
+        match item.kind {
+            SoftKind::Flow(i) => {
+                self.node_pending_remove(self.flows[i].dst, item.at);
+                let members = std::mem::take(&mut self.flows[i].members);
+                self.flows[i].pending = false;
+                self.flows[i].last_activity = item.at;
+                self.on_packet_train(members, TrainSource::Flow(i));
+            }
+            SoftKind::Ev(ev) => {
+                if let Some(n) = self.ev_node(&ev) {
+                    self.node_pending_remove(n, item.at);
+                }
+                self.dispatch_ev(item.at, ev);
+            }
+        }
+    }
+
+    /// Dispatch one event (queued or soft) at time `t`.
+    fn dispatch_ev(&mut self, t: Ns, ev: Ev) {
+        match ev {
+            Ev::Wake(r) => {
+                if self.pending_wake[r] == t {
+                    self.pending_wake[r] = Ns::MAX;
+                }
+                if !self.ranks[r].done {
+                    let now = t.max(self.ranks[r].clock);
+                    self.run_rank(r, now);
+                }
+            }
+            Ev::Packet { dst, src, packet } => {
+                if self.ranks[dst].done {
+                    return;
+                }
+                let busy_until = self.ranks[dst].clock;
+                if busy_until > t {
+                    // Rank busy (computing or mid-offload): park the
+                    // packet and make sure the rank gets poked. Storms
+                    // of packets parking behind the same busy window
+                    // coalesce into a single wake.
+                    self.ranks[dst].inbox.push((src, packet));
+                    self.schedule_wake(dst, busy_until);
+                } else {
+                    let mut now = t;
+                    self.deliver_packet(dst, src, packet, &mut now);
+                    self.run_rank(dst, now);
+                }
+            }
+            Ev::SdmaSent {
+                rank,
+                msg_id,
+                window,
+                va,
+            } => {
+                self.on_sdma_sent(rank, msg_id, window, va);
+                let now = t.max(self.ranks[rank].clock);
+                if !self.ranks[rank].done {
+                    self.run_rank(rank, now);
+                }
+            }
+            Ev::PacketTrain { members } => {
+                self.on_packet_train(members, TrainSource::Event);
+            }
+            Ev::SdmaSentBatch { members } => {
+                // Windows of one message complete together: advance each
+                // endpoint once per `(rank, msg_id)` group instead of
+                // once per window.
+                let mut i = 0;
+                while i < members.len() {
+                    let mut j = i + 1;
+                    while j < members.len()
+                        && (members[j].rank, members[j].msg_id)
+                            == (members[i].rank, members[i].msg_id)
+                    {
+                        j += 1;
+                    }
+                    self.on_sdma_sent_group(&members[i..j]);
+                    i = j;
+                }
+                for (i, m) in members.iter().enumerate() {
+                    // One run per distinct sender rank.
+                    if members[..i].iter().any(|p| p.rank == m.rank) {
+                        continue;
+                    }
+                    if !self.ranks[m.rank].done {
+                        let now = t.max(self.ranks[m.rank].clock);
+                        self.run_rank(m.rank, now);
+                    }
+                }
+            }
+            Ev::FlowClose { slot } => {
+                self.on_flow_close(slot, t);
+            }
+        }
     }
 
     fn collect(self, elapsed_secs: f64) -> RunResult {
@@ -649,6 +874,21 @@ impl World {
             fabric_trains: self.fabric.trains(),
             fabric_train_members: self.fabric.train_members(),
             fabric_max_train: self.fabric.max_train_len(),
+            fabric_resplits: self.resplits,
+            fabric_flow_pauses: self.flow_pauses,
+            fabric_flows: self.flows_opened,
+            fabric_flow_members: self.flow_members_total,
+            fabric_max_flow: {
+                // Flows still open at exhaustion never saw close_flow.
+                let mut m = self.max_flow_len;
+                for f in &self.flows {
+                    if f.open {
+                        m = m.max(f.len);
+                    }
+                }
+                m
+            },
+            soft_deliveries: self.soft_deliveries,
             payload_errors,
             tid_programs,
             pio_sends: pio,
@@ -819,7 +1059,7 @@ impl World {
                 j += 1;
             }
             if j - i == 1 {
-                self.schedule_ev(
+                self.emit_ev(
                     at,
                     Ev::SdmaSent {
                         rank: first.rank,
@@ -830,7 +1070,7 @@ impl World {
                 );
             } else {
                 let group: Vec<SentMember> = sent[i..j].iter().map(|&(.., m)| m).collect();
-                self.schedule_ev(at, Ev::SdmaSentBatch { members: group });
+                self.emit_ev(at, Ev::SdmaSentBatch { members: group });
             }
             i = j;
         }
@@ -839,6 +1079,14 @@ impl World {
     }
 
     fn flush_one_train(&mut self, src_node: usize, dst_node: usize, members: &mut Vec<PendingMember>) {
+        // Flow mode, inter-node link: the burst extends the link's
+        // persistent flow instead of becoming its own train. Intra-node
+        // (shared-memory) arrivals are not monotone across dispatches,
+        // so those bursts stay per-flush trains — on the soft schedule.
+        if self.hot.flows && src_node != dst_node {
+            self.flow_append(src_node, dst_node, members);
+            return;
+        }
         // One reservation per gate for the whole burst.
         let mut fm = std::mem::take(&mut self.fabric_member_scratch);
         fm.clear();
@@ -873,7 +1121,7 @@ impl World {
         // train becomes one event at its first arrival.
         if members.len() == 1 {
             let m = members.pop().expect("one member");
-            self.schedule_ev(
+            self.emit_ev(
                 scheds[0].arrival,
                 Ev::Packet {
                     dst: m.dst,
@@ -897,12 +1145,145 @@ impl World {
             // delivery in time order (stable, so ties keep link order).
             packets.sort_by_key(|p| p.arrival);
             let first = packets[0].arrival;
-            self.schedule_ev(first, Ev::PacketTrain { members: packets });
+            self.emit_ev(first, Ev::PacketTrain { members: packets });
         }
         fm.clear();
         self.fabric_member_scratch = fm;
         scheds.clear();
         self.sched_scratch = scheds;
+    }
+
+    /// Find (or allocate) the persistent flow slot of a directed link.
+    /// Linear scan: a run touches a handful of inter-node links.
+    fn flow_slot(&mut self, src: usize, dst: usize) -> usize {
+        if let Some(i) = self.flows.iter().position(|f| f.src == src && f.dst == dst) {
+            return i;
+        }
+        self.flows.push(FlowSlot {
+            src,
+            dst,
+            open: false,
+            members: Vec::new(),
+            pending: false,
+            len: 0,
+            last_activity: Ns::ZERO,
+            reaper_armed: false,
+        });
+        self.flows.len() - 1
+    }
+
+    /// Finalize the open flow in `slot` (stats identity only: undelivered
+    /// members stay in place and a successor reuses the slot).
+    fn close_flow(&mut self, idx: usize) {
+        if self.flows[idx].open {
+            self.max_flow_len = self.max_flow_len.max(self.flows[idx].len);
+            self.flows[idx].open = false;
+            self.flows[idx].len = 0;
+        }
+    }
+
+    /// Append one flush's burst to its link's persistent flow: extend the
+    /// fabric reservation from where the previous commit left the gates
+    /// (so the analytic spread continues exactly as one longer train),
+    /// collect sender completions, and make sure one soft delivery entry
+    /// and one reaper timer cover the slot.
+    fn flow_append(&mut self, src_node: usize, dst_node: usize, members: &mut Vec<PendingMember>) {
+        let now = self.sim_now;
+        let linger = self.cfg.flow_linger_ns;
+        let idx = self.flow_slot(src_node, dst_node);
+        // Lazy close: the link idled past the linger, or this burst would
+        // breach the member cap — finalize the flow, open a successor.
+        if self.flows[idx].open {
+            let f = &self.flows[idx];
+            let idled = !f.pending && now > f.last_activity + linger;
+            let capped = f.len as usize + members.len() > self.cfg.flow_member_cap;
+            if idled || capped {
+                self.close_flow(idx);
+            }
+        }
+        if !self.flows[idx].open {
+            self.flows[idx].open = true;
+            self.flows_opened += 1;
+        }
+        let mut fm = std::mem::take(&mut self.fabric_member_scratch);
+        fm.clear();
+        fm.extend(members.iter().map(|m| TrainMember {
+            at: m.at,
+            bytes: m.bytes,
+            nreqs: m.nreqs,
+        }));
+        let mut scheds = std::mem::take(&mut self.sched_scratch);
+        scheds.clear();
+        let prior = self.flows[idx].len;
+        self.fabric.extend_train(src_node, dst_node, &fm, prior, &mut scheds);
+        for (m, sched) in members.iter().zip(&scheds) {
+            if let Some((rank, msg_id, window, va, cpu)) = m.completion {
+                self.sent_scratch.push((
+                    m.seq,
+                    src_node,
+                    sched.injected + self.lc.irq_entry,
+                    cpu,
+                    SentMember {
+                        rank,
+                        msg_id,
+                        window,
+                        va,
+                    },
+                ));
+            }
+        }
+        let n = members.len() as u64;
+        for (m, s) in members.drain(..).zip(scheds.iter()) {
+            // Link FIFO makes arrivals monotone in commit order, even
+            // across a resplit pushback — appends keep `members` sorted.
+            debug_assert!(
+                self.flows[idx]
+                    .members
+                    .last()
+                    .is_none_or(|p| p.arrival <= s.arrival),
+                "flow arrivals must stay monotone across appends"
+            );
+            self.flows[idx].members.push(TrainPacket {
+                arrival: s.arrival,
+                dst: m.dst,
+                src: m.src,
+                packet: m.packet,
+            });
+        }
+        self.flows[idx].len += n;
+        self.flow_members_total += n;
+        self.max_flow_len = self.max_flow_len.max(self.flows[idx].len);
+        self.flows[idx].last_activity = now;
+        if !self.flows[idx].pending {
+            let at = self.flows[idx].members[0].arrival;
+            self.flows[idx].pending = true;
+            self.push_soft(at, SoftKind::Flow(idx));
+        }
+        if !self.flows[idx].reaper_armed {
+            self.flows[idx].reaper_armed = true;
+            self.schedule_ev(now + linger, Ev::FlowClose { slot: idx });
+        }
+        fm.clear();
+        self.fabric_member_scratch = fm;
+        scheds.clear();
+        self.sched_scratch = scheds;
+    }
+
+    /// The `Ev::FlowClose` reaper, fired at `t`: close the slot's flow if
+    /// its link has idled past the linger; re-arm while it is active (or
+    /// has a delivery outstanding); disarm for good once the flow is
+    /// closed, so an idle link costs no further events.
+    fn on_flow_close(&mut self, slot: usize, t: Ns) {
+        let linger = self.cfg.flow_linger_ns;
+        let f = &self.flows[slot];
+        let (pending, last, open) = (f.pending, f.last_activity, f.open);
+        if pending || (open && t < last + linger) {
+            let at = if pending { t + linger } else { last + linger };
+            self.schedule_ev(at, Ev::FlowClose { slot });
+            return;
+        }
+        self.flows[slot].reaper_armed = false;
+        self.close_flow(slot);
     }
 
     /// Deliver a train's members in arrival order, preserving the
@@ -917,8 +1298,9 @@ impl World {
     /// * a future arrival for a rank the dispatch has not engaged (or
     ///   one that would outrun a parked rank's pending wake) must not
     ///   be delivered early or out of order: the remainder of the train
-    ///   is handed back to the queue at that member's arrival.
-    fn on_packet_train(&mut self, members: Vec<TrainPacket>) {
+    ///   is handed back — to the queue / soft schedule for an event
+    ///   train, or into the flow slot (lazy resplit) for a flow.
+    fn on_packet_train(&mut self, members: Vec<TrainPacket>, source: TrainSource) {
         self.train_epoch += 1;
         let epoch = self.train_epoch;
         let t = members[0].arrival;
@@ -982,24 +1364,46 @@ impl World {
                 }
                 continue;
             }
-            // A future arrival for a rank the dispatch has not engaged
-            // (or one that would outrun a parked rank's pending wake, or
-            // an engaged rank's member another event must precede): hand
-            // the remainder back to the queue at its arrival.
+            // A member the dispatch cannot consume — a pending same-node
+            // item must interleave first, or it would outrun a parked
+            // rank's pending wake: the delivered prefix stays consumed
+            // and the remainder is handed back at its arrival. How the
+            // remainder goes back is what the resplit accounting splits:
+            // a train *re-commits* it as a fresh scheduler item (a
+            // requeue plus a fresh dispatch — the resplit work ROADMAP
+            // flagged on Qbox), while a flow's suffix stays in its slot
+            // and merely re-defers the soft entry (a lazy pause, zero
+            // queue events, accumulator preserved).
             let rest: Vec<TrainPacket> = std::iter::once(m).chain(it).collect();
             let at = rest[0].arrival;
-            if rest.len() == 1 {
-                let p = rest.into_iter().next().expect("one member");
-                self.schedule_ev(
-                    at,
-                    Ev::Packet {
-                        dst: p.dst,
-                        src: p.src,
-                        packet: p.packet,
-                    },
-                );
-            } else {
-                self.schedule_ev(at, Ev::PacketTrain { members: rest });
+            match source {
+                TrainSource::Flow(i) => {
+                    // Lazy resplit: only the suffix after the conflict is
+                    // split off — it goes back into the slot as the
+                    // flow's pending members and re-defers as its soft
+                    // entry; later appends extend it in place.
+                    self.flow_pauses += 1;
+                    debug_assert!(self.flows[i].members.is_empty());
+                    self.flows[i].members = rest;
+                    self.flows[i].pending = true;
+                    self.push_soft(at, SoftKind::Flow(i));
+                }
+                TrainSource::Event if rest.len() == 1 => {
+                    self.resplits += 1;
+                    let p = rest.into_iter().next().expect("one member");
+                    self.emit_ev(
+                        at,
+                        Ev::Packet {
+                            dst: p.dst,
+                            src: p.src,
+                            packet: p.packet,
+                        },
+                    );
+                }
+                TrainSource::Event => {
+                    self.resplits += 1;
+                    self.emit_ev(at, Ev::PacketTrain { members: rest });
+                }
             }
             break;
         }
@@ -1291,6 +1695,27 @@ impl World {
     }
 
     fn on_sdma_sent(&mut self, r: usize, msg_id: u64, window: u32, va: u64) {
+        self.sdma_complete_kernel(r, msg_id, window, va);
+        self.ranks[r].ep.on_sdma_sent(msg_id, window);
+    }
+
+    /// Batched sender-side completions for one `(rank, msg_id)` group:
+    /// the kernel-side callback runs per window (each IRQ frees its own
+    /// metadata), but the endpoint's progress state advances once for the
+    /// whole group.
+    fn on_sdma_sent_group(&mut self, members: &[SentMember]) {
+        for m in members {
+            self.sdma_complete_kernel(m.rank, m.msg_id, m.window, m.va);
+        }
+        let first = members[0];
+        self.ranks[first.rank]
+            .ep
+            .on_sdma_sent_batch(first.msg_id, members.len() as u32);
+    }
+
+    /// Kernel/driver half of an SDMA completion IRQ (everything but the
+    /// endpoint progress update).
+    fn sdma_complete_kernel(&mut self, r: usize, msg_id: u64, window: u32, va: u64) {
         let node_idx = self.ranks[r].node;
         match self.hot.os {
             OsConfig::Linux | OsConfig::McKernel => {
@@ -1324,7 +1749,6 @@ impl World {
                 }
             }
         }
-        self.ranks[r].ep.on_sdma_sent(msg_id, window);
     }
 
     // ---- host (non-PSM) operations -----------------------------------------

@@ -211,6 +211,62 @@ impl Fabric {
             out.extend(members.iter().map(|m| self.shm_schedule(m.at, m.bytes)));
             return;
         }
+        self.link_train(src, dst, members, total, out);
+    }
+
+    /// Append `members` to an already-committed train on the `(src, dst)`
+    /// link — the *reopenable reservation* behind persistent flows. The
+    /// gates were left at the previous commit's `free_at`, so re-running
+    /// the FIFO rule from the current cursors continues the original
+    /// analytic arrival spread exactly: calling `transfer_train` once with
+    /// all members or `extend_train` flush by flush yields byte-identical
+    /// schedules and gate state.
+    ///
+    /// `prior_len` is the member count already committed to this logical
+    /// train; train statistics count the cumulative flow once it reaches
+    /// two members, no matter how many extensions delivered them. Flows
+    /// exist only on inter-node links (`src != dst`): shared-memory
+    /// arrivals ignore the link FIFO, so appends could not stay sorted.
+    pub fn extend_train(
+        &mut self,
+        src: usize,
+        dst: usize,
+        members: &[TrainMember],
+        prior_len: u64,
+        out: &mut Vec<TransferSchedule>,
+    ) {
+        assert_ne!(src, dst, "flows are inter-node only");
+        if members.is_empty() {
+            return;
+        }
+        self.messages += members.len() as u64;
+        let total: u64 = members.iter().map(|m| m.bytes).sum();
+        self.bytes += total;
+        let new_len = prior_len + members.len() as u64;
+        if new_len >= 2 {
+            if prior_len < 2 {
+                // The flow just became a train: count it and retroactively
+                // credit the members delivered before this extension.
+                self.trains += 1;
+                self.train_members += prior_len;
+            }
+            self.train_members += members.len() as u64;
+            self.max_train_len = self.max_train_len.max(new_len);
+        }
+        self.link_train(src, dst, members, total, out);
+    }
+
+    /// Shared FIFO link walk for [`transfer_train`](Self::transfer_train)
+    /// and [`extend_train`](Self::extend_train): one gate commit per
+    /// direction for the whole burst.
+    fn link_train(
+        &mut self,
+        src: usize,
+        dst: usize,
+        members: &[TrainMember],
+        total: u64,
+        out: &mut Vec<TransferSchedule>,
+    ) {
         let mut up_free = self.uplinks[src].free_at();
         let mut down_free = self.downlinks[dst].free_at();
         let mut up_busy = Ns::ZERO;
@@ -385,6 +441,41 @@ mod tests {
             assert_eq!(trained.trains(), 1);
             assert_eq!(trained.train_members(), members.len() as u64);
         }
+    }
+
+    #[test]
+    fn extend_train_continues_the_reservation_exactly() {
+        // Delivering a burst flush-by-flush through `extend_train` must be
+        // indistinguishable — schedules, gate state, stats — from one
+        // `transfer_train` call with every member.
+        let members = [
+            TrainMember { at: Ns(0), bytes: 10_000, nreqs: 1 },
+            TrainMember { at: Ns(100), bytes: 10_000, nreqs: 1 },
+            TrainMember { at: Ns(40_000), bytes: 512, nreqs: 1 },
+            TrainMember { at: Ns(40_050), bytes: 2048, nreqs: 2 },
+            TrainMember { at: Ns(90_000), bytes: 64, nreqs: 1 },
+        ];
+        let mut whole = fabric(2);
+        whole.transfer(Ns(0), 0, 1, 3000, 1); // pre-load the link
+        let mut reference = Vec::new();
+        whole.transfer_train(0, 1, &members, &mut reference);
+
+        let mut flow = fabric(2);
+        flow.transfer(Ns(0), 0, 1, 3000, 1);
+        let mut out = Vec::new();
+        let mut prior = 0u64;
+        // Uneven flushes: 1 member, then 3, then 1.
+        for chunk in [&members[0..1], &members[1..4], &members[4..5]] {
+            flow.extend_train(0, 1, chunk, prior, &mut out);
+            prior += chunk.len() as u64;
+        }
+        assert_eq!(out, reference);
+        assert_eq!(flow.bytes(), whole.bytes());
+        assert_eq!(flow.messages(), whole.messages());
+        assert_eq!(flow.uplink_busy(0), whole.uplink_busy(0));
+        assert_eq!(flow.trains(), 1, "one logical train across extensions");
+        assert_eq!(flow.train_members(), members.len() as u64);
+        assert_eq!(flow.max_train_len(), members.len() as u64);
     }
 
     #[test]

@@ -425,11 +425,23 @@ impl Endpoint {
     /// The kernel finished submitting (and the wire finished sending)
     /// one window of our rendezvous send.
     pub fn on_sdma_sent(&mut self, msg_id: u64, _window: u32) {
+        self.on_sdma_sent_batch(msg_id, 1);
+    }
+
+    /// Batched completion: `windows` windows of one rendezvous send
+    /// finished together (coalesced IRQs of a pipelined burst). One
+    /// progress-state lookup for the whole batch; equivalent to that many
+    /// [`on_sdma_sent`](Self::on_sdma_sent) calls.
+    pub fn on_sdma_sent_batch(&mut self, msg_id: u64, windows: u32) {
         let Some(st) = self.sends.get_mut(&msg_id) else {
             debug_assert!(false, "completion for unknown send {msg_id}");
             return;
         };
-        st.windows_done += 1;
+        st.windows_done += windows;
+        debug_assert!(
+            st.windows_done <= st.windows,
+            "more window completions than windows"
+        );
         if st.windows_done == st.windows {
             let st = self.sends.remove(&msg_id).expect("just had it");
             self.actions.push(PsmAction::Completed {

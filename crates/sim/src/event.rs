@@ -15,12 +15,18 @@
 //! 1. **run** — all events sharing the single *current* timestamp, stored
 //!    in insertion (= sequence) order. Pops and same-time appends are
 //!    O(1); this is also what makes same-timestamp wake storms cheap.
-//! 2. **wheel** — a ring of `NSLOTS` buckets of `2^SLOT_BITS` ns each,
-//!    covering the near-future horizon past `now`. A bucket is sorted
-//!    lazily, only when the wheel cursor reaches it.
-//! 3. **overflow** — a plain binary min-heap for events beyond the
-//!    horizon (compute segments, launch skew). Each event migrates out of
-//!    the overflow at most once, when the horizon advances over it.
+//! 2. **fine wheel** — a ring of `NSLOTS` buckets of `2^SLOT_BITS` ns
+//!    each, covering the near-future horizon past `now` (~1 ms). A
+//!    bucket is sorted lazily, only when the wheel cursor reaches it.
+//! 3. **coarse wheel** — a second ring of `NSLOTS2` buckets of
+//!    `2^(SLOT_BITS + COARSE_BITS)` ns each (~67 ms horizon), for the
+//!    mid-future band the fine ring misses: flow-close reapers
+//!    (`flow_linger_ns`, default 2 ms), launch skew, noise ticks. A
+//!    coarse bucket cascades into the fine ring when the fine horizon
+//!    advances over it — each event moves down at most once.
+//! 4. **overflow** — a plain binary min-heap for events beyond the
+//!    coarse horizon (long compute segments). Each event migrates out of
+//!    the overflow at most once, when the coarse horizon advances.
 //!
 //! The pop order is *identical* to a global `(time, seq)` min-heap — the
 //! reference implementation is kept in-tree as [`HeapEventQueue`] and the
@@ -31,16 +37,65 @@ use crate::time::Ns;
 use core::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
-/// Slot granularity: each wheel bucket covers `2^SLOT_BITS` nanoseconds.
+/// Slot granularity: each fine bucket covers `2^SLOT_BITS` nanoseconds.
 const SLOT_BITS: u32 = 10;
-/// Number of buckets in the ring; horizon = `NSLOTS << SLOT_BITS` ns (~1 ms).
+/// Number of fine buckets; horizon = `NSLOTS << SLOT_BITS` ns (~1 ms).
 const NSLOTS: usize = 1 << 10;
-/// Words of the bucket-occupancy bitmap.
+/// Words of the fine bucket-occupancy bitmap.
 const OCC_WORDS: usize = NSLOTS / 64;
+/// Fine pages per coarse page: each coarse bucket covers
+/// `2^(SLOT_BITS + COARSE_BITS)` ns (~64 µs).
+const COARSE_BITS: u32 = 6;
+/// Number of coarse buckets; coarse horizon ≈ 67 ms.
+const NSLOTS2: usize = 1 << 10;
+/// Words of the coarse bucket-occupancy bitmap.
+const OCC2_WORDS: usize = NSLOTS2 / 64;
+/// Log₂ buckets of the page-span histogram in [`WheelProfile`].
+pub const SPAN_BUCKETS: usize = 24;
 
 #[inline]
 fn page_of(at: Ns) -> u64 {
     at.0 >> SLOT_BITS
+}
+
+/// First fine page NOT covered by the fine ring at `window_page`,
+/// rounded *down* to a coarse-page boundary so coarse buckets are always
+/// either fully inside or fully outside the fine horizon (a straddling
+/// bucket would have to be split on cascade).
+#[inline]
+fn fine_end(window_page: u64) -> u64 {
+    ((window_page + NSLOTS as u64) >> COARSE_BITS) << COARSE_BITS
+}
+
+/// Scheduling-placement counters and the page-span histogram of a
+/// timing wheel — where events landed (run group, current page, fine
+/// ring, coarse ring, overflow heap) and how far ahead of the cursor
+/// they were scheduled (log₂ page buckets). Dumped by `simbench --smoke`
+/// to re-profile the wheel as traffic shifts (flows moved most delivery
+/// off the queue and left reaper timers past the fine horizon, which is
+/// what motivated the coarse level).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WheelProfile {
+    /// Same-timestamp appends to the run group.
+    pub sched_run: u64,
+    /// Inserts into the sorted current page.
+    pub sched_cur: u64,
+    /// Pushes into the fine ring.
+    pub sched_fine: u64,
+    /// Pushes into the coarse ring.
+    pub sched_coarse: u64,
+    /// Pushes into the overflow heap.
+    pub sched_overflow: u64,
+    /// Histogram of `log₂(1 + page_of(at) - window_page)` at schedule
+    /// time: how many pages ahead of the cursor events land.
+    pub span_hist: [u64; SPAN_BUCKETS],
+}
+
+impl WheelProfile {
+    /// Total schedules recorded.
+    pub fn total(&self) -> u64 {
+        self.sched_run + self.sched_cur + self.sched_fine + self.sched_coarse + self.sched_overflow
+    }
 }
 
 /// An entry in the queue: payload `E` scheduled for time `at`.
@@ -74,19 +129,27 @@ impl<E> Ord for Entry<E> {
 /// A deterministic timing-wheel queue of timed events, popping in exact
 /// `(time, sequence)` order.
 pub struct EventQueue<E> {
-    /// Events at exactly `run_at`, in sequence order (front pops first).
-    run: VecDeque<E>,
+    /// Events at exactly `run_at`, in sequence order (front pops first),
+    /// carrying their sequence numbers so [`peek_key`](Self::peek_key)
+    /// can expose the head's full ordering key.
+    run: VecDeque<(u64, E)>,
     /// Timestamp of the events in `run`.
     run_at: Ns,
     /// Events of the current page with `at > run_at`, sorted *descending*
     /// by `(at, seq)` so groups pop O(1) off the tail.
     cur: Vec<Entry<E>>,
     /// Near-future ring; bucket `p % NSLOTS` holds page `p` events,
-    /// unsorted, for pages in `(window_page, window_page + NSLOTS)`.
+    /// unsorted, for pages in `(window_page, fine_end(window_page))`.
     slots: Vec<Vec<Entry<E>>>,
     /// Occupancy bitmap over `slots`.
     occ: [u64; OCC_WORDS],
-    /// Far-future events (page >= window_page + NSLOTS), min-heap.
+    /// Mid-future ring; bucket `cp % NSLOTS2` holds coarse page `cp`
+    /// events, unsorted, for coarse pages in
+    /// `[coarse_window, (window_page >> COARSE_BITS) + NSLOTS2)`.
+    slots2: Vec<Vec<Entry<E>>>,
+    /// Occupancy bitmap over `slots2`.
+    occ2: [u64; OCC2_WORDS],
+    /// Far-future events (coarse page beyond the coarse horizon), min-heap.
     overflow: BinaryHeap<Entry<E>>,
     /// Page of the wheel cursor (== `page_of(run_at)` while non-empty).
     window_page: u64,
@@ -95,6 +158,7 @@ pub struct EventQueue<E> {
     now: Ns,
     popped: u64,
     clamped: u64,
+    profile: WheelProfile,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -112,6 +176,8 @@ impl<E> EventQueue<E> {
             cur: Vec::new(),
             slots: (0..NSLOTS).map(|_| Vec::new()).collect(),
             occ: [0; OCC_WORDS],
+            slots2: (0..NSLOTS2).map(|_| Vec::new()).collect(),
+            occ2: [0; OCC2_WORDS],
             overflow: BinaryHeap::new(),
             window_page: 0,
             len: 0,
@@ -119,7 +185,21 @@ impl<E> EventQueue<E> {
             now: Ns::ZERO,
             popped: 0,
             clamped: 0,
+            profile: WheelProfile::default(),
         }
+    }
+
+    /// Scheduling-placement counters and the page-span histogram (see
+    /// [`WheelProfile`]).
+    pub fn profile(&self) -> &WheelProfile {
+        &self.profile
+    }
+
+    /// Buckets currently occupied in the fine and coarse rings.
+    pub fn occupancy(&self) -> (usize, usize) {
+        let fine: u32 = self.occ.iter().map(|w| w.count_ones()).sum();
+        let coarse: u32 = self.occ2.iter().map(|w| w.count_ones()).sum();
+        (fine as usize, coarse as usize)
     }
 
     /// Current simulated time (the time of the last popped event).
@@ -175,19 +255,30 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.len += 1;
+        let page = page_of(at);
+        let span = 64 - u64::leading_zeros(page - self.window_page + 1) as usize;
+        self.profile.span_hist[span.min(SPAN_BUCKETS - 1)] += 1;
         if at == self.run_at {
             // Same-timestamp fast path: sequence order == insertion order.
-            self.run.push_back(ev);
+            self.profile.sched_run += 1;
+            self.run.push_back((seq, ev));
             return;
         }
-        let page = page_of(at);
         if page == self.window_page {
+            self.profile.sched_cur += 1;
             insert_desc(&mut self.cur, Entry { at, seq, ev });
-        } else if page < self.window_page + NSLOTS as u64 {
+        } else if page < fine_end(self.window_page) {
+            self.profile.sched_fine += 1;
             let s = page as usize & (NSLOTS - 1);
             self.slots[s].push(Entry { at, seq, ev });
             self.occ[s / 64] |= 1 << (s % 64);
+        } else if (page >> COARSE_BITS) < (self.window_page >> COARSE_BITS) + NSLOTS2 as u64 {
+            self.profile.sched_coarse += 1;
+            let s = (page >> COARSE_BITS) as usize & (NSLOTS2 - 1);
+            self.slots2[s].push(Entry { at, seq, ev });
+            self.occ2[s / 64] |= 1 << (s % 64);
         } else {
+            self.profile.sched_overflow += 1;
             self.overflow.push(Entry { at, seq, ev });
         }
     }
@@ -201,7 +292,7 @@ impl<E> EventQueue<E> {
     /// Pop the next event, advancing `now` to its timestamp.
     pub fn pop(&mut self) -> Option<(Ns, E)> {
         loop {
-            if let Some(ev) = self.run.pop_front() {
+            if let Some((_, ev)) = self.run.pop_front() {
                 debug_assert!(self.run_at >= self.now, "wheel returned an out-of-order event");
                 self.now = self.run_at;
                 self.popped += 1;
@@ -220,19 +311,57 @@ impl<E> EventQueue<E> {
 
     /// Timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<Ns> {
+        // Each tier strictly precedes the next: fine pages < every
+        // coarse page < every overflow page.
         if !self.run.is_empty() {
             return Some(self.run_at);
         }
         if let Some(e) = self.cur.last() {
             return Some(e.at);
         }
-        // Earliest occupied bucket beats the overflow (all overflow pages
-        // lie beyond every wheel page).
         if let Some(d) = self.first_occupied_distance() {
             let s = (self.window_page + d) as usize & (NSLOTS - 1);
             return self.slots[s].iter().map(|e| e.at).min();
         }
+        if let Some((s, _)) = self.min_coarse_bucket() {
+            return self.slots2[s].iter().map(|e| e.at).min();
+        }
         self.overflow.peek().map(|e| e.at)
+    }
+
+    /// Full ordering key `(time, seq)` of the next event without popping.
+    ///
+    /// This lets an external scheduler merge its own deferred work with
+    /// the queue in exact pop order: allocate sequence numbers for the
+    /// deferred items from [`alloc_seq`](Self::alloc_seq) and execute
+    /// whichever side holds the smaller key.
+    pub fn peek_key(&self) -> Option<(Ns, u64)> {
+        if let Some(&(seq, _)) = self.run.front() {
+            return Some((self.run_at, seq));
+        }
+        if let Some(e) = self.cur.last() {
+            return Some((e.at, e.seq));
+        }
+        if let Some(d) = self.first_occupied_distance() {
+            let s = (self.window_page + d) as usize & (NSLOTS - 1);
+            return self.slots[s].iter().map(|e| (e.at, e.seq)).min();
+        }
+        if let Some((s, _)) = self.min_coarse_bucket() {
+            return self.slots2[s].iter().map(|e| (e.at, e.seq)).min();
+        }
+        self.overflow.peek().map(|e| (e.at, e.seq))
+    }
+
+    /// Claim the next sequence number without scheduling an event.
+    ///
+    /// Used by schedulers that keep *soft* (zero-cost) deliveries outside
+    /// the queue but need them totally ordered against real events: a soft
+    /// item stamped with an allocated seq compares against
+    /// [`peek_key`](Self::peek_key) exactly as if it had been scheduled.
+    pub fn alloc_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
     }
 
     /// Move the tail group of `cur` (the earliest timestamp) into `run`.
@@ -241,7 +370,8 @@ impl<E> EventQueue<E> {
         self.run_at = at;
         while self.cur.last().is_some_and(|e| e.at == at) {
             // Tail pops of a descending sort yield ascending `seq`.
-            self.run.push_back(self.cur.pop().expect("tail present").ev);
+            let e = self.cur.pop().expect("tail present");
+            self.run.push_back((e.seq, e.ev));
         }
     }
 
@@ -260,14 +390,41 @@ impl<E> EventQueue<E> {
         None
     }
 
+    /// The occupied coarse bucket holding the smallest coarse page, as
+    /// `(slot index, coarse page)`. All entries of one bucket share one
+    /// coarse page (the live coarse range is narrower than the ring, so
+    /// slots never alias), so the page is read off the first entry.
+    fn min_coarse_bucket(&self) -> Option<(usize, u64)> {
+        let mut best: Option<(usize, u64)> = None;
+        for w in 0..OCC2_WORDS {
+            let mut bits = self.occ2[w];
+            while bits != 0 {
+                let s = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let cp = page_of(self.slots2[s][0].at) >> COARSE_BITS;
+                if best.is_none_or(|(_, b)| cp < b) {
+                    best = Some((s, cp));
+                }
+            }
+        }
+        best
+    }
+
     /// Advance the wheel cursor to the next non-empty page, refilling
-    /// `cur` (sorted) and migrating newly in-horizon overflow events.
+    /// `cur` (sorted), cascading coarse buckets the fine horizon now
+    /// covers, and migrating newly in-coarse-horizon overflow events.
     /// Returns `false` when the queue is exhausted.
     fn advance_window(&mut self) -> bool {
         debug_assert!(self.run.is_empty() && self.cur.is_empty());
         let new_page = if let Some(d) = self.first_occupied_distance() {
-            // Wheel pages always precede every overflow page.
+            // Fine pages precede every coarse page and every overflow page.
             self.window_page + d
+        } else if let Some((s, _)) = self.min_coarse_bucket() {
+            self.slots2[s]
+                .iter()
+                .map(|e| page_of(e.at))
+                .min()
+                .expect("occupied coarse bucket")
         } else if let Some(e) = self.overflow.peek() {
             page_of(e.at)
         } else {
@@ -279,20 +436,51 @@ impl<E> EventQueue<E> {
             self.cur = std::mem::take(&mut self.slots[s]);
             self.occ[s / 64] &= !(1 << (s % 64));
         }
-        // Pull far-future events that the new horizon now covers.
-        let horizon_end = new_page + NSLOTS as u64;
+        // Cascade coarse buckets now fully inside the fine horizon
+        // (fine_end is coarse-aligned, so buckets never straddle it).
+        let fe = fine_end(new_page);
+        let coarse_end = fe >> COARSE_BITS;
+        for w in 0..OCC2_WORDS {
+            let mut bits = self.occ2[w];
+            while bits != 0 {
+                let s2 = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if page_of(self.slots2[s2][0].at) >> COARSE_BITS >= coarse_end {
+                    continue;
+                }
+                let drained = std::mem::take(&mut self.slots2[s2]);
+                self.occ2[s2 / 64] &= !(1 << (s2 % 64));
+                for e in drained {
+                    let p = page_of(e.at);
+                    debug_assert!(p >= new_page && p < fe, "coarse cascade out of range");
+                    if p == new_page {
+                        self.cur.push(e);
+                    } else {
+                        let sf = p as usize & (NSLOTS - 1);
+                        self.slots[sf].push(e);
+                        self.occ[sf / 64] |= 1 << (sf % 64);
+                    }
+                }
+            }
+        }
+        // Pull far-future events that the coarse horizon now covers.
+        let coarse_horizon_end = (new_page >> COARSE_BITS) + NSLOTS2 as u64;
         while let Some(e) = self.overflow.peek() {
-            if page_of(e.at) >= horizon_end {
+            let p = page_of(e.at);
+            if p >> COARSE_BITS >= coarse_horizon_end {
                 break;
             }
             let e = self.overflow.pop().expect("peeked entry");
-            let p = page_of(e.at);
             if p == new_page {
                 self.cur.push(e);
+            } else if p < fe {
+                let sf = p as usize & (NSLOTS - 1);
+                self.slots[sf].push(e);
+                self.occ[sf / 64] |= 1 << (sf % 64);
             } else {
-                let s2 = p as usize & (NSLOTS - 1);
-                self.slots[s2].push(e);
-                self.occ[s2 / 64] |= 1 << (s2 % 64);
+                let sc = (p >> COARSE_BITS) as usize & (NSLOTS2 - 1);
+                self.slots2[sc].push(e);
+                self.occ2[sc / 64] |= 1 << (sc % 64);
             }
         }
         debug_assert!(!self.cur.is_empty(), "advanced to an empty page");
@@ -403,6 +591,20 @@ impl<E> HeapEventQueue<E> {
     pub fn peek_time(&self) -> Option<Ns> {
         self.heap.peek().map(|e| e.at)
     }
+
+    /// Full ordering key `(time, seq)` of the next event (see
+    /// [`EventQueue::peek_key`]).
+    pub fn peek_key(&self) -> Option<(Ns, u64)> {
+        self.heap.peek().map(|e| (e.at, e.seq))
+    }
+
+    /// Claim the next sequence number without scheduling an event (see
+    /// [`EventQueue::alloc_seq`]).
+    pub fn alloc_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
 }
 
 #[cfg(test)]
@@ -508,6 +710,73 @@ mod tests {
         assert_eq!(got, expect);
     }
 
+    /// Flow-linger-style timers (~2 ms out) overshoot the fine ring's
+    /// ~1 ms horizon and must land in the coarse ring — not the overflow
+    /// heap — and still pop in exact `(time, seq)` order against the
+    /// reference heap after cascading back through the fine ring.
+    #[test]
+    fn flow_linger_timers_land_in_coarse_ring() {
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        let mut id = 0u64;
+        // A near event to anchor `now`, then a spray of 2 ms timers with
+        // deliberate ties, then a far-future event for the overflow heap.
+        for at in [Ns(7), Ns::secs(3)] {
+            wheel.schedule(at, id);
+            heap.schedule(at, id);
+            id += 1;
+        }
+        for i in 0..200u64 {
+            let at = Ns(Ns::millis(2).0 + (i / 2) * 131);
+            wheel.schedule(at, id);
+            heap.schedule(at, id);
+            id += 1;
+        }
+        let prof = wheel.profile();
+        assert!(
+            prof.sched_coarse >= 200,
+            "2 ms timers must use the coarse ring, not overflow (coarse {}, overflow {})",
+            prof.sched_coarse,
+            prof.sched_overflow
+        );
+        assert_eq!(prof.sched_overflow, 1, "only the 3 s event overflows");
+        assert_eq!(prof.total(), 202);
+        let spans: u64 = prof.span_hist.iter().sum();
+        assert_eq!(spans, 202, "every schedule lands in the span histogram");
+        let (fine_occ, coarse_occ) = wheel.occupancy();
+        assert!(coarse_occ > 0, "coarse bitmap must show occupied buckets");
+        assert!(fine_occ <= 1);
+        loop {
+            assert_eq!(wheel.peek_key(), heap.peek_key());
+            let (a, b) = (wheel.pop(), heap.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// `peek_key` exposes the head's `(time, seq)` across all tiers, and
+    /// `alloc_seq` interleaves with scheduled seqs in program order — the
+    /// contract the soft-merge scheduler in `cluster` relies on.
+    #[test]
+    fn peek_key_and_alloc_seq_share_one_sequence_space() {
+        let mut q = EventQueue::new();
+        q.schedule(Ns(10), "a"); // seq 0
+        let soft = q.alloc_seq(); // seq 1
+        q.schedule(Ns(10), "b"); // seq 2
+        assert_eq!(soft, 1);
+        assert_eq!(q.peek_key(), Some((Ns(10), 0)));
+        q.pop();
+        // After popping "a", the head is "b" with seq 2 > the soft seq 1:
+        // a soft item at Ns(10) must run before "b".
+        assert_eq!(q.peek_key(), Some((Ns(10), 2)));
+        // Keys surface from the ring and overflow tiers too.
+        q.schedule(Ns::millis(3), "far"); // seq 3
+        q.pop();
+        assert_eq!(q.peek_key(), Some((Ns::millis(3), 3)));
+    }
+
     /// The wheel pops the exact `(time, seq)` sequence of the reference
     /// heap under random schedule/pop interleavings (the in-crate half of
     /// the equivalence property; the umbrella test suite runs a larger
@@ -533,6 +802,7 @@ mod tests {
                     heap.schedule(at, id);
                     id += 1;
                 } else {
+                    assert_eq!(wheel.peek_key(), heap.peek_key(), "seed {seed}");
                     assert_eq!(wheel.pop(), heap.pop(), "seed {seed}");
                     assert_eq!(wheel.now(), heap.now());
                 }

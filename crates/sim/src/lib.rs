@@ -30,7 +30,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use event::{EventQueue, HeapEventQueue};
+pub use event::{EventQueue, HeapEventQueue, WheelProfile};
 pub use json::Json;
 pub use par::{par_map, par_map_threads};
 pub use resource::{BandwidthGate, Grant, ServerPool};

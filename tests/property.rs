@@ -244,8 +244,9 @@ fn rng_ranges() {
 
 /// The timing-wheel [`EventQueue`] pops the exact `(time, seq)` sequence
 /// of the reference binary-heap model under arbitrary schedule/pop
-/// interleavings — near, same-timestamp, cross-page and far-future
-/// deltas, including draining to empty and refilling (window resets).
+/// interleavings — near, same-timestamp, cross-page, coarse-ring and
+/// far-future deltas, including draining to empty and refilling
+/// (window resets).
 #[test]
 fn wheel_pops_heap_sequence() {
     for case in 0..32 {
@@ -255,11 +256,12 @@ fn wheel_pops_heap_sequence() {
         let mut next_id = 0u32;
         for _ in 0..4000 {
             if r.chance(0.55) {
-                let dt = match r.gen_range(5) {
+                let dt = match r.gen_range(6) {
                     0 => 0,                                  // same-timestamp storm
                     1 => r.gen_range(1024),                  // same page
-                    2 => r.gen_range(1 << 20),               // in horizon
-                    3 => (1 << 20) + r.gen_range(1 << 24),   // overflow
+                    2 => r.gen_range(1 << 20),               // fine horizon
+                    3 => (1 << 20) + r.gen_range(1 << 24),   // coarse ring
+                    4 => (1 << 26) + r.gen_range(1 << 28),   // overflow heap
                     _ => r.gen_range(64),                    // near
                 };
                 let at = Ns(wheel.now().0 + dt);
@@ -280,18 +282,18 @@ fn wheel_pops_heap_sequence() {
     }
 }
 
-/// Packet trains are a pure event-count optimization: a batched run
-/// must produce the same physics as the per-packet reference model.
-/// Wall time must match within the documented tolerance (DESIGN.md
-/// "Packet trains": 0.1% on these configs; coalesced delivery can
-/// reorder library entry against unrelated events, so bit-equality is
-/// not guaranteed for every workload), and the conserved quantities —
-/// ranks finished, payloads delivered, fabric bytes/messages — must be
-/// exactly equal.
+/// Packet trains and persistent flows are pure event-count
+/// optimizations: both coalescing modes must produce the same physics
+/// as the per-packet reference model. Wall time must match within the
+/// documented tolerance (DESIGN.md "Packet trains" / "Fabric flows":
+/// 0.1% on these configs; coalesced delivery can reorder library entry
+/// against unrelated events, so bit-equality is not guaranteed for
+/// every workload), and the conserved quantities — ranks finished,
+/// payloads delivered, fabric bytes/messages — must be exactly equal.
 #[test]
 fn packet_trains_match_per_packet_reference() {
     use pico_apps::{App, JobShape};
-    use pico_cluster::{ClusterConfig, OsConfig, World};
+    use pico_cluster::{ClusterConfig, FabricMode, OsConfig, World};
 
     let apps = [
         (App::PingPong { bytes: 8 * 1024, reps: 6 }, 1, 1u32),    // eager PIO
@@ -311,32 +313,39 @@ fn packet_trains_match_per_packet_reference() {
             let shape = JobShape { nodes: 2, ranks_per_node: rpn };
             let mut cfg = ClusterConfig::paper(os, shape);
             cfg.seed = seed;
+            cfg.batch_fabric = FabricMode::Trains;
             let mut unbatched = cfg.clone();
-            unbatched.batch_fabric = false;
-            let on = World::new(cfg, app, iters).run();
+            unbatched.batch_fabric = FabricMode::PerPacket;
+            let mut flowed = cfg.clone();
+            flowed.batch_fabric = FabricMode::Flows;
             let off = World::new(unbatched, app, iters).run();
-            let label = format!("case {case} {:?} {}", app, os.label());
-            assert_eq!(on.ranks_done, off.ranks_done, "{label}");
-            assert_eq!(on.delivered_payloads, off.delivered_payloads, "{label}");
-            assert_eq!(on.fabric_bytes, off.fabric_bytes, "{label}");
-            assert_eq!(on.fabric_messages, off.fabric_messages, "{label}");
-            assert_eq!(on.clamped_events, 0, "{label}");
-            assert_eq!(off.clamped_events, 0, "{label}");
-            let dev = (on.wall_time.0 as f64 - off.wall_time.0 as f64).abs()
-                / off.wall_time.0.max(1) as f64;
-            assert!(
-                dev <= 0.001,
-                "{label}: wall {} (batched) vs {} (reference), deviation {:.4}%",
-                on.wall_time,
-                off.wall_time,
-                dev * 100.0
-            );
-            assert!(
-                on.sim_events <= off.sim_events,
-                "{label}: batching must not add events ({} vs {})",
-                on.sim_events,
-                off.sim_events
-            );
+            for (mode, res) in [
+                ("trains", World::new(cfg, app, iters).run()),
+                ("flows", World::new(flowed, app, iters).run()),
+            ] {
+                let label = format!("case {case} {:?} {} [{mode}]", app, os.label());
+                assert_eq!(res.ranks_done, off.ranks_done, "{label}");
+                assert_eq!(res.delivered_payloads, off.delivered_payloads, "{label}");
+                assert_eq!(res.fabric_bytes, off.fabric_bytes, "{label}");
+                assert_eq!(res.fabric_messages, off.fabric_messages, "{label}");
+                assert_eq!(res.clamped_events, 0, "{label}");
+                assert_eq!(off.clamped_events, 0, "{label}");
+                let dev = (res.wall_time.0 as f64 - off.wall_time.0 as f64).abs()
+                    / off.wall_time.0.max(1) as f64;
+                assert!(
+                    dev <= 0.001,
+                    "{label}: wall {} (coalesced) vs {} (reference), deviation {:.4}%",
+                    res.wall_time,
+                    off.wall_time,
+                    dev * 100.0
+                );
+                assert!(
+                    res.sim_events <= off.sim_events,
+                    "{label}: batching must not add events ({} vs {})",
+                    res.sim_events,
+                    off.sim_events
+                );
+            }
         }
     }
 }
