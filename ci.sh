@@ -30,6 +30,15 @@ cargo run --release -p pico-bench --bin simbench -- --smoke
 if [[ "${1:-}" == "--bench" ]]; then
     echo "== simbench regression gate =="
     cargo run --release -p pico-bench --bin simbench
+    # Night-over-night trending: when the previous nightly artifact was
+    # restored (results/BENCH_prev.json), fail on >10% regression in
+    # throughput or gate-ratio metrics. First run passes with a notice.
+    if [[ -f results/BENCH_prev.json ]]; then
+        echo "== benchdiff vs previous nightly artifact =="
+        cargo run --release -p pico-bench --bin benchdiff -- results/BENCH_prev.json
+    else
+        echo "(no results/BENCH_prev.json — skipping nightly trend diff)"
+    fi
 fi
 
 echo "CI OK"

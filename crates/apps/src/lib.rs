@@ -56,6 +56,36 @@ pub enum App {
     Hacc,
     /// QBOX first-principles MD skeleton.
     Qbox,
+    /// Synthetic incast: the last `n − roots` ranks each stream `reps`
+    /// eager messages at every one of the first `roots` ranks,
+    /// converging on the roots' downlinks — the fabric-sink stress
+    /// pattern (`FabricMode::Incast` vs `Flows` gate in simbench).
+    /// `roots = 1` is the classic (N−1)-to-1 fan-in; larger `roots`
+    /// superimposes one such fan-in per root, the traffic shape of an
+    /// alltoall round. The pattern is deliberately bipartite (no rank
+    /// both sends and receives data): a pure sender's emission times
+    /// depend only on fabric injection times, which the `Incast` merge
+    /// reproduces FIFO-exactly, so per-member arrivals stay
+    /// bit-identical to `Flows` even while the two modes batch
+    /// deliveries differently.
+    Incast {
+        /// Message size (keep ≤ the eager threshold so the PIO path is hot).
+        bytes: u64,
+        /// Messages each sender streams at every root.
+        reps: u32,
+        /// How many ranks (0..roots) serve as incast destinations
+        /// (receive-only); the rest are pure senders.
+        roots: u32,
+    },
+    /// Synthetic all-to-all: `reps` full-communicator `Alltoallv` rounds,
+    /// the O(N²) flow-count worst case the destination-rooted sinks
+    /// collapse toward O(N).
+    Alltoall {
+        /// Bytes exchanged with each peer per round.
+        bytes: u64,
+        /// Alltoallv rounds.
+        reps: u32,
+    },
 }
 
 impl App {
@@ -68,13 +98,15 @@ impl App {
             App::Umt2013 => "UMT2013",
             App::Hacc => "HACC",
             App::Qbox => "QBOX",
+            App::Incast { .. } => "Incast",
+            App::Alltoall { .. } => "Alltoall",
         }
     }
 
     /// Ranks per node the paper ran this app with.
     pub fn paper_ranks_per_node(&self) -> u32 {
         match self {
-            App::PingPong { .. } => 1,
+            App::PingPong { .. } | App::Incast { .. } | App::Alltoall { .. } => 1,
             App::Lammps => 64,
             _ => 32,
         }
@@ -145,6 +177,18 @@ pub fn spec(app: App, _shape: JobShape) -> AppSpec {
             buffer_bytes: vec![128 * 1024; 8],
             scratch_bytes: 2 << 20, // 2 MB bcast vectors
         },
+        App::Incast { bytes, .. } => AppSpec {
+            name: app.name(),
+            engine: EngineConfig::default(),
+            buffer_bytes: vec![bytes.max(8), bytes.max(8)],
+            scratch_bytes: 64 * 1024,
+        },
+        App::Alltoall { bytes, .. } => AppSpec {
+            name: app.name(),
+            engine: EngineConfig::default(),
+            buffer_bytes: Vec::new(),
+            scratch_bytes: (bytes.max(8) * 64).max(64 * 1024),
+        },
     }
 }
 
@@ -173,6 +217,8 @@ pub fn program(app: App, shape: JobShape, iters: u32, rank: u32) -> Vec<Op> {
         App::Umt2013 => umt2013(shape, iters, rank),
         App::Hacc => hacc(shape, iters, rank),
         App::Qbox => qbox(shape, iters, rank),
+        App::Incast { bytes, reps, roots } => incast(n, rank, bytes, reps, roots),
+        App::Alltoall { bytes, reps } => alltoall(n, bytes, reps),
     }
 }
 
@@ -185,12 +231,99 @@ fn pingpong(n: u32, rank: u32, bytes: u64, reps: u32) -> Vec<Op> {
     let peer_b = n - 1;
     for _ in 0..reps {
         if rank == peer_a {
-            p.push(Op::Send { dst: peer_b, tag: 1, bytes, buf: 0 });
-            p.push(Op::Recv { src: peer_b, tag: 2, bytes, buf: 1 });
+            p.push(Op::Send {
+                dst: peer_b,
+                tag: 1,
+                bytes,
+                buf: 0,
+            });
+            p.push(Op::Recv {
+                src: peer_b,
+                tag: 2,
+                bytes,
+                buf: 1,
+            });
         } else if rank == peer_b {
-            p.push(Op::Recv { src: peer_a, tag: 1, bytes, buf: 1 });
-            p.push(Op::Send { dst: peer_a, tag: 2, bytes, buf: 0 });
+            p.push(Op::Recv {
+                src: peer_a,
+                tag: 1,
+                bytes,
+                buf: 1,
+            });
+            p.push(Op::Send {
+                dst: peer_a,
+                tag: 2,
+                bytes,
+                buf: 0,
+            });
         }
+    }
+    p.push(Op::Barrier);
+    p.push(Op::Finalize);
+    p
+}
+
+fn incast(n: u32, rank: u32, bytes: u64, reps: u32, roots: u32) -> Vec<Op> {
+    assert!(n >= 2, "incast needs a sender besides the sink");
+    let roots = roots.clamp(1, n - 1);
+    // Deliberately barrier-free AND bipartite: roots only receive, the
+    // other ranks only send. A pure sender's dispatch times depend only
+    // on its own clock and its flushes' fabric injection times (send
+    // completions), and a pure receiver never emits while multi-source
+    // traffic merges at its downlink — so neither mode's delivery
+    // batching can perturb when any data message is committed. That
+    // keeps per-member fabric arrivals *bit-identical* between
+    // `FabricMode::Flows` and `Incast` (the simbench digest gate); a
+    // collective, per-rep handshake, or send+receive rank here would
+    // re-introduce the run-ahead feedback that both soft modes only
+    // approximate.
+    let mut p = vec![Op::Init { threaded: false }];
+    if rank < roots {
+        // Roots drain every sender, one wave per rep so the
+        // outstanding-request set stays bounded.
+        for rep in 0..reps {
+            for src in roots..n {
+                p.push(Op::Irecv {
+                    src,
+                    tag: 80 + rep,
+                    bytes,
+                    buf: 1,
+                });
+            }
+            p.push(Op::WaitAll);
+        }
+    } else {
+        // Stagger the senders by a sub-microsecond ramp so no two ever
+        // commit a fabric flush at the same instant: equal-time commits
+        // from different nodes land on a root's downlink in event-queue
+        // pop order, which is an implementation detail both modes are
+        // free to differ on. With commit times totally ordered, the
+        // downlink schedule — and every member arrival — is mode-exact.
+        p.push(Op::Compute(Ns(137 * (rank - roots + 1) as u64)));
+        // Senders stream to every root back-to-back with no per-rep
+        // compute: the whole job converges on the roots' downlinks.
+        for root in 0..roots {
+            for rep in 0..reps {
+                p.push(Op::Send {
+                    dst: root,
+                    tag: 80 + rep,
+                    bytes,
+                    buf: 0,
+                });
+            }
+        }
+    }
+    p.push(Op::Finalize);
+    p
+}
+
+fn alltoall(n: u32, bytes: u64, reps: u32) -> Vec<Op> {
+    let mut p = vec![Op::Init { threaded: false }, Op::Barrier];
+    for _ in 0..reps {
+        p.push(Op::Alltoallv {
+            group: n,
+            bytes_per_peer: bytes,
+        });
     }
     p.push(Op::Barrier);
     p.push(Op::Finalize);
@@ -286,11 +419,31 @@ fn umt2013(shape: JobShape, iters: u32, rank: u32) -> Vec<Op> {
             } else {
                 (up2, down2)
             };
-            p.push(Op::Irecv { src: up, tag: 40 + phase, bytes: MSG, buf: phase % 4 });
-            p.push(Op::Irecv { src: up, tag: 50 + phase, bytes: MSG, buf: phase % 4 });
+            p.push(Op::Irecv {
+                src: up,
+                tag: 40 + phase,
+                bytes: MSG,
+                buf: phase % 4,
+            });
+            p.push(Op::Irecv {
+                src: up,
+                tag: 50 + phase,
+                bytes: MSG,
+                buf: phase % 4,
+            });
             p.push(Op::Compute(Ns::micros(200)));
-            p.push(Op::Isend { dst: down, tag: 40 + phase, bytes: MSG, buf: 4 + phase % 4 });
-            p.push(Op::Isend { dst: down, tag: 50 + phase, bytes: MSG, buf: 4 + phase % 4 });
+            p.push(Op::Isend {
+                dst: down,
+                tag: 40 + phase,
+                bytes: MSG,
+                buf: 4 + phase % 4,
+            });
+            p.push(Op::Isend {
+                dst: down,
+                tag: 50 + phase,
+                bytes: MSG,
+                buf: 4 + phase % 4,
+            });
             p.push(Op::WaitEach);
         }
         // Per-iteration convergence check.
@@ -304,32 +457,67 @@ fn umt2013(shape: JobShape, iters: u32, rank: u32) -> Vec<Op> {
 
 fn hacc(shape: JobShape, iters: u32, rank: u32) -> Vec<Op> {
     let n = shape.nranks();
-    assert!(n.is_multiple_of(2), "HACC skeleton needs an even rank count");
+    assert!(
+        n.is_multiple_of(2),
+        "HACC skeleton needs an even rank count"
+    );
     let nb = neighbors(rank, n, shape.ranks_per_node, shape.ranks_per_node * 2);
     let mut p = vec![
         Op::Init { threaded: true },
-        Op::CartCreate { setup: Ns::micros(400) },
+        Op::CartCreate {
+            setup: Ns::micros(400),
+        },
         Op::Barrier,
     ];
     const MSG: u64 = 256 * 1024; // rendezvous (one TID window)
     for _ in 0..iters {
         // Particle overload exchange: 6 large neighbour messages.
         for (i, &nbr) in nb.iter().enumerate() {
-            p.push(Op::Irecv { src: nbr, tag: 60 + i as u32, bytes: MSG, buf: 6 + i as u32 });
+            p.push(Op::Irecv {
+                src: nbr,
+                tag: 60 + i as u32,
+                bytes: MSG,
+                buf: 6 + i as u32,
+            });
         }
         for (i, &nbr) in nb.iter().enumerate() {
-            p.push(Op::Isend { dst: nbr, tag: 60 + (i ^ 1) as u32, bytes: MSG, buf: i as u32 });
+            p.push(Op::Isend {
+                dst: nbr,
+                tag: 60 + (i ^ 1) as u32,
+                bytes: MSG,
+                buf: i as u32,
+            });
         }
         p.push(Op::WaitEach);
         // Short-range force computation.
         p.push(Op::Compute(Ns::micros(3000)));
         // Long-range solve step: blocking exchange around the ring.
         if rank.is_multiple_of(2) {
-            p.push(Op::Send { dst: (rank + 1) % n, tag: 70, bytes: 64 * 1024, buf: 12 });
-            p.push(Op::Recv { src: (rank + n - 1) % n, tag: 71, bytes: 64 * 1024, buf: 13 });
+            p.push(Op::Send {
+                dst: (rank + 1) % n,
+                tag: 70,
+                bytes: 64 * 1024,
+                buf: 12,
+            });
+            p.push(Op::Recv {
+                src: (rank + n - 1) % n,
+                tag: 71,
+                bytes: 64 * 1024,
+                buf: 13,
+            });
         } else {
-            p.push(Op::Recv { src: (rank + n - 1) % n, tag: 70, bytes: 64 * 1024, buf: 13 });
-            p.push(Op::Send { dst: (rank + 1) % n, tag: 71, bytes: 64 * 1024, buf: 12 });
+            p.push(Op::Recv {
+                src: (rank + n - 1) % n,
+                tag: 70,
+                bytes: 64 * 1024,
+                buf: 13,
+            });
+            p.push(Op::Send {
+                dst: (rank + 1) % n,
+                tag: 71,
+                bytes: 64 * 1024,
+                buf: 12,
+            });
         }
         p.push(Op::Allreduce { bytes: 256 });
     }
@@ -354,9 +542,15 @@ fn qbox(shape: JobShape, iters: u32, _rank: u32) -> Vec<Op> {
     ];
     for _ in 0..iters {
         // Wavefunction broadcast: large rendezvous tree.
-        p.push(Op::Bcast { root: 0, bytes: 2 << 20 });
+        p.push(Op::Bcast {
+            root: 0,
+            bytes: 2 << 20,
+        });
         // FFT transpose within the column group.
-        p.push(Op::Alltoallv { group, bytes_per_peer: 96 * 1024 });
+        p.push(Op::Alltoallv {
+            group,
+            bytes_per_peer: 96 * 1024,
+        });
         p.push(Op::Compute(Ns::micros(3000)));
         // Scratch churn: QBOX's dominant kernel cost is munmap (Fig. 9).
         // FFT/rotation workspaces are mapped and torn down every step.
@@ -408,21 +602,42 @@ mod tests {
     use super::*;
 
     const SHAPES: [JobShape; 3] = [
-        JobShape { nodes: 1, ranks_per_node: 8 },
-        JobShape { nodes: 2, ranks_per_node: 8 },
-        JobShape { nodes: 4, ranks_per_node: 16 },
+        JobShape {
+            nodes: 1,
+            ranks_per_node: 8,
+        },
+        JobShape {
+            nodes: 2,
+            ranks_per_node: 8,
+        },
+        JobShape {
+            nodes: 4,
+            ranks_per_node: 16,
+        },
     ];
 
     #[test]
     fn all_apps_are_spmd_consistent() {
         for shape in SHAPES {
             for app in [
-                App::PingPong { bytes: 1024, reps: 5 },
+                App::PingPong {
+                    bytes: 1024,
+                    reps: 5,
+                },
                 App::Lammps,
                 App::Nekbone,
                 App::Umt2013,
                 App::Hacc,
                 App::Qbox,
+                App::Incast {
+                    bytes: 8 * 1024,
+                    reps: 4,
+                    roots: 2,
+                },
+                App::Alltoall {
+                    bytes: 8 * 1024,
+                    reps: 2,
+                },
             ] {
                 validate_spmd(app, shape, 3).unwrap_or_else(|e| {
                     panic!("{} at {shape:?}: {e}", app.name());
@@ -434,7 +649,13 @@ mod tests {
     #[test]
     fn buffer_ids_stay_within_spec() {
         for shape in SHAPES {
-            for app in [App::Lammps, App::Nekbone, App::Umt2013, App::Hacc, App::Qbox] {
+            for app in [
+                App::Lammps,
+                App::Nekbone,
+                App::Umt2013,
+                App::Hacc,
+                App::Qbox,
+            ] {
                 let sp = spec(app, shape);
                 for r in 0..shape.nranks() {
                     for op in program(app, shape, 2, r) {
@@ -486,7 +707,10 @@ mod tests {
 
     #[test]
     fn umt_uses_rendezvous_lammps_uses_eager() {
-        let shape = JobShape { nodes: 2, ranks_per_node: 8 };
+        let shape = JobShape {
+            nodes: 2,
+            ranks_per_node: 8,
+        };
         let eager = 64 * 1024u64;
         let umt = program(App::Umt2013, shape, 1, 0);
         assert!(umt
@@ -501,9 +725,15 @@ mod tests {
 
     #[test]
     fn qbox_churns_scratch_mappings() {
-        let shape = JobShape { nodes: 4, ranks_per_node: 8 };
+        let shape = JobShape {
+            nodes: 4,
+            ranks_per_node: 8,
+        };
         let p = program(App::Qbox, shape, 5, 3);
-        let mmaps = p.iter().filter(|o| matches!(o, Op::MmapScratch { .. })).count();
+        let mmaps = p
+            .iter()
+            .filter(|o| matches!(o, Op::MmapScratch { .. }))
+            .count();
         let munmaps = p.iter().filter(|o| matches!(o, Op::MunmapScratch)).count();
         assert_eq!(mmaps, 20);
         assert_eq!(munmaps, 20);
@@ -511,9 +741,33 @@ mod tests {
 
     #[test]
     fn pingpong_roles() {
-        let p0 = program(App::PingPong { bytes: 4096, reps: 3 }, SHAPES[1], 1, 0);
-        let plast = program(App::PingPong { bytes: 4096, reps: 3 }, SHAPES[1], 1, 15);
-        let pmid = program(App::PingPong { bytes: 4096, reps: 3 }, SHAPES[1], 1, 7);
+        let p0 = program(
+            App::PingPong {
+                bytes: 4096,
+                reps: 3,
+            },
+            SHAPES[1],
+            1,
+            0,
+        );
+        let plast = program(
+            App::PingPong {
+                bytes: 4096,
+                reps: 3,
+            },
+            SHAPES[1],
+            1,
+            15,
+        );
+        let pmid = program(
+            App::PingPong {
+                bytes: 4096,
+                reps: 3,
+            },
+            SHAPES[1],
+            1,
+            7,
+        );
         let sends = |p: &[Op]| p.iter().filter(|o| matches!(o, Op::Send { .. })).count();
         assert_eq!(sends(&p0), 3);
         assert_eq!(sends(&plast), 3);
@@ -524,18 +778,27 @@ mod tests {
     fn paper_rank_counts() {
         assert_eq!(App::Lammps.paper_ranks_per_node(), 64);
         assert_eq!(App::Umt2013.paper_ranks_per_node(), 32);
-        assert_eq!(App::PingPong { bytes: 1, reps: 1 }.paper_ranks_per_node(), 1);
+        assert_eq!(
+            App::PingPong { bytes: 1, reps: 1 }.paper_ranks_per_node(),
+            1
+        );
     }
 
     #[test]
     fn umt_tag_mirroring_is_consistent() {
         // Every Isend must have a matching Irecv at the destination.
-        let shape = JobShape { nodes: 2, ranks_per_node: 8 };
+        let shape = JobShape {
+            nodes: 2,
+            ranks_per_node: 8,
+        };
         let n = shape.nranks();
         let progs: Vec<Vec<Op>> = (0..n).map(|r| program(App::Umt2013, shape, 1, r)).collect();
         for (r, p) in progs.iter().enumerate() {
             for op in p {
-                if let Op::Isend { dst, tag, bytes, .. } = op {
+                if let Op::Isend {
+                    dst, tag, bytes, ..
+                } = op
+                {
                     let found = progs[*dst as usize].iter().any(|o| {
                         matches!(o, Op::Irecv { src, tag: t, bytes: b, .. }
                             if *src == r as u32 && t == tag && b == bytes)
@@ -549,12 +812,18 @@ mod tests {
     #[test]
     fn halo_tag_mirroring_is_consistent() {
         for app in [App::Lammps, App::Nekbone, App::Hacc] {
-            let shape = JobShape { nodes: 2, ranks_per_node: 8 };
+            let shape = JobShape {
+                nodes: 2,
+                ranks_per_node: 8,
+            };
             let n = shape.nranks();
             let progs: Vec<Vec<Op>> = (0..n).map(|r| program(app, shape, 1, r)).collect();
             for (r, p) in progs.iter().enumerate() {
                 for op in p {
-                    if let Op::Isend { dst, tag, bytes, .. } = op {
+                    if let Op::Isend {
+                        dst, tag, bytes, ..
+                    } = op
+                    {
                         let found = progs[*dst as usize].iter().any(|o| {
                             matches!(o, Op::Irecv { src, tag: t, bytes: b, .. }
                                 if *src == r as u32 && t == tag && b == bytes)

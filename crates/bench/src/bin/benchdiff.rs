@@ -1,0 +1,140 @@
+//! Nightly bench trending: diff two `BENCH_sim.json` artifacts.
+//!
+//! ```text
+//! benchdiff <previous.json> [fresh.json]
+//! ```
+//!
+//! `fresh.json` defaults to `results/BENCH_sim.json`. Every trended
+//! metric present in both artifacts is compared; a drop of more than
+//! 10% in any throughput figure (`events_per_sec`, queue speedup) or
+//! coalescing gate ratio (train / flow / incast event reductions)
+//! fails the run with exit code 1 — the scheduled CI job turns red
+//! while per-push CI stays untouched. A missing or unreadable
+//! *previous* artifact is not an error: the first nightly run (or a
+//! wiped cache) simply has nothing to trend against, so the tool
+//! prints a notice and passes.
+//!
+//! Metrics are matched by a stable key (pattern/OS/node labels), so
+//! reordered rows or newly added benchmarks never misalign a
+//! comparison: new metrics start trending the night after they first
+//! appear.
+
+use pico_sim::Json;
+
+/// >10% below the previous value fails the nightly job.
+const REGRESSION_FRAC: f64 = 0.10;
+
+/// Flatten one artifact into `(metric key, value)` rows — only the
+/// figures worth trending night over night (throughputs and gate
+/// ratios; raw event counts and wall seconds are informational).
+fn metrics(doc: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut push = |key: String, v: Option<&Json>| {
+        if let Some(x) = v.and_then(Json::as_f64) {
+            out.push((key, x));
+        }
+    };
+    if let Some(q) = doc.get("queue") {
+        push(
+            "queue.wheel_events_per_sec".into(),
+            q.get("wheel_events_per_sec"),
+        );
+        push("queue.speedup".into(), q.get("speedup"));
+    }
+    for row in doc.get("trains").and_then(Json::as_arr).unwrap_or(&[]) {
+        let os = row.get("os").and_then(Json::as_str).unwrap_or("?");
+        push(
+            format!("trains[{os}].event_reduction"),
+            row.get("event_reduction"),
+        );
+        push(
+            format!("trains[{os}].event_reduction_flows"),
+            row.get("event_reduction_flows"),
+        );
+    }
+    for row in doc.get("incast").and_then(Json::as_arr).unwrap_or(&[]) {
+        let pat = row.get("pattern").and_then(Json::as_str).unwrap_or("?");
+        push(
+            format!("incast[{pat}].event_reduction_incast"),
+            row.get("event_reduction_incast"),
+        );
+    }
+    let runs = doc
+        .get("sweep")
+        .and_then(|s| s.get("runs"))
+        .and_then(Json::as_arr)
+        .unwrap_or(&[]);
+    for row in runs {
+        let os = row.get("os").and_then(Json::as_str).unwrap_or("?");
+        let nodes = row.get("nodes").and_then(Json::as_f64).unwrap_or(0.0);
+        push(
+            format!("sweep[{os},n{nodes}].events_per_sec"),
+            row.get("events_per_sec"),
+        );
+    }
+    out
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    Json::parse(&text)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(prev_path) = args.next() else {
+        eprintln!("usage: benchdiff <previous.json> [fresh.json]");
+        std::process::exit(2);
+    };
+    let fresh_path = args
+        .next()
+        .unwrap_or_else(|| "results/BENCH_sim.json".into());
+
+    let prev = match load(&prev_path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            // First nightly run or wiped artifact cache: nothing to
+            // trend against yet, and that must not fail the job.
+            println!("benchdiff: no previous artifact ({prev_path}: {e}); nothing to compare");
+            return;
+        }
+    };
+    let fresh = match load(&fresh_path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("benchdiff: cannot read fresh artifact {fresh_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let old = metrics(&prev);
+    let new = metrics(&fresh);
+    let mut regressions = 0u32;
+    let mut compared = 0u32;
+    for (key, nv) in &new {
+        let Some((_, ov)) = old.iter().find(|(k, _)| k == key) else {
+            println!("  new      {key}: {nv:.3} (no previous value)");
+            continue;
+        };
+        compared += 1;
+        let delta = if *ov > 0.0 { (nv - ov) / ov } else { 0.0 };
+        let verdict = if delta < -REGRESSION_FRAC {
+            regressions += 1;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {verdict:10} {key}: {ov:.3} -> {nv:.3} ({:+.1}%)",
+            delta * 100.0
+        );
+    }
+    println!("benchdiff: {compared} metrics compared against {prev_path}, {regressions} regressed");
+    if regressions > 0 {
+        eprintln!(
+            "benchdiff: {regressions} metric(s) dropped more than {:.0}% night over night",
+            REGRESSION_FRAC * 100.0
+        );
+        std::process::exit(1);
+    }
+}

@@ -48,7 +48,12 @@ fn churn_wheel(n: usize, total: u64, seed: u64) -> (f64, u64, WheelProfile, (usi
         processed += 1;
     }
     let secs = start.elapsed().as_secs_f64();
-    (processed as f64 / secs, q.events_processed(), *q.profile(), q.occupancy())
+    (
+        processed as f64 / secs,
+        q.events_processed(),
+        *q.profile(),
+        q.occupancy(),
+    )
 }
 
 /// Dump the wheel's placement counters, page-span histogram, and final
@@ -66,17 +71,16 @@ fn wheel_profile_dump(prof: &WheelProfile, occ: (usize, usize)) -> Json {
         pct(prof.sched_overflow),
         prof.total(),
     );
-    let last = prof
-        .span_hist
-        .iter()
-        .rposition(|&c| c > 0)
-        .unwrap_or(0);
+    let last = prof.span_hist.iter().rposition(|&c| c > 0).unwrap_or(0);
     print!("  page-span log2 hist:");
     for (i, &c) in prof.span_hist.iter().take(last + 1).enumerate() {
         print!(" {i}:{c}");
     }
     println!();
-    println!("  final occupancy: {} fine slots, {} coarse buckets", occ.0, occ.1);
+    println!(
+        "  final occupancy: {} fine slots, {} coarse buckets",
+        occ.0, occ.1
+    );
     Json::obj([
         ("sched_run", Json::UInt(prof.sched_run)),
         ("sched_cur", Json::UInt(prof.sched_cur)),
@@ -126,7 +130,10 @@ fn churn_heap(n: usize, total: u64, seed: u64) -> f64 {
 /// events ≥5×, flows ≥20×; both must reproduce the reference wall time
 /// exactly. Returns one JSON row per OS config.
 fn train_gate(reps: u32) -> Vec<Json> {
-    let app = App::PingPong { bytes: 4 << 20, reps };
+    let app = App::PingPong {
+        bytes: 4 << 20,
+        reps,
+    };
     let mut rows = Vec::new();
     for os in OsConfig::ALL {
         let mut trains = paper_config(os, app, 2, Some(1));
@@ -139,7 +146,10 @@ fn train_gate(reps: u32) -> Vec<Json> {
         let roff = run_app(off, app, 1);
         let rflow = run_app(flows, app, 1);
         assert_eq!(ron.clamped_events, 0, "{os:?}: train run clamped events");
-        assert_eq!(roff.clamped_events, 0, "{os:?}: reference run clamped events");
+        assert_eq!(
+            roff.clamped_events, 0,
+            "{os:?}: reference run clamped events"
+        );
         assert_eq!(rflow.clamped_events, 0, "{os:?}: flow run clamped events");
         assert_eq!(
             ron.wall_time, roff.wall_time,
@@ -255,6 +265,158 @@ fn qbox_resplit_gate(iters: u32) -> Json {
     ])
 }
 
+/// The destination-rooted sink gate: `Flows` vs `Incast` on the fan-in
+/// patterns the sink graph exists for. Three fixed configs (same in
+/// smoke and full runs — the assertions are behavioral, not timed):
+///
+/// 1. `fanin` — the classic (N−1)-to-1 incast at 8 nodes. Data-plane
+///    arrivals must be bit-identical between modes; the event ratio is
+///    recorded but not gated, because the mode-symmetric floor (launch
+///    wakes plus init/finalize dissemination, O(N) events either way)
+///    bounds the whole-run ratio near 2× when only one downlink carries
+///    data.
+/// 2. `incast` — nine superimposed 9-to-1 fan-ins at 18 nodes, the
+///    traffic shape of an alltoall round. Per-link flow state scales
+///    with senders × roots while sinks stay one per root, so the data
+///    plane dominates the floor: must show ≥5× fewer queue events with
+///    bit-identical data-plane arrivals.
+/// 3. `alltoall` — one real alltoall(v) round at 8 nodes: the flow
+///    count must collapse from O(N²) per-link flows to ≤N
+///    per-destination sinks.
+///
+/// "Bit-identical" is asserted on [`arrival_digest_bulk`], the
+/// commutative hash over every ≥1 KiB wire arrival: eager control
+/// messages (barrier hops, rendezvous handshakes) ride the run-ahead
+/// flush order that both soft modes only approximate, so full-digest
+/// and wall equality are only expected where control traffic happens to
+/// tie out — the JSON rows record both so trending can watch them.
+///
+/// [`arrival_digest_bulk`]: pico_cluster::RunResult::arrival_digest_bulk
+fn incast_gate() -> Vec<Json> {
+    let bytes = 8 * 1024u64;
+    // (pattern, app, nodes, ranks/node, linger, min event ratio,
+    //  assert bulk-digest equality)
+    let configs = [
+        (
+            "fanin",
+            App::Incast {
+                bytes,
+                reps: 256,
+                roots: 1,
+            },
+            8u32,
+            Some(1),
+            None,
+            None,
+            true,
+        ),
+        (
+            "incast",
+            App::Incast {
+                bytes,
+                reps: 64,
+                roots: 9,
+            },
+            18,
+            Some(1),
+            Some(Ns::micros(4000)),
+            Some(5.0),
+            true,
+        ),
+        (
+            "alltoall",
+            App::Alltoall { bytes, reps: 8 },
+            8,
+            None,
+            None,
+            None,
+            false,
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (pattern, app, nodes, rpn, linger, min_ratio, want_digest) in configs {
+        let mut flows = paper_config(OsConfig::McKernelHfi, app, nodes, rpn);
+        if let Some(lg) = linger {
+            flows.flow_linger_ns = lg;
+        }
+        flows.batch_fabric = FabricMode::Flows;
+        let mut sinks = flows.clone();
+        sinks.batch_fabric = FabricMode::Incast;
+        let rf = run_app(flows, app, 1);
+        let ri = run_app(sinks, app, 1);
+        assert_eq!(rf.clamped_events, 0, "{pattern}: flow run clamped events");
+        assert_eq!(ri.clamped_events, 0, "{pattern}: sink run clamped events");
+        let ratio = rf.sim_events as f64 / ri.sim_events as f64;
+        let bulk_match = rf.arrival_digest_bulk == ri.arrival_digest_bulk;
+        println!(
+            "incast gate {pattern:8} {nodes:2} nodes: {} -> {} events ({ratio:.2}x), \
+             {} flows -> {} sinks, {} members, max {}, {} pauses, bulk digest {}",
+            rf.sim_events,
+            ri.sim_events,
+            rf.fabric_flows,
+            ri.fabric_sinks,
+            ri.fabric_sink_members,
+            ri.fabric_max_sink,
+            ri.fabric_sink_pauses,
+            if bulk_match { "EQ" } else { "NE" },
+        );
+        if want_digest && !bulk_match {
+            eprintln!(
+                "REGRESSION: {pattern} data-plane arrivals diverge between Incast and Flows \
+                 (bulk digest {:#x} vs {:#x})",
+                ri.arrival_digest_bulk, rf.arrival_digest_bulk
+            );
+            std::process::exit(1);
+        }
+        if let Some(min) = min_ratio {
+            if ratio < min {
+                eprintln!(
+                    "REGRESSION: {pattern} event reduction {ratio:.2}x below the {min}x gate vs flows"
+                );
+                std::process::exit(1);
+            }
+        }
+        if pattern == "alltoall" {
+            let nn = nodes as u64;
+            if rf.fabric_flows < nn * (nn - 1) {
+                eprintln!(
+                    "REGRESSION: alltoall flow reference opened {} flows, expected O(N^2) >= {}",
+                    rf.fabric_flows,
+                    nn * (nn - 1)
+                );
+                std::process::exit(1);
+            }
+            if ri.fabric_sinks > nn {
+                eprintln!(
+                    "REGRESSION: alltoall sinks must collapse to O(N) <= {nn}, got {}",
+                    ri.fabric_sinks
+                );
+                std::process::exit(1);
+            }
+        }
+        rows.push(Json::obj([
+            ("pattern", Json::str(pattern)),
+            ("nodes", Json::UInt(nodes as u64)),
+            ("events_flows", Json::UInt(rf.sim_events)),
+            ("events_incast", Json::UInt(ri.sim_events)),
+            ("event_reduction_incast", Json::Num(ratio)),
+            ("fabric_flows", Json::UInt(rf.fabric_flows)),
+            ("fabric_sinks", Json::UInt(ri.fabric_sinks)),
+            ("fabric_sink_members", Json::UInt(ri.fabric_sink_members)),
+            ("fabric_max_sink", Json::UInt(ri.fabric_max_sink)),
+            ("fabric_sink_pauses", Json::UInt(ri.fabric_sink_pauses)),
+            ("arrival_digest_bulk_match", Json::Bool(bulk_match)),
+            (
+                "arrival_digest_match",
+                Json::Bool(ri.arrival_digest == rf.arrival_digest),
+            ),
+            ("wall_match", Json::Bool(ri.wall_time == rf.wall_time)),
+            ("wall_time_s", Json::Num(ri.wall_time.as_secs_f64())),
+        ]));
+    }
+    rows
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let live = 4096usize;
@@ -280,6 +442,11 @@ fn main() {
     // events; Qbox resplits must not grow under flows.
     let train_rows = train_gate(if smoke { 12 } else { 50 });
     let qbox_row = qbox_resplit_gate(if smoke { 2 } else { 5 });
+
+    // Destination-rooted sink gates: ≥5× fewer events on the
+    // superimposed incast, bit-identical data-plane arrivals on the
+    // fan-ins, alltoall flow count O(N²) → O(N).
+    let incast_rows = incast_gate();
 
     // End-to-end: Figure 6a sweep at small scale, wall time + sim throughput.
     let sweep_start = Instant::now();
@@ -325,6 +492,7 @@ fn main() {
         ),
         ("trains", Json::Arr(train_rows)),
         ("qbox_resplits", qbox_row),
+        ("incast", Json::Arr(incast_rows)),
         (
             "sweep",
             Json::obj([

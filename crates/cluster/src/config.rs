@@ -50,16 +50,32 @@ pub enum FabricMode {
     /// rides the zero-event soft schedule; only conflicts (lazy resplit),
     /// `flow_linger_ns` idleness, or the member cap close a flow.
     Flows,
+    /// Destination-rooted incast flow graph: one sink per destination
+    /// node merges members from *all* source links into a single soft
+    /// schedule over the shared downlink (`Fabric::extend_sink`). An
+    /// N-to-1 incast needs one close reaper and one soft entry instead
+    /// of N per-link flows; pause/resplit, member caps, and lingering
+    /// are per-sink. FIFO-exact against [`FabricMode::Flows`].
+    Incast,
 }
 
 impl FabricMode {
-    /// Whether bursts are coalesced at all (trains or flows).
+    /// Whether bursts are coalesced at all (trains, flows, or sinks).
     pub fn batches(self) -> bool {
         self != FabricMode::PerPacket
     }
-    /// Whether trains persist across dispatches as flows.
+    /// Whether trains persist across dispatches as per-link flows.
     pub fn flows(self) -> bool {
         self == FabricMode::Flows
+    }
+    /// Whether deliveries ride the cross-dispatch soft schedule (per-link
+    /// flows or per-destination sinks).
+    pub fn soft(self) -> bool {
+        matches!(self, FabricMode::Flows | FabricMode::Incast)
+    }
+    /// Whether flows are merged into destination-rooted sinks.
+    pub fn incast(self) -> bool {
+        self == FabricMode::Incast
     }
 }
 
@@ -115,13 +131,19 @@ pub struct ClusterConfig {
     /// Close a persistent flow whose link has been idle this long; closed
     /// flows finalize their statistics and the next burst opens a fresh
     /// one. Also paces the `Ev::FlowClose` reaper timers (one per active
-    /// link, rescheduled at this cadence). Only read in
-    /// [`FabricMode::Flows`].
+    /// link, rescheduled at this cadence). In [`FabricMode::Incast`] the
+    /// same knob lingers and paces per-destination sinks instead.
     pub flow_linger_ns: Ns,
-    /// Hard cap on members accumulated by one flow before it is closed
-    /// and a successor opened — bounds the member vector a single
-    /// delivery dispatch may own. Only read in [`FabricMode::Flows`].
+    /// Hard cap on members accumulated by one flow (or, under
+    /// [`FabricMode::Incast`], one per-destination sink) before it is
+    /// closed and a successor opened — bounds the member vector a single
+    /// delivery dispatch may own.
     pub flow_member_cap: usize,
+    /// log2 of the fine pages spanned by one coarse-wheel bucket
+    /// (see `EventQueue::with_coarse_bits`); 6 keeps the PR 3 layout
+    /// (64 µs pages, ~67 ms horizon). The 128/256-node noise sweeps
+    /// profile this via `WheelProfile::span_hist`.
+    pub wheel_coarse_bits: u32,
 }
 
 impl ClusterConfig {
@@ -152,9 +174,10 @@ impl ClusterConfig {
             pico_init_cost: Ns::millis(1),
             host_fragmentation: 0.4,
             backed: false,
-            batch_fabric: FabricMode::Flows,
+            batch_fabric: FabricMode::Incast,
             flow_linger_ns: Ns::millis(2),
             flow_member_cap: 4096,
+            wheel_coarse_bits: 6,
         }
     }
 }
@@ -172,7 +195,10 @@ mod tests {
 
     #[test]
     fn paper_defaults_are_sane() {
-        let shape = JobShape { nodes: 8, ranks_per_node: 32 };
+        let shape = JobShape {
+            nodes: 8,
+            ranks_per_node: 32,
+        };
         let c = ClusterConfig::paper(OsConfig::McKernel, shape);
         assert_eq!(c.cores_per_node, 68);
         assert_eq!(c.service_cores, 4);

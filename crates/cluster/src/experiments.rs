@@ -24,7 +24,10 @@ impl Fig4Row {
     pub fn to_json(&self) -> Json {
         Json::obj([
             ("bytes", Json::UInt(self.bytes)),
-            ("bw_mbs", Json::arr(self.bw_mbs.iter().map(|&b| Json::Num(b)))),
+            (
+                "bw_mbs",
+                Json::arr(self.bw_mbs.iter().map(|&b| Json::Num(b))),
+            ),
         ])
     }
 }
@@ -111,7 +114,8 @@ pub fn scaling(
                 let expect = cfg.shape.nranks();
                 let res = run_app(cfg, app, n_iters);
                 assert_eq!(
-                    res.ranks_done, expect,
+                    res.ranks_done,
+                    expect,
                     "{} on {:?} at {} nodes did not complete",
                     app.name(),
                     os,
@@ -176,8 +180,16 @@ pub fn profile_rows(res: &RunResult, k: usize) -> Vec<Table1Row> {
             Table1Row {
                 call: call.name().to_string(),
                 time_s: s,
-                pct_mpi: if total_mpi > 0.0 { 100.0 * s / total_mpi } else { 0.0 },
-                pct_rt: if total_rt > 0.0 { 100.0 * s / total_rt } else { 0.0 },
+                pct_mpi: if total_mpi > 0.0 {
+                    100.0 * s / total_mpi
+                } else {
+                    0.0
+                },
+                pct_rt: if total_rt > 0.0 {
+                    100.0 * s / total_rt
+                } else {
+                    0.0
+                },
             }
         })
         .collect()
@@ -236,8 +248,18 @@ pub fn format_table1(app: &str, cells: &[(OsConfig, Vec<Table1Row>)]) -> String 
     out.push_str(&format!("== {app} ==\n"));
     out.push_str(&format!(
         "{:<16}{:>12}{:>9}{:>8}    {:<16}{:>12}{:>9}{:>8}    {:<16}{:>12}{:>9}{:>8}\n",
-        "Linux (MPI_)", "Time", "%MPI", "%Rt", "McKernel (MPI_)", "Time", "%MPI", "%Rt",
-        "McK+HFI (MPI_)", "Time", "%MPI", "%Rt"
+        "Linux (MPI_)",
+        "Time",
+        "%MPI",
+        "%Rt",
+        "McKernel (MPI_)",
+        "Time",
+        "%MPI",
+        "%Rt",
+        "McK+HFI (MPI_)",
+        "Time",
+        "%MPI",
+        "%Rt"
     ));
     let depth = cells.iter().map(|(_, rows)| rows.len()).max().unwrap_or(0);
     for i in 0..depth {

@@ -26,7 +26,7 @@ use pico_mckernel::{BlockId, MckMmCosts, ScalableAllocator, SyscallTable};
 use pico_mem::{AddressSpace, BuddyAllocator, MapPolicy, PhysAddr, VirtAddr};
 use pico_mpi::{BufTable, HostOp, MpiCall, MpiRank, StepResult};
 use pico_psm::{Endpoint, MqHandle, PsmAction, PsmPacket};
-use pico_sim::{transfer_time, EventQueue, Ns, Rng, TimeByKey};
+use pico_sim::{transfer_time, EventQueue, Ns, Rng, TimeByKey, WheelProfile};
 use picodriver::{CallbackKind, CallbackRef, CallbackTable, HfiFastPath, UnifiedKernelSpace};
 use std::collections::HashMap;
 
@@ -62,6 +62,12 @@ enum Ev {
     /// flow bookkeeping), so it is exempt from `node_pending` accounting
     /// and commutes with train continuations.
     FlowClose { slot: usize },
+    /// Incast-mode reaper timer: close `sinks[slot]` (the destination
+    /// node's merged flow) if *every* source link feeding it has idled
+    /// past `flow_linger_ns`, else re-arm. One timer covers the whole
+    /// N-to-1 incast where flow mode arms N. Pure bookkeeping like
+    /// [`Ev::FlowClose`].
+    SinkClose { slot: usize },
 }
 
 /// Where a train dispatch's members came from — decides where an
@@ -75,11 +81,19 @@ enum TrainSource {
     /// the slot (lazy resplit) and re-defers as its soft entry, so later
     /// appends keep extending it in place.
     Flow(usize),
+    /// The pending members of `sinks[i]` (the destination node's merged
+    /// incast flow): the remainder goes back into the sink and re-defers
+    /// as its soft entry, exactly like a flow pause but per destination.
+    Sink(usize),
 }
 
 /// One in-flight member of an [`Ev::PacketTrain`].
 struct TrainPacket {
     arrival: Ns,
+    /// Global emission sequence (from [`PendingMember::seq`]): the
+    /// deterministic tiebreak when a sink merges equal arrivals from
+    /// different source links.
+    seq: u64,
     dst: usize,
     src: u32,
     packet: PsmPacket,
@@ -130,6 +144,8 @@ struct SoftItem {
 enum SoftKind {
     /// Deliver the pending members of `flows[i]`.
     Flow(usize),
+    /// Deliver the pending members of `sinks[i]` (incast mode).
+    Sink(usize),
     /// Any other flush product (intra-node train, parked singleton,
     /// batched sender completions), dispatched exactly like the event.
     Ev(Ev),
@@ -160,6 +176,126 @@ struct FlowSlot {
     last_activity: Ns,
     /// Whether an `Ev::FlowClose` reaper event is in the queue.
     reaper_armed: bool,
+}
+
+/// The destination-rooted incast flow of one node (`sinks[dst_node]`):
+/// the merge of every source link's persistent flow into a single soft
+/// schedule over the node's downlink. Successive flushes from *any*
+/// source extend the shared fabric reservation
+/// ([`Fabric::extend_sink`]) and merge into `members` by
+/// `(arrival, seq)`; one soft entry, one `node_pending` mark, and one
+/// [`Ev::SinkClose`] reaper cover what flow mode pays per source link.
+/// Slots are allocated once per node and never freed; `open` flips as
+/// sinks close (linger, member cap, reaper) and successors reuse them.
+#[derive(Default)]
+struct SinkSlot {
+    /// Whether an incast flow is currently open on this node.
+    open: bool,
+    /// Committed-but-undelivered members, sorted by `(arrival, seq)` —
+    /// cross-source arrivals are *not* monotone in commit order (a
+    /// slow-uplink member's arrival can be latency-dominated past a
+    /// later member's downlink-dominated one), so appends merge.
+    members: Vec<TrainPacket>,
+    /// Whether a `SoftKind::Sink` entry for `members` is on the soft
+    /// schedule (with a matching `node_pending` entry).
+    pending: bool,
+    /// Soft-entry key time while `pending` — needed to re-key the entry
+    /// when a merge introduces an earlier first arrival.
+    entry_at: Ns,
+    /// Members accumulated by the open sink so far (the `extend_sink`
+    /// continuation length across all sources; resets on close).
+    len: u64,
+    /// Last append or delivery on this sink, for linger decisions.
+    last_activity: Ns,
+    /// Whether an `Ev::SinkClose` reaper event is in the queue.
+    reaper_armed: bool,
+}
+
+/// Open-addressed index over `pending_trains`, keyed `(src, dst)`:
+/// replaces the former per-member linear bucket scan in
+/// `enqueue_member`. Cleared per flush by bumping an epoch stamp (O(1),
+/// no slot writes); the slot array is reused across flushes, so the
+/// steady state allocates nothing.
+struct LinkIndex {
+    /// `(epoch_stamp, src, dst, bucket)`; a slot is live iff its stamp
+    /// equals the current epoch.
+    slots: Vec<(u64, u32, u32, u32)>,
+    epoch: u64,
+    live: usize,
+}
+
+impl LinkIndex {
+    fn new() -> LinkIndex {
+        LinkIndex {
+            slots: vec![(0, 0, 0, 0); 64],
+            epoch: 1,
+            live: 0,
+        }
+    }
+
+    /// splitmix64 finalizer over the packed link key.
+    #[inline]
+    fn hash(src: usize, dst: usize) -> u64 {
+        let mut x = ((src as u64) << 32) | dst as u64;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+
+    /// Bucket of `(src, dst)`, if indexed this epoch.
+    #[inline]
+    fn get(&self, src: usize, dst: usize) -> Option<usize> {
+        let mask = self.slots.len() - 1;
+        let mut i = Self::hash(src, dst) as usize & mask;
+        loop {
+            let (stamp, s, d, b) = self.slots[i];
+            if stamp != self.epoch {
+                return None;
+            }
+            if s == src as u32 && d == dst as u32 {
+                return Some(b as usize);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Record `(src, dst) -> bucket` (the key must be absent).
+    fn insert(&mut self, src: usize, dst: usize, bucket: usize) {
+        if (self.live + 1) * 2 > self.slots.len() {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = Self::hash(src, dst) as usize & mask;
+        while self.slots[i].0 == self.epoch {
+            debug_assert!(self.slots[i].1 != src as u32 || self.slots[i].2 != dst as u32);
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = (self.epoch, src as u32, dst as u32, bucket as u32);
+        self.live += 1;
+    }
+
+    /// Double the table, rehashing this epoch's live entries.
+    fn grow(&mut self) {
+        let doubled = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![(0, 0, 0, 0); doubled]);
+        let mask = self.slots.len() - 1;
+        for (stamp, s, d, b) in old {
+            if stamp == self.epoch {
+                let mut i = Self::hash(s as usize, d as usize) as usize & mask;
+                while self.slots[i].0 == self.epoch {
+                    i = (i + 1) & mask;
+                }
+                self.slots[i] = (stamp, s, d, b);
+            }
+        }
+    }
+
+    /// O(1) clear: stale stamps die with the epoch bump.
+    #[inline]
+    fn clear(&mut self) {
+        self.epoch += 1;
+        self.live = 0;
+    }
 }
 
 /// One node's kernel + device complex.
@@ -243,10 +379,41 @@ pub struct RunResult {
     pub fabric_flow_members: u64,
     /// Longest flow (members accumulated by one flow before it closed).
     pub fabric_max_flow: u64,
+    /// Destination-rooted incast sinks opened ([`FabricMode::Incast`]
+    /// only): the per-node merged flows. An N-to-1 incast opens 1 where
+    /// flow mode opens N.
+    pub fabric_sinks: u64,
+    /// Members merged through those sinks.
+    pub fabric_sink_members: u64,
+    /// Longest sink (members merged by one sink before it closed).
+    pub fabric_max_sink: u64,
+    /// Sink deliveries that stopped at a conflicting member and
+    /// re-deferred the suffix in place — the per-sink lazy pause, the
+    /// incast cousin of [`fabric_flow_pauses`](Self::fabric_flow_pauses).
+    pub fabric_sink_pauses: u64,
     /// Deliveries executed on the zero-event soft schedule
-    /// ([`FabricMode::Flows`] only): work that [`FabricMode::Trains`]
-    /// would have spent queue events on.
+    /// ([`FabricMode::Flows`] / [`FabricMode::Incast`]): work that
+    /// [`FabricMode::Trains`] would have spent queue events on.
     pub soft_deliveries: u64,
+    /// Order-independent digest of every fabric delivery schedule
+    /// (`hash(arrival, dst, src, bytes)` summed commutatively at
+    /// schedule time, all modes): two runs whose per-member arrival
+    /// times are bit-identical produce equal digests regardless of
+    /// dispatch interleaving.
+    pub arrival_digest: u64,
+    /// [`RunResult::arrival_digest`] restricted to bulk messages (>= 1
+    /// KiB on the wire) — the incast gate's equality witness. Control
+    /// messages (barrier/rendezvous handshakes, a few dozen bytes) ride
+    /// on rank run-ahead whose flush ordering both soft modes only
+    /// approximate, so their arrivals may differ between `Flows` and
+    /// `Incast` the same way they differ against the reference model;
+    /// data-plane arrivals go through the fabric gates alone and must
+    /// match bit-for-bit.
+    pub arrival_digest_bulk: u64,
+    /// Scheduling-placement counters and page-span histogram of the
+    /// timing wheel (see [`WheelProfile`]): which tier every schedule
+    /// landed in over the whole run.
+    pub wheel_profile: WheelProfile,
     /// Backed-run payloads whose bytes failed the wrapping-increment
     /// self-check after delivery (must be zero; nonzero means the train
     /// or reassembly path corrupted a payload).
@@ -291,11 +458,18 @@ struct HotCfg {
     pio_base: Ns,
     pio_bw: f64,
     copy_bw: f64,
-    /// Bursts coalesce at all (`Trains` or `Flows`).
+    /// Bursts coalesce at all (`Trains`, `Flows`, or `Incast`).
     batch: bool,
-    /// Trains persist across dispatches and ride the soft schedule.
-    flows: bool,
+    /// Trains persist across dispatches and ride the soft schedule
+    /// (`Flows` or `Incast`).
+    soft: bool,
+    /// Per-link flows merge into destination-rooted sinks (`Incast`).
+    incast: bool,
 }
+
+/// One `PICO_TRACE_ARRIVALS` record: `(commit time, dst rank, src
+/// rank, wire bytes, arrival time)`.
+type ArrivalTraceRow = (u64, usize, u32, u64, u64);
 
 /// The simulator.
 pub struct World {
@@ -355,6 +529,12 @@ pub struct World {
     /// Persistent per-link flow slots, scanned linearly (a run touches a
     /// handful of directed links).
     flows: Vec<FlowSlot>,
+    /// Destination-rooted incast sinks, one per node (`sinks[dst_node]`).
+    sinks: Vec<SinkSlot>,
+    /// Open-addressed `(src, dst) -> pending_trains bucket` index,
+    /// cleared per flush (satellite of the incast PR: `enqueue_member`
+    /// was a per-member linear scan).
+    link_index: LinkIndex,
     /// Resplit counter behind [`RunResult::fabric_resplits`].
     resplits: u64,
     /// Lazy-pause counter behind [`RunResult::fabric_flow_pauses`].
@@ -363,6 +543,19 @@ pub struct World {
     flows_opened: u64,
     flow_members_total: u64,
     max_flow_len: u64,
+    /// Sink counters behind the `fabric_sink*` results.
+    sinks_opened: u64,
+    sink_members_total: u64,
+    max_sink_len: u64,
+    sink_pauses: u64,
+    /// Commutative arrival digest behind [`RunResult::arrival_digest`].
+    arrival_digest: u64,
+    /// Bulk-only digest behind [`RunResult::arrival_digest_bulk`].
+    arrival_digest_bulk: u64,
+    /// Debug aid: when `PICO_TRACE_ARRIVALS` names a file, every digest
+    /// input is recorded and dumped there at collection — diff two
+    /// runs' dumps (sorted) to localize an arrival divergence.
+    arrival_trace: Option<(String, Vec<ArrivalTraceRow>)>,
     /// Soft-schedule dispatches (would-be events under `Trains`).
     soft_deliveries: u64,
     /// Time of the dispatch in flight (== the popped item's timestamp;
@@ -433,7 +626,7 @@ impl World {
                 done: false,
             });
         }
-        let mut queue = EventQueue::new();
+        let mut queue = EventQueue::with_coarse_bits(cfg.wheel_coarse_bits);
         let mut skew_rng = root_rng.substream(7);
         let mut pending_wake = Vec::with_capacity(ranks.len());
         let mut node_pending: Vec<std::collections::BTreeMap<Ns, u32>> =
@@ -453,9 +646,11 @@ impl World {
             pio_bw: cfg.pio_bw,
             copy_bw: cfg.copy_bw,
             batch: cfg.batch_fabric.batches(),
-            flows: cfg.batch_fabric.flows(),
+            soft: cfg.batch_fabric.soft(),
+            incast: cfg.batch_fabric.incast(),
         };
         let nranks = ranks.len();
+        let nnodes = nodes.len();
         World {
             cfg,
             hot,
@@ -483,11 +678,22 @@ impl World {
             node_pending,
             soft: Vec::new(),
             flows: Vec::new(),
+            sinks: (0..nnodes).map(|_| SinkSlot::default()).collect(),
+            link_index: LinkIndex::new(),
             resplits: 0,
             flow_pauses: 0,
             flows_opened: 0,
             flow_members_total: 0,
             max_flow_len: 0,
+            sinks_opened: 0,
+            sink_members_total: 0,
+            max_sink_len: 0,
+            sink_pauses: 0,
+            arrival_digest: 0,
+            arrival_digest_bulk: 0,
+            arrival_trace: std::env::var("PICO_TRACE_ARRIVALS")
+                .ok()
+                .map(|p| (p, Vec::new())),
             soft_deliveries: 0,
             sim_now: Ns::ZERO,
         }
@@ -508,7 +714,10 @@ impl World {
         let mut vfs = Vfs::new();
         let dev = vfs.devices.register("hfi1_0");
         let layouts = LayoutSet::v10_8();
-        let chip = HfiChip::new(HfiChipConfig::default(), cfg.shape.ranks_per_node as usize + 2);
+        let chip = HfiChip::new(
+            HfiChipConfig::default(),
+            cfg.shape.ranks_per_node as usize + 2,
+        );
         let driver = Hfi1Driver::new(layouts.clone(), HfiDriverCosts::default(), 16);
         let (fast, unified, callbacks, cb_ref, lwk_alloc) = if cfg.os == OsConfig::McKernelHfi {
             let module = layouts.emit_module_binary();
@@ -596,7 +805,7 @@ impl World {
             Ev::SdmaSent { rank, .. } => Some(self.ranks[*rank].node),
             Ev::PacketTrain { members } => Some(self.ranks[members[0].dst].node),
             Ev::SdmaSentBatch { members } => Some(self.ranks[members[0].rank].node),
-            Ev::FlowClose { .. } => None,
+            Ev::FlowClose { .. } | Ev::SinkClose { .. } => None,
         }
     }
 
@@ -647,6 +856,8 @@ impl World {
     fn push_soft(&mut self, at: Ns, kind: SoftKind) {
         let node = match &kind {
             SoftKind::Flow(i) => Some(self.flows[*i].dst),
+            // Sinks are indexed by destination node.
+            SoftKind::Sink(i) => Some(*i),
             SoftKind::Ev(ev) => self.ev_node(ev),
         };
         if let Some(n) = node {
@@ -654,16 +865,15 @@ impl World {
         }
         let seq = self.queue.alloc_seq();
         let item = SoftItem { at, seq, kind };
-        let pos = self
-            .soft
-            .partition_point(|s| (s.at, s.seq) > (at, seq));
+        let pos = self.soft.partition_point(|s| (s.at, s.seq) > (at, seq));
         self.soft.insert(pos, item);
     }
 
     /// Emit a flush product: a queued event under `Trains` (and the
-    /// per-packet reference), a zero-event soft item under `Flows`.
+    /// per-packet reference), a zero-event soft item under `Flows` /
+    /// `Incast`.
     fn emit_ev(&mut self, at: Ns, ev: Ev) {
-        if self.hot.flows {
+        if self.hot.soft {
             self.push_soft(at, SoftKind::Ev(ev));
         } else {
             self.schedule_ev(at, ev);
@@ -734,6 +944,29 @@ impl World {
                 self.flows[i].pending = false;
                 self.flows[i].last_activity = item.at;
                 self.on_packet_train(members, TrainSource::Flow(i));
+                // The reaper disarms instead of polling while a delivery
+                // is outstanding; now that `pending` cleared (or the
+                // train paused and will come back through here), restore
+                // the one armed timer the slot's linger close relies on.
+                let f = &self.flows[i];
+                if (f.open || f.pending) && !f.reaper_armed {
+                    let at = f.last_activity + self.cfg.flow_linger_ns;
+                    self.flows[i].reaper_armed = true;
+                    self.schedule_ev(at, Ev::FlowClose { slot: i });
+                }
+            }
+            SoftKind::Sink(i) => {
+                self.node_pending_remove(i, item.at);
+                let members = std::mem::take(&mut self.sinks[i].members);
+                self.sinks[i].pending = false;
+                self.sinks[i].last_activity = item.at;
+                self.on_packet_train(members, TrainSource::Sink(i));
+                let s = &self.sinks[i];
+                if (s.open || s.pending) && !s.reaper_armed {
+                    let at = s.last_activity + self.cfg.flow_linger_ns;
+                    self.sinks[i].reaper_armed = true;
+                    self.schedule_ev(at, Ev::SinkClose { slot: i });
+                }
             }
             SoftKind::Ev(ev) => {
                 if let Some(n) = self.ev_node(&ev) {
@@ -819,10 +1052,22 @@ impl World {
             Ev::FlowClose { slot } => {
                 self.on_flow_close(slot, t);
             }
+            Ev::SinkClose { slot } => {
+                self.on_sink_close(slot, t);
+            }
         }
     }
 
     fn collect(self, elapsed_secs: f64) -> RunResult {
+        if let Some((path, trace)) = &self.arrival_trace {
+            let mut out = String::new();
+            for (now, dst, src, bytes, at) in trace {
+                out.push_str(&format!(
+                    "now {now} dst {dst} src {src} bytes {bytes} arr {at}\n"
+                ));
+            }
+            std::fs::write(path, out).expect("write arrival trace");
+        }
         let sim_events = self.queue.events_processed();
         let clamped_events = self.queue.clamped_events();
         let mut mpi = TimeByKey::new();
@@ -888,7 +1133,23 @@ impl World {
                 }
                 m
             },
+            fabric_sinks: self.sinks_opened,
+            fabric_sink_members: self.sink_members_total,
+            fabric_max_sink: {
+                // Sinks still open at exhaustion never saw close_sink.
+                let mut m = self.max_sink_len;
+                for s in &self.sinks {
+                    if s.open {
+                        m = m.max(s.len);
+                    }
+                }
+                m
+            },
+            fabric_sink_pauses: self.sink_pauses,
             soft_deliveries: self.soft_deliveries,
+            arrival_digest: self.arrival_digest,
+            arrival_digest_bulk: self.arrival_digest_bulk,
+            wheel_profile: *self.queue.profile(),
             payload_errors,
             tid_programs,
             pio_sends: pio,
@@ -992,18 +1253,22 @@ impl World {
         true
     }
 
-    /// Add a packet to the train accumulator bucket of its link. The
-    /// bucket list is scanned linearly: one dispatch touches a handful
-    /// of links at most.
+    /// Add a packet to the train accumulator bucket of its link, located
+    /// through the open-addressed [`LinkIndex`] (O(1) expected; the old
+    /// pairwise scan of `pending_trains` was O(links) *per member*, which
+    /// alltoall dispatches at scale turned into a quadratic hot spot).
     fn enqueue_member(&mut self, src_node: usize, dst_node: usize, mut m: PendingMember) {
         m.seq = self.emit_seq;
         self.emit_seq += 1;
-        for (s, d, v) in &mut self.pending_trains {
-            if *s == src_node && *d == dst_node {
-                v.push(m);
-                return;
-            }
+        if let Some(b) = self.link_index.get(src_node, dst_node) {
+            debug_assert!(
+                self.pending_trains[b].0 == src_node && self.pending_trains[b].1 == dst_node
+            );
+            self.pending_trains[b].2.push(m);
+            return;
         }
+        self.link_index
+            .insert(src_node, dst_node, self.pending_trains.len());
         let mut v = self.member_pool.pop().unwrap_or_default();
         v.push(m);
         self.pending_trains.push((src_node, dst_node, v));
@@ -1018,6 +1283,9 @@ impl World {
             return;
         }
         let mut trains = std::mem::take(&mut self.pending_trains);
+        // The index refers to the buckets just taken; reset it before any
+        // (hypothetical) re-accumulation.
+        self.link_index.clear();
         for (src_node, dst_node, members) in &mut trains {
             self.flush_one_train(*src_node, *dst_node, members);
             debug_assert!(members.is_empty());
@@ -1078,13 +1346,47 @@ impl World {
         self.sent_scratch = sent;
     }
 
-    fn flush_one_train(&mut self, src_node: usize, dst_node: usize, members: &mut Vec<PendingMember>) {
-        // Flow mode, inter-node link: the burst extends the link's
-        // persistent flow instead of becoming its own train. Intra-node
-        // (shared-memory) arrivals are not monotone across dispatches,
-        // so those bursts stay per-flush trains — on the soft schedule.
-        if self.hot.flows && src_node != dst_node {
-            self.flow_append(src_node, dst_node, members);
+    /// Fold one delivery schedule into the order-independent arrival
+    /// digest (see [`RunResult::arrival_digest`]): a splitmix64-finalized
+    /// hash of the member identity, accumulated with a commutative sum so
+    /// dispatch interleaving cannot change it.
+    #[inline]
+    fn digest_arrival(&mut self, arrival: Ns, dst: usize, src: u32, bytes: u64) {
+        #[inline]
+        fn mix(mut x: u64) -> u64 {
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            x ^ (x >> 31)
+        }
+        let id = mix(((dst as u64) << 40) ^ ((src as u64) << 16) ^ bytes);
+        let h = mix(arrival.0 ^ id);
+        self.arrival_digest = self.arrival_digest.wrapping_add(h);
+        if bytes >= 1024 {
+            self.arrival_digest_bulk = self.arrival_digest_bulk.wrapping_add(h);
+        }
+        if let Some((_, trace)) = &mut self.arrival_trace {
+            let now = self.sim_now.0;
+            trace.push((now, dst, src, bytes, arrival.0));
+        }
+    }
+
+    fn flush_one_train(
+        &mut self,
+        src_node: usize,
+        dst_node: usize,
+        members: &mut Vec<PendingMember>,
+    ) {
+        // Soft modes, inter-node link: the burst extends the link's
+        // persistent flow (or the destination's merged sink) instead of
+        // becoming its own train. Intra-node (shared-memory) arrivals are
+        // not monotone across dispatches, so those bursts stay per-flush
+        // trains — on the soft schedule.
+        if self.hot.soft && src_node != dst_node {
+            if self.hot.incast {
+                self.sink_append(src_node, dst_node, members);
+            } else {
+                self.flow_append(src_node, dst_node, members);
+            }
             return;
         }
         // One reservation per gate for the whole burst.
@@ -1097,11 +1399,13 @@ impl World {
         }));
         let mut scheds = std::mem::take(&mut self.sched_scratch);
         scheds.clear();
-        self.fabric.transfer_train(src_node, dst_node, &fm, &mut scheds);
+        self.fabric
+            .transfer_train(src_node, dst_node, &fm, &mut scheds);
         // Collect the sender-side completion IRQs; they are serviced in
         // global emission order by `flush_completions` once every train
         // of the flush has its fabric schedule.
         for (m, sched) in members.iter().zip(&scheds) {
+            self.digest_arrival(sched.arrival, m.dst, m.src, m.bytes);
             if let Some((rank, msg_id, window, va, cpu)) = m.completion {
                 self.sent_scratch.push((
                     m.seq,
@@ -1135,6 +1439,7 @@ impl World {
                 .zip(scheds.iter())
                 .map(|(m, s)| TrainPacket {
                     arrival: s.arrival,
+                    seq: m.seq,
                     dst: m.dst,
                     src: m.src,
                     packet: m.packet,
@@ -1215,8 +1520,10 @@ impl World {
         let mut scheds = std::mem::take(&mut self.sched_scratch);
         scheds.clear();
         let prior = self.flows[idx].len;
-        self.fabric.extend_train(src_node, dst_node, &fm, prior, &mut scheds);
+        self.fabric
+            .extend_train(src_node, dst_node, &fm, prior, &mut scheds);
         for (m, sched) in members.iter().zip(&scheds) {
+            self.digest_arrival(sched.arrival, m.dst, m.src, m.bytes);
             if let Some((rank, msg_id, window, va, cpu)) = m.completion {
                 self.sent_scratch.push((
                     m.seq,
@@ -1245,6 +1552,7 @@ impl World {
             );
             self.flows[idx].members.push(TrainPacket {
                 arrival: s.arrival,
+                seq: m.seq,
                 dst: m.dst,
                 src: m.src,
                 packet: m.packet,
@@ -1277,13 +1585,170 @@ impl World {
         let linger = self.cfg.flow_linger_ns;
         let f = &self.flows[slot];
         let (pending, last, open) = (f.pending, f.last_activity, f.open);
-        if pending || (open && t < last + linger) {
-            let at = if pending { t + linger } else { last + linger };
-            self.schedule_ev(at, Ev::FlowClose { slot });
+        if pending {
+            // An outstanding delivery blocks the close, and its dispatch
+            // re-arms the timer once `pending` clears — disarm rather
+            // than poll every linger until then. (Launch-skew deferrals
+            // hold `pending` for whole milliseconds; polling them used
+            // to dominate the queue-event count.)
+            self.flows[slot].reaper_armed = false;
+            return;
+        }
+        if open && t < last + linger {
+            self.schedule_ev(last + linger, Ev::FlowClose { slot });
             return;
         }
         self.flows[slot].reaper_armed = false;
         self.close_flow(slot);
+    }
+
+    /// Finalize the open sink in `idx` (stats identity only: undelivered
+    /// members stay in place and a successor reuses the slot).
+    fn close_sink(&mut self, idx: usize) {
+        if self.sinks[idx].open {
+            self.max_sink_len = self.max_sink_len.max(self.sinks[idx].len);
+            self.sinks[idx].open = false;
+            self.sinks[idx].len = 0;
+        }
+    }
+
+    /// Merge one flush's burst from `src_node` into `dst_node`'s
+    /// destination-rooted sink — the incast counterpart of
+    /// [`flow_append`](Self::flow_append). The fabric side
+    /// ([`Fabric::extend_sink`]) advances the source's uplink gate and
+    /// commits the shared downlink once, continuing the sink's cumulative
+    /// reservation, so arrivals are bit-identical to what per-link flows
+    /// would compute. The world side differs from flows in one place:
+    /// cross-source arrivals are not monotone in commit order, so new
+    /// members *merge* into the pending vector by `(arrival, seq)` and
+    /// the sink's single soft entry is re-keyed when the merge introduces
+    /// an earlier head.
+    fn sink_append(&mut self, src_node: usize, dst_node: usize, members: &mut Vec<PendingMember>) {
+        let now = self.sim_now;
+        let linger = self.cfg.flow_linger_ns;
+        let idx = dst_node;
+        // Lazy close: every source feeding the sink idled past the
+        // linger, or this burst would breach the member cap — finalize
+        // and open a successor (per-sink, not per-link).
+        if self.sinks[idx].open {
+            let s = &self.sinks[idx];
+            let idled = !s.pending && now > s.last_activity + linger;
+            let capped = s.len as usize + members.len() > self.cfg.flow_member_cap;
+            if idled || capped {
+                self.close_sink(idx);
+            }
+        }
+        if !self.sinks[idx].open {
+            self.sinks[idx].open = true;
+            self.sinks_opened += 1;
+        }
+        let mut fm = std::mem::take(&mut self.fabric_member_scratch);
+        fm.clear();
+        fm.extend(members.iter().map(|m| TrainMember {
+            at: m.at,
+            bytes: m.bytes,
+            nreqs: m.nreqs,
+        }));
+        let mut scheds = std::mem::take(&mut self.sched_scratch);
+        scheds.clear();
+        let prior = self.sinks[idx].len;
+        self.fabric
+            .extend_sink(src_node, dst_node, &fm, prior, &mut scheds);
+        for (m, sched) in members.iter().zip(&scheds) {
+            self.digest_arrival(sched.arrival, m.dst, m.src, m.bytes);
+            if let Some((rank, msg_id, window, va, cpu)) = m.completion {
+                self.sent_scratch.push((
+                    m.seq,
+                    src_node,
+                    sched.injected + self.lc.irq_entry,
+                    cpu,
+                    SentMember {
+                        rank,
+                        msg_id,
+                        window,
+                        va,
+                    },
+                ));
+            }
+        }
+        let n = members.len() as u64;
+        // One burst is single-source, so its arrivals are monotone; only
+        // the boundary against members already pending (other sources,
+        // or an earlier bucket of this flush with interleaved emission
+        // seqs) can put the new head out of order.
+        let merge_needed = self.sinks[idx]
+            .members
+            .last()
+            .is_some_and(|tail| (scheds[0].arrival, members[0].seq) < (tail.arrival, tail.seq));
+        for (m, s) in members.drain(..).zip(scheds.iter()) {
+            self.sinks[idx].members.push(TrainPacket {
+                arrival: s.arrival,
+                seq: m.seq,
+                dst: m.dst,
+                src: m.src,
+                packet: m.packet,
+            });
+        }
+        if merge_needed {
+            // `seq` is globally unique, so the key is total — unstable
+            // sort is deterministic.
+            self.sinks[idx]
+                .members
+                .sort_unstable_by_key(|p| (p.arrival, p.seq));
+        }
+        self.sinks[idx].len += n;
+        self.sink_members_total += n;
+        self.max_sink_len = self.max_sink_len.max(self.sinks[idx].len);
+        self.sinks[idx].last_activity = now;
+        let head = self.sinks[idx].members[0].arrival;
+        if !self.sinks[idx].pending {
+            self.sinks[idx].pending = true;
+            self.sinks[idx].entry_at = head;
+            self.push_soft(head, SoftKind::Sink(idx));
+        } else if head < self.sinks[idx].entry_at {
+            // The merge put an earlier member at the head: re-key the
+            // sink's soft entry (and its `node_pending` mark) to the new
+            // first arrival, or the delivery would fire late.
+            let old = self.sinks[idx].entry_at;
+            let pos = self
+                .soft
+                .iter()
+                .position(|s| matches!(s.kind, SoftKind::Sink(j) if j == idx))
+                .expect("pending sink has a soft entry");
+            self.soft.remove(pos);
+            self.node_pending_remove(idx, old);
+            self.sinks[idx].entry_at = head;
+            self.push_soft(head, SoftKind::Sink(idx));
+        }
+        if !self.sinks[idx].reaper_armed {
+            self.sinks[idx].reaper_armed = true;
+            self.schedule_ev(now + linger, Ev::SinkClose { slot: idx });
+        }
+        fm.clear();
+        self.fabric_member_scratch = fm;
+        scheds.clear();
+        self.sched_scratch = scheds;
+    }
+
+    /// The `Ev::SinkClose` reaper, fired at `t`: the per-sink analogue of
+    /// [`on_flow_close`](Self::on_flow_close) — one timer for the whole
+    /// incast instead of one per source link.
+    fn on_sink_close(&mut self, slot: usize, t: Ns) {
+        let linger = self.cfg.flow_linger_ns;
+        let s = &self.sinks[slot];
+        let (pending, last, open) = (s.pending, s.last_activity, s.open);
+        if pending {
+            // Same disarm-while-pending rule as [`on_flow_close`]: the
+            // sink's delivery dispatch re-arms the timer.
+            self.sinks[slot].reaper_armed = false;
+            return;
+        }
+        if open && t < last + linger {
+            self.schedule_ev(last + linger, Ev::SinkClose { slot });
+            return;
+        }
+        self.sinks[slot].reaper_armed = false;
+        self.close_sink(slot);
     }
 
     /// Deliver a train's members in arrival order, preserving the
@@ -1388,6 +1853,17 @@ impl World {
                     self.flows[i].pending = true;
                     self.push_soft(at, SoftKind::Flow(i));
                 }
+                TrainSource::Sink(i) => {
+                    // Per-sink lazy pause: the suffix (members from every
+                    // source, still merged) goes back into the sink and
+                    // re-defers as its single soft entry.
+                    self.sink_pauses += 1;
+                    debug_assert!(self.sinks[i].members.is_empty());
+                    self.sinks[i].entry_at = at;
+                    self.sinks[i].members = rest;
+                    self.sinks[i].pending = true;
+                    self.push_soft(at, SoftKind::Sink(i));
+                }
                 TrainSource::Event if rest.len() == 1 => {
                     self.resplits += 1;
                     let p = rest.into_iter().next().expect("one member");
@@ -1454,6 +1930,7 @@ impl World {
                     );
                 } else {
                     let sched = self.fabric.transfer(*now, src_node, dst_node, bytes, nreqs);
+                    self.digest_arrival(sched.arrival, dst as usize, src, bytes);
                     self.schedule_ev(
                         sched.arrival,
                         Ev::Packet {
@@ -1472,11 +1949,11 @@ impl World {
                 len,
             } => {
                 let tids = self.sys_tid_register(r, VirtAddr(va), len, now);
-                self.ranks[r].ep.on_tid_registered(src, msg_id, window, tids);
+                self.ranks[r]
+                    .ep
+                    .on_tid_registered(src, msg_id, window, tids);
             }
-            PsmAction::TidUnregister {
-                tids, va, len, ..
-            } => {
+            PsmAction::TidUnregister { tids, va, len, .. } => {
                 self.sys_tid_unregister(r, VirtAddr(va), len, &tids, now);
             }
             PsmAction::SdmaSend {
@@ -1510,7 +1987,14 @@ impl World {
                 let node = &mut self.nodes[node];
                 let reg = node
                     .driver
-                    .tid_update(&mut node.chip, &mut rank.space, rank.dev_handle, va, len, &self.lc)
+                    .tid_update(
+                        &mut node.chip,
+                        &mut rank.space,
+                        rank.dev_handle,
+                        va,
+                        len,
+                        &self.lc,
+                    )
                     .expect("TID registration failed");
                 let cpu = self.lc.syscall_entry + self.lc.vfs_dispatch + reg.cpu;
                 (reg.tids, *now + cpu)
@@ -1520,7 +2004,14 @@ impl World {
                 let noderef = &mut self.nodes[node];
                 let reg = noderef
                     .driver
-                    .tid_update(&mut noderef.chip, &mut rank.space, rank.dev_handle, va, len, &self.lc)
+                    .tid_update(
+                        &mut noderef.chip,
+                        &mut rank.space,
+                        rank.dev_handle,
+                        va,
+                        len,
+                        &self.lc,
+                    )
                     .expect("TID registration failed");
                 let service = self.lc.syscall_entry + self.lc.vfs_dispatch + reg.cpu;
                 let grant = noderef.delegator.offload(*now, Sysno::Ioctl, service);
@@ -1550,7 +2041,13 @@ impl World {
                 let noderef = &mut self.nodes[node];
                 let cpu = noderef
                     .driver
-                    .tid_free(&mut noderef.chip, &mut rank.space, rank.dev_handle, va, tids)
+                    .tid_free(
+                        &mut noderef.chip,
+                        &mut rank.space,
+                        rank.dev_handle,
+                        va,
+                        tids,
+                    )
                     .expect("TID free failed");
                 *now += self.lc.syscall_entry + self.lc.vfs_dispatch + cpu;
             }
@@ -1559,7 +2056,13 @@ impl World {
                 let noderef = &mut self.nodes[node];
                 let cpu = noderef
                     .driver
-                    .tid_free(&mut noderef.chip, &mut rank.space, rank.dev_handle, va, tids)
+                    .tid_free(
+                        &mut noderef.chip,
+                        &mut rank.space,
+                        rank.dev_handle,
+                        va,
+                        tids,
+                    )
                     .expect("TID free failed");
                 let service = self.lc.syscall_entry + self.lc.vfs_dispatch + cpu;
                 let grant = noderef.delegator.offload(*now, Sysno::Ioctl, service);
@@ -1598,7 +2101,14 @@ impl World {
                 let noderef = &mut self.nodes[node_idx];
                 let sub = noderef
                     .driver
-                    .sdma_writev(&mut noderef.chip, &mut rank.space, rank.dev_handle, va, len, &self.lc)
+                    .sdma_writev(
+                        &mut noderef.chip,
+                        &mut rank.space,
+                        rank.dev_handle,
+                        va,
+                        len,
+                        &self.lc,
+                    )
                     .expect("writev failed");
                 let cpu = self.lc.syscall_entry + self.lc.vfs_dispatch + sub.cpu;
                 *now += cpu;
@@ -1609,7 +2119,14 @@ impl World {
                 let noderef = &mut self.nodes[node_idx];
                 let sub = noderef
                     .driver
-                    .sdma_writev(&mut noderef.chip, &mut rank.space, rank.dev_handle, va, len, &self.lc)
+                    .sdma_writev(
+                        &mut noderef.chip,
+                        &mut rank.space,
+                        rank.dev_handle,
+                        va,
+                        len,
+                        &self.lc,
+                    )
                     .expect("writev failed");
                 let service = self.lc.syscall_entry + self.lc.vfs_dispatch + sub.cpu;
                 let grant = noderef.delegator.offload(*now, Sysno::Writev, service);
@@ -1672,11 +2189,13 @@ impl World {
         let sched = self
             .fabric
             .transfer(wire_start, node_idx, dst_node, len + 64, sub.nreqs);
+        let src_rank = self.ranks[r].engine.rank();
+        self.digest_arrival(sched.arrival, dst as usize, src_rank, len + 64);
         self.schedule_ev(
             sched.arrival,
             Ev::Packet {
                 dst: dst as usize,
-                src: self.ranks[r].engine.rank(),
+                src: src_rank,
                 packet,
             },
         );
@@ -1765,8 +2284,10 @@ impl World {
                     let rank = &mut self.ranks[r];
                     let noderef = &mut self.nodes[node_idx];
                     let pid = noderef.proxies.spawn(rank_global);
-                    let (handle, ctxt, cpu) =
-                        noderef.driver.open(&mut noderef.chip).expect("device open failed");
+                    let (handle, ctxt, cpu) = noderef
+                        .driver
+                        .open(&mut noderef.chip)
+                        .expect("device open failed");
                     let fd = noderef
                         .vfs
                         .open(pid, noderef.dev, handle)
@@ -1781,7 +2302,8 @@ impl World {
                         now += open_cpu;
                         self.ranks[r].kprof.record(Sysno::Open, open_cpu);
                         for _ in 0..6 {
-                            let cpu = self.lc.syscall_entry + self.nodes[node_idx].driver.dev_mmap();
+                            let cpu =
+                                self.lc.syscall_entry + self.nodes[node_idx].driver.dev_mmap();
                             now += cpu;
                             self.ranks[r].kprof.record(Sysno::Mmap, cpu);
                         }
@@ -1795,9 +2317,10 @@ impl World {
                         for _ in 0..6 {
                             let service =
                                 self.lc.syscall_entry + self.nodes[node_idx].driver.dev_mmap();
-                            let g = self.nodes[node_idx]
-                                .delegator
-                                .offload(now, Sysno::Mmap, service);
+                            let g =
+                                self.nodes[node_idx]
+                                    .delegator
+                                    .offload(now, Sysno::Mmap, service);
                             self.ranks[r].kprof.record(Sysno::Mmap, g.complete - now);
                             now = g.complete;
                         }
@@ -1830,9 +2353,10 @@ impl World {
                         self.ranks[r].kprof.record(Sysno::Close, close_cpu);
                     }
                     _ => {
-                        let g = self.nodes[node_idx]
-                            .delegator
-                            .offload(now, Sysno::Close, close_cpu);
+                        let g =
+                            self.nodes[node_idx]
+                                .delegator
+                                .offload(now, Sysno::Close, close_cpu);
                         self.ranks[r].kprof.record(Sysno::Close, g.complete - now);
                         now = g.complete;
                     }
@@ -1859,7 +2383,11 @@ impl World {
                     OsConfig::Linux => {
                         self.lc.syscall_entry + self.lc.mmap_base + self.lc.mmap_per_page * thp
                     }
-                    _ => self.mmc.syscall_entry + self.mmc.mmap_base + self.mmc.mmap_per_leaf * leaves,
+                    _ => {
+                        self.mmc.syscall_entry
+                            + self.mmc.mmap_base
+                            + self.mmc.mmap_per_leaf * leaves
+                    }
                 };
                 now += cpu;
                 self.ranks[r].kprof.record(Sysno::Mmap, cpu);
@@ -1886,9 +2414,7 @@ impl World {
                 let thp = len.div_ceil(2 << 20);
                 let cpu = match self.cfg.os {
                     OsConfig::Linux => {
-                        self.lc.syscall_entry
-                            + self.lc.munmap_base
-                            + self.lc.munmap_per_page * thp
+                        self.lc.syscall_entry + self.lc.munmap_base + self.lc.munmap_per_page * thp
                     }
                     // McKernel munmap: teardown + cross-kernel TLB
                     // shootdown — the QBOX-dominating cost (Fig. 9).
@@ -1947,7 +2473,12 @@ pub fn run_app(cfg: ClusterConfig, app: App, iters: u32) -> RunResult {
 
 /// Convenience: the paper configuration for `os` at `nodes` ×
 /// `app.paper_ranks_per_node()` (scaled down by `rpn_override`).
-pub fn paper_config(os: OsConfig, app: App, nodes: u32, rpn_override: Option<u32>) -> ClusterConfig {
+pub fn paper_config(
+    os: OsConfig,
+    app: App,
+    nodes: u32,
+    rpn_override: Option<u32>,
+) -> ClusterConfig {
     let rpn = rpn_override.unwrap_or_else(|| app.paper_ranks_per_node());
     ClusterConfig::paper(
         os,

@@ -10,12 +10,19 @@ fn tiny(os: OsConfig, app: App, nodes: u32, rpn: u32) -> pico_cluster::RunResult
 }
 
 fn tiny_iters(os: OsConfig, app: App, nodes: u32, rpn: u32, iters: u32) -> pico_cluster::RunResult {
-    let cfg = ClusterConfig::paper(os, JobShape { nodes, ranks_per_node: rpn });
+    let cfg = ClusterConfig::paper(
+        os,
+        JobShape {
+            nodes,
+            ranks_per_node: rpn,
+        },
+    );
     let expect = nodes * rpn;
     let res = run_app(cfg, app, iters);
     assert_eq!(res.ranks_done, expect, "{} under {:?}", app.name(), os);
     assert_eq!(
-        res.clamped_events, 0,
+        res.clamped_events,
+        0,
         "{} under {:?}: hot loop scheduled events into the past",
         app.name(),
         os
@@ -26,7 +33,10 @@ fn tiny_iters(os: OsConfig, app: App, nodes: u32, rpn: u32, iters: u32) -> pico_
 #[test]
 fn pingpong_completes_on_all_configs() {
     for os in OsConfig::ALL {
-        let app = App::PingPong { bytes: 4096, reps: 10 };
+        let app = App::PingPong {
+            bytes: 4096,
+            reps: 10,
+        };
         let cfg = paper_config(os, app, 2, Some(1));
         let res = run_app(cfg, app, 1);
         assert_eq!(res.ranks_done, 2);
@@ -40,7 +50,10 @@ fn pingpong_completes_on_all_configs() {
 #[test]
 fn large_pingpong_uses_sdma_and_tids() {
     for os in OsConfig::ALL {
-        let app = App::PingPong { bytes: 4 << 20, reps: 4 };
+        let app = App::PingPong {
+            bytes: 4 << 20,
+            reps: 4,
+        };
         let cfg = paper_config(os, app, 2, Some(1));
         let res = run_app(cfg, app, 1);
         assert_eq!(res.ranks_done, 2);
@@ -53,7 +66,13 @@ fn large_pingpong_uses_sdma_and_tids() {
 #[test]
 fn all_apps_complete_small() {
     for os in OsConfig::ALL {
-        for app in [App::Lammps, App::Nekbone, App::Umt2013, App::Hacc, App::Qbox] {
+        for app in [
+            App::Lammps,
+            App::Nekbone,
+            App::Umt2013,
+            App::Hacc,
+            App::Qbox,
+        ] {
             let nodes = 2;
             tiny(os, app, nodes, 8);
         }
@@ -123,9 +142,24 @@ fn mpi_profile_has_wait_dominating_for_umt_on_mckernel() {
 
 #[test]
 fn backed_run_delivers_payloads() {
-    let mut cfg = paper_config(OsConfig::McKernelHfi, App::PingPong { bytes: 1 << 20, reps: 2 }, 2, Some(1));
+    let mut cfg = paper_config(
+        OsConfig::McKernelHfi,
+        App::PingPong {
+            bytes: 1 << 20,
+            reps: 2,
+        },
+        2,
+        Some(1),
+    );
     cfg.backed = true;
-    let res = run_app(cfg, App::PingPong { bytes: 1 << 20, reps: 2 }, 1);
+    let res = run_app(
+        cfg,
+        App::PingPong {
+            bytes: 1 << 20,
+            reps: 2,
+        },
+        1,
+    );
     assert_eq!(res.ranks_done, 2);
     assert!(res.delivered_payloads > 0, "payloads must flow end to end");
 }
@@ -138,7 +172,10 @@ fn backed_run_delivers_payloads() {
 #[test]
 fn train_parks_members_behind_busy_rank() {
     for os in OsConfig::ALL {
-        let app = App::PingPong { bytes: 4 << 20, reps: 8 };
+        let app = App::PingPong {
+            bytes: 4 << 20,
+            reps: 8,
+        };
         let mut trains = paper_config(os, app, 2, Some(1));
         trains.batch_fabric = FabricMode::Trains;
         let mut off = trains.clone();
@@ -158,7 +195,10 @@ fn train_parks_members_behind_busy_rank() {
             ron.fabric_trains,
             ron.fabric_max_train
         );
-        assert_eq!(roff.fabric_trains, 0, "{os:?}: reference path must not batch");
+        assert_eq!(
+            roff.fabric_trains, 0,
+            "{os:?}: reference path must not batch"
+        );
         assert_eq!(
             ron.wall_time, roff.wall_time,
             "{os:?}: parking and wake coalescing under trains must match the reference"
@@ -195,7 +235,13 @@ fn train_parks_members_behind_busy_rank() {
 /// soft-scheduled delivery.
 #[test]
 fn backed_coral_payloads_survive_flows() {
-    for app in [App::Umt2013, App::Lammps, App::Nekbone, App::Hacc, App::Qbox] {
+    for app in [
+        App::Umt2013,
+        App::Lammps,
+        App::Nekbone,
+        App::Hacc,
+        App::Qbox,
+    ] {
         let mut cfg = paper_config(OsConfig::McKernelHfi, app, 2, Some(2));
         cfg.backed = true;
         cfg.batch_fabric = FabricMode::Flows;
@@ -226,10 +272,56 @@ fn backed_coral_payloads_survive_flows() {
     }
 }
 
+/// The same payload-integrity sweep through the destination-rooted
+/// sink path (`FabricMode::Incast`, the paper default): merged
+/// multi-source delivery must not corrupt, reorder, or drop a byte.
+#[test]
+fn backed_coral_payloads_survive_incast() {
+    for app in [
+        App::Umt2013,
+        App::Lammps,
+        App::Nekbone,
+        App::Hacc,
+        App::Qbox,
+    ] {
+        let mut cfg = paper_config(OsConfig::McKernelHfi, app, 2, Some(2));
+        cfg.backed = true;
+        cfg.batch_fabric = FabricMode::Incast;
+        let res = run_app(cfg, app, 2);
+        assert_eq!(res.ranks_done, 4, "{}", app.name());
+        assert_eq!(res.clamped_events, 0, "{}", app.name());
+        // Same Qbox caveat as the flows variant above.
+        if app != App::Qbox {
+            assert!(
+                res.delivered_payloads > 0,
+                "{}: payloads must flow end to end",
+                app.name()
+            );
+        }
+        assert_eq!(
+            res.payload_errors,
+            0,
+            "{}: sink delivery must not corrupt or reorder payload bytes",
+            app.name()
+        );
+        assert!(
+            res.fabric_sinks > 0,
+            "{}: the run must exercise the sink path",
+            app.name()
+        );
+    }
+}
+
 #[test]
 fn determinism_same_seed_same_result() {
     let run = || {
-        let cfg = ClusterConfig::paper(OsConfig::McKernel, JobShape { nodes: 2, ranks_per_node: 4 });
+        let cfg = ClusterConfig::paper(
+            OsConfig::McKernel,
+            JobShape {
+                nodes: 2,
+                ranks_per_node: 4,
+            },
+        );
         run_app(cfg, App::Nekbone, 3)
     };
     let a = run();
@@ -238,6 +330,9 @@ fn determinism_same_seed_same_result() {
     assert_eq!(a.fabric_messages, b.fabric_messages);
     assert_eq!(a.offloaded_calls, b.offloaded_calls);
     assert_eq!(a.rank_finish, b.rank_finish);
-    assert_eq!(a.sim_events, b.sim_events, "event streams must be identical");
+    assert_eq!(
+        a.sim_events, b.sim_events,
+        "event streams must be identical"
+    );
     assert_eq!(a.clamped_events, 0);
 }

@@ -355,10 +355,12 @@ mod tests {
     #[test]
     fn fast_path_emits_10k_requests_on_contiguous_memory() {
         let mut r = rig(false);
-        let (va, _) = r.space.mmap_anonymous(&mut r.frames, 4 << 20, true).unwrap();
-        let sub = r
-            .fp
-            .sdma_writev(
+        let (va, _) = r
+            .space
+            .mmap_anonymous(&mut r.frames, 4 << 20, true)
+            .unwrap();
+        let sub =
+            r.fp.sdma_writev(
                 &mut r.chip,
                 &r.space,
                 r.driver.sdma_state[0].bytes(),
@@ -378,15 +380,17 @@ mod tests {
     fn linux_driver_needs_2_4x_more_requests_for_the_same_buffer() {
         let mut r = rig(false);
         let lc = pico_linux::LinuxCosts::default();
-        let (va, _) = r.space.mmap_anonymous(&mut r.frames, 1 << 20, true).unwrap();
+        let (va, _) = r
+            .space
+            .mmap_anonymous(&mut r.frames, 1 << 20, true)
+            .unwrap();
         let (h, _, _) = r.driver.open(&mut r.chip).unwrap();
         let slow = r
             .driver
             .sdma_writev(&mut r.chip, &mut r.space, h, va, 1 << 20, &lc)
             .unwrap();
-        let fast = r
-            .fp
-            .sdma_writev(
+        let fast =
+            r.fp.sdma_writev(
                 &mut r.chip,
                 &r.space,
                 r.driver.sdma_state[0].bytes(),
@@ -405,9 +409,8 @@ mod tests {
         let mut r = rig(false);
         let (va, _) = r.space.mmap_anonymous(&mut r.frames, 4096, true).unwrap();
         r.driver.sdma_state[0].set("go_s99_running", 0);
-        let err = r
-            .fp
-            .sdma_writev(
+        let err =
+            r.fp.sdma_writev(
                 &mut r.chip,
                 &r.space,
                 r.driver.sdma_state[0].bytes(),
@@ -423,7 +426,10 @@ mod tests {
     fn tid_registration_uses_few_entries_on_large_pages() {
         let mut r = rig(false);
         let lc = pico_linux::LinuxCosts::default();
-        let (va, _) = r.space.mmap_anonymous(&mut r.frames, 4 << 20, true).unwrap();
+        let (va, _) = r
+            .space
+            .mmap_anonymous(&mut r.frames, 4 << 20, true)
+            .unwrap();
         let (h, ctxt, _) = r.driver.open(&mut r.chip).unwrap();
         // Linux path: 1024 entries.
         let mut lin_space = AddressSpace::new(MapPolicy::Fragmented4k, BASE);
@@ -437,10 +443,9 @@ mod tests {
         assert_eq!(slow.entries, 1024);
         // Fast path: 2 entries (two 2 MiB runs... actually 1 run capped
         // at 2 MiB per entry => 2 entries).
-        let fast = r
-            .fp
-            .tid_update(&mut r.chip, &r.space, ctxt, va, 4 << 20)
-            .unwrap();
+        let fast =
+            r.fp.tid_update(&mut r.chip, &r.space, ctxt, va, 4 << 20)
+                .unwrap();
         assert_eq!(fast.entries, 2);
         assert!(fast.cpu < slow.cpu);
     }
@@ -448,53 +453,52 @@ mod tests {
     #[test]
     fn tid_cache_hits_after_first_registration() {
         let mut r = rig(true);
-        let (va, _) = r.space.mmap_anonymous(&mut r.frames, 256 << 10, true).unwrap();
+        let (va, _) = r
+            .space
+            .mmap_anonymous(&mut r.frames, 256 << 10, true)
+            .unwrap();
         let (_, ctxt, _) = r.driver.open(&mut r.chip).unwrap();
-        let first = r
-            .fp
-            .tid_update(&mut r.chip, &r.space, ctxt, va, 256 << 10)
-            .unwrap();
+        let first =
+            r.fp.tid_update(&mut r.chip, &r.space, ctxt, va, 256 << 10)
+                .unwrap();
         assert!(!first.cache_hit);
-        let second = r
-            .fp
-            .tid_update(&mut r.chip, &r.space, ctxt, va, 256 << 10)
-            .unwrap();
+        let second =
+            r.fp.tid_update(&mut r.chip, &r.space, ctxt, va, 256 << 10)
+                .unwrap();
         assert!(second.cache_hit);
         assert_eq!(second.entries, 0);
         assert!(second.cpu < first.cpu);
         assert_eq!(r.fp.tid_cache().unwrap().hits(), 1);
         // Deferred free keeps the registration programmed.
-        let cpu = r
-            .fp
-            .tid_free(&mut r.chip, ctxt, va, 256 << 10, &first.tids, false)
-            .unwrap();
+        let cpu =
+            r.fp.tid_free(&mut r.chip, ctxt, va, 256 << 10, &first.tids, false)
+                .unwrap();
         assert_eq!(cpu, r.fp.costs().syscall_entry);
-        let third = r
-            .fp
-            .tid_update(&mut r.chip, &r.space, ctxt, va, 256 << 10)
-            .unwrap();
+        let third =
+            r.fp.tid_update(&mut r.chip, &r.space, ctxt, va, 256 << 10)
+                .unwrap();
         assert!(third.cache_hit);
     }
 
     #[test]
     fn munmap_invalidates_cached_registrations() {
         let mut r = rig(true);
-        let (va, _) = r.space.mmap_anonymous(&mut r.frames, 256 << 10, true).unwrap();
+        let (va, _) = r
+            .space
+            .mmap_anonymous(&mut r.frames, 256 << 10, true)
+            .unwrap();
         let (_, ctxt, _) = r.driver.open(&mut r.chip).unwrap();
-        let reg = r
-            .fp
-            .tid_update(&mut r.chip, &r.space, ctxt, va, 256 << 10)
-            .unwrap();
-        let freed = r
-            .fp
-            .invalidate_range(&mut r.chip, ctxt, va, 256 << 10)
-            .unwrap();
+        let reg =
+            r.fp.tid_update(&mut r.chip, &r.space, ctxt, va, 256 << 10)
+                .unwrap();
+        let freed =
+            r.fp.invalidate_range(&mut r.chip, ctxt, va, 256 << 10)
+                .unwrap();
         assert_eq!(freed, reg.entries);
         // After invalidation a new registration is a miss again.
-        let again = r
-            .fp
-            .tid_update(&mut r.chip, &r.space, ctxt, va, 256 << 10)
-            .unwrap();
+        let again =
+            r.fp.tid_update(&mut r.chip, &r.space, ctxt, va, 256 << 10)
+                .unwrap();
         assert!(!again.cache_hit);
     }
 
@@ -504,11 +508,13 @@ mod tests {
         // fast path still works — requests just get smaller.
         let mut r = rig(false);
         let _held = r.frames.fragment(1.0); // checkerboard the whole range
-        let (va, stats) = r.space.mmap_anonymous(&mut r.frames, 1 << 20, true).unwrap();
+        let (va, stats) = r
+            .space
+            .mmap_anonymous(&mut r.frames, 1 << 20, true)
+            .unwrap();
         assert_eq!(stats.large_leaves, 0);
-        let sub = r
-            .fp
-            .sdma_writev(
+        let sub =
+            r.fp.sdma_writev(
                 &mut r.chip,
                 &r.space,
                 r.driver.sdma_state[0].bytes(),
@@ -523,10 +529,12 @@ mod tests {
     #[test]
     fn lock_contention_raises_cpu_cost() {
         let mut r = rig(false);
-        let (va, _) = r.space.mmap_anonymous(&mut r.frames, 64 << 10, true).unwrap();
-        let quiet = r
-            .fp
-            .sdma_writev(
+        let (va, _) = r
+            .space
+            .mmap_anonymous(&mut r.frames, 64 << 10, true)
+            .unwrap();
+        let quiet =
+            r.fp.sdma_writev(
                 &mut r.chip,
                 &r.space,
                 r.driver.sdma_state[0].bytes(),
@@ -535,9 +543,8 @@ mod tests {
                 0,
             )
             .unwrap();
-        let contended = r
-            .fp
-            .sdma_writev(
+        let contended =
+            r.fp.sdma_writev(
                 &mut r.chip,
                 &r.space,
                 r.driver.sdma_state[0].bytes(),

@@ -79,7 +79,12 @@ impl<T> TicketLock<T> {
         // for the very next ticket.
         if self
             .next
-            .compare_exchange(owner, owner.wrapping_add(1), Ordering::Acquire, Ordering::Relaxed)
+            .compare_exchange(
+                owner,
+                owner.wrapping_add(1),
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            )
             .is_ok()
         {
             self.acquisitions.fetch_add(1, Ordering::Relaxed);
@@ -211,9 +216,6 @@ mod tests {
         let m = LockCostModel::default();
         assert_eq!(m.acquire_cost(0), m.uncontended);
         assert!(m.acquire_cost(10) > m.acquire_cost(1));
-        assert_eq!(
-            m.acquire_cost(3),
-            m.uncontended + Ns(m.per_waiter.0 * 3)
-        );
+        assert_eq!(m.acquire_cost(3), m.uncontended + Ns(m.per_waiter.0 * 3));
     }
 }

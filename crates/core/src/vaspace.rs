@@ -7,9 +7,7 @@
 //! image is mapped on the Linux side (via a `vmap_area` reservation in
 //! module space).
 
-use pico_mem::layout::{
-    self, check_unification, KernelLayout, Range, Region, UnificationError,
-};
+use pico_mem::layout::{self, check_unification, KernelLayout, Range, Region, UnificationError};
 
 /// Errors from the unification procedure.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -211,8 +211,7 @@ pub fn decode(debug_abbrev: &[u8], debug_info: &[u8]) -> Result<Dwarf, DecodeErr
     if debug_info.len() < 11 {
         return Err(DecodeError::Truncated);
     }
-    let unit_length =
-        u32::from_le_bytes(debug_info[0..4].try_into().unwrap()) as usize;
+    let unit_length = u32::from_le_bytes(debug_info[0..4].try_into().unwrap()) as usize;
     let end = 4 + unit_length;
     if end > debug_info.len() {
         return Err(DecodeError::Truncated);
@@ -234,12 +233,12 @@ pub fn decode(debug_abbrev: &[u8], debug_info: &[u8]) -> Result<Dwarf, DecodeErr
         let code = read_uleb128(debug_info, &mut pos)?;
         if code == 0 {
             // End of a children list.
-            stack.pop().ok_or(DecodeError::Malformed("unbalanced null entry"))?;
+            stack
+                .pop()
+                .ok_or(DecodeError::Malformed("unbalanced null entry"))?;
             continue;
         }
-        let decl = abbrevs
-            .get(&code)
-            .ok_or(DecodeError::UnknownAbbrev(code))?;
+        let decl = abbrevs.get(&code).ok_or(DecodeError::UnknownAbbrev(code))?;
         let tag = Tag::from_u64(decl.tag).ok_or(DecodeError::Malformed("unknown tag"))?;
         let mut attrs = Vec::with_capacity(decl.attrs.len());
         let mut raw_refs = Vec::new();

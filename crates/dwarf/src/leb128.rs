@@ -96,14 +96,36 @@ mod tests {
 
     #[test]
     fn uleb_round_trips() {
-        for v in [0u64, 1, 127, 128, 300, 16383, 16384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             assert_eq!(round_u(v), v);
         }
     }
 
     #[test]
     fn sleb_round_trips() {
-        for v in [0i64, 1, -1, 63, 64, -64, -65, 8191, -8192, i64::MAX, i64::MIN] {
+        for v in [
+            0i64,
+            1,
+            -1,
+            63,
+            64,
+            -64,
+            -65,
+            8191,
+            -8192,
+            i64::MAX,
+            i64::MIN,
+        ] {
             assert_eq!(round_s(v), v);
         }
     }

@@ -84,8 +84,12 @@ impl Fabric {
     pub fn new(cfg: FabricConfig, nodes: usize) -> Fabric {
         assert!(nodes > 0);
         Fabric {
-            uplinks: (0..nodes).map(|_| BandwidthGate::new(cfg.link_bw)).collect(),
-            downlinks: (0..nodes).map(|_| BandwidthGate::new(cfg.link_bw)).collect(),
+            uplinks: (0..nodes)
+                .map(|_| BandwidthGate::new(cfg.link_bw))
+                .collect(),
+            downlinks: (0..nodes)
+                .map(|_| BandwidthGate::new(cfg.link_bw))
+                .collect(),
             cfg,
             messages: 0,
             bytes: 0,
@@ -235,6 +239,44 @@ impl Fabric {
         prior_len: u64,
         out: &mut Vec<TransferSchedule>,
     ) {
+        self.extend_accounted(src, dst, members, prior_len, out);
+    }
+
+    /// Merge `members` emitted by source `src` into the
+    /// **destination-rooted sink** on node `dst` — the incast flow graph.
+    /// A sink owns the downlink's analytic schedule and accepts members
+    /// from *every* source link: each call advances `src`'s uplink gate
+    /// independently and commits the shared downlink exactly once for the
+    /// merge. Because both gate cursors persist between calls, interleaved
+    /// extensions from many sources produce byte-identical schedules and
+    /// gate state to the same global sequence of per-link
+    /// [`extend_train`](Self::extend_train) calls — the FIFO merge rule is
+    /// the link rule itself, so the sink is FIFO-exact by construction.
+    ///
+    /// `prior_len` is the member count already merged into this sink
+    /// across all sources; train statistics count the whole incast as one
+    /// cumulative logical train (same ≥2-member rule as `extend_train`).
+    pub fn extend_sink(
+        &mut self,
+        src: usize,
+        dst: usize,
+        members: &[TrainMember],
+        prior_len: u64,
+        out: &mut Vec<TransferSchedule>,
+    ) {
+        self.extend_accounted(src, dst, members, prior_len, out);
+    }
+
+    /// Shared accounting + link walk behind [`extend_train`](Self::extend_train)
+    /// and [`extend_sink`](Self::extend_sink).
+    fn extend_accounted(
+        &mut self,
+        src: usize,
+        dst: usize,
+        members: &[TrainMember],
+        prior_len: u64,
+        out: &mut Vec<TransferSchedule>,
+    ) {
         assert_ne!(src, dst, "flows are inter-node only");
         if members.is_empty() {
             return;
@@ -374,8 +416,8 @@ mod tests {
         let mut f = fabric(3);
         let a = f.transfer(Ns(0), 0, 2, 10_000, 1);
         let b = f.transfer(Ns(0), 1, 2, 10_000, 1); // different sender, same receiver
-        // Both inject in parallel but the receiver drains serially: the
-        // second message arrives roughly one message-time later.
+                                                    // Both inject in parallel but the receiver drains serially: the
+                                                    // second message arrives roughly one message-time later.
         assert_eq!(a.injected, b.injected);
         assert!(b.arrival >= a.arrival + Ns(9_000), "a {a:?} b {b:?}");
     }
@@ -406,20 +448,52 @@ mod tests {
         // the same schedules and gate state as per-packet transfers.
         let mixes: &[&[TrainMember]] = &[
             &[
-                TrainMember { at: Ns(0), bytes: 64, nreqs: 1 },
-                TrainMember { at: Ns(10), bytes: 64, nreqs: 1 },
-                TrainMember { at: Ns(20), bytes: 64, nreqs: 1 },
+                TrainMember {
+                    at: Ns(0),
+                    bytes: 64,
+                    nreqs: 1,
+                },
+                TrainMember {
+                    at: Ns(10),
+                    bytes: 64,
+                    nreqs: 1,
+                },
+                TrainMember {
+                    at: Ns(20),
+                    bytes: 64,
+                    nreqs: 1,
+                },
             ],
             &[
-                TrainMember { at: Ns(0), bytes: 512 * 1024, nreqs: 52 },
-                TrainMember { at: Ns(500), bytes: 512 * 1024, nreqs: 52 },
-                TrainMember { at: Ns(1000), bytes: 1000, nreqs: 1 },
+                TrainMember {
+                    at: Ns(0),
+                    bytes: 512 * 1024,
+                    nreqs: 52,
+                },
+                TrainMember {
+                    at: Ns(500),
+                    bytes: 512 * 1024,
+                    nreqs: 52,
+                },
+                TrainMember {
+                    at: Ns(1000),
+                    bytes: 1000,
+                    nreqs: 1,
+                },
             ],
             // Members emitted slower than the wire drains: arrivals track
             // emission, not the stride.
             &[
-                TrainMember { at: Ns(0), bytes: 100, nreqs: 1 },
-                TrainMember { at: Ns(50_000), bytes: 100, nreqs: 1 },
+                TrainMember {
+                    at: Ns(0),
+                    bytes: 100,
+                    nreqs: 1,
+                },
+                TrainMember {
+                    at: Ns(50_000),
+                    bytes: 100,
+                    nreqs: 1,
+                },
             ],
         ];
         for members in mixes {
@@ -449,11 +523,31 @@ mod tests {
         // indistinguishable — schedules, gate state, stats — from one
         // `transfer_train` call with every member.
         let members = [
-            TrainMember { at: Ns(0), bytes: 10_000, nreqs: 1 },
-            TrainMember { at: Ns(100), bytes: 10_000, nreqs: 1 },
-            TrainMember { at: Ns(40_000), bytes: 512, nreqs: 1 },
-            TrainMember { at: Ns(40_050), bytes: 2048, nreqs: 2 },
-            TrainMember { at: Ns(90_000), bytes: 64, nreqs: 1 },
+            TrainMember {
+                at: Ns(0),
+                bytes: 10_000,
+                nreqs: 1,
+            },
+            TrainMember {
+                at: Ns(100),
+                bytes: 10_000,
+                nreqs: 1,
+            },
+            TrainMember {
+                at: Ns(40_000),
+                bytes: 512,
+                nreqs: 1,
+            },
+            TrainMember {
+                at: Ns(40_050),
+                bytes: 2048,
+                nreqs: 2,
+            },
+            TrainMember {
+                at: Ns(90_000),
+                bytes: 64,
+                nreqs: 1,
+            },
         ];
         let mut whole = fabric(2);
         whole.transfer(Ns(0), 0, 1, 3000, 1); // pre-load the link
@@ -479,12 +573,117 @@ mod tests {
     }
 
     #[test]
+    fn sink_merge_is_fifo_exact_against_per_link_extends() {
+        // An incast: three sources feed node 3's downlink in interleaved
+        // flushes. Merging them through one destination-rooted sink
+        // (`extend_sink`, one cumulative prior_len) must reproduce the
+        // schedules, gate state, and stats of the same global sequence of
+        // per-link `extend_train` calls (each with its own per-link
+        // prior_len) — the FIFO-exactness claim of the sink merge.
+        let flushes: &[(usize, &[TrainMember])] = &[
+            (
+                0,
+                &[
+                    TrainMember {
+                        at: Ns(0),
+                        bytes: 10_000,
+                        nreqs: 1,
+                    },
+                    TrainMember {
+                        at: Ns(100),
+                        bytes: 10_000,
+                        nreqs: 1,
+                    },
+                ],
+            ),
+            (
+                1,
+                &[TrainMember {
+                    at: Ns(200),
+                    bytes: 4_000,
+                    nreqs: 4,
+                }],
+            ),
+            (
+                2,
+                &[
+                    TrainMember {
+                        at: Ns(5_000),
+                        bytes: 64,
+                        nreqs: 1,
+                    },
+                    TrainMember {
+                        at: Ns(5_010),
+                        bytes: 2_048,
+                        nreqs: 2,
+                    },
+                ],
+            ),
+            (
+                0,
+                &[TrainMember {
+                    at: Ns(30_000),
+                    bytes: 512,
+                    nreqs: 1,
+                }],
+            ),
+            (
+                1,
+                &[
+                    TrainMember {
+                        at: Ns(30_500),
+                        bytes: 10_000,
+                        nreqs: 1,
+                    },
+                    TrainMember {
+                        at: Ns(30_600),
+                        bytes: 10_000,
+                        nreqs: 1,
+                    },
+                ],
+            ),
+        ];
+        let mut per_link = fabric(4);
+        per_link.transfer(Ns(0), 0, 3, 3000, 1); // pre-load uplink 0 + downlink 3
+        let mut reference = Vec::new();
+        let mut link_prior = [0u64; 3];
+        for &(src, chunk) in flushes {
+            per_link.extend_train(src, 3, chunk, link_prior[src], &mut reference);
+            link_prior[src] += chunk.len() as u64;
+        }
+
+        let mut sink = fabric(4);
+        sink.transfer(Ns(0), 0, 3, 3000, 1);
+        let mut merged = Vec::new();
+        let mut prior = 0u64;
+        for &(src, chunk) in flushes {
+            sink.extend_sink(src, 3, chunk, prior, &mut merged);
+            prior += chunk.len() as u64;
+        }
+        assert_eq!(merged, reference);
+        assert_eq!(sink.bytes(), per_link.bytes());
+        assert_eq!(sink.messages(), per_link.messages());
+        for node in 0..3 {
+            assert_eq!(sink.uplink_busy(node), per_link.uplink_busy(node));
+        }
+        // One cumulative train for the whole incast (vs one per link).
+        assert_eq!(sink.trains(), 1);
+        assert_eq!(sink.train_members(), prior);
+        assert_eq!(sink.max_train_len(), prior);
+        assert!(per_link.trains() > 1);
+    }
+
+    #[test]
     fn back_to_back_train_arrivals_form_a_stride() {
         // Equal members emitted at the same instant: arrival spread is
         // first + i * wire_time.
         let mut f = fabric(2);
         let members: Vec<TrainMember> = (0..4)
-            .map(|_| TrainMember { at: Ns(0), bytes: 10_000, nreqs: 1 })
+            .map(|_| TrainMember {
+                at: Ns(0),
+                bytes: 10_000,
+                nreqs: 1,
+            })
             .collect();
         let mut out = Vec::new();
         f.transfer_train(0, 1, &members, &mut out);
@@ -499,8 +698,16 @@ mod tests {
     fn intra_node_train_skips_the_nic() {
         let mut f = fabric(2);
         let members = [
-            TrainMember { at: Ns(0), bytes: 2000, nreqs: 5 },
-            TrainMember { at: Ns(100), bytes: 2000, nreqs: 5 },
+            TrainMember {
+                at: Ns(0),
+                bytes: 2000,
+                nreqs: 5,
+            },
+            TrainMember {
+                at: Ns(100),
+                bytes: 2000,
+                nreqs: 5,
+            },
         ];
         let mut out = Vec::new();
         f.transfer_train(1, 1, &members, &mut out);

@@ -177,10 +177,7 @@ impl HfiChip {
             .get_mut(ctxt as usize)
             .ok_or(ChipError::BadContext)?;
         for &tid in tids {
-            let slot = c
-                .rcv_array
-                .get_mut(tid as usize)
-                .ok_or(ChipError::BadTid)?;
+            let slot = c.rcv_array.get_mut(tid as usize).ok_or(ChipError::BadTid)?;
             if slot.take().is_none() {
                 return Err(ChipError::BadTid);
             }
@@ -231,7 +228,9 @@ impl HfiChip {
 
     /// Pending eager packets in a context.
     pub fn eager_depth(&self, ctxt: u32) -> usize {
-        self.contexts.get(ctxt as usize).map_or(0, |c| c.eager.len())
+        self.contexts
+            .get(ctxt as usize)
+            .map_or(0, |c| c.eager.len())
     }
 
     /// Dropped eager packets (ring overflow) for a context.
@@ -308,8 +307,14 @@ mod tests {
         let mut c = chip();
         let ctxt = c.alloc_context().unwrap();
         let segs = vec![
-            TidEntry { va: 0x1000, len: 4096 },
-            TidEntry { va: 0x2000, len: 2048 },
+            TidEntry {
+                va: 0x1000,
+                len: 4096,
+            },
+            TidEntry {
+                va: 0x2000,
+                len: 2048,
+            },
         ];
         let tids = c.program_tids(ctxt, &segs).unwrap();
         assert_eq!(tids.len(), 2);
@@ -328,7 +333,10 @@ mod tests {
         let mut c = chip();
         let ctxt = c.alloc_context().unwrap();
         let segs: Vec<TidEntry> = (0..9)
-            .map(|i| TidEntry { va: i * 0x1000, len: 4096 })
+            .map(|i| TidEntry {
+                va: i * 0x1000,
+                len: 4096,
+            })
             .collect();
         assert_eq!(c.program_tids(ctxt, &segs), Err(ChipError::NoTids));
         // Nothing was partially programmed.

@@ -235,8 +235,10 @@ impl Hfi1Driver {
         // this through DWARF offsets).
         self.sdma_state[engine].set("current_state", sdma_states::S99_RUNNING);
         self.sdma_state[engine].set("go_s99_running", 1);
-        file.filedata
-            .set("sdma_queue_depth", file.filedata.get("sdma_queue_depth") + 1);
+        file.filedata.set(
+            "sdma_queue_depth",
+            file.filedata.get("sdma_queue_depth") + 1,
+        );
         let cpu = lc.gup_base
             + lc.gup_per_page * npages
             + self.costs.req_build * nreqs
@@ -323,7 +325,9 @@ impl Hfi1Driver {
         space.put_user_pages(va)?;
         file.filedata.set(
             "tid_used",
-            file.filedata.get("tid_used").saturating_sub(tids.len() as u64),
+            file.filedata
+                .get("tid_used")
+                .saturating_sub(tids.len() as u64),
         );
         Ok(self.costs.tid_unprogram * tids.len() as u64)
     }
@@ -353,7 +357,13 @@ mod tests {
 
     const BASE: VirtAddr = VirtAddr(0x7000_0000_0000);
 
-    fn setup() -> (Hfi1Driver, HfiChip, AddressSpace, BuddyAllocator, LinuxCosts) {
+    fn setup() -> (
+        Hfi1Driver,
+        HfiChip,
+        AddressSpace,
+        BuddyAllocator,
+        LinuxCosts,
+    ) {
         let driver = Hfi1Driver::new(LayoutSet::v10_8(), HfiDriverCosts::default(), 16);
         let chip = HfiChip::new(HfiChipConfig::default(), 8);
         let space = AddressSpace::new(MapPolicy::Fragmented4k, BASE);
@@ -434,7 +444,9 @@ mod tests {
     #[test]
     fn tid_update_programs_one_entry_per_page() {
         let (mut d, mut chip, mut space, mut frames, lc) = setup();
-        let (va, _) = space.mmap_anonymous(&mut frames, 128 * 1024, false).unwrap();
+        let (va, _) = space
+            .mmap_anonymous(&mut frames, 128 * 1024, false)
+            .unwrap();
         let (h, _, _) = d.open(&mut chip).unwrap();
         let reg = d
             .tid_update(&mut chip, &mut space, h, va, 128 * 1024, &lc)
@@ -445,9 +457,7 @@ mod tests {
         let e0 = chip.tid_entry(d.ctxt_of(h).unwrap(), reg.tids[0]).unwrap();
         assert_eq!(e0.va, va.0);
         assert_eq!(e0.len, PAGE_4K);
-        let cpu = d
-            .tid_free(&mut chip, &mut space, h, va, &reg.tids)
-            .unwrap();
+        let cpu = d.tid_free(&mut chip, &mut space, h, va, &reg.tids).unwrap();
         assert!(cpu > Ns::ZERO);
         assert_eq!(chip.tid_frees(), 32);
     }

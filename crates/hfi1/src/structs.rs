@@ -431,8 +431,8 @@ mod tests {
         assert_eq!(ex.field_ref("go_s99_running").read_u32(inst.bytes()), 1);
         // Stale v10.8 offsets misread v10.9 bytes — the bug class DWARF
         // extraction eliminates.
-        let stale = extract_struct(&a.emit_module_binary(), "sdma_state", &["go_s99_running"])
-            .unwrap();
+        let stale =
+            extract_struct(&a.emit_module_binary(), "sdma_state", &["go_s99_running"]).unwrap();
         assert_ne!(stale.field_ref("go_s99_running").read_u32(inst.bytes()), 1);
     }
 
@@ -453,8 +453,8 @@ mod tests {
     fn filedata_extraction_for_fast_path_fields() {
         let set = LayoutSet::v10_8();
         let module = set.emit_module_binary();
-        let ex = extract_struct(&module, "hfi1_filedata", &["ctxt", "tid_limit", "tid_used"])
-            .unwrap();
+        let ex =
+            extract_struct(&module, "hfi1_filedata", &["ctxt", "tid_limit", "tid_used"]).unwrap();
         let native = set.layout("hfi1_filedata");
         assert_eq!(ex.field("ctxt").unwrap().offset, native.offset_of("ctxt"));
         assert_eq!(

@@ -145,7 +145,10 @@ mod tests {
         }
         // 64 jobs of 10 µs on 4 cores: the last waits ~15 service slots.
         let uncontended = Ns(1500 + 10_000 + 1000);
-        assert!(last >= uncontended * 10, "contention should dominate: {last}");
+        assert!(
+            last >= uncontended * 10,
+            "contention should dominate: {last}"
+        );
         assert!(d.total_queue_wait() > Ns::ZERO);
         // With 64 cores the same load is uncontended.
         let mut wide = delegator(64);

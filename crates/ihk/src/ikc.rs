@@ -153,7 +153,7 @@ mod tests {
     fn fifo_never_reorders_even_with_clock_skew() {
         let mut c = chan();
         let a = c.send(Ns(100), 1); // deliverable 200
-        // Hypothetical earlier-timestamped send after (e.g. another core):
+                                    // Hypothetical earlier-timestamped send after (e.g. another core):
         let b = c.send(Ns(50), 2); // raw latency says 150, FIFO forces ≥ 200
         assert!(b >= a);
     }

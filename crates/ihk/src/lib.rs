@@ -23,4 +23,4 @@ pub use delegate::{Delegator, OffloadGrant};
 pub use ikc::{IkcChannel, IkcConfig};
 pub use partition::{CoreId, CpuPartition, MemPartition, PartitionError};
 pub use proxy::{LinuxPid, LwkPid, ProxyProcess, ProxyRegistry};
-pub use syscall::{Sysno, SyscallRoute};
+pub use syscall::{SyscallRoute, Sysno};

@@ -78,11 +78,7 @@ impl KernelHeap {
     }
 
     /// Free a pointer returned by [`kmalloc`](Self::kmalloc).
-    pub fn kfree(
-        &mut self,
-        frames: &mut BuddyAllocator,
-        va: VirtAddr,
-    ) -> Result<(), KmallocError> {
+    pub fn kfree(&mut self, frames: &mut BuddyAllocator, va: VirtAddr) -> Result<(), KmallocError> {
         let (pa, order) = self.live.remove(&va.0).ok_or(KmallocError::BadPointer)?;
         frames
             .free(pa, order)

@@ -103,9 +103,7 @@ impl NoiseSource {
             let n = self.rng.poisson(lambda);
             for _ in 0..n {
                 // Daemon preemptions have heavy-ish tails: exponential.
-                let d = self
-                    .rng
-                    .exponential(self.cfg.daemon_cost.as_nanos() as f64);
+                let d = self.rng.exponential(self.cfg.daemon_cost.as_nanos() as f64);
                 total += Ns(d as u64);
             }
         }

@@ -109,12 +109,7 @@ impl Vfs {
     /// Open `dev` on behalf of `pid`, storing the driver's private data.
     /// Returns the new fd — the number McKernel will blindly hand back to
     /// the application.
-    pub fn open(
-        &mut self,
-        pid: LinuxPid,
-        dev: DevId,
-        private_data: u64,
-    ) -> Result<i32, VfsError> {
+    pub fn open(&mut self, pid: LinuxPid, dev: DevId, private_data: u64) -> Result<i32, VfsError> {
         if self.devices.name(dev).is_none() {
             return Err(VfsError::Enodev);
         }

@@ -141,7 +141,9 @@ impl ScalableAllocator {
             .map(|_| CorePool {
                 local: Mutex::new((0..blocks_per_core as u32).rev().collect()),
                 remote: RemoteFreeStack::new(blocks_per_core),
-                state: (0..blocks_per_core).map(|_| AtomicU8::new(BLOCK_FREE)).collect(),
+                state: (0..blocks_per_core)
+                    .map(|_| AtomicU8::new(BLOCK_FREE))
+                    .collect(),
             })
             .collect();
         ScalableAllocator {
@@ -279,11 +281,23 @@ mod tests {
         assert_eq!(a.free(1, b), Err(AllocError::BadFree));
         // Wild block id.
         assert_eq!(
-            a.free(0, BlockId { owner_core: 0, idx: 999 }),
+            a.free(
+                0,
+                BlockId {
+                    owner_core: 0,
+                    idx: 999
+                }
+            ),
             Err(AllocError::BadFree)
         );
         assert_eq!(
-            a.free(0, BlockId { owner_core: 9, idx: 0 }),
+            a.free(
+                0,
+                BlockId {
+                    owner_core: 9,
+                    idx: 0
+                }
+            ),
             Err(AllocError::BadCore)
         );
     }

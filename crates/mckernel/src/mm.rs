@@ -85,8 +85,9 @@ impl MckMm {
         len: u64,
     ) -> Result<MmOutcome<(VirtAddr, MapStats)>, MapError> {
         let (va, stats) = self.space.mmap_anonymous(frames, len, true)?;
-        let kernel_time =
-            self.costs.syscall_entry + self.costs.mmap_base + self.costs.mmap_per_leaf * stats.leaves_mapped;
+        let kernel_time = self.costs.syscall_entry
+            + self.costs.mmap_base
+            + self.costs.mmap_per_leaf * stats.leaves_mapped;
         Ok(MmOutcome {
             value: (va, stats),
             kernel_time,

@@ -7,7 +7,7 @@
 //! become LWK-local fast paths while the *rest* of `ioctl`'s dozen-plus
 //! commands keep going to the unmodified Linux driver.
 
-use pico_ihk::{Sysno, SyscallRoute};
+use pico_ihk::{SyscallRoute, Sysno};
 use std::collections::BTreeSet;
 
 /// `ioctl` command space of the HFI1 driver. The driver implements over a
@@ -148,14 +148,20 @@ mod tests {
     #[test]
     fn only_tid_ioctls_take_the_fast_path() {
         let t = SyscallTable::with_hfi_picodriver();
-        assert_eq!(t.route_ioctl(HfiIoctlCmd::TidUpdate), SyscallRoute::FastPath);
+        assert_eq!(
+            t.route_ioctl(HfiIoctlCmd::TidUpdate),
+            SyscallRoute::FastPath
+        );
         assert_eq!(t.route_ioctl(HfiIoctlCmd::TidFree), SyscallRoute::FastPath);
         assert_eq!(
             t.route_ioctl(HfiIoctlCmd::TidInvalRead),
             SyscallRoute::FastPath
         );
         // The other dozen-odd commands still reach the Linux driver.
-        assert_eq!(t.route_ioctl(HfiIoctlCmd::AssignCtxt), SyscallRoute::Offloaded);
+        assert_eq!(
+            t.route_ioctl(HfiIoctlCmd::AssignCtxt),
+            SyscallRoute::Offloaded
+        );
         assert_eq!(t.route_ioctl(HfiIoctlCmd::SetPkey), SyscallRoute::Offloaded);
         let tid_count = HfiIoctlCmd::ALL.iter().filter(|c| c.is_tid_op()).count();
         assert_eq!(tid_count, 3);

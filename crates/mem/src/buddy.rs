@@ -158,7 +158,9 @@ impl BuddyAllocator {
 
     /// The order of the largest currently free block, if any.
     pub fn largest_free_order(&self) -> Option<u8> {
-        (0..=MAX_ORDER).rev().find(|&o| !self.free[o as usize].is_empty())
+        (0..=MAX_ORDER)
+            .rev()
+            .find(|&o| !self.free[o as usize].is_empty())
     }
 
     /// Fragment the allocator to emulate a long-running host: allocates

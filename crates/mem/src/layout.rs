@@ -201,7 +201,10 @@ pub fn mckernel_unified() -> KernelLayout {
             (Region::KernelImage, image),
             // McKernel maps the Linux module space on demand so it can
             // dereference driver pointers living there.
-            (Region::ForeignImage, Range::new(LINUX_MODULES.start, image.start)),
+            (
+                Region::ForeignImage,
+                Range::new(LINUX_MODULES.start, image.start),
+            ),
         ],
     )
 }

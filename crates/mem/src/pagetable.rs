@@ -245,11 +245,7 @@ impl PageTable {
     ///
     /// Also returns the total number of page-table levels touched, for the
     /// walk-cost model. Fails if any byte of the range is unmapped.
-    pub fn contiguous_runs(
-        &self,
-        va: VirtAddr,
-        len: u64,
-    ) -> Result<(Vec<PhysRun>, u64), PtError> {
+    pub fn contiguous_runs(&self, va: VirtAddr, len: u64) -> Result<(Vec<PhysRun>, u64), PtError> {
         if len == 0 {
             return Ok((Vec::new(), 0));
         }
@@ -285,8 +281,13 @@ mod tests {
     #[test]
     fn map_translate_4k() {
         let mut pt = PageTable::new();
-        pt.map(VirtAddr(0x4000), PhysAddr(0x8000), PageSize::Size4K, flags::WRITE)
-            .unwrap();
+        pt.map(
+            VirtAddr(0x4000),
+            PhysAddr(0x8000),
+            PageSize::Size4K,
+            flags::WRITE,
+        )
+        .unwrap();
         let t = pt.translate(VirtAddr(0x4123)).unwrap();
         assert_eq!(t.pa, PhysAddr(0x8123));
         assert_eq!(t.page_size, PageSize::Size4K);
@@ -368,14 +369,18 @@ mod tests {
             )
             .unwrap();
         }
-        let (runs, levels) = pt
-            .contiguous_runs(VirtAddr(0x4000), 4 * PAGE_4K)
-            .unwrap();
+        let (runs, levels) = pt.contiguous_runs(VirtAddr(0x4000), 4 * PAGE_4K).unwrap();
         assert_eq!(
             runs,
             vec![
-                PhysRun { pa: PhysAddr(0x10000), len: 3 * PAGE_4K },
-                PhysRun { pa: PhysAddr(0x20000), len: PAGE_4K },
+                PhysRun {
+                    pa: PhysAddr(0x10000),
+                    len: 3 * PAGE_4K
+                },
+                PhysRun {
+                    pa: PhysAddr(0x20000),
+                    len: PAGE_4K
+                },
             ]
         );
         assert_eq!(levels, 16); // 4 pages x 4 levels
@@ -387,9 +392,7 @@ mod tests {
         pt.map(VirtAddr(0), PhysAddr(PAGE_2M), PageSize::Size2M, 0)
             .unwrap();
         // A 100 KiB window starting inside the 2M page is one run and one walk.
-        let (runs, levels) = pt
-            .contiguous_runs(VirtAddr(0x3000), 100 * 1024)
-            .unwrap();
+        let (runs, levels) = pt.contiguous_runs(VirtAddr(0x3000), 100 * 1024).unwrap();
         assert_eq!(runs.len(), 1);
         assert_eq!(runs[0].pa, PhysAddr(PAGE_2M + 0x3000));
         assert_eq!(runs[0].len, 100 * 1024);

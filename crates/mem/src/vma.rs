@@ -99,7 +99,10 @@ pub struct AddressSpace {
 impl AddressSpace {
     /// Create an address space placing mappings from `mmap_base` upward.
     pub fn new(policy: MapPolicy, mmap_base: VirtAddr) -> AddressSpace {
-        assert!(mmap_base.is_aligned(PAGE_2M), "mmap base should be 2M aligned");
+        assert!(
+            mmap_base.is_aligned(PAGE_2M),
+            "mmap base should be 2M aligned"
+        );
         AddressSpace {
             page_table: PageTable::new(),
             vmas: BTreeMap::new(),
@@ -154,12 +157,8 @@ impl AddressSpace {
         };
         let mut stats = MapStats::default();
         let result = match self.policy {
-            MapPolicy::Fragmented4k => {
-                self.populate_fragmented(phys, &mut vma, &mut stats)
-            }
-            MapPolicy::ContiguousLarge => {
-                self.populate_contiguous(phys, &mut vma, &mut stats)
-            }
+            MapPolicy::Fragmented4k => self.populate_fragmented(phys, &mut vma, &mut stats),
+            MapPolicy::ContiguousLarge => self.populate_contiguous(phys, &mut vma, &mut stats),
         };
         if let Err(e) = result {
             // Roll back everything this VMA touched.
@@ -179,7 +178,10 @@ impl AddressSpace {
         let mut off = 0;
         while off < vma.len {
             let frame = phys.alloc(0)?;
-            vma.blocks.push(OwnedBlock { pa: frame, order: 0 });
+            vma.blocks.push(OwnedBlock {
+                pa: frame,
+                order: 0,
+            });
             stats.blocks_allocated += 1;
             let va = vma.start + off;
             self.page_table
@@ -205,7 +207,10 @@ impl AddressSpace {
             if va.is_aligned(PAGE_2M) && remaining >= PAGE_2M {
                 if let Ok(frame) = phys.alloc(9) {
                     debug_assert!(frame.is_aligned(PAGE_2M));
-                    vma.blocks.push(OwnedBlock { pa: frame, order: 9 });
+                    vma.blocks.push(OwnedBlock {
+                        pa: frame,
+                        order: 9,
+                    });
                     stats.blocks_allocated += 1;
                     self.page_table
                         .map(va, frame, PageSize::Size2M, user_flags(vma.pinned))?;
@@ -253,11 +258,7 @@ impl AddressSpace {
     /// Unmap the VMA starting at `va` (whole-VMA munmap, the common case
     /// for the buffers we model). Returns the number of page-table leaves
     /// removed (feeds the TLB-shootdown cost model).
-    pub fn munmap(
-        &mut self,
-        phys: &mut BuddyAllocator,
-        va: VirtAddr,
-    ) -> Result<u64, MapError> {
+    pub fn munmap(&mut self, phys: &mut BuddyAllocator, va: VirtAddr) -> Result<u64, MapError> {
         let mut vma = self.vmas.remove(&va.0).ok_or(MapError::Invalid)?;
         if vma.gup_pins > 0 {
             // Pages pinned by get_user_pages can't be unmapped from under
@@ -317,11 +318,7 @@ impl AddressSpace {
     /// page-table levels walked — the PicoDriver fast path. Only valid on
     /// pinned mappings (McKernel guarantees anonymous mappings are pinned;
     /// walking an unpinned range would race with reclaim).
-    pub fn contiguous_runs(
-        &self,
-        va: VirtAddr,
-        len: u64,
-    ) -> Result<(Vec<PhysRun>, u64), MapError> {
+    pub fn contiguous_runs(&self, va: VirtAddr, len: u64) -> Result<(Vec<PhysRun>, u64), MapError> {
         let vma = self.find_vma(va).ok_or(MapError::Invalid)?;
         if !vma.pinned {
             return Err(MapError::Pinned);
@@ -348,10 +345,7 @@ fn order_fitting(bytes: u64) -> u8 {
 }
 
 /// Allocate at `max_order`, shrinking the request until success.
-fn alloc_shrinking(
-    phys: &mut BuddyAllocator,
-    max_order: u8,
-) -> Result<(PhysAddr, u8), MapError> {
+fn alloc_shrinking(phys: &mut BuddyAllocator, max_order: u8) -> Result<(PhysAddr, u8), MapError> {
     let mut order = max_order;
     loop {
         match phys.alloc(order) {
@@ -393,7 +387,11 @@ mod tests {
         assert_eq!(stats.leaves_mapped, 256);
         let (runs, _) = asp.contiguous_runs(va, 1 << 20).unwrap();
         // Checkerboarded physical memory: every page is its own run.
-        assert!(runs.len() > 200, "expected heavy fragmentation, got {} runs", runs.len());
+        assert!(
+            runs.len() > 200,
+            "expected heavy fragmentation, got {} runs",
+            runs.len()
+        );
     }
 
     #[test]
@@ -460,7 +458,11 @@ mod tests {
         let err = asp.mmap_anonymous(&mut phys, 4 << 20, false).unwrap_err();
         assert_eq!(err, MapError::OutOfMemory);
         assert_eq!(asp.vma_count(), 0);
-        assert_eq!(phys.allocated(), 0, "partial allocation must be rolled back");
+        assert_eq!(
+            phys.allocated(),
+            0,
+            "partial allocation must be rolled back"
+        );
         assert_eq!(asp.page_table.mapped_pages(), 0);
     }
 

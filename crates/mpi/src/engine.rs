@@ -82,9 +82,14 @@ struct CollState {
 enum Phase {
     Ready,
     Coll(CollState),
-    WaitingSet { call: MpiCall, set: Vec<MqHandle> },
+    WaitingSet {
+        call: MpiCall,
+        set: Vec<MqHandle>,
+    },
     /// Host is performing InitDevice; barrier follows.
-    InitPending { call: MpiCall },
+    InitPending {
+        call: MpiCall,
+    },
     /// Post-collective compute of the current call (kept for debugging).
     CallCompute {
         #[allow(dead_code)]
@@ -211,7 +216,8 @@ impl MpiRank {
                 .push(ep.irecv(Some(src), tag, bufs.scratch, st.bytes));
         }
         if let Some(dst) = xfer.send_to {
-            st.pending.push(ep.isend(dst, tag, bufs.scratch, st.bytes, None));
+            st.pending
+                .push(ep.isend(dst, tag, bufs.scratch, st.bytes, None));
         }
     }
 
@@ -253,7 +259,9 @@ impl MpiRank {
 
     /// Deterministic payload pattern for backed runs.
     pub fn pattern(tag: u32, bytes: u64) -> Vec<u8> {
-        (0..bytes).map(|i| (tag as u64).wrapping_add(i) as u8).collect()
+        (0..bytes)
+            .map(|i| (tag as u64).wrapping_add(i) as u8)
+            .collect()
     }
 
     fn payload(&self, tag: u32, bytes: u64) -> Option<Vec<u8>> {
@@ -292,13 +300,23 @@ impl MpiRank {
                             self.phase = Phase::InitPending { call };
                             return StepResult::HostCall(HostOp::InitDevice);
                         }
-                        Op::Isend { dst, tag, bytes, buf } => {
+                        Op::Isend {
+                            dst,
+                            tag,
+                            bytes,
+                            buf,
+                        } => {
                             let payload = self.payload(tag, bytes);
                             let h = ep.isend(dst, Tag(tag as u64), bufs.va(buf), bytes, payload);
                             self.outstanding.push(h);
                             self.profile.record(self.post_call(), Ns::ZERO);
                         }
-                        Op::Irecv { src, tag, bytes, buf } => {
+                        Op::Irecv {
+                            src,
+                            tag,
+                            bytes,
+                            buf,
+                        } => {
                             let src = (src != ANY_SOURCE).then_some(src);
                             let h = ep.irecv(src, Tag(tag as u64), bufs.va(buf), bytes);
                             self.outstanding.push(h);
@@ -309,7 +327,12 @@ impl MpiRank {
                             };
                             self.profile.record(call, Ns::ZERO);
                         }
-                        Op::Send { dst, tag, bytes, buf } => {
+                        Op::Send {
+                            dst,
+                            tag,
+                            bytes,
+                            buf,
+                        } => {
                             let payload = self.payload(tag, bytes);
                             let h = ep.isend(dst, Tag(tag as u64), bufs.va(buf), bytes, payload);
                             self.open_call(MpiCall::Send, now);
@@ -318,7 +341,12 @@ impl MpiRank {
                                 set: vec![h],
                             };
                         }
-                        Op::Recv { src, tag, bytes, buf } => {
+                        Op::Recv {
+                            src,
+                            tag,
+                            bytes,
+                            buf,
+                        } => {
                             let src = (src != ANY_SOURCE).then_some(src);
                             let h = ep.irecv(src, Tag(tag as u64), bufs.va(buf), bytes);
                             self.open_call(MpiCall::Recv, now);
@@ -373,7 +401,10 @@ impl MpiRank {
                             bytes,
                             None,
                         ),
-                        Op::Alltoallv { group, bytes_per_peer } => self.start_coll(
+                        Op::Alltoallv {
+                            group,
+                            bytes_per_peer,
+                        } => self.start_coll(
                             now,
                             ep,
                             bufs,
@@ -566,7 +597,9 @@ mod tests {
                     .enumerate()
                     .map(|(r, p)| MpiRank::new(r as u32, n, cfg, p))
                     .collect(),
-                eps: (0..n).map(|r| Endpoint::new(r, PsmConfig::default())).collect(),
+                eps: (0..n)
+                    .map(|r| Endpoint::new(r, PsmConfig::default()))
+                    .collect(),
                 bufs: BufTable {
                     bufs: (0..64).map(|i| 0x1000_0000 + i * 0x100_0000).collect(),
                     scratch: 0x9000_0000,
@@ -584,14 +617,31 @@ mod tests {
                         PsmAction::PioSend { dst, packet } => {
                             self.eps[dst as usize].on_packet(r as u32, packet);
                         }
-                        PsmAction::TidRegister { src, msg_id, window, .. } => {
+                        PsmAction::TidRegister {
+                            src,
+                            msg_id,
+                            window,
+                            ..
+                        } => {
                             self.eps[r].on_tid_registered(src, msg_id, window, vec![1]);
                         }
                         PsmAction::TidUnregister { .. } => {}
-                        PsmAction::SdmaSend { dst, msg_id, window, len, payload, .. } => {
+                        PsmAction::SdmaSend {
+                            dst,
+                            msg_id,
+                            window,
+                            len,
+                            payload,
+                            ..
+                        } => {
                             self.eps[dst as usize].on_packet(
                                 r as u32,
-                                PsmPacket::SdmaData { msg_id, window, len, payload },
+                                PsmPacket::SdmaData {
+                                    msg_id,
+                                    window,
+                                    len,
+                                    payload,
+                                },
                             );
                             self.eps[r].on_sdma_sent(msg_id, window);
                         }
@@ -664,8 +714,16 @@ mod tests {
         }));
         w.run();
         // Every rank did InitDevice and FiniDevice.
-        let inits = w.host_ops.iter().filter(|(_, o)| *o == HostOp::InitDevice).count();
-        let finis = w.host_ops.iter().filter(|(_, o)| *o == HostOp::FiniDevice).count();
+        let inits = w
+            .host_ops
+            .iter()
+            .filter(|(_, o)| *o == HostOp::InitDevice)
+            .count();
+        let finis = w
+            .host_ops
+            .iter()
+            .filter(|(_, o)| *o == HostOp::FiniDevice)
+            .count();
         assert_eq!(inits, 4);
         assert_eq!(finis, 4);
         // Init was profiled on every rank.
@@ -683,10 +741,30 @@ mod tests {
             let left = (r + n - 1) % n;
             let right = (r + 1) % n;
             vec![
-                Op::Irecv { src: left, tag: 1, bytes: 4096, buf: 0 },
-                Op::Irecv { src: right, tag: 2, bytes: 4096, buf: 1 },
-                Op::Isend { dst: right, tag: 1, bytes: 4096, buf: 2 },
-                Op::Isend { dst: left, tag: 2, bytes: 4096, buf: 3 },
+                Op::Irecv {
+                    src: left,
+                    tag: 1,
+                    bytes: 4096,
+                    buf: 0,
+                },
+                Op::Irecv {
+                    src: right,
+                    tag: 2,
+                    bytes: 4096,
+                    buf: 1,
+                },
+                Op::Isend {
+                    dst: right,
+                    tag: 1,
+                    bytes: 4096,
+                    buf: 2,
+                },
+                Op::Isend {
+                    dst: left,
+                    tag: 2,
+                    bytes: 4096,
+                    buf: 3,
+                },
                 Op::WaitAll,
             ]
         }));
@@ -704,8 +782,18 @@ mod tests {
         let mut w = World::new(spmd(n, |r| {
             let peer = r ^ 1;
             vec![
-                Op::Irecv { src: peer, tag: 9, bytes: 1 << 20, buf: 0 },
-                Op::Isend { dst: peer, tag: 9, bytes: 1 << 20, buf: 1 },
+                Op::Irecv {
+                    src: peer,
+                    tag: 9,
+                    bytes: 1 << 20,
+                    buf: 0,
+                },
+                Op::Isend {
+                    dst: peer,
+                    tag: 9,
+                    bytes: 1 << 20,
+                    buf: 1,
+                },
                 Op::WaitEach,
             ]
         }));
@@ -722,7 +810,10 @@ mod tests {
                 vec![
                     Op::Barrier,
                     Op::Allreduce { bytes: 64 },
-                    Op::Bcast { root: 0, bytes: 4096 },
+                    Op::Bcast {
+                        root: 0,
+                        bytes: 4096,
+                    },
                     Op::Scan { bytes: 8 },
                 ]
             }));
@@ -740,7 +831,10 @@ mod tests {
     fn alltoallv_within_groups() {
         let n = 8;
         let mut w = World::new(spmd(n, |_| {
-            vec![Op::Alltoallv { group: 4, bytes_per_peer: 1024 }]
+            vec![Op::Alltoallv {
+                group: 4,
+                bytes_per_peer: 1024,
+            }]
         }));
         w.run();
         for r in &w.ranks {
@@ -751,8 +845,18 @@ mod tests {
     #[test]
     fn blocking_send_recv_pair() {
         let mut w = World::new(vec![
-            vec![Op::Send { dst: 1, tag: 5, bytes: 100, buf: 0 }],
-            vec![Op::Recv { src: 0, tag: 5, bytes: 100, buf: 0 }],
+            vec![Op::Send {
+                dst: 1,
+                tag: 5,
+                bytes: 100,
+                buf: 0,
+            }],
+            vec![Op::Recv {
+                src: 0,
+                tag: 5,
+                bytes: 100,
+                buf: 0,
+            }],
         ]);
         w.run();
         assert_eq!(w.ranks[0].profile().get(&MpiCall::Send).0, 1);
@@ -762,8 +866,18 @@ mod tests {
     #[test]
     fn any_source_recv() {
         let mut w = World::new(vec![
-            vec![Op::Send { dst: 1, tag: 3, bytes: 64, buf: 0 }],
-            vec![Op::Recv { src: ANY_SOURCE, tag: 3, bytes: 64, buf: 0 }],
+            vec![Op::Send {
+                dst: 1,
+                tag: 3,
+                bytes: 64,
+                buf: 0,
+            }],
+            vec![Op::Recv {
+                src: ANY_SOURCE,
+                tag: 3,
+                bytes: 64,
+                buf: 0,
+            }],
         ]);
         w.run();
         assert_eq!(w.ranks[1].profile().get(&MpiCall::Recv).0, 1);
@@ -773,7 +887,9 @@ mod tests {
     fn cart_create_and_comm_create() {
         let mut w = World::new(spmd(4, |_| {
             vec![
-                Op::CartCreate { setup: Ns::micros(100) },
+                Op::CartCreate {
+                    setup: Ns::micros(100),
+                },
                 Op::CommCreate,
             ]
         }));
@@ -786,13 +902,26 @@ mod tests {
 
     #[test]
     fn post_as_start_attribution() {
-        let cfg = EngineConfig { post_as_start: true, ..Default::default() };
+        let cfg = EngineConfig {
+            post_as_start: true,
+            ..Default::default()
+        };
         let mut w = World::with_cfg(
             spmd(2, |r| {
                 let peer = 1 - r;
                 vec![
-                    Op::Irecv { src: peer, tag: 1, bytes: 64, buf: 0 },
-                    Op::Isend { dst: peer, tag: 1, bytes: 64, buf: 1 },
+                    Op::Irecv {
+                        src: peer,
+                        tag: 1,
+                        bytes: 64,
+                        buf: 0,
+                    },
+                    Op::Isend {
+                        dst: peer,
+                        tag: 1,
+                        bytes: 64,
+                        buf: 1,
+                    },
                     Op::WaitEach,
                 ]
             }),

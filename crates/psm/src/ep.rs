@@ -46,14 +46,8 @@ impl Default for PsmConfig {
 /// Body stored for unexpected arrivals.
 #[derive(Clone, Debug)]
 enum ArrivalBody {
-    Eager {
-        len: u64,
-        payload: Option<Vec<u8>>,
-    },
-    Rts {
-        len: u64,
-        msg_id: u64,
-    },
+    Eager { len: u64, payload: Option<Vec<u8>> },
+    Rts { len: u64, msg_id: u64 },
 }
 
 struct SendState {
@@ -395,13 +389,7 @@ impl Endpoint {
 
     /// The kernel registered TIDs for a window: keep the cookie (it is
     /// surrendered when the window's data lands) and send CTS.
-    pub fn on_tid_registered(
-        &mut self,
-        src: RankId,
-        msg_id: u64,
-        window: u32,
-        tids: Vec<u16>,
-    ) {
+    pub fn on_tid_registered(&mut self, src: RankId, msg_id: u64, window: u32, tids: Vec<u16>) {
         let Some(st) = self.recvs.get_mut(&(src, msg_id)) else {
             debug_assert!(false, "TID registration for unknown recv");
             return;
@@ -474,7 +462,9 @@ mod tests {
     impl Loopback {
         fn new(n: u32) -> Loopback {
             Loopback {
-                eps: (0..n).map(|r| Endpoint::new(r, PsmConfig::default())).collect(),
+                eps: (0..n)
+                    .map(|r| Endpoint::new(r, PsmConfig::default()))
+                    .collect(),
                 completions: Vec::new(),
                 tid_registered: 0,
                 tid_unregistered: 0,
@@ -514,7 +504,12 @@ mod tests {
                         self.pio_sends += 1;
                         self.eps[dst as usize].on_packet(from, packet);
                     }
-                    PsmAction::TidRegister { src, msg_id, window, .. } => {
+                    PsmAction::TidRegister {
+                        src,
+                        msg_id,
+                        window,
+                        ..
+                    } => {
                         self.tid_registered += 1;
                         // Kernel hands back a cookie of two TIDs.
                         self.eps[from as usize].on_tid_registered(
@@ -527,13 +522,25 @@ mod tests {
                     PsmAction::TidUnregister { .. } => {
                         self.tid_unregistered += 1;
                     }
-                    PsmAction::SdmaSend { dst, msg_id, window, len, payload, .. } => {
+                    PsmAction::SdmaSend {
+                        dst,
+                        msg_id,
+                        window,
+                        len,
+                        payload,
+                        ..
+                    } => {
                         self.sdma_sends += 1;
                         // Data placed at the receiver, then the sender's
                         // completion IRQ fires.
                         self.eps[dst as usize].on_packet(
                             from,
-                            PsmPacket::SdmaData { msg_id, window, len, payload },
+                            PsmPacket::SdmaData {
+                                msg_id,
+                                window,
+                                len,
+                                payload,
+                            },
                         );
                         self.eps[from as usize].on_sdma_sent(msg_id, window);
                     }
@@ -545,7 +552,9 @@ mod tests {
         }
 
         fn completed(&self, rank: u32, h: MqHandle) -> bool {
-            self.completions.iter().any(|&(r, ch, _)| r == rank && ch == h)
+            self.completions
+                .iter()
+                .any(|&(r, ch, _)| r == rank && ch == h)
         }
     }
 
@@ -595,7 +604,11 @@ mod tests {
             .iter()
             .find(|&&(r, h, _)| r == 1 && h == rh)
             .unwrap();
-        assert_eq!(payload.as_ref().unwrap(), &data, "windowed reassembly must be exact");
+        assert_eq!(
+            payload.as_ref().unwrap(),
+            &data,
+            "windowed reassembly must be exact"
+        );
         // 4 windows: 4 registrations, 4 SDMA sends, 4 unregistrations.
         assert_eq!(w.tid_registered, 4);
         assert_eq!(w.sdma_sends, 4);
@@ -701,7 +714,13 @@ mod tests {
         let regs = b.drain_actions();
         assert_eq!(regs.len(), windows as usize, "one registration per window");
         for (i, act) in regs.iter().enumerate() {
-            let PsmAction::TidRegister { window, msg_id, src, .. } = act else {
+            let PsmAction::TidRegister {
+                window,
+                msg_id,
+                src,
+                ..
+            } = act
+            else {
                 panic!("expected a contiguous TidRegister burst, got {act:?}");
             };
             assert_eq!(*window, i as u32);
@@ -710,7 +729,11 @@ mod tests {
         let cts = b.drain_actions();
         assert_eq!(cts.len(), windows as usize);
         for (i, act) in cts.iter().enumerate() {
-            let PsmAction::PioSend { packet: PsmPacket::Cts { window, .. }, .. } = act else {
+            let PsmAction::PioSend {
+                packet: PsmPacket::Cts { window, .. },
+                ..
+            } = act
+            else {
                 panic!("expected a contiguous CTS burst, got {act:?}");
             };
             assert_eq!(*window, i as u32);

@@ -175,8 +175,14 @@ mod tests {
         // Posted receives also match FIFO.
         mq.post_recv(recv(Some(1), 3, 31));
         mq.post_recv(recv(Some(1), 3, 32));
-        assert_eq!(mq.match_arrival(1, Tag(3), 0).unwrap().0.handle, MqHandle(31));
-        assert_eq!(mq.match_arrival(1, Tag(3), 0).unwrap().0.handle, MqHandle(32));
+        assert_eq!(
+            mq.match_arrival(1, Tag(3), 0).unwrap().0.handle,
+            MqHandle(31)
+        );
+        assert_eq!(
+            mq.match_arrival(1, Tag(3), 0).unwrap().0.handle,
+            MqHandle(32)
+        );
     }
 
     #[test]

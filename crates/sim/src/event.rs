@@ -43,8 +43,9 @@ const SLOT_BITS: u32 = 10;
 const NSLOTS: usize = 1 << 10;
 /// Words of the fine bucket-occupancy bitmap.
 const OCC_WORDS: usize = NSLOTS / 64;
-/// Fine pages per coarse page: each coarse bucket covers
-/// `2^(SLOT_BITS + COARSE_BITS)` ns (~64 µs).
+/// Default log₂ fine pages per coarse page: each coarse bucket covers
+/// `2^(SLOT_BITS + coarse_bits)` ns (~64 µs at the default). Runtime-
+/// tunable per queue via [`EventQueue::with_coarse_bits`].
 const COARSE_BITS: u32 = 6;
 /// Number of coarse buckets; coarse horizon ≈ 67 ms.
 const NSLOTS2: usize = 1 << 10;
@@ -63,8 +64,8 @@ fn page_of(at: Ns) -> u64 {
 /// either fully inside or fully outside the fine horizon (a straddling
 /// bucket would have to be split on cascade).
 #[inline]
-fn fine_end(window_page: u64) -> u64 {
-    ((window_page + NSLOTS as u64) >> COARSE_BITS) << COARSE_BITS
+fn fine_end(window_page: u64, coarse_bits: u32) -> u64 {
+    ((window_page + NSLOTS as u64) >> coarse_bits) << coarse_bits
 }
 
 /// Scheduling-placement counters and the page-span histogram of a
@@ -153,6 +154,8 @@ pub struct EventQueue<E> {
     overflow: BinaryHeap<Entry<E>>,
     /// Page of the wheel cursor (== `page_of(run_at)` while non-empty).
     window_page: u64,
+    /// log₂ fine pages per coarse page (default [`COARSE_BITS`]).
+    coarse_bits: u32,
     len: usize,
     next_seq: u64,
     now: Ns,
@@ -168,8 +171,25 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// An empty queue at time zero.
+    /// An empty queue at time zero with the default coarse-page width.
     pub fn new() -> Self {
+        Self::with_coarse_bits(COARSE_BITS)
+    }
+
+    /// An empty queue whose coarse ring uses `2^coarse_bits` fine pages
+    /// per bucket (coarse horizon = `NSLOTS2 << (SLOT_BITS + coarse_bits)`
+    /// ns). Wider pages extend the horizon at the cost of coarser cascade
+    /// batches; pop order is identical for every width (checked against
+    /// [`HeapEventQueue`] in the tests). `coarse_bits` may not exceed
+    /// `SLOT_BITS`: a coarse page wider than the whole fine ring would
+    /// round `fine_end` below the cursor and strand events in the coarse
+    /// ring (the fine ring must always span at least one coarse page so
+    /// advancing the window is guaranteed to cascade the minimum bucket).
+    pub fn with_coarse_bits(coarse_bits: u32) -> Self {
+        assert!(
+            (1..=SLOT_BITS).contains(&coarse_bits),
+            "coarse_bits out of range (1..={SLOT_BITS})"
+        );
         EventQueue {
             run: VecDeque::new(),
             run_at: Ns::ZERO,
@@ -180,6 +200,7 @@ impl<E> EventQueue<E> {
             occ2: [0; OCC2_WORDS],
             overflow: BinaryHeap::new(),
             window_page: 0,
+            coarse_bits,
             len: 0,
             next_seq: 0,
             now: Ns::ZERO,
@@ -187,6 +208,11 @@ impl<E> EventQueue<E> {
             clamped: 0,
             profile: WheelProfile::default(),
         }
+    }
+
+    /// The configured log₂ fine pages per coarse page.
+    pub fn coarse_bits(&self) -> u32 {
+        self.coarse_bits
     }
 
     /// Scheduling-placement counters and the page-span histogram (see
@@ -267,14 +293,16 @@ impl<E> EventQueue<E> {
         if page == self.window_page {
             self.profile.sched_cur += 1;
             insert_desc(&mut self.cur, Entry { at, seq, ev });
-        } else if page < fine_end(self.window_page) {
+        } else if page < fine_end(self.window_page, self.coarse_bits) {
             self.profile.sched_fine += 1;
             let s = page as usize & (NSLOTS - 1);
             self.slots[s].push(Entry { at, seq, ev });
             self.occ[s / 64] |= 1 << (s % 64);
-        } else if (page >> COARSE_BITS) < (self.window_page >> COARSE_BITS) + NSLOTS2 as u64 {
+        } else if (page >> self.coarse_bits)
+            < (self.window_page >> self.coarse_bits) + NSLOTS2 as u64
+        {
             self.profile.sched_coarse += 1;
-            let s = (page >> COARSE_BITS) as usize & (NSLOTS2 - 1);
+            let s = (page >> self.coarse_bits) as usize & (NSLOTS2 - 1);
             self.slots2[s].push(Entry { at, seq, ev });
             self.occ2[s / 64] |= 1 << (s % 64);
         } else {
@@ -293,7 +321,10 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(Ns, E)> {
         loop {
             if let Some((_, ev)) = self.run.pop_front() {
-                debug_assert!(self.run_at >= self.now, "wheel returned an out-of-order event");
+                debug_assert!(
+                    self.run_at >= self.now,
+                    "wheel returned an out-of-order event"
+                );
                 self.now = self.run_at;
                 self.popped += 1;
                 self.len -= 1;
@@ -401,7 +432,7 @@ impl<E> EventQueue<E> {
             while bits != 0 {
                 let s = w * 64 + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
-                let cp = page_of(self.slots2[s][0].at) >> COARSE_BITS;
+                let cp = page_of(self.slots2[s][0].at) >> self.coarse_bits;
                 if best.is_none_or(|(_, b)| cp < b) {
                     best = Some((s, cp));
                 }
@@ -438,14 +469,14 @@ impl<E> EventQueue<E> {
         }
         // Cascade coarse buckets now fully inside the fine horizon
         // (fine_end is coarse-aligned, so buckets never straddle it).
-        let fe = fine_end(new_page);
-        let coarse_end = fe >> COARSE_BITS;
+        let fe = fine_end(new_page, self.coarse_bits);
+        let coarse_end = fe >> self.coarse_bits;
         for w in 0..OCC2_WORDS {
             let mut bits = self.occ2[w];
             while bits != 0 {
                 let s2 = w * 64 + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
-                if page_of(self.slots2[s2][0].at) >> COARSE_BITS >= coarse_end {
+                if page_of(self.slots2[s2][0].at) >> self.coarse_bits >= coarse_end {
                     continue;
                 }
                 let drained = std::mem::take(&mut self.slots2[s2]);
@@ -464,10 +495,10 @@ impl<E> EventQueue<E> {
             }
         }
         // Pull far-future events that the coarse horizon now covers.
-        let coarse_horizon_end = (new_page >> COARSE_BITS) + NSLOTS2 as u64;
+        let coarse_horizon_end = (new_page >> self.coarse_bits) + NSLOTS2 as u64;
         while let Some(e) = self.overflow.peek() {
             let p = page_of(e.at);
-            if p >> COARSE_BITS >= coarse_horizon_end {
+            if p >> self.coarse_bits >= coarse_horizon_end {
                 break;
             }
             let e = self.overflow.pop().expect("peeked entry");
@@ -478,7 +509,7 @@ impl<E> EventQueue<E> {
                 self.slots[sf].push(e);
                 self.occ[sf / 64] |= 1 << (sf % 64);
             } else {
-                let sc = (p >> COARSE_BITS) as usize & (NSLOTS2 - 1);
+                let sc = (p >> self.coarse_bits) as usize & (NSLOTS2 - 1);
                 self.slots2[sc].push(e);
                 self.occ2[sc / 64] |= 1 << (sc % 64);
             }
@@ -777,6 +808,45 @@ mod tests {
         assert_eq!(q.peek_key(), Some((Ns::millis(3), 3)));
     }
 
+    /// Pop order is independent of the coarse-page width: a wheel with
+    /// 256-page coarse buckets (bits = 8, ~16× the default horizon) must
+    /// match the reference heap on the same mixed-band workload — the
+    /// safety net behind the `wheel_coarse_bits` config knob.
+    #[test]
+    fn coarse_width_does_not_change_pop_order() {
+        for bits in [1u32, 8, 10] {
+            let mut rng = Rng::new(0x000C_0A5E ^ u64::from(bits));
+            let mut wheel = EventQueue::with_coarse_bits(bits);
+            assert_eq!(wheel.coarse_bits(), bits);
+            let mut heap = HeapEventQueue::new();
+            let mut id = 0u64;
+            for _ in 0..3_000 {
+                if rng.chance(0.6) || wheel.is_empty() {
+                    let delta = match rng.gen_range(10) {
+                        0..=3 => rng.gen_range(1 << SLOT_BITS),
+                        4..=6 => rng.gen_range((NSLOTS as u64) << SLOT_BITS),
+                        7..=8 => rng.gen_range(1 << (SLOT_BITS + bits.min(20) + 5)),
+                        _ => rng.gen_range(1 << 34), // deep future
+                    };
+                    let at = Ns(wheel.now().0 + delta);
+                    wheel.schedule(at, id);
+                    heap.schedule(at, id);
+                    id += 1;
+                } else {
+                    assert_eq!(wheel.peek_key(), heap.peek_key(), "bits {bits}");
+                    assert_eq!(wheel.pop(), heap.pop(), "bits {bits}");
+                }
+            }
+            loop {
+                let (a, b) = (wheel.pop(), heap.pop());
+                assert_eq!(a, b, "bits {bits} drain");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
     /// The wheel pops the exact `(time, seq)` sequence of the reference
     /// heap under random schedule/pop interleavings (the in-crate half of
     /// the equivalence property; the umbrella test suite runs a larger
@@ -792,10 +862,10 @@ mod tests {
                 if rng.chance(0.6) || wheel.is_empty() {
                     // Mix of near, mid and far deltas, with frequent ties.
                     let delta = match rng.gen_range(10) {
-                        0..=4 => rng.gen_range(1 << SLOT_BITS),           // in-page
+                        0..=4 => rng.gen_range(1 << SLOT_BITS), // in-page
                         5..=7 => rng.gen_range((NSLOTS as u64) << SLOT_BITS), // in-horizon
-                        8 => 0,                                            // tie with now
-                        _ => rng.gen_range(1 << 28),                       // far future
+                        8 => 0,                                 // tie with now
+                        _ => rng.gen_range(1 << 28),            // far future
                     };
                     let at = Ns(wheel.now().0 + delta);
                     wheel.schedule(at, id);

@@ -1,4 +1,4 @@
-//! A minimal JSON document builder.
+//! A minimal JSON document builder (and parser).
 //!
 //! The experiment binaries emit JSON lines and result files for plotting;
 //! all they need is *serialization* of small trees of numbers and strings.
@@ -6,6 +6,12 @@
 //! workspace builds offline. Output is compact (no whitespace), keys keep
 //! insertion order, and non-finite floats serialize as `null` (matching
 //! `serde_json`'s default refusal to emit `NaN`).
+//!
+//! [`Json::parse`] is the inverse, just enough of RFC 8259 to read the
+//! workspace's own artifacts back (the nightly bench-trending diff):
+//! standard scalars, `\uXXXX` escapes, arbitrary whitespace, no
+//! extensions. Numbers parse to `UInt`/`Int` when integral and in
+//! range, `Num` otherwise — the same split the builder emits.
 
 use std::fmt;
 
@@ -96,6 +102,203 @@ impl Json {
     }
 }
 
+impl Json {
+    /// Parse a JSON document (the whole string must be one value plus
+    /// optional surrounding whitespace). Errors carry the byte offset.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let b = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, unifying the three numeric variants.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::Int(i) => Some(i as f64),
+            Json::UInt(u) => Some(u as f64),
+            Json::Num(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => expect(b, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                pairs.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut s = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(s);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => s.push('"'),
+                    b'\\' => s.push('\\'),
+                    b'/' => s.push('/'),
+                    b'b' => s.push('\u{8}'),
+                    b'f' => s.push('\u{c}'),
+                    b'n' => s.push('\n'),
+                    b'r' => s.push('\r'),
+                    b't' => s.push('\t'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let cp = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                        *pos += 4;
+                        // Surrogate pairs don't occur in our own artifacts;
+                        // map lone surrogates to the replacement character.
+                        s.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                    }
+                    c => return Err(format!("bad escape `\\{}`", c as char)),
+                }
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so this is safe).
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().unwrap();
+                s.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    let integral = !text.contains(['.', 'e', 'E']);
+    if integral {
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Json::UInt(u));
+        }
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Json::Int(i));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number `{text}` at byte {start}"))
+}
+
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
@@ -154,5 +357,59 @@ mod tests {
     #[test]
     fn control_chars_escape() {
         assert_eq!(Json::str("\u{1}").to_string(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn parse_round_trips_builder_output() {
+        let j = Json::obj([
+            ("nodes", Json::UInt(4)),
+            ("delta", Json::Int(-7)),
+            ("bw", Json::arr([Json::Num(1.5), Json::Num(2.25)])),
+            ("label", Json::str("Linux \"quoted\"\nline")),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            ("empty_arr", Json::arr([])),
+            ("empty_obj", Json::obj::<[(&str, Json); 0], &str>([])),
+        ]);
+        let parsed = Json::parse(&j.to_string()).unwrap();
+        assert_eq!(parsed, j);
+        // Integral floats serialize without a decimal point, so they
+        // come back as the integer variants — value-equal, not
+        // variant-equal. That is fine for the trending diff, which
+        // compares through `as_f64`.
+        let f = Json::Num(2.0);
+        assert_eq!(Json::parse(&f.to_string()).unwrap(), Json::UInt(2));
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_escapes() {
+        let parsed = Json::parse(" { \"a\" : [ 1 , -2.5e3 , \"\\u0041\\t\" ] } ").unwrap();
+        assert_eq!(
+            parsed,
+            Json::obj([(
+                "a",
+                Json::arr([Json::UInt(1), Json::Num(-2500.0), Json::str("A\t")])
+            )])
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "\"unterminated"] {
+            assert!(Json::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let j = Json::parse("{\"x\":3,\"s\":\"hi\",\"v\":[1]}").unwrap();
+        assert_eq!(j.get("x").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(j.get("s").and_then(Json::as_str), Some("hi"));
+        assert_eq!(
+            j.get("v").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
+        );
+        assert_eq!(j.get("missing"), None);
+        assert_eq!(Json::Null.get("x"), None);
     }
 }

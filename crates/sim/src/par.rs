@@ -52,7 +52,11 @@ where
                 if i >= n {
                     break;
                 }
-                let item = inputs[i].lock().expect("input poisoned").take().expect("item taken twice");
+                let item = inputs[i]
+                    .lock()
+                    .expect("input poisoned")
+                    .take()
+                    .expect("item taken twice");
                 let out = f(item);
                 *outputs[i].lock().expect("output poisoned") = Some(out);
             });
@@ -60,7 +64,11 @@ where
     });
     outputs
         .into_iter()
-        .map(|m| m.into_inner().expect("output poisoned").expect("worker died before writing"))
+        .map(|m| {
+            m.into_inner()
+                .expect("output poisoned")
+                .expect("worker died before writing")
+        })
         .collect()
 }
 

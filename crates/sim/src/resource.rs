@@ -142,7 +142,11 @@ impl BandwidthGate {
     /// Like [`reserve`](Self::reserve) but also charges a fixed per-use
     /// overhead before the bytes flow (packetization, doorbell, etc.).
     pub fn reserve_with_overhead(&mut self, now: Ns, bytes: u64, overhead: Ns) -> (Ns, Ns) {
-        self.reserve_span(now, bytes, overhead + transfer_time(bytes, self.bytes_per_sec))
+        self.reserve_span(
+            now,
+            bytes,
+            overhead + transfer_time(bytes, self.bytes_per_sec),
+        )
     }
 
     /// Reserve the pipe for an externally computed duration `dur` (e.g. a
@@ -268,7 +272,11 @@ mod tests {
         // A train commit replaying the FIFO rule externally must leave
         // the gate in the same state as the per-reservation path.
         let mut seq = BandwidthGate::new(1e9);
-        let members = [(Ns(0), 1000u64, Ns(100)), (Ns(50), 500, Ns(50)), (Ns(5000), 200, Ns(20))];
+        let members = [
+            (Ns(0), 1000u64, Ns(100)),
+            (Ns(50), 500, Ns(50)),
+            (Ns(5000), 200, Ns(20)),
+        ];
         for &(at, bytes, ovh) in &members {
             seq.reserve_with_overhead(at, bytes, ovh);
         }

@@ -135,7 +135,11 @@ impl Histogram {
 
     /// Record one sample.
     pub fn record(&mut self, v: u64) {
-        let idx = if v == 0 { 0 } else { 64 - v.leading_zeros() as usize };
+        let idx = if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        };
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum += v;
@@ -176,7 +180,11 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Some(if i == 0 { 0 } else { (1u64 << i).saturating_sub(1) | (1 << (i - 1)) });
+                return Some(if i == 0 {
+                    0
+                } else {
+                    (1u64 << i).saturating_sub(1) | (1 << (i - 1))
+                });
             }
         }
         Some(self.max)

@@ -9,7 +9,10 @@ use pico_apps::{App, JobShape};
 use pico_cluster::{run_app, ClusterConfig, OsConfig};
 
 fn main() {
-    let shape = JobShape { nodes: 4, ranks_per_node: 32 };
+    let shape = JobShape {
+        nodes: 4,
+        ranks_per_node: 32,
+    };
     println!(
         "UMT2013 sweep on {} nodes x {} ranks:\n",
         shape.nodes, shape.ranks_per_node

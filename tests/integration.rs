@@ -16,8 +16,7 @@ fn port_pipeline_is_version_robust() {
         let module = layouts.emit_module_binary();
         let (port, shadow) = PicoPort::port_hfi1(&module).expect("port");
         assert_eq!(port.fastpath_syscalls.len(), 2);
-        let driver =
-            pico_hfi1::Hfi1Driver::new(layouts, pico_hfi1::HfiDriverCosts::default(), 16);
+        let driver = pico_hfi1::Hfi1Driver::new(layouts, pico_hfi1::HfiDriverCosts::default(), 16);
         for e in 0..16 {
             assert!(shadow.engine_running(driver.sdma_state[e].bytes()));
         }
@@ -68,7 +67,10 @@ fn unification_invariants() {
 #[test]
 fn backed_rendezvous_end_to_end() {
     for os in OsConfig::ALL {
-        let app = App::PingPong { bytes: 2 << 20, reps: 2 };
+        let app = App::PingPong {
+            bytes: 2 << 20,
+            reps: 2,
+        };
         let mut cfg = paper_config(os, app, 2, Some(1));
         cfg.backed = true;
         let res = run_app(cfg, app, 1);
@@ -82,7 +84,10 @@ fn backed_rendezvous_end_to_end() {
 /// and the PicoDriver restores (and beats) Linux performance.
 #[test]
 fn headline_umt_result() {
-    let shape = JobShape { nodes: 2, ranks_per_node: 16 };
+    let shape = JobShape {
+        nodes: 2,
+        ranks_per_node: 16,
+    };
     let wall = |os| {
         let cfg = ClusterConfig::paper(os, shape);
         // Steady-state: difference of two run lengths cancels init.
@@ -108,7 +113,10 @@ fn headline_umt_result() {
 /// and writev/ioctl shares shrink.
 #[test]
 fn kernel_time_collapses_with_fast_path() {
-    let shape = JobShape { nodes: 2, ranks_per_node: 16 };
+    let shape = JobShape {
+        nodes: 2,
+        ranks_per_node: 16,
+    };
     let run = |os| {
         let cfg = ClusterConfig::paper(os, shape);
         run_app(cfg, App::Umt2013, 6)
@@ -135,7 +143,10 @@ fn kernel_time_collapses_with_fast_path() {
 /// "no regression" guarantee of Figure 5.
 #[test]
 fn lammps_no_regression() {
-    let shape = JobShape { nodes: 2, ranks_per_node: 16 };
+    let shape = JobShape {
+        nodes: 2,
+        ranks_per_node: 16,
+    };
     let wall = |os| {
         let cfg = ClusterConfig::paper(os, shape);
         let short = run_app(cfg.clone(), App::Lammps, 4).wall_time;
@@ -157,7 +168,10 @@ fn full_stack_determinism() {
     let run = || {
         let cfg = ClusterConfig::paper(
             OsConfig::McKernelHfi,
-            JobShape { nodes: 2, ranks_per_node: 8 },
+            JobShape {
+                nodes: 2,
+                ranks_per_node: 8,
+            },
         );
         run_app(cfg, App::Qbox, 3)
     };

@@ -257,12 +257,12 @@ fn wheel_pops_heap_sequence() {
         for _ in 0..4000 {
             if r.chance(0.55) {
                 let dt = match r.gen_range(6) {
-                    0 => 0,                                  // same-timestamp storm
-                    1 => r.gen_range(1024),                  // same page
-                    2 => r.gen_range(1 << 20),               // fine horizon
-                    3 => (1 << 20) + r.gen_range(1 << 24),   // coarse ring
-                    4 => (1 << 26) + r.gen_range(1 << 28),   // overflow heap
-                    _ => r.gen_range(64),                    // near
+                    0 => 0,                                // same-timestamp storm
+                    1 => r.gen_range(1024),                // same page
+                    2 => r.gen_range(1 << 20),             // fine horizon
+                    3 => (1 << 20) + r.gen_range(1 << 24), // coarse ring
+                    4 => (1 << 26) + r.gen_range(1 << 28), // overflow heap
+                    _ => r.gen_range(64),                  // near
                 };
                 let at = Ns(wheel.now().0 + dt);
                 wheel.schedule(at, next_id);
@@ -282,35 +282,67 @@ fn wheel_pops_heap_sequence() {
     }
 }
 
-/// Packet trains and persistent flows are pure event-count
-/// optimizations: both coalescing modes must produce the same physics
-/// as the per-packet reference model. Wall time must match within the
-/// documented tolerance (DESIGN.md "Packet trains" / "Fabric flows":
-/// 0.1% on these configs; coalesced delivery can reorder library entry
-/// against unrelated events, so bit-equality is not guaranteed for
-/// every workload), and the conserved quantities — ranks finished,
-/// payloads delivered, fabric bytes/messages — must be exactly equal.
+/// Packet trains, persistent flows, and destination-rooted sinks are
+/// pure event-count optimizations: every coalescing mode must produce
+/// the same physics as the per-packet reference model. Wall time must
+/// match within the documented tolerance (DESIGN.md "Packet trains" /
+/// "Fabric flows": 0.1% on these configs; coalesced delivery can
+/// reorder library entry against unrelated events, so bit-equality is
+/// not guaranteed for every workload), and the conserved quantities —
+/// ranks finished, payloads delivered, fabric bytes/messages — must be
+/// exactly equal.
 #[test]
 fn packet_trains_match_per_packet_reference() {
     use pico_apps::{App, JobShape};
     use pico_cluster::{ClusterConfig, FabricMode, OsConfig, World};
 
     let apps = [
-        (App::PingPong { bytes: 8 * 1024, reps: 6 }, 1, 1u32),    // eager PIO
-        (App::PingPong { bytes: 256 * 1024, reps: 4 }, 1, 1),     // 1-window rendezvous
-        (App::PingPong { bytes: 2 << 20, reps: 3 }, 1, 1),        // 4-window train
-        (App::Umt2013, 2, 2),                                     // halo exchange
-        (App::Hacc, 2, 2),                                        // overlapped isends
-        (App::Nekbone, 2, 1),                                     // CG allreduce
-        (App::Lammps, 2, 1),                                      // neighbor exchange
-        (App::PingPong { bytes: 4 << 20, reps: 2 }, 1, 1),        // 8-window train
+        (
+            App::PingPong {
+                bytes: 8 * 1024,
+                reps: 6,
+            },
+            1,
+            1u32,
+        ), // eager PIO
+        (
+            App::PingPong {
+                bytes: 256 * 1024,
+                reps: 4,
+            },
+            1,
+            1,
+        ), // 1-window rendezvous
+        (
+            App::PingPong {
+                bytes: 2 << 20,
+                reps: 3,
+            },
+            1,
+            1,
+        ), // 4-window train
+        (App::Umt2013, 2, 2), // halo exchange
+        (App::Hacc, 2, 2),    // overlapped isends
+        (App::Nekbone, 2, 1), // CG allreduce
+        (App::Lammps, 2, 1),  // neighbor exchange
+        (
+            App::PingPong {
+                bytes: 4 << 20,
+                reps: 2,
+            },
+            1,
+            1,
+        ), // 8-window train
     ];
     let mut case = 0u64;
     for (app, rpn, iters) in apps {
         for os in OsConfig::ALL {
             let seed = case_rng(0x7124_1145, case).next_u64();
             case += 1;
-            let shape = JobShape { nodes: 2, ranks_per_node: rpn };
+            let shape = JobShape {
+                nodes: 2,
+                ranks_per_node: rpn,
+            };
             let mut cfg = ClusterConfig::paper(os, shape);
             cfg.seed = seed;
             cfg.batch_fabric = FabricMode::Trains;
@@ -318,10 +350,13 @@ fn packet_trains_match_per_packet_reference() {
             unbatched.batch_fabric = FabricMode::PerPacket;
             let mut flowed = cfg.clone();
             flowed.batch_fabric = FabricMode::Flows;
+            let mut sunk = cfg.clone();
+            sunk.batch_fabric = FabricMode::Incast;
             let off = World::new(unbatched, app, iters).run();
             for (mode, res) in [
                 ("trains", World::new(cfg, app, iters).run()),
                 ("flows", World::new(flowed, app, iters).run()),
+                ("incast", World::new(sunk, app, iters).run()),
             ] {
                 let label = format!("case {case} {:?} {} [{mode}]", app, os.label());
                 assert_eq!(res.ranks_done, off.ranks_done, "{label}");
@@ -360,7 +395,10 @@ fn sweeps_identical_across_thread_counts() {
     use pico_sim::par_map_threads;
 
     let digest = |os: OsConfig| -> String {
-        let app = App::PingPong { bytes: 64 * 1024, reps: 4 };
+        let app = App::PingPong {
+            bytes: 64 * 1024,
+            reps: 4,
+        };
         let cfg = paper_config(os, app, 2, Some(1));
         let res = run_app(cfg, app, 1);
         assert_eq!(res.clamped_events, 0, "no event may be clamped to `now`");

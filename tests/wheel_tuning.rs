@@ -1,0 +1,80 @@
+//! Wheel-layout tuning follow-through (ROADMAP: profile the page-span
+//! histogram at the 128/256-node noise configs and widen the coarse
+//! page if the spans call for it).
+//!
+//! Verdict, encoded as assertions below: the current layout — 64 µs
+//! fine pages × 1024 slots, coarse buckets of 2⁶ pages — is already
+//! optimal for these configs. Every schedule at both scales lands
+//! within the two-tier horizon (`sched_overflow == 0`), the coarse
+//! ring is genuinely exercised (launch skew, linger reapers, and noise
+//! ticks land `sched_coarse > 0` schedules), and the page-span
+//! histogram tops out at the log₂ bucket 11 (≲ 2048 pages ≈ 131 ms
+//! ahead of the cursor). Widening the coarse page (`wheel_coarse_bits
+//! = 8`, 4× wider buckets) therefore cannot reduce overflow (already
+//! zero) — it only shifts the internal fine/coarse placement split
+//! while the simulation physics stay bit-identical, which the 128-node
+//! pair below checks exactly. A layout change that pushed spans past
+//! the horizon would flip `sched_overflow` and fail here.
+
+use pico_apps::App;
+use pico_cluster::{paper_config, run_app, OsConfig, RunResult};
+use pico_sim::WheelProfile;
+
+/// One noisy scale run: Linux OS config (the noisiest model), one rank
+/// per node so the event traffic is dominated by cross-node scheduling.
+fn noisy_run(nodes: u32, coarse_bits: u32) -> RunResult {
+    let app = App::Nekbone;
+    let mut cfg = paper_config(OsConfig::Linux, app, nodes, Some(1));
+    cfg.wheel_coarse_bits = coarse_bits;
+    run_app(cfg, app, 1)
+}
+
+/// The histogram/placement assertions shared by both scales.
+fn assert_profile(nodes: u32, p: &WheelProfile) {
+    assert_eq!(
+        p.sched_overflow, 0,
+        "{nodes} nodes: every schedule must fit the fine+coarse horizon"
+    );
+    assert!(
+        p.sched_fine > 0 && p.sched_coarse > 0,
+        "{nodes} nodes: both wheel tiers must be exercised (fine {}, coarse {})",
+        p.sched_fine,
+        p.sched_coarse
+    );
+    let last = p
+        .span_hist
+        .iter()
+        .rposition(|&c| c > 0)
+        .expect("schedules were recorded");
+    assert!(
+        last <= 11,
+        "{nodes} nodes: page spans reach log2 bucket {last} (> ~131 ms ahead); \
+         the 64 us x 1024 layout no longer covers this traffic — re-profile"
+    );
+}
+
+#[test]
+fn wheel_layout_covers_noise_configs() {
+    // 128 nodes: profile plus the coarse-width ablation. The knob only
+    // changes where events sit inside the wheel, never when they fire:
+    // wall time and the event count must be bit-identical, while the
+    // fine/coarse placement split is allowed to shift.
+    let r6 = noisy_run(128, 6);
+    let r8 = noisy_run(128, 8);
+    assert_profile(128, &r6.wheel_profile);
+    assert_eq!(r6.clamped_events, 0);
+    assert_eq!(
+        r6.wall_time, r8.wall_time,
+        "coarse bucket width must not change simulated time"
+    );
+    assert_eq!(
+        r6.sim_events, r8.sim_events,
+        "coarse bucket width must not change the event stream"
+    );
+    assert_eq!(r6.wheel_profile.total(), r8.wheel_profile.total());
+
+    // 256 nodes: the default layout still covers the span distribution.
+    let r = noisy_run(256, 6);
+    assert_profile(256, &r.wheel_profile);
+    assert_eq!(r.clamped_events, 0);
+}
