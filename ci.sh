@@ -4,7 +4,9 @@
 #
 #   ./ci.sh          tier-1 (release build + full test suite) + clippy + fmt
 #                    check + the reduced simbench smoke gate
-#   ./ci.sh --bench  additionally run the full simbench regression gate (slower)
+#   ./ci.sh --bench  additionally run the full simbench regression gate
+#                    (--full: adds the 256-node sharded-engine speedup gate
+#                    and the 1024-node weak-scaling smoke; slower)
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -28,8 +30,8 @@ echo "== simbench smoke gate (queue speedup, train batching, clamped events) =="
 cargo run --release -p pico-bench --bin simbench -- --smoke
 
 if [[ "${1:-}" == "--bench" ]]; then
-    echo "== simbench regression gate =="
-    cargo run --release -p pico-bench --bin simbench
+    echo "== simbench regression gate (nightly --full variant) =="
+    cargo run --release -p pico-bench --bin simbench -- --full
     # Night-over-night trending: when the previous nightly artifact was
     # restored (results/BENCH_prev.json), fail on >10% regression in
     # throughput or gate-ratio metrics. First run passes with a notice.

@@ -12,7 +12,10 @@
 //! while per-push CI stays untouched. A missing or unreadable
 //! *previous* artifact is not an error: the first nightly run (or a
 //! wiped cache) simply has nothing to trend against, so the tool
-//! prints a notice and passes.
+//! prints a notice and passes. Likewise two artifacts recorded at
+//! different worker counts (the top-level `threads` field) are never
+//! compared — every timed figure would shift with the hardware, not
+//! the code.
 //!
 //! Metrics are matched by a stable key (pattern/OS/node labels), so
 //! reordered rows or newly added benchmarks never misalign a
@@ -58,6 +61,14 @@ fn metrics(doc: &Json) -> Vec<(String, f64)> {
             format!("incast[{pat}].event_reduction_incast"),
             row.get("event_reduction_incast"),
         );
+    }
+    // The sharded-engine speedup is only a trendable figure when it was
+    // actually enforced (4+ cores and the nightly node count) — a
+    // report-only ratio from a loaded or small host is noise.
+    if let Some(p) = doc.get("parallel") {
+        if p.get("enforced").and_then(Json::as_bool) == Some(true) {
+            push("parallel.speedup".into(), p.get("speedup"));
+        }
     }
     let runs = doc
         .get("sweep")
@@ -106,6 +117,22 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    // Wall-clock figures (sweep throughput, sharded speedup) only trend
+    // between runs of equal parallelism: a nightly host downgrade from
+    // 8 workers to 2 would read as a regression in every timed metric.
+    // Artifacts predating the `threads` field trend as before.
+    let pt = prev.get("threads").and_then(Json::as_f64);
+    let ft = fresh.get("threads").and_then(Json::as_f64);
+    if let (Some(p), Some(f)) = (pt, ft) {
+        if p != f {
+            println!(
+                "benchdiff: worker count changed ({p} -> {f} threads); \
+                 wall-clock metrics are not comparable — nothing to trend"
+            );
+            return;
+        }
+    }
 
     let old = metrics(&prev);
     let new = metrics(&fresh);

@@ -15,10 +15,14 @@
 //!
 //! Run with `cargo run --release -p pico-bench --bin simbench`. Pass
 //! `--smoke` for the reduced CI variant: smaller churn and sweep, same
-//! gates (every run still asserts `clamped_events == 0`).
+//! gates (every run still asserts `clamped_events == 0`). Pass `--full`
+//! for the nightly superset: the 256-node sharded-engine speedup gate
+//! (≥2× wall clock at 4+ workers over the same engine's single-worker
+//! walk) and the 1024-node weak-scaling completion smoke.
 
 use pico_apps::App;
-use pico_cluster::{paper_config, run_app, FabricMode, OsConfig};
+use pico_cluster::{paper_config, run_app, EngineMode, FabricMode, OsConfig, RunResult};
+use pico_sim::default_threads;
 use pico_sim::{EventQueue, HeapEventQueue, Json, Ns, Rng, WheelProfile};
 use std::hint::black_box;
 use std::time::Instant;
@@ -417,8 +421,116 @@ fn incast_gate() -> Vec<Json> {
     rows
 }
 
+/// One sharded UMT2013 run at `threads` workers; the config the
+/// parallel gate and the weak-scaling smoke share.
+fn sharded_umt(nodes: u32, rpn: u32, threads: Option<usize>) -> pico_cluster::ClusterConfig {
+    let mut cfg = paper_config(OsConfig::McKernelHfi, App::Umt2013, nodes, Some(rpn));
+    cfg.batch_fabric = FabricMode::Incast;
+    cfg.engine = EngineMode::Sharded;
+    cfg.threads = threads;
+    cfg
+}
+
+/// Everything a worker count is forbidden to change, as one string.
+fn sharded_digest(r: &RunResult) -> String {
+    assert_eq!(r.clamped_events, 0, "parallel gate: clamped events");
+    format!(
+        "{:?}|{}|{}|{}|{:#x}|{:#x}|{:?}",
+        r.wall_time,
+        r.ranks_done,
+        r.sim_events,
+        r.fabric_sink_members,
+        r.arrival_digest,
+        r.arrival_digest_bulk,
+        r.rank_finish,
+    )
+}
+
+/// The node-sharded engine gate: the conservative-lookahead engine at
+/// `hw.min(8)` workers against its own single-worker walk on a UMT2013
+/// point — bit-identical results (always asserted), and when `enforce`
+/// is set (the nightly 256-node run) at least a 2× wall-clock speedup
+/// whenever the host grants 4+ workers. The smoke/default variants run
+/// a smaller point and only report the ratio: short runs on loaded CI
+/// hosts make wall-clock enforcement there pure noise.
+fn parallel_gate(nodes: u32, iters: u32, enforce: bool) -> Json {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = hw.clamp(2, 8);
+    // Warmup: the first run pays the allocator and page-fault cost for
+    // everyone after it; measuring it as the baseline would inflate the
+    // speedup and hide regressions.
+    run_app(sharded_umt(nodes, 2, Some(1)), App::Umt2013, 1);
+    let t0 = Instant::now();
+    let serial = run_app(sharded_umt(nodes, 2, Some(1)), App::Umt2013, iters);
+    let serial_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let par = run_app(sharded_umt(nodes, 2, Some(workers)), App::Umt2013, iters);
+    let par_secs = t1.elapsed().as_secs_f64();
+    assert_eq!(
+        sharded_digest(&serial),
+        sharded_digest(&par),
+        "worker count changed sharded-engine results ({nodes} nodes)"
+    );
+    let speedup = serial_secs / par_secs;
+    println!(
+        "parallel gate ({nodes} nodes, {} shards): 1 worker {serial_secs:.2}s, \
+         {workers} workers {par_secs:.2}s, {speedup:.2}x{}",
+        par.shards,
+        if enforce { "" } else { " (report only)" },
+    );
+    if enforce && hw >= 4 && speedup < 2.0 {
+        eprintln!(
+            "REGRESSION: sharded-engine speedup {speedup:.2}x below the 2x gate \
+             ({nodes} nodes, {workers} workers)"
+        );
+        std::process::exit(1);
+    }
+    Json::obj([
+        ("nodes", Json::UInt(nodes as u64)),
+        ("iters", Json::UInt(iters as u64)),
+        ("shards", Json::UInt(par.shards as u64)),
+        ("workers", Json::UInt(workers as u64)),
+        ("enforced", Json::Bool(enforce && hw >= 4)),
+        ("serial_secs", Json::Num(serial_secs)),
+        ("parallel_secs", Json::Num(par_secs)),
+        ("speedup", Json::Num(speedup)),
+        ("sim_events", Json::UInt(par.sim_events)),
+        ("digest_match", Json::Bool(true)),
+    ])
+}
+
+/// Weak-scaling completion smoke: a 1024-node sharded UMT2013 round
+/// must run to completion — every rank finishes, nothing is clamped,
+/// no payload fails its self-check. Guards the engine's bookkeeping
+/// (shard partition, inbox routing, finish detection) at a scale the
+/// equivalence tests never reach.
+fn weak_scaling_smoke() -> Json {
+    let nodes = 1024u32;
+    let t0 = Instant::now();
+    let res = run_app(sharded_umt(nodes, 1, None), App::Umt2013, 1);
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(res.ranks_done, nodes, "weak-scaling smoke: ranks finished");
+    assert_eq!(res.clamped_events, 0, "weak-scaling smoke: clamped events");
+    assert_eq!(res.payload_errors, 0, "weak-scaling smoke: payload errors");
+    println!(
+        "weak-scaling smoke ({nodes} nodes, {} shards, {} threads): {} events in {secs:.2}s",
+        res.shards, res.threads, res.sim_events
+    );
+    Json::obj([
+        ("nodes", Json::UInt(nodes as u64)),
+        ("shards", Json::UInt(res.shards as u64)),
+        ("threads", Json::UInt(res.threads as u64)),
+        ("sim_events", Json::UInt(res.sim_events)),
+        ("ranks_done", Json::UInt(res.ranks_done as u64)),
+        ("wall_secs", Json::Num(secs)),
+    ])
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let full = std::env::args().any(|a| a == "--full");
     let live = 4096usize;
     let total = if smoke { 400_000u64 } else { 4_000_000u64 };
     let seed = 0x51B0_BEEF;
@@ -447,6 +559,20 @@ fn main() {
     // superimposed incast, bit-identical data-plane arrivals on the
     // fan-ins, alltoall flow count O(N²) → O(N).
     let incast_rows = incast_gate();
+
+    // Sharded-engine gates: worker-count determinism everywhere; the
+    // ≥2× wall-clock speedup enforced on the nightly 256-node point;
+    // the 1024-node completion smoke nightly only.
+    let parallel_row = if full {
+        parallel_gate(256, 2, true)
+    } else {
+        parallel_gate(if smoke { 24 } else { 64 }, 1, false)
+    };
+    let weak_row = if full {
+        Some(weak_scaling_smoke())
+    } else {
+        None
+    };
 
     // End-to-end: Figure 6a sweep at small scale, wall time + sim throughput.
     let sweep_start = Instant::now();
@@ -479,6 +605,11 @@ fn main() {
     let doc = Json::obj([
         ("bench", Json::str("simbench")),
         ("smoke", Json::Bool(smoke)),
+        ("full", Json::Bool(full)),
+        // Host parallelism context: benchdiff refuses to trend two
+        // artifacts whose worker counts differ (the sweep and parallel
+        // rows are wall-clock figures).
+        ("threads", Json::UInt(default_threads() as u64)),
         (
             "queue",
             Json::obj([
@@ -493,6 +624,8 @@ fn main() {
         ("trains", Json::Arr(train_rows)),
         ("qbox_resplits", qbox_row),
         ("incast", Json::Arr(incast_rows)),
+        ("parallel", parallel_row),
+        ("weak_scaling_1024", weak_row.unwrap_or(Json::Null)),
         (
             "sweep",
             Json::obj([

@@ -79,6 +79,33 @@ impl FabricMode {
     }
 }
 
+/// Which event engine executes a run. The single-queue engine is the
+/// reference model (one timing wheel, one thread); the sharded engine
+/// partitions the cluster by node into per-shard wheels executed on
+/// worker threads under conservative lookahead. The two are
+/// equivalence-tested against each other the way the fabric-mode tower
+/// tests `Trains`/`Flows`/`Incast` against `PerPacket`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EngineMode {
+    /// One global timing wheel walked by one thread — the reference.
+    SingleQueue,
+    /// Node-sharded wheels on worker threads: shards execute windows of
+    /// width `FabricConfig::base_latency` (the minimum link latency, the
+    /// Chandy–Misra lookahead) between barriers; cross-shard fabric
+    /// traffic travels through per-destination-shard inboxes committed
+    /// at the window boundary. Requires [`FabricMode::Incast`] (the
+    /// destination-rooted sinks are what make every cross-node delivery
+    /// a sink merge, i.e. routable by destination).
+    Sharded,
+}
+
+impl EngineMode {
+    /// Whether this is the node-sharded parallel engine.
+    pub fn sharded(self) -> bool {
+        self == EngineMode::Sharded
+    }
+}
+
 /// Full cluster configuration.
 #[derive(Clone, Debug)]
 pub struct ClusterConfig {
@@ -144,6 +171,18 @@ pub struct ClusterConfig {
     /// (64 µs pages, ~67 ms horizon). The 128/256-node noise sweeps
     /// profile this via `WheelProfile::span_hist`.
     pub wheel_coarse_bits: u32,
+    /// Which event engine executes the run (see [`EngineMode`]).
+    pub engine: EngineMode,
+    /// Worker threads for [`EngineMode::Sharded`]: `None` falls back to
+    /// the `PICO_THREADS` environment variable / machine parallelism
+    /// (`pico_sim::default_threads`). Results are bit-identical for any
+    /// thread count; only wall-clock time changes.
+    pub threads: Option<usize>,
+    /// Shard count for [`EngineMode::Sharded`]: `None` defaults to
+    /// `min(nodes, 16)`. The partition (contiguous node ranges) is fixed
+    /// by this value alone — independent of the thread count — which is
+    /// what makes cross-thread bit-identity structural.
+    pub shards: Option<usize>,
 }
 
 impl ClusterConfig {
@@ -178,6 +217,9 @@ impl ClusterConfig {
             flow_linger_ns: Ns::millis(2),
             flow_member_cap: 4096,
             wheel_coarse_bits: 6,
+            engine: EngineMode::SingleQueue,
+            threads: None,
+            shards: None,
         }
     }
 }

@@ -19,7 +19,7 @@ pub mod config;
 pub mod experiments;
 pub mod world;
 
-pub use config::{ClusterConfig, FabricMode, OsConfig};
+pub use config::{ClusterConfig, EngineMode, FabricMode, OsConfig};
 pub use experiments::{
     comm_profile, fig4, format_breakdown, format_fig4, format_scaling, format_table1,
     pingpong_bandwidth, profile_rows, scaling, syscall_breakdown, Fig4Row, ScalingPoint,

@@ -17,7 +17,7 @@
 
 use crate::config::{ClusterConfig, OsConfig};
 use pico_apps::{App, AppSpec, JobShape};
-use pico_fabric::{Fabric, TrainMember, TransferSchedule};
+use pico_fabric::{Fabric, SinkInjection, TrainMember, TransferSchedule};
 use pico_hfi1::structs::LayoutSet;
 use pico_hfi1::{Hfi1Driver, HfiChip, HfiChipConfig, HfiDriverCosts, SdmaSubmission};
 use pico_ihk::{Delegator, ProxyRegistry, Sysno};
@@ -25,8 +25,8 @@ use pico_linux::{LinuxCosts, NoiseConfig, NoiseSource, Vfs};
 use pico_mckernel::{BlockId, MckMmCosts, ScalableAllocator, SyscallTable};
 use pico_mem::{AddressSpace, BuddyAllocator, MapPolicy, PhysAddr, VirtAddr};
 use pico_mpi::{BufTable, HostOp, MpiCall, MpiRank, StepResult};
-use pico_psm::{Endpoint, MqHandle, PsmAction, PsmPacket};
-use pico_sim::{transfer_time, EventQueue, Ns, Rng, TimeByKey, WheelProfile};
+use pico_psm::{Endpoint, PsmAction, PsmPacket};
+use pico_sim::{transfer_time, EventQueue, Ns, Rng, TimeByKey, WheelProfile, WindowSync};
 use picodriver::{CallbackKind, CallbackRef, CallbackTable, HfiFastPath, UnifiedKernelSpace};
 use std::collections::HashMap;
 
@@ -331,7 +331,6 @@ struct RankState {
     scratch: Vec<(VirtAddr, u64)>,
     kprof: TimeByKey<Sysno>,
     meta: HashMap<(u64, u32), BlockId>,
-    delivered: Vec<(MqHandle, Option<Vec<u8>>)>,
     done: bool,
 }
 
@@ -436,6 +435,12 @@ pub struct RunResult {
     /// only *nondeterministic* field — it measures the engine, not the
     /// simulated system, and is excluded from determinism comparisons.
     pub events_per_sec: f64,
+    /// Worker threads the engine ran on (1 = single-queue or a
+    /// one-thread sharded run). Recorded so benchmark artifacts never
+    /// silently compare different parallelism.
+    pub threads: u32,
+    /// Shards the run was partitioned into (1 = single-queue).
+    pub shards: u32,
 }
 
 impl RunResult {
@@ -465,6 +470,10 @@ struct HotCfg {
     soft: bool,
     /// Per-link flows merge into destination-rooted sinks (`Incast`).
     incast: bool,
+    /// Ranks per node: maps a (possibly remote) rank id to its node id
+    /// without touching the rank vector — in sharded runs remote ranks
+    /// live on another shard entirely.
+    rpn: usize,
 }
 
 /// One `PICO_TRACE_ARRIVALS` record: `(commit time, dst rank, src
@@ -561,6 +570,67 @@ pub struct World {
     /// Time of the dispatch in flight (== the popped item's timestamp;
     /// runs ahead of `queue.now()` during soft dispatches).
     sim_now: Ns,
+    /// First global rank id owned by this world. `ranks[g - rank_base]`
+    /// is rank `g`; per-rank *counter* vectors (`pending_wake`,
+    /// `train_*`, `sent_seen`) stay full-length so global ids index them
+    /// directly. Zero in single-queue runs.
+    rank_base: usize,
+    /// First global node id owned by this world (see `rank_base`).
+    node_base: usize,
+    /// This shard's id (0 in single-queue runs).
+    shard_id: u32,
+    /// True inside a sharded run: inter-node sink bursts detour through
+    /// `outbox` instead of committing to the destination sink inline.
+    sharded: bool,
+    /// Cross-shard sink bursts emitted this window, drained to the
+    /// destination shards' inboxes at the window barrier.
+    outbox: Vec<EdgeMsg>,
+    /// Per-shard monotone emission counter ordering same-timestamp
+    /// `EdgeMsg`s from one shard.
+    emit_order: u64,
+    /// Destination-side member sequence source: reassigned in global
+    /// commit order so within-sink `(arrival, seq)` ties resolve exactly
+    /// like the single-queue engine's emission order.
+    commit_seq: u64,
+    /// Per-rank epoch stamps deduplicating `SdmaSentBatch` members
+    /// (replaces an O(m^2) rescan of the member prefix).
+    sent_seen: Vec<u64>,
+    sent_seen_epoch: u64,
+    /// Streaming payload verification (replaces buffering every
+    /// delivered payload per rank until collection).
+    payloads_checked: u64,
+    payload_errors: u64,
+    /// Dispatch counter backing the runaway-loop guard in `pump`.
+    dispatches: u64,
+    /// Exclusive upper bound of the window being pumped (`Ns::MAX` in a
+    /// single-queue run). Commits emitted inside the in-flight window land
+    /// only at its barrier, so shard state is complete strictly *below*
+    /// this time — greedy sink continuation must not read past it (see
+    /// `continuation_clear`).
+    window_horizon: Ns,
+    /// Pooled scratch for the source half of a deferred sink burst.
+    inj_scratch: Vec<SinkInjection>,
+}
+
+/// One member of a cross-shard sink burst: the source-side uplink
+/// schedule (already committed on the emitting shard's fabric) plus
+/// everything the destination shard needs to finish the delivery.
+struct EdgeMember {
+    inj: SinkInjection,
+    dst: usize,
+    src: u32,
+    packet: PsmPacket,
+}
+
+/// A sink burst crossing the shard boundary. Destination shards sort
+/// their inboxes by `(emit_at, src_shard, emit_order)` — a total order
+/// identical on every thread count — before committing.
+struct EdgeMsg {
+    emit_at: Ns,
+    src_shard: u32,
+    emit_order: u64,
+    dst_node: usize,
+    members: Vec<EdgeMember>,
 }
 
 impl World {
@@ -622,7 +692,6 @@ impl World {
                 scratch: Vec::new(),
                 kprof: TimeByKey::new(),
                 meta: HashMap::new(),
-                delivered: Vec::new(),
                 done: false,
             });
         }
@@ -648,6 +717,7 @@ impl World {
             batch: cfg.batch_fabric.batches(),
             soft: cfg.batch_fabric.soft(),
             incast: cfg.batch_fabric.incast(),
+            rpn: cfg.shape.ranks_per_node as usize,
         };
         let nranks = ranks.len();
         let nnodes = nodes.len();
@@ -696,6 +766,20 @@ impl World {
                 .map(|p| (p, Vec::new())),
             soft_deliveries: 0,
             sim_now: Ns::ZERO,
+            rank_base: 0,
+            node_base: 0,
+            shard_id: 0,
+            sharded: false,
+            outbox: Vec::new(),
+            emit_order: 0,
+            commit_seq: 0,
+            sent_seen: vec![0; nranks],
+            sent_seen_epoch: 0,
+            payloads_checked: 0,
+            payload_errors: 0,
+            dispatches: 0,
+            window_horizon: Ns::MAX,
+            inj_scratch: Vec::new(),
         }
     }
 
@@ -763,7 +847,8 @@ impl World {
         for (i, r) in self.ranks.iter().enumerate() {
             if !r.done {
                 out.push_str(&format!(
-                    "rank {i}: clock={} inbox={} ep_actions={} {}\n",
+                    "rank {}: clock={} inbox={} ep_actions={} {}\n",
+                    i + self.rank_base,
                     r.clock,
                     r.inbox.len(),
                     r.ep.has_actions(),
@@ -800,11 +885,17 @@ impl World {
     /// rank state and commute with everything.
     fn ev_node(&self, ev: &Ev) -> Option<usize> {
         match ev {
-            Ev::Wake(r) => Some(self.ranks[*r].node),
-            Ev::Packet { dst, .. } => Some(self.ranks[*dst].node),
-            Ev::SdmaSent { rank, .. } => Some(self.ranks[*rank].node),
-            Ev::PacketTrain { members } => Some(self.ranks[members[0].dst].node),
-            Ev::SdmaSentBatch { members } => Some(self.ranks[members[0].rank].node),
+            Ev::Wake(r) => Some(self.ranks[(*r) - self.rank_base].node),
+            Ev::Packet { dst, .. } => Some(self.ranks[(*dst) - self.rank_base].node),
+            Ev::SdmaSent { rank, .. } => Some(self.ranks[(*rank) - self.rank_base].node),
+            Ev::PacketTrain { members } => {
+                let d = members[0].dst;
+                Some(self.ranks[(d) - self.rank_base].node)
+            }
+            Ev::SdmaSentBatch { members } => {
+                let r0 = members[0].rank;
+                Some(self.ranks[(r0) - self.rank_base].node)
+            }
             Ev::FlowClose { .. } | Ev::SinkClose { .. } => None,
         }
     }
@@ -816,7 +907,20 @@ impl World {
     /// dispatch staged an intra-node burst whose shared-memory arrivals
     /// on the same node are not yet scheduled.
     fn continuation_clear(&self, dst: usize, arrival: Ns) -> bool {
-        let node = self.ranks[dst].node;
+        if arrival >= self.window_horizon {
+            // Sharded runs only: the sink and the `node_pending` marks
+            // cannot yet reflect this window's own emissions (those commit
+            // at the barrier), so continuing past the horizon would
+            // consume members on incomplete information. Defer — the
+            // paused suffix re-keys and re-evaluates in the window that
+            // owns `arrival`, with every commit at or before it applied.
+            // This is where the sharded engine deliberately departs from
+            // the single-queue engine, whose greedy continuation is
+            // non-causal: it reads commits from the future of the member
+            // it consumes (see DESIGN.md).
+            return false;
+        }
+        let node = self.ranks[(dst) - self.rank_base].node;
         if self.node_pending[node].range(..=arrival).next().is_some() {
             return false;
         }
@@ -882,15 +986,35 @@ impl World {
 
     /// Run; optionally print stuck-rank diagnostics at exhaustion.
     pub fn run_with_debug(mut self, debug: bool) -> RunResult {
+        if self.cfg.engine.sharded() && self.hot.incast && self.nodes.len() > 1 {
+            return self.run_sharded(debug);
+        }
         let started = std::time::Instant::now();
-        let mut safety = 0u64;
+        self.pump(Ns::MAX);
+        if debug {
+            let d = self.debug_stuck();
+            if !d.is_empty() {
+                eprintln!("--- stuck ranks ---\n{d}");
+            }
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        collect_many(vec![self], elapsed, 1, 1)
+    }
+
+    /// Earliest pending dispatch time across the queue and the soft
+    /// schedule, as a raw key (`u64::MAX` when this world is idle).
+    fn next_key_time(&self) -> u64 {
+        let soft = self.soft.last().map(|s| s.at.0).unwrap_or(u64::MAX);
+        let ev = self.queue.peek_time().map(|t| t.0).unwrap_or(u64::MAX);
+        soft.min(ev)
+    }
+
+    /// Drain every dispatch with time strictly before `horizon`
+    /// (`Ns::MAX` = run to exhaustion). The single-queue engine calls
+    /// this once; the sharded engine calls it per conservative window.
+    fn pump(&mut self, horizon: Ns) {
+        self.window_horizon = horizon;
         loop {
-            safety += 1;
-            assert!(
-                safety < 2_000_000_000,
-                "runaway simulation: {} dispatches",
-                safety
-            );
             // Merge the soft schedule with the queue by `(time, seq)`:
             // both sides draw seqs from one counter, so this pop order is
             // bit-identical to train mode's — the soft side just doesn't
@@ -902,8 +1026,22 @@ impl World {
                 (Some(s), Some(q)) => s < q,
                 (Some(_), None) => true,
                 (None, Some(_)) => false,
-                (None, None) => break,
+                (None, None) => return,
             };
+            let t = if take_soft {
+                self.soft.last().expect("non-empty soft schedule").at
+            } else {
+                self.queue.peek_time().expect("non-empty queue")
+            };
+            if t >= horizon {
+                return;
+            }
+            self.dispatches += 1;
+            assert!(
+                self.dispatches < 2_000_000_000,
+                "runaway simulation: {} dispatches",
+                self.dispatches
+            );
             if take_soft {
                 let item = self.soft.pop().expect("non-empty soft schedule");
                 self.soft_deliveries += 1;
@@ -924,14 +1062,226 @@ impl World {
             // (`Trains`) or by extending the link's open flow (`Flows`).
             self.flush_trains();
         }
+    }
+
+    /// The conservative-lookahead engine ([`EngineMode::Sharded`]):
+    /// partition the world into node-contiguous shards, run them in BSP
+    /// windows one link latency wide, and exchange cross-node sink
+    /// bursts at the window barriers. Any event a shard executes at `t <
+    /// window_end = T_min + base_latency` can only influence another
+    /// shard through the fabric, and the earliest such influence arrives
+    /// at `t + base_latency ≥ window_end` — so every window's execution
+    /// is causally closed and the result is bit-identical on any thread
+    /// count (the partition depends only on the shard count).
+    fn run_sharded(self, debug: bool) -> RunResult {
+        let started = std::time::Instant::now();
+        let lookahead = self.cfg.fabric.base_latency.0;
+        assert!(
+            lookahead > 0,
+            "sharded engine needs a positive base link latency for lookahead"
+        );
+        let nnodes = self.nodes.len();
+        let want = self.cfg.shards.unwrap_or(16).clamp(1, nnodes);
+        if want <= 1 {
+            // One shard is just the single-queue walk.
+            let mut w = self;
+            w.pump(Ns::MAX);
+            if debug {
+                let d = w.debug_stuck();
+                if !d.is_empty() {
+                    eprintln!("--- stuck ranks ---\n{d}");
+                }
+            }
+            let elapsed = started.elapsed().as_secs_f64();
+            return collect_many(vec![w], elapsed, 1, 1);
+        }
+        let threads = self
+            .cfg
+            .threads
+            .unwrap_or_else(pico_sim::default_threads)
+            .clamp(1, want);
+        let (shards, node_shard) = self.split_shards(want);
+        let sync = WindowSync::new(threads, want);
+        for (s, sh) in shards.iter().enumerate() {
+            sync.set_next_key(s, sh.next_key_time());
+        }
+        sync.coordinate(lookahead);
+        let inboxes: Vec<std::sync::Mutex<Vec<EdgeMsg>>> = (0..want)
+            .map(|_| std::sync::Mutex::new(Vec::new()))
+            .collect();
+        let slots: Vec<std::sync::Mutex<Option<World>>> = shards
+            .into_iter()
+            .map(|s| std::sync::Mutex::new(Some(s)))
+            .collect();
+        std::thread::scope(|scope| {
+            let (sync, inboxes, slots, node_shard) = (&sync, &inboxes, &slots, &node_shard);
+            for w in 0..threads {
+                scope.spawn(move || {
+                    // Worker `w` owns shards w, w+threads, … for the
+                    // whole run; ownership never moves, so the slot and
+                    // inbox locks are never contended within a phase.
+                    let mut owned: Vec<(usize, World)> = (w..slots.len())
+                        .step_by(threads)
+                        .map(|s| {
+                            let sh = slots[s].lock().expect("shard slot");
+                            (s, sh)
+                        })
+                        .map(|(s, mut guard)| (s, guard.take().expect("shard taken once")))
+                        .collect();
+                    let mut batch: Vec<EdgeMsg> = Vec::new();
+                    while let Some(end) = sync.begin() {
+                        for (_, sh) in owned.iter_mut() {
+                            sh.pump(Ns(end));
+                            for msg in sh.outbox.drain(..) {
+                                let dst = node_shard[msg.dst_node] as usize;
+                                inboxes[dst].lock().expect("inbox").push(msg);
+                            }
+                        }
+                        sync.mid();
+                        for (s, sh) in owned.iter_mut() {
+                            std::mem::swap(&mut batch, &mut *inboxes[*s].lock().expect("inbox"));
+                            sh.commit_inbox(&mut batch);
+                            sync.set_next_key(*s, sh.next_key_time());
+                        }
+                        sync.finish();
+                        if w == 0 {
+                            sync.coordinate(lookahead);
+                        }
+                    }
+                    for (s, sh) in owned {
+                        *slots[s].lock().expect("shard slot") = Some(sh);
+                    }
+                });
+            }
+        });
+        let shards: Vec<World> = slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("shard slot")
+                    .expect("worker returned its shards")
+            })
+            .collect();
         if debug {
-            let d = self.debug_stuck();
-            if !d.is_empty() {
-                eprintln!("--- stuck ranks ---\n{d}");
+            for sh in &shards {
+                let d = sh.debug_stuck();
+                if !d.is_empty() {
+                    eprintln!("--- stuck ranks (shard {}) ---\n{d}", sh.shard_id);
+                }
             }
         }
         let elapsed = started.elapsed().as_secs_f64();
-        self.collect(elapsed)
+        collect_many(shards, elapsed, threads as u32, want as u32)
+    }
+
+    /// Partition this (fresh, not-yet-run) world into `nshards`
+    /// node-contiguous shards. Entity state (`ranks`, `nodes`) is
+    /// chunked; per-entity *counter* vectors stay full-length so global
+    /// ids keep indexing them directly. Each shard gets its own queue
+    /// (the initial wakes rescheduled in rank order — `rank.clock`
+    /// still holds the launch skew, and nothing else is pending this
+    /// early), its own full-gate fabric (a shard only advances its own
+    /// nodes' uplinks at injection and downlinks at commit, so gate
+    /// state never races), and its own soft schedule. Returns the
+    /// shards and the node → shard map.
+    fn split_shards(mut self, nshards: usize) -> (Vec<World>, Vec<u32>) {
+        assert_eq!(
+            self.queue.events_processed(),
+            0,
+            "worlds must be split before running"
+        );
+        let nnodes = self.nodes.len();
+        let nranks = self.ranks.len();
+        let rpn = self.hot.rpn;
+        let base = nnodes / nshards;
+        let rem = nnodes % nshards;
+        let mut node_shard = vec![0u32; nnodes];
+        let mut shards = Vec::with_capacity(nshards);
+        let mut nodes_iter = std::mem::take(&mut self.nodes).into_iter();
+        let mut ranks_iter = std::mem::take(&mut self.ranks).into_iter();
+        let mut node_base = 0usize;
+        for i in 0..nshards {
+            let count = base + usize::from(i < rem);
+            let nodes: Vec<Node> = nodes_iter.by_ref().take(count).collect();
+            let ranks: Vec<RankState> = ranks_iter.by_ref().take(count * rpn).collect();
+            let rank_base = node_base * rpn;
+            for s in &mut node_shard[node_base..node_base + count] {
+                *s = i as u32;
+            }
+            let mut queue = EventQueue::with_coarse_bits(self.cfg.wheel_coarse_bits);
+            let mut node_pending: Vec<std::collections::BTreeMap<Ns, u32>> =
+                vec![std::collections::BTreeMap::new(); nnodes];
+            let mut pending_wake = vec![Ns::MAX; nranks];
+            for (j, rank) in ranks.iter().enumerate() {
+                let g = rank_base + j;
+                queue.schedule(rank.clock, Ev::Wake(g));
+                *node_pending[rank.node].entry(rank.clock).or_insert(0) += 1;
+                pending_wake[g] = rank.clock;
+            }
+            shards.push(World {
+                cfg: self.cfg.clone(),
+                hot: self.hot,
+                lc: self.lc,
+                mmc: self.mmc,
+                nodes,
+                ranks,
+                fabric: Fabric::new(self.cfg.fabric, nnodes),
+                queue,
+                delivered_payloads: 0,
+                pending_wake,
+                action_scratch: Vec::new(),
+                inbox_scratch: Vec::new(),
+                pending_trains: Vec::new(),
+                member_pool: Vec::new(),
+                fabric_member_scratch: Vec::new(),
+                sched_scratch: Vec::new(),
+                sent_scratch: Vec::new(),
+                emit_seq: 0,
+                train_epoch: 0,
+                train_delivered: vec![0; nranks],
+                train_parked: vec![0; nranks],
+                train_park_clock: vec![Ns::ZERO; nranks],
+                engaged_scratch: Vec::new(),
+                node_pending,
+                soft: Vec::new(),
+                flows: Vec::new(),
+                sinks: (0..nnodes).map(|_| SinkSlot::default()).collect(),
+                link_index: LinkIndex::new(),
+                resplits: 0,
+                flow_pauses: 0,
+                flows_opened: 0,
+                flow_members_total: 0,
+                max_flow_len: 0,
+                sinks_opened: 0,
+                sink_members_total: 0,
+                max_sink_len: 0,
+                sink_pauses: 0,
+                arrival_digest: 0,
+                arrival_digest_bulk: 0,
+                arrival_trace: self
+                    .arrival_trace
+                    .as_ref()
+                    .map(|(p, _)| (p.clone(), Vec::new())),
+                soft_deliveries: 0,
+                sim_now: Ns::ZERO,
+                rank_base,
+                node_base,
+                shard_id: i as u32,
+                sharded: true,
+                outbox: Vec::new(),
+                emit_order: 0,
+                commit_seq: 0,
+                sent_seen: vec![0; nranks],
+                sent_seen_epoch: 0,
+                payloads_checked: 0,
+                payload_errors: 0,
+                dispatches: 0,
+                window_horizon: Ns::MAX,
+                inj_scratch: Vec::new(),
+            });
+            node_base += count;
+        }
+        (shards, node_shard)
     }
 
     /// Execute one soft-schedule item (its `node_pending` mark drops
@@ -984,22 +1334,22 @@ impl World {
                 if self.pending_wake[r] == t {
                     self.pending_wake[r] = Ns::MAX;
                 }
-                if !self.ranks[r].done {
-                    let now = t.max(self.ranks[r].clock);
+                if !self.ranks[(r) - self.rank_base].done {
+                    let now = t.max(self.ranks[(r) - self.rank_base].clock);
                     self.run_rank(r, now);
                 }
             }
             Ev::Packet { dst, src, packet } => {
-                if self.ranks[dst].done {
+                if self.ranks[(dst) - self.rank_base].done {
                     return;
                 }
-                let busy_until = self.ranks[dst].clock;
+                let busy_until = self.ranks[(dst) - self.rank_base].clock;
                 if busy_until > t {
                     // Rank busy (computing or mid-offload): park the
                     // packet and make sure the rank gets poked. Storms
                     // of packets parking behind the same busy window
                     // coalesce into a single wake.
-                    self.ranks[dst].inbox.push((src, packet));
+                    self.ranks[(dst) - self.rank_base].inbox.push((src, packet));
                     self.schedule_wake(dst, busy_until);
                 } else {
                     let mut now = t;
@@ -1014,8 +1364,8 @@ impl World {
                 va,
             } => {
                 self.on_sdma_sent(rank, msg_id, window, va);
-                let now = t.max(self.ranks[rank].clock);
-                if !self.ranks[rank].done {
+                let now = t.max(self.ranks[(rank) - self.rank_base].clock);
+                if !self.ranks[(rank) - self.rank_base].done {
                     self.run_rank(rank, now);
                 }
             }
@@ -1038,13 +1388,18 @@ impl World {
                     self.on_sdma_sent_group(&members[i..j]);
                     i = j;
                 }
-                for (i, m) in members.iter().enumerate() {
-                    // One run per distinct sender rank.
-                    if members[..i].iter().any(|p| p.rank == m.rank) {
+                // One run per distinct sender rank, deduplicated by
+                // epoch stamp — a rescan of the member prefix was
+                // O(m²) in the batch width on the incast hot loop.
+                self.sent_seen_epoch += 1;
+                let epoch = self.sent_seen_epoch;
+                for m in members.iter() {
+                    if self.sent_seen[m.rank] == epoch {
                         continue;
                     }
-                    if !self.ranks[m.rank].done {
-                        let now = t.max(self.ranks[m.rank].clock);
+                    self.sent_seen[m.rank] = epoch;
+                    if !self.ranks[(m.rank) - self.rank_base].done {
+                        let now = t.max(self.ranks[(m.rank) - self.rank_base].clock);
                         self.run_rank(m.rank, now);
                     }
                 }
@@ -1058,120 +1413,13 @@ impl World {
         }
     }
 
-    fn collect(self, elapsed_secs: f64) -> RunResult {
-        if let Some((path, trace)) = &self.arrival_trace {
-            let mut out = String::new();
-            for (now, dst, src, bytes, at) in trace {
-                out.push_str(&format!(
-                    "now {now} dst {dst} src {src} bytes {bytes} arr {at}\n"
-                ));
-            }
-            std::fs::write(path, out).expect("write arrival trace");
-        }
-        let sim_events = self.queue.events_processed();
-        let clamped_events = self.queue.clamped_events();
-        let mut mpi = TimeByKey::new();
-        let mut kprof = TimeByKey::new();
-        let mut rank_finish = Vec::with_capacity(self.ranks.len());
-        let mut done = 0;
-        let mut delivered = self.delivered_payloads;
-        let mut payload_errors = 0u64;
-        for r in &self.ranks {
-            mpi.merge(r.engine.profile());
-            kprof.merge(&r.kprof);
-            rank_finish.push(r.engine.finished_at().unwrap_or(r.clock));
-            if r.done {
-                done += 1;
-            }
-            delivered += r.delivered.iter().filter(|(_, p)| p.is_some()).count() as u64;
-            // Backed runs carry a wrapping-increment pattern end to end;
-            // any byte out of sequence means delivery corrupted it.
-            for p in r.delivered.iter().filter_map(|(_, p)| p.as_deref()) {
-                let Some(&base) = p.first() else { continue };
-                if p.iter()
-                    .enumerate()
-                    .any(|(i, &b)| b != base.wrapping_add(i as u8))
-                {
-                    payload_errors += 1;
-                }
-            }
-        }
-        let wall = rank_finish.iter().copied().max().unwrap_or(Ns::ZERO);
-        let mut offloaded = 0;
-        let mut queue_wait = Ns::ZERO;
-        let mut tid_programs = 0;
-        let mut pio = 0;
-        for n in &self.nodes {
-            offloaded += n.delegator.offloaded();
-            queue_wait += n.delegator.total_queue_wait();
-            tid_programs += n.chip.tid_programs();
-            pio += n.chip.pio_sends();
-        }
-        RunResult {
-            wall_time: wall,
-            rank_finish,
-            mpi_profile: mpi,
-            kernel_profile: kprof,
-            offloaded_calls: offloaded,
-            offload_queue_wait: queue_wait,
-            fabric_bytes: self.fabric.bytes(),
-            fabric_messages: self.fabric.messages(),
-            fabric_trains: self.fabric.trains(),
-            fabric_train_members: self.fabric.train_members(),
-            fabric_max_train: self.fabric.max_train_len(),
-            fabric_resplits: self.resplits,
-            fabric_flow_pauses: self.flow_pauses,
-            fabric_flows: self.flows_opened,
-            fabric_flow_members: self.flow_members_total,
-            fabric_max_flow: {
-                // Flows still open at exhaustion never saw close_flow.
-                let mut m = self.max_flow_len;
-                for f in &self.flows {
-                    if f.open {
-                        m = m.max(f.len);
-                    }
-                }
-                m
-            },
-            fabric_sinks: self.sinks_opened,
-            fabric_sink_members: self.sink_members_total,
-            fabric_max_sink: {
-                // Sinks still open at exhaustion never saw close_sink.
-                let mut m = self.max_sink_len;
-                for s in &self.sinks {
-                    if s.open {
-                        m = m.max(s.len);
-                    }
-                }
-                m
-            },
-            fabric_sink_pauses: self.sink_pauses,
-            soft_deliveries: self.soft_deliveries,
-            arrival_digest: self.arrival_digest,
-            arrival_digest_bulk: self.arrival_digest_bulk,
-            wheel_profile: *self.queue.profile(),
-            payload_errors,
-            tid_programs,
-            pio_sends: pio,
-            ranks_done: done,
-            delivered_payloads: delivered,
-            sim_events,
-            clamped_events,
-            events_per_sec: if elapsed_secs > 0.0 {
-                sim_events as f64 / elapsed_secs
-            } else {
-                0.0
-            },
-        }
-    }
-
     fn deliver_packet(&mut self, dst: usize, src: u32, packet: PsmPacket, now: &mut Ns) {
         // Receive-side copy-out cost for eager data (library copies from
         // the eager ring into the user buffer).
         if let PsmPacket::Eager { len, .. } = &packet {
             *now += transfer_time(*len, self.hot.copy_bw);
         }
-        self.ranks[dst].ep.on_packet(src, packet);
+        self.ranks[(dst) - self.rank_base].ep.on_packet(src, packet);
     }
 
     /// Run rank `r` from time `now` until it blocks, computes, or ends.
@@ -1179,9 +1427,9 @@ impl World {
         loop {
             // Drain parked packets first, through the pooled scratch so
             // the park/drain cycle reuses one buffer's capacity.
-            if !self.ranks[r].inbox.is_empty() {
+            if !self.ranks[(r) - self.rank_base].inbox.is_empty() {
                 let mut parked = std::mem::replace(
-                    &mut self.ranks[r].inbox,
+                    &mut self.ranks[(r) - self.rank_base].inbox,
                     std::mem::take(&mut self.inbox_scratch),
                 );
                 for (src, packet) in parked.drain(..) {
@@ -1191,7 +1439,7 @@ impl World {
             }
             self.flush_actions(r, &mut now);
             let res = {
-                let rank = &mut self.ranks[r];
+                let rank = &mut self.ranks[(r) - self.rank_base];
                 // Split borrow: engine vs ep vs bufs are disjoint fields.
                 let RankState {
                     engine, ep, bufs, ..
@@ -1203,9 +1451,9 @@ impl World {
             let flushed = self.flush_actions(r, &mut now);
             match res {
                 StepResult::Computing(d) => {
-                    let real = self.ranks[r].noise.perturb(d);
+                    let real = self.ranks[(r) - self.rank_base].noise.perturb(d);
                     let wake = now + real;
-                    self.ranks[r].clock = wake;
+                    self.ranks[(r) - self.rank_base].clock = wake;
                     self.schedule_wake(r, wake);
                     return;
                 }
@@ -1213,7 +1461,7 @@ impl World {
                     now = self.do_host_op(r, op, now);
                 }
                 StepResult::Blocked => {
-                    let rank = &mut self.ranks[r];
+                    let rank = &mut self.ranks[(r) - self.rank_base];
                     if !flushed && rank.inbox.is_empty() && !rank.ep.has_actions() {
                         rank.clock = now;
                         return;
@@ -1222,7 +1470,7 @@ impl World {
                     // or packets are parked): give the engine another go.
                 }
                 StepResult::Done => {
-                    let rank = &mut self.ranks[r];
+                    let rank = &mut self.ranks[(r) - self.rank_base];
                     rank.done = true;
                     rank.clock = now;
                     return;
@@ -1234,14 +1482,16 @@ impl World {
     /// Execute all pending PSM actions of rank `r`, advancing its clock.
     /// Returns whether any action was processed.
     fn flush_actions(&mut self, r: usize, now: &mut Ns) -> bool {
-        if !self.ranks[r].ep.has_actions() {
+        if !self.ranks[(r) - self.rank_base].ep.has_actions() {
             return false;
         }
         // Pooled scratch: actions drain into one reused vector instead of
         // a fresh allocation per flush (the former per-send hot cost).
         let mut actions = std::mem::take(&mut self.action_scratch);
         loop {
-            self.ranks[r].ep.drain_actions_into(&mut actions);
+            self.ranks[(r) - self.rank_base]
+                .ep
+                .drain_actions_into(&mut actions);
             if actions.is_empty() {
                 break;
             }
@@ -1315,7 +1565,10 @@ impl World {
         let mut i = 0;
         while i < sent.len() {
             let (_, node, start, cpu, first) = sent[i];
-            let mut at = self.nodes[node].delegator.service(start, cpu).finish;
+            let mut at = self.nodes[(node) - self.node_base]
+                .delegator
+                .service(start, cpu)
+                .finish;
             let mut j = i + 1;
             while j < sent.len() {
                 let (_, n2, s2, c2, m2) = sent[j];
@@ -1323,7 +1576,12 @@ impl World {
                     break;
                 }
                 debug_assert_eq!(n2, node, "one message stays on one node");
-                at = at.max(self.nodes[n2].delegator.service(s2, c2).finish);
+                at = at.max(
+                    self.nodes[(n2) - self.node_base]
+                        .delegator
+                        .service(s2, c2)
+                        .finish,
+                );
                 j += 1;
             }
             if j - i == 1 {
@@ -1382,7 +1640,12 @@ impl World {
         // not monotone across dispatches, so those bursts stay per-flush
         // trains — on the soft schedule.
         if self.hot.soft && src_node != dst_node {
-            if self.hot.incast {
+            if self.sharded {
+                // Sharded engine: the destination sink lives on another
+                // shard (or must be committed in global order even when
+                // it doesn't) — run the source half here, ship the rest.
+                self.sink_defer(src_node, dst_node, members);
+            } else if self.hot.incast {
                 self.sink_append(src_node, dst_node, members);
             } else {
                 self.flow_append(src_node, dst_node, members);
@@ -1730,6 +1993,159 @@ impl World {
         self.sched_scratch = scheds;
     }
 
+    /// Source half of [`sink_append`](Self::sink_append) for the sharded
+    /// engine: commit the burst on the *source's* uplink gate (owned by
+    /// this shard), service the sender completions locally, and ship the
+    /// members — with their uplink schedules — to the destination shard
+    /// via the outbox. The destination half runs in
+    /// [`commit_edge_msg`](Self::commit_edge_msg) at the window barrier;
+    /// conservative lookahead guarantees it commits before any arrival
+    /// can matter (arrival ≥ emit time + base latency = the lookahead).
+    fn sink_defer(&mut self, src_node: usize, dst_node: usize, members: &mut Vec<PendingMember>) {
+        let mut fm = std::mem::take(&mut self.fabric_member_scratch);
+        fm.clear();
+        fm.extend(members.iter().map(|m| TrainMember {
+            at: m.at,
+            bytes: m.bytes,
+            nreqs: m.nreqs,
+        }));
+        let mut inj = std::mem::take(&mut self.inj_scratch);
+        inj.clear();
+        self.fabric.sink_inject(src_node, &fm, &mut inj);
+        for (m, i) in members.iter().zip(&inj) {
+            if let Some((rank, msg_id, window, va, cpu)) = m.completion {
+                // `up_finish` == the whole-run engine's `sched.injected`.
+                self.sent_scratch.push((
+                    m.seq,
+                    src_node,
+                    i.up_finish + self.lc.irq_entry,
+                    cpu,
+                    SentMember {
+                        rank,
+                        msg_id,
+                        window,
+                        va,
+                    },
+                ));
+            }
+        }
+        let ms: Vec<EdgeMember> = members
+            .drain(..)
+            .zip(inj.drain(..))
+            .map(|(m, i)| EdgeMember {
+                inj: i,
+                dst: m.dst,
+                src: m.src,
+                packet: m.packet,
+            })
+            .collect();
+        self.emit_order += 1;
+        self.outbox.push(EdgeMsg {
+            emit_at: self.sim_now,
+            src_shard: self.shard_id,
+            emit_order: self.emit_order,
+            dst_node,
+            members: ms,
+        });
+        fm.clear();
+        self.fabric_member_scratch = fm;
+        self.inj_scratch = inj;
+    }
+
+    /// Commit every burst shipped to this shard during the window, in
+    /// the global order `(emit time, source shard, per-shard emission
+    /// counter)` — identical on every thread count.
+    fn commit_inbox(&mut self, msgs: &mut Vec<EdgeMsg>) {
+        msgs.sort_unstable_by_key(|m| (m.emit_at, m.src_shard, m.emit_order));
+        for msg in msgs.drain(..) {
+            self.commit_edge_msg(msg);
+        }
+    }
+
+    /// Destination half of [`sink_append`](Self::sink_append): replay
+    /// the sink-slot bookkeeping at the burst's emit time, commit the
+    /// shared downlink on *this* shard's fabric, and merge the members
+    /// into the sink. Member seqs are reassigned from `commit_seq`
+    /// (monotone in global commit order), so within-sink `(arrival,
+    /// seq)` ties break exactly as the single-queue engine's
+    /// emission-order seqs break them.
+    fn commit_edge_msg(&mut self, msg: EdgeMsg) {
+        let now = msg.emit_at;
+        self.sim_now = now;
+        let linger = self.cfg.flow_linger_ns;
+        let idx = msg.dst_node;
+        if self.sinks[idx].open {
+            let s = &self.sinks[idx];
+            let idled = !s.pending && now > s.last_activity + linger;
+            let capped = s.len as usize + msg.members.len() > self.cfg.flow_member_cap;
+            if idled || capped {
+                self.close_sink(idx);
+            }
+        }
+        if !self.sinks[idx].open {
+            self.sinks[idx].open = true;
+            self.sinks_opened += 1;
+        }
+        let mut inj = std::mem::take(&mut self.inj_scratch);
+        inj.clear();
+        inj.extend(msg.members.iter().map(|m| m.inj));
+        let mut scheds = std::mem::take(&mut self.sched_scratch);
+        scheds.clear();
+        let prior = self.sinks[idx].len;
+        self.fabric.sink_commit(idx, &inj, prior, &mut scheds);
+        let n = msg.members.len() as u64;
+        let merge_needed = self.sinks[idx]
+            .members
+            .last()
+            .is_some_and(|tail| (scheds[0].arrival, self.commit_seq) < (tail.arrival, tail.seq));
+        for (m, s) in msg.members.into_iter().zip(scheds.iter()) {
+            self.digest_arrival(s.arrival, m.dst, m.src, m.inj.bytes);
+            let seq = self.commit_seq;
+            self.commit_seq += 1;
+            self.sinks[idx].members.push(TrainPacket {
+                arrival: s.arrival,
+                seq,
+                dst: m.dst,
+                src: m.src,
+                packet: m.packet,
+            });
+        }
+        if merge_needed {
+            self.sinks[idx]
+                .members
+                .sort_unstable_by_key(|p| (p.arrival, p.seq));
+        }
+        self.sinks[idx].len += n;
+        self.sink_members_total += n;
+        self.max_sink_len = self.max_sink_len.max(self.sinks[idx].len);
+        self.sinks[idx].last_activity = now;
+        let head = self.sinks[idx].members[0].arrival;
+        if !self.sinks[idx].pending {
+            self.sinks[idx].pending = true;
+            self.sinks[idx].entry_at = head;
+            self.push_soft(head, SoftKind::Sink(idx));
+        } else if head < self.sinks[idx].entry_at {
+            let old = self.sinks[idx].entry_at;
+            let pos = self
+                .soft
+                .iter()
+                .position(|s| matches!(s.kind, SoftKind::Sink(j) if j == idx))
+                .expect("pending sink has a soft entry");
+            self.soft.remove(pos);
+            self.node_pending_remove(idx, old);
+            self.sinks[idx].entry_at = head;
+            self.push_soft(head, SoftKind::Sink(idx));
+        }
+        if !self.sinks[idx].reaper_armed {
+            self.sinks[idx].reaper_armed = true;
+            self.schedule_ev(now + linger, Ev::SinkClose { slot: idx });
+        }
+        inj.clear();
+        self.inj_scratch = inj;
+        scheds.clear();
+        self.sched_scratch = scheds;
+    }
+
     /// The `Ev::SinkClose` reaper, fired at `t`: the per-sink analogue of
     /// [`on_flow_close`](Self::on_flow_close) — one timer for the whole
     /// incast instead of one per source link.
@@ -1774,7 +2190,7 @@ impl World {
         let mut it = members.into_iter();
         while let Some(m) = it.next() {
             let dst = m.dst;
-            if self.ranks[dst].done {
+            if self.ranks[(dst) - self.rank_base].done {
                 continue;
             }
             if self.train_delivered[dst] == epoch && self.continuation_clear(dst, m.arrival) {
@@ -1790,20 +2206,20 @@ impl World {
                 // their gates, SDMA engines, and inboxes are disjoint.)
                 let mut member = Some((m.src, m.packet));
                 while let Some((src, packet)) = member.take() {
-                    let clock = self.ranks[dst].clock;
+                    let clock = self.ranks[(dst) - self.rank_base].clock;
                     if m.arrival < clock {
                         // Arrives mid-processing: parks, like a packet
                         // event popping while the rank is busy. Drained
                         // at the coalesced wake — emulated by the next
                         // idle-time member, or made real at dispatch end.
-                        self.ranks[dst].inbox.push((src, packet));
-                    } else if !self.ranks[dst].inbox.is_empty() {
+                        self.ranks[(dst) - self.rank_base].inbox.push((src, packet));
+                    } else if !self.ranks[(dst) - self.rank_base].inbox.is_empty() {
                         // The parked prefix's wake (at `clock`) pops
                         // before this member's arrival: drain it first.
                         self.run_rank(dst, clock);
                         member = Some((src, packet));
                     } else {
-                        self.ranks[dst].inbox.push((src, packet));
+                        self.ranks[(dst) - self.rank_base].inbox.push((src, packet));
                         self.run_rank(dst, m.arrival);
                     }
                 }
@@ -1811,18 +2227,24 @@ impl World {
             }
             let parked = self.train_parked[dst] == epoch;
             if parked && m.arrival <= self.train_park_clock[dst] {
-                self.ranks[dst].inbox.push((m.src, m.packet));
+                self.ranks[(dst) - self.rank_base]
+                    .inbox
+                    .push((m.src, m.packet));
                 continue;
             }
             if !parked && m.arrival <= t {
-                let clock = self.ranks[dst].clock;
+                let clock = self.ranks[(dst) - self.rank_base].clock;
                 if clock <= t {
                     self.train_delivered[dst] = epoch;
                     engaged.push(dst);
-                    self.ranks[dst].inbox.push((m.src, m.packet));
+                    self.ranks[(dst) - self.rank_base]
+                        .inbox
+                        .push((m.src, m.packet));
                     self.run_rank(dst, t);
                 } else {
-                    self.ranks[dst].inbox.push((m.src, m.packet));
+                    self.ranks[(dst) - self.rank_base]
+                        .inbox
+                        .push((m.src, m.packet));
                     self.train_parked[dst] = epoch;
                     self.train_park_clock[dst] = clock;
                     self.schedule_wake(dst, clock);
@@ -1889,8 +2311,10 @@ impl World {
         // up to the wake time (no event spent), as a real event when the
         // reference model would dispatch something else first.
         for dst in engaged.drain(..) {
-            if !self.ranks[dst].done && !self.ranks[dst].inbox.is_empty() {
-                let clock = self.ranks[dst].clock;
+            if !self.ranks[(dst) - self.rank_base].done
+                && !self.ranks[(dst) - self.rank_base].inbox.is_empty()
+            {
+                let clock = self.ranks[(dst) - self.rank_base].clock;
                 if self.continuation_clear(dst, clock) {
                     self.run_rank(dst, clock);
                 } else {
@@ -1906,13 +2330,14 @@ impl World {
             PsmAction::PioSend { dst, packet } => {
                 let bytes = packet.wire_bytes();
                 *now += self.hot.pio_base + transfer_time(bytes, self.hot.pio_bw);
-                let src_node = self.ranks[r].node;
-                // Hoisted node lookup: no division in the per-packet path.
-                let dst_node = self.ranks[dst as usize].node;
+                let src_node = self.ranks[(r) - self.rank_base].node;
+                // Arithmetic node lookup: the destination rank may live
+                // on another shard, so its state cannot be touched here.
+                let dst_node = dst as usize / self.hot.rpn;
                 // PIO packets ride the wire in ~8 KB chunks.
                 let nreqs = bytes.div_ceil(8 * 1024).max(1);
-                self.nodes[src_node].chip.record_pio();
-                let src = self.ranks[r].engine.rank();
+                self.nodes[(src_node) - self.node_base].chip.record_pio();
+                let src = self.ranks[(r) - self.rank_base].engine.rank();
                 if self.hot.batch {
                     self.enqueue_member(
                         src_node,
@@ -1949,7 +2374,7 @@ impl World {
                 len,
             } => {
                 let tids = self.sys_tid_register(r, VirtAddr(va), len, now);
-                self.ranks[r]
+                self.ranks[(r) - self.rank_base]
                     .ep
                     .on_tid_registered(src, msg_id, window, tids);
             }
@@ -1967,11 +2392,25 @@ impl World {
                 self.sys_sdma_send(r, dst, msg_id, window, VirtAddr(va), len, payload, now);
             }
             PsmAction::Completed { handle, payload } => {
-                if payload.is_some() {
+                if let Some(p) = payload.as_deref() {
                     self.delivered_payloads += 1;
+                    // Verify the wrapping-increment pattern now and keep
+                    // only counters — buffering every payload per rank
+                    // until collection held O(delivered bytes) live for
+                    // the whole run.
+                    self.payloads_checked += 1;
+                    if let Some(&base) = p.first() {
+                        if p.iter()
+                            .enumerate()
+                            .any(|(i, &b)| b != base.wrapping_add(i as u8))
+                        {
+                            self.payload_errors += 1;
+                        }
+                    }
                 }
-                self.ranks[r].delivered.push((handle, payload));
-                self.ranks[r].engine.on_completion(handle);
+                self.ranks[(r) - self.rank_base]
+                    .engine
+                    .on_completion(handle);
             }
         }
     }
@@ -1980,11 +2419,11 @@ impl World {
 
     fn sys_tid_register(&mut self, r: usize, va: VirtAddr, len: u64, now: &mut Ns) -> Vec<u16> {
         let start = *now;
-        let node = self.ranks[r].node;
+        let node = self.ranks[(r) - self.rank_base].node;
         let (tids, route_done) = match self.hot.os {
             OsConfig::Linux => {
-                let rank = &mut self.ranks[r];
-                let node = &mut self.nodes[node];
+                let rank = &mut self.ranks[(r) - self.rank_base];
+                let node = &mut self.nodes[(node) - self.node_base];
                 let reg = node
                     .driver
                     .tid_update(
@@ -2000,8 +2439,8 @@ impl World {
                 (reg.tids, *now + cpu)
             }
             OsConfig::McKernel => {
-                let rank = &mut self.ranks[r];
-                let noderef = &mut self.nodes[node];
+                let rank = &mut self.ranks[(r) - self.rank_base];
+                let noderef = &mut self.nodes[(node) - self.node_base];
                 let reg = noderef
                     .driver
                     .tid_update(
@@ -2018,8 +2457,8 @@ impl World {
                 (reg.tids, grant.complete)
             }
             OsConfig::McKernelHfi => {
-                let rank = &mut self.ranks[r];
-                let noderef = &mut self.nodes[node];
+                let rank = &mut self.ranks[(r) - self.rank_base];
+                let noderef = &mut self.nodes[(node) - self.node_base];
                 let fast = noderef.fast.as_mut().expect("fast path present");
                 let reg = fast
                     .tid_update(&mut noderef.chip, &rank.space, rank.ctxt, va, len)
@@ -2028,17 +2467,19 @@ impl World {
             }
         };
         *now = route_done;
-        self.ranks[r].kprof.record(Sysno::Ioctl, *now - start);
+        self.ranks[(r) - self.rank_base]
+            .kprof
+            .record(Sysno::Ioctl, *now - start);
         tids
     }
 
     fn sys_tid_unregister(&mut self, r: usize, va: VirtAddr, len: u64, tids: &[u16], now: &mut Ns) {
         let start = *now;
-        let node = self.ranks[r].node;
+        let node = self.ranks[(r) - self.rank_base].node;
         match self.hot.os {
             OsConfig::Linux => {
-                let rank = &mut self.ranks[r];
-                let noderef = &mut self.nodes[node];
+                let rank = &mut self.ranks[(r) - self.rank_base];
+                let noderef = &mut self.nodes[(node) - self.node_base];
                 let cpu = noderef
                     .driver
                     .tid_free(
@@ -2052,8 +2493,8 @@ impl World {
                 *now += self.lc.syscall_entry + self.lc.vfs_dispatch + cpu;
             }
             OsConfig::McKernel => {
-                let rank = &mut self.ranks[r];
-                let noderef = &mut self.nodes[node];
+                let rank = &mut self.ranks[(r) - self.rank_base];
+                let noderef = &mut self.nodes[(node) - self.node_base];
                 let cpu = noderef
                     .driver
                     .tid_free(
@@ -2069,8 +2510,8 @@ impl World {
                 *now = grant.complete;
             }
             OsConfig::McKernelHfi => {
-                let rank = &mut self.ranks[r];
-                let noderef = &mut self.nodes[node];
+                let rank = &mut self.ranks[(r) - self.rank_base];
+                let noderef = &mut self.nodes[(node) - self.node_base];
                 let fast = noderef.fast.as_mut().expect("fast path present");
                 let cpu = fast
                     .tid_free(&mut noderef.chip, rank.ctxt, va, len, tids, false)
@@ -2078,7 +2519,9 @@ impl World {
                 *now += cpu;
             }
         }
-        self.ranks[r].kprof.record(Sysno::Ioctl, *now - start);
+        self.ranks[(r) - self.rank_base]
+            .kprof
+            .record(Sysno::Ioctl, *now - start);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -2094,11 +2537,11 @@ impl World {
         now: &mut Ns,
     ) {
         let start = *now;
-        let node_idx = self.ranks[r].node;
+        let node_idx = self.ranks[(r) - self.rank_base].node;
         let (sub, wire_start): (SdmaSubmission, Ns) = match self.hot.os {
             OsConfig::Linux => {
-                let rank = &mut self.ranks[r];
-                let noderef = &mut self.nodes[node_idx];
+                let rank = &mut self.ranks[(r) - self.rank_base];
+                let noderef = &mut self.nodes[(node_idx) - self.node_base];
                 let sub = noderef
                     .driver
                     .sdma_writev(
@@ -2115,8 +2558,8 @@ impl World {
                 (sub, *now)
             }
             OsConfig::McKernel => {
-                let rank = &mut self.ranks[r];
-                let noderef = &mut self.nodes[node_idx];
+                let rank = &mut self.ranks[(r) - self.rank_base];
+                let noderef = &mut self.nodes[(node_idx) - self.node_base];
                 let sub = noderef
                     .driver
                     .sdma_writev(
@@ -2134,8 +2577,8 @@ impl World {
                 (sub, grant.linux_done)
             }
             OsConfig::McKernelHfi => {
-                let rank = &mut self.ranks[r];
-                let noderef = &mut self.nodes[node_idx];
+                let rank = &mut self.ranks[(r) - self.rank_base];
+                let noderef = &mut self.nodes[(node_idx) - self.node_base];
                 let fast = noderef.fast.as_mut().expect("fast path present");
                 // Cross-kernel read of the live driver engine state via
                 // DWARF-extracted offsets.
@@ -2154,9 +2597,12 @@ impl World {
                 (sub, *now)
             }
         };
-        self.ranks[r].kprof.record(Sysno::Writev, *now - start);
-        // Wire the window to the destination node.
-        let dst_node = self.ranks[dst as usize].node;
+        self.ranks[(r) - self.rank_base]
+            .kprof
+            .record(Sysno::Writev, *now - start);
+        // Wire the window to the destination node (arithmetically: the
+        // destination rank may belong to a different shard).
+        let dst_node = dst as usize / self.hot.rpn;
         let packet = PsmPacket::SdmaData {
             msg_id,
             window,
@@ -2165,7 +2611,11 @@ impl World {
         };
         // Sender-side completion IRQ: handled on the Linux service cores
         // (McKernel handles no device interrupts).
-        let completion_cpu = self.nodes[node_idx].driver.costs().completion + self.lc.kmalloc_pair;
+        let completion_cpu = self.nodes[(node_idx) - self.node_base]
+            .driver
+            .costs()
+            .completion
+            + self.lc.kmalloc_pair;
         if self.hot.batch {
             // Pipelined windows of one flush ride the wire as a train;
             // the IRQ is serviced (and the delegator charged) when the
@@ -2177,7 +2627,7 @@ impl World {
                     seq: 0, // assigned by enqueue_member
                     at: wire_start,
                     dst: dst as usize,
-                    src: self.ranks[r].engine.rank(),
+                    src: self.ranks[(r) - self.rank_base].engine.rank(),
                     bytes: len + 64,
                     nreqs: sub.nreqs,
                     packet,
@@ -2189,7 +2639,7 @@ impl World {
         let sched = self
             .fabric
             .transfer(wire_start, node_idx, dst_node, len + 64, sub.nreqs);
-        let src_rank = self.ranks[r].engine.rank();
+        let src_rank = self.ranks[(r) - self.rank_base].engine.rank();
         self.digest_arrival(sched.arrival, dst as usize, src_rank, len + 64);
         self.schedule_ev(
             sched.arrival,
@@ -2199,7 +2649,7 @@ impl World {
                 packet,
             },
         );
-        let grant = self.nodes[node_idx]
+        let grant = self.nodes[(node_idx) - self.node_base]
             .delegator
             .service(sched.injected + self.lc.irq_entry, completion_cpu);
         self.schedule_ev(
@@ -2215,7 +2665,9 @@ impl World {
 
     fn on_sdma_sent(&mut self, r: usize, msg_id: u64, window: u32, va: u64) {
         self.sdma_complete_kernel(r, msg_id, window, va);
-        self.ranks[r].ep.on_sdma_sent(msg_id, window);
+        self.ranks[(r) - self.rank_base]
+            .ep
+            .on_sdma_sent(msg_id, window);
     }
 
     /// Batched sender-side completions for one `(rank, msg_id)` group:
@@ -2227,7 +2679,7 @@ impl World {
             self.sdma_complete_kernel(m.rank, m.msg_id, m.window, m.va);
         }
         let first = members[0];
-        self.ranks[first.rank]
+        self.ranks[(first.rank) - self.rank_base]
             .ep
             .on_sdma_sent_batch(first.msg_id, members.len() as u32);
     }
@@ -2235,12 +2687,12 @@ impl World {
     /// Kernel/driver half of an SDMA completion IRQ (everything but the
     /// endpoint progress update).
     fn sdma_complete_kernel(&mut self, r: usize, msg_id: u64, window: u32, va: u64) {
-        let node_idx = self.ranks[r].node;
+        let node_idx = self.ranks[(r) - self.rank_base].node;
         match self.hot.os {
             OsConfig::Linux | OsConfig::McKernel => {
                 // The original completion callback: unpin + Linux kfree.
-                let rank = &mut self.ranks[r];
-                let noderef = &mut self.nodes[node_idx];
+                let rank = &mut self.ranks[(r) - self.rank_base];
+                let noderef = &mut self.nodes[(node_idx) - self.node_base];
                 let _ = noderef.driver.sdma_complete(
                     &mut rank.space,
                     rank.dev_handle,
@@ -2251,8 +2703,8 @@ impl World {
             OsConfig::McKernelHfi => {
                 // The duplicated callback in McKernel TEXT, invoked from
                 // the Linux IRQ context: frees LWK metadata remotely.
-                let rank = &mut self.ranks[r];
-                let noderef = &self.nodes[node_idx];
+                let rank = &mut self.ranks[(r) - self.rank_base];
+                let noderef = &self.nodes[(node_idx) - self.node_base];
                 if let Some(block) = rank.meta.remove(&(msg_id, window)) {
                     let (Some(table), Some(cb), Some(unified), Some(alloc)) = (
                         noderef.callbacks.as_ref(),
@@ -2273,16 +2725,16 @@ impl World {
     // ---- host (non-PSM) operations -----------------------------------------
 
     fn do_host_op(&mut self, r: usize, op: HostOp, mut now: Ns) -> Ns {
-        let node_idx = self.ranks[r].node;
+        let node_idx = self.ranks[(r) - self.rank_base].node;
         match op {
             HostOp::InitDevice => {
                 let start = now;
-                let rank_global = self.ranks[r].engine.rank();
+                let rank_global = self.ranks[(r) - self.rank_base].engine.rank();
                 // Proxy process + device open + 6 device-region mmaps.
                 let open_cpu;
                 {
-                    let rank = &mut self.ranks[r];
-                    let noderef = &mut self.nodes[node_idx];
+                    let rank = &mut self.ranks[(r) - self.rank_base];
+                    let noderef = &mut self.nodes[(node_idx) - self.node_base];
                     let pid = noderef.proxies.spawn(rank_global);
                     let (handle, ctxt, cpu) = noderef
                         .driver
@@ -2300,28 +2752,39 @@ impl World {
                 match self.cfg.os {
                     OsConfig::Linux => {
                         now += open_cpu;
-                        self.ranks[r].kprof.record(Sysno::Open, open_cpu);
+                        self.ranks[(r) - self.rank_base]
+                            .kprof
+                            .record(Sysno::Open, open_cpu);
                         for _ in 0..6 {
-                            let cpu =
-                                self.lc.syscall_entry + self.nodes[node_idx].driver.dev_mmap();
+                            let cpu = self.lc.syscall_entry
+                                + self.nodes[(node_idx) - self.node_base].driver.dev_mmap();
                             now += cpu;
-                            self.ranks[r].kprof.record(Sysno::Mmap, cpu);
+                            self.ranks[(r) - self.rank_base]
+                                .kprof
+                                .record(Sysno::Mmap, cpu);
                         }
                     }
                     OsConfig::McKernel | OsConfig::McKernelHfi => {
-                        let g = self.nodes[node_idx]
-                            .delegator
-                            .offload(now, Sysno::Open, open_cpu);
-                        self.ranks[r].kprof.record(Sysno::Open, g.complete - now);
+                        let g = self.nodes[(node_idx) - self.node_base].delegator.offload(
+                            now,
+                            Sysno::Open,
+                            open_cpu,
+                        );
+                        self.ranks[(r) - self.rank_base]
+                            .kprof
+                            .record(Sysno::Open, g.complete - now);
                         now = g.complete;
                         for _ in 0..6 {
-                            let service =
-                                self.lc.syscall_entry + self.nodes[node_idx].driver.dev_mmap();
-                            let g =
-                                self.nodes[node_idx]
-                                    .delegator
-                                    .offload(now, Sysno::Mmap, service);
-                            self.ranks[r].kprof.record(Sysno::Mmap, g.complete - now);
+                            let service = self.lc.syscall_entry
+                                + self.nodes[(node_idx) - self.node_base].driver.dev_mmap();
+                            let g = self.nodes[(node_idx) - self.node_base].delegator.offload(
+                                now,
+                                Sysno::Mmap,
+                                service,
+                            );
+                            self.ranks[(r) - self.rank_base]
+                                .kprof
+                                .record(Sysno::Mmap, g.complete - now);
                             now = g.complete;
                         }
                         if self.cfg.os == OsConfig::McKernelHfi {
@@ -2335,11 +2798,11 @@ impl World {
                 now
             }
             HostOp::FiniDevice => {
-                let rank_global = self.ranks[r].engine.rank();
+                let rank_global = self.ranks[(r) - self.rank_base].engine.rank();
                 let close_cpu;
                 {
-                    let rank = &mut self.ranks[r];
-                    let noderef = &mut self.nodes[node_idx];
+                    let rank = &mut self.ranks[(r) - self.rank_base];
+                    let noderef = &mut self.nodes[(node_idx) - self.node_base];
                     close_cpu = noderef
                         .driver
                         .close(&mut noderef.chip, rank.dev_handle)
@@ -2350,14 +2813,19 @@ impl World {
                 match self.cfg.os {
                     OsConfig::Linux => {
                         now += close_cpu;
-                        self.ranks[r].kprof.record(Sysno::Close, close_cpu);
+                        self.ranks[(r) - self.rank_base]
+                            .kprof
+                            .record(Sysno::Close, close_cpu);
                     }
                     _ => {
-                        let g =
-                            self.nodes[node_idx]
-                                .delegator
-                                .offload(now, Sysno::Close, close_cpu);
-                        self.ranks[r].kprof.record(Sysno::Close, g.complete - now);
+                        let g = self.nodes[(node_idx) - self.node_base].delegator.offload(
+                            now,
+                            Sysno::Close,
+                            close_cpu,
+                        );
+                        self.ranks[(r) - self.rank_base]
+                            .kprof
+                            .record(Sysno::Close, g.complete - now);
                         now = g.complete;
                     }
                 }
@@ -2366,8 +2834,8 @@ impl World {
             HostOp::MmapScratch { bytes } => {
                 let pinned = self.cfg.os != OsConfig::Linux;
                 let (leaves, va) = {
-                    let rank = &mut self.ranks[r];
-                    let noderef = &mut self.nodes[node_idx];
+                    let rank = &mut self.ranks[(r) - self.rank_base];
+                    let noderef = &mut self.nodes[(node_idx) - self.node_base];
                     let (va, stats) = rank
                         .space
                         .mmap_anonymous(&mut noderef.frames, bytes, pinned)
@@ -2390,16 +2858,18 @@ impl World {
                     }
                 };
                 now += cpu;
-                self.ranks[r].kprof.record(Sysno::Mmap, cpu);
+                self.ranks[(r) - self.rank_base]
+                    .kprof
+                    .record(Sysno::Mmap, cpu);
                 now
             }
             HostOp::MunmapScratch => {
-                let Some((va, len)) = self.ranks[r].scratch.pop() else {
+                let Some((va, len)) = self.ranks[(r) - self.rank_base].scratch.pop() else {
                     return now;
                 };
                 let leaves = {
-                    let rank = &mut self.ranks[r];
-                    let noderef = &mut self.nodes[node_idx];
+                    let rank = &mut self.ranks[(r) - self.rank_base];
+                    let noderef = &mut self.nodes[(node_idx) - self.node_base];
                     if self.cfg.os == OsConfig::McKernelHfi {
                         // Invalidate cached TID registrations overlapping
                         // the unmapped range before teardown.
@@ -2426,7 +2896,9 @@ impl World {
                     }
                 };
                 now += cpu;
-                self.ranks[r].kprof.record(Sysno::Munmap, cpu);
+                self.ranks[(r) - self.rank_base]
+                    .kprof
+                    .record(Sysno::Munmap, cpu);
                 now
             }
             HostOp::ReadInput { bytes } => {
@@ -2435,11 +2907,17 @@ impl World {
                 match self.cfg.os {
                     OsConfig::Linux => {
                         now += open_cpu;
-                        self.ranks[r].kprof.record(Sysno::Open, open_cpu);
+                        self.ranks[(r) - self.rank_base]
+                            .kprof
+                            .record(Sysno::Open, open_cpu);
                         now += read_cpu;
-                        self.ranks[r].kprof.record(Sysno::Read, read_cpu);
+                        self.ranks[(r) - self.rank_base]
+                            .kprof
+                            .record(Sysno::Read, read_cpu);
                         now += open_cpu;
-                        self.ranks[r].kprof.record(Sysno::Close, open_cpu);
+                        self.ranks[(r) - self.rank_base]
+                            .kprof
+                            .record(Sysno::Close, open_cpu);
                     }
                     _ => {
                         for (sysno, service) in [
@@ -2447,8 +2925,12 @@ impl World {
                             (Sysno::Read, read_cpu),
                             (Sysno::Close, open_cpu),
                         ] {
-                            let g = self.nodes[node_idx].delegator.offload(now, sysno, service);
-                            self.ranks[r].kprof.record(sysno, g.complete - now);
+                            let g = self.nodes[(node_idx) - self.node_base]
+                                .delegator
+                                .offload(now, sysno, service);
+                            self.ranks[(r) - self.rank_base]
+                                .kprof
+                                .record(sysno, g.complete - now);
                             now = g.complete;
                         }
                     }
@@ -2459,10 +2941,151 @@ impl World {
                 // Local on both kernels; kernel handling is tiny, the
                 // sleep itself is idle time.
                 let cpu = Ns::micros(1);
-                self.ranks[r].kprof.record(Sysno::Nanosleep, cpu);
+                self.ranks[(r) - self.rank_base]
+                    .kprof
+                    .record(Sysno::Nanosleep, cpu);
                 now + cpu + d
             }
         }
+    }
+}
+
+/// Aggregate one or more finished worlds — one per shard, in shard
+/// order (= global rank/node order) — into a [`RunResult`]. A
+/// single-queue run passes exactly one world, so this is also the
+/// plain collection path; concatenation and commutative sums make the
+/// two engines' results directly comparable field by field.
+fn collect_many(worlds: Vec<World>, elapsed_secs: f64, threads: u32, shards: u32) -> RunResult {
+    if let Some((path, _)) = worlds[0].arrival_trace.as_ref() {
+        let path = path.clone();
+        let mut out = String::new();
+        for w in &worlds {
+            if let Some((_, trace)) = &w.arrival_trace {
+                for (now, dst, src, bytes, at) in trace {
+                    out.push_str(&format!(
+                        "now {now} dst {dst} src {src} bytes {bytes} arr {at}\n"
+                    ));
+                }
+            }
+        }
+        std::fs::write(path, out).expect("write arrival trace");
+    }
+    let nranks: usize = worlds.iter().map(|w| w.ranks.len()).sum();
+    let mut mpi = TimeByKey::new();
+    let mut kprof = TimeByKey::new();
+    let mut wheel = WheelProfile::default();
+    let mut rank_finish = Vec::with_capacity(nranks);
+    let mut done = 0;
+    let mut delivered = 0u64;
+    let mut payload_errors = 0u64;
+    let mut sim_events = 0u64;
+    let mut clamped_events = 0u64;
+    let mut offloaded = 0;
+    let mut queue_wait = Ns::ZERO;
+    let mut tid_programs = 0;
+    let mut pio = 0;
+    let (mut bytes, mut messages, mut trains, mut train_members, mut max_train) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    let (mut resplits, mut flow_pauses, mut flows_opened, mut flow_members, mut max_flow) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    let (mut sinks_opened, mut sink_members, mut max_sink, mut sink_pauses) =
+        (0u64, 0u64, 0u64, 0u64);
+    let mut soft_deliveries = 0u64;
+    let (mut digest, mut digest_bulk) = (0u64, 0u64);
+    for w in &worlds {
+        sim_events += w.queue.events_processed();
+        clamped_events += w.queue.clamped_events();
+        wheel.merge(w.queue.profile());
+        // Payload delivery and verification stream at `Completed` time
+        // (`delivered_payloads` counts the delivery, `payloads_checked`
+        // the per-rank verification of the same payload).
+        delivered += w.delivered_payloads + w.payloads_checked;
+        payload_errors += w.payload_errors;
+        for r in &w.ranks {
+            mpi.merge(r.engine.profile());
+            kprof.merge(&r.kprof);
+            rank_finish.push(r.engine.finished_at().unwrap_or(r.clock));
+            if r.done {
+                done += 1;
+            }
+        }
+        for n in &w.nodes {
+            offloaded += n.delegator.offloaded();
+            queue_wait += n.delegator.total_queue_wait();
+            tid_programs += n.chip.tid_programs();
+            pio += n.chip.pio_sends();
+        }
+        bytes += w.fabric.bytes();
+        messages += w.fabric.messages();
+        trains += w.fabric.trains();
+        train_members += w.fabric.train_members();
+        max_train = max_train.max(w.fabric.max_train_len());
+        resplits += w.resplits;
+        flow_pauses += w.flow_pauses;
+        flows_opened += w.flows_opened;
+        flow_members += w.flow_members_total;
+        // Flows/sinks still open at exhaustion never saw their close.
+        let mut mf = w.max_flow_len;
+        for f in &w.flows {
+            if f.open {
+                mf = mf.max(f.len);
+            }
+        }
+        max_flow = max_flow.max(mf);
+        sinks_opened += w.sinks_opened;
+        sink_members += w.sink_members_total;
+        let mut ms = w.max_sink_len;
+        for s in &w.sinks {
+            if s.open {
+                ms = ms.max(s.len);
+            }
+        }
+        max_sink = max_sink.max(ms);
+        sink_pauses += w.sink_pauses;
+        soft_deliveries += w.soft_deliveries;
+        digest = digest.wrapping_add(w.arrival_digest);
+        digest_bulk = digest_bulk.wrapping_add(w.arrival_digest_bulk);
+    }
+    let wall = rank_finish.iter().copied().max().unwrap_or(Ns::ZERO);
+    RunResult {
+        wall_time: wall,
+        rank_finish,
+        mpi_profile: mpi,
+        kernel_profile: kprof,
+        offloaded_calls: offloaded,
+        offload_queue_wait: queue_wait,
+        fabric_bytes: bytes,
+        fabric_messages: messages,
+        fabric_trains: trains,
+        fabric_train_members: train_members,
+        fabric_max_train: max_train,
+        fabric_resplits: resplits,
+        fabric_flow_pauses: flow_pauses,
+        fabric_flows: flows_opened,
+        fabric_flow_members: flow_members,
+        fabric_max_flow: max_flow,
+        fabric_sinks: sinks_opened,
+        fabric_sink_members: sink_members,
+        fabric_max_sink: max_sink,
+        fabric_sink_pauses: sink_pauses,
+        soft_deliveries,
+        arrival_digest: digest,
+        arrival_digest_bulk: digest_bulk,
+        wheel_profile: wheel,
+        payload_errors,
+        tid_programs,
+        pio_sends: pio,
+        ranks_done: done,
+        delivered_payloads: delivered,
+        sim_events,
+        clamped_events,
+        events_per_sec: if elapsed_secs > 0.0 {
+            sim_events as f64 / elapsed_secs
+        } else {
+            0.0
+        },
+        threads,
+        shards,
     }
 }
 

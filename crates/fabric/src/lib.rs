@@ -66,6 +66,23 @@ pub struct TrainMember {
     pub nreqs: u64,
 }
 
+/// The uplink half of one sink member's schedule, produced by
+/// [`Fabric::sink_inject`] on the source side and consumed by
+/// [`Fabric::sink_commit`] on the destination side. This is the wire
+/// format of a cross-shard fabric delivery in the sharded engine: the
+/// source shard owns the uplink gate, the destination shard owns the
+/// downlink gate, and this struct carries everything the downlink walk
+/// needs across the boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SinkInjection {
+    /// When the uplink accepted the member's first byte.
+    pub up_start: Ns,
+    /// When the uplink accepted the member's last byte (== `injected`).
+    pub up_finish: Ns,
+    /// Wire bytes (the downlink drain time input).
+    pub bytes: u64,
+}
+
 /// The fabric connecting `n` nodes.
 pub struct Fabric {
     cfg: FabricConfig,
@@ -265,6 +282,91 @@ impl Fabric {
         out: &mut Vec<TransferSchedule>,
     ) {
         self.extend_accounted(src, dst, members, prior_len, out);
+    }
+
+    /// Source half of a split [`extend_sink`](Self::extend_sink): walk
+    /// `members` through `src`'s **uplink only**, committing the gate
+    /// once, and report each member's `(up_start, up_finish)` so a
+    /// different `Fabric` instance — the destination shard's, in the
+    /// sharded engine — can later run the downlink half with
+    /// [`sink_commit`](Self::sink_commit). The per-message/byte counters
+    /// accrue here (the source side), the train counters at the commit
+    /// (where the cumulative sink length lives); summing both fabrics'
+    /// counters therefore reproduces the unsplit totals exactly.
+    pub fn sink_inject(
+        &mut self,
+        src: usize,
+        members: &[TrainMember],
+        out: &mut Vec<SinkInjection>,
+    ) {
+        if members.is_empty() {
+            return;
+        }
+        self.messages += members.len() as u64;
+        let total: u64 = members.iter().map(|m| m.bytes).sum();
+        self.bytes += total;
+        let mut up_free = self.uplinks[src].free_at();
+        let mut up_busy = Ns::ZERO;
+        for m in members {
+            let up_start = m.at.max(up_free);
+            let wt = self.wire_time(m.bytes, m.nreqs);
+            up_free = up_start + wt;
+            up_busy += wt;
+            out.push(SinkInjection {
+                up_start,
+                up_finish: up_free,
+                bytes: m.bytes,
+            });
+        }
+        self.uplinks[src].commit_train(up_free, total, up_busy);
+    }
+
+    /// Destination half of a split [`extend_sink`](Self::extend_sink):
+    /// walk already-injected members (their uplink times shipped in a
+    /// [`SinkInjection`]) through `dst`'s downlink, committing the gate
+    /// once, and append the completed [`TransferSchedule`]s to `out`.
+    /// Because [`link_schedule`](Self::link_schedule) only reads the
+    /// uplink cursor through `up_start`/`up_finish`, running the two
+    /// halves on separate gate sets reproduces its schedules bit for
+    /// bit: `sink_inject` + `sink_commit` equals `extend_sink`.
+    ///
+    /// `prior_len` is the cumulative member count of the logical sink,
+    /// with the same ≥2-member retroactive train-accounting rule as
+    /// [`extend_accounted`](Self::extend_accounted).
+    pub fn sink_commit(
+        &mut self,
+        dst: usize,
+        members: &[SinkInjection],
+        prior_len: u64,
+        out: &mut Vec<TransferSchedule>,
+    ) {
+        if members.is_empty() {
+            return;
+        }
+        let new_len = prior_len + members.len() as u64;
+        if new_len >= 2 {
+            if prior_len < 2 {
+                self.trains += 1;
+                self.train_members += prior_len;
+            }
+            self.train_members += members.len() as u64;
+            self.max_train_len = self.max_train_len.max(new_len);
+        }
+        let mut down_free = self.downlinks[dst].free_at();
+        let mut down_busy = Ns::ZERO;
+        let mut total = 0u64;
+        for m in members {
+            let down_start = (m.up_start + self.cfg.base_latency).max(down_free);
+            let down_finish = down_start + pico_sim::transfer_time(m.bytes, self.cfg.link_bw);
+            down_free = down_finish;
+            down_busy += pico_sim::transfer_time(m.bytes, self.cfg.link_bw);
+            total += m.bytes;
+            out.push(TransferSchedule {
+                injected: m.up_finish,
+                arrival: down_finish.max(m.up_finish + self.cfg.base_latency),
+            });
+        }
+        self.downlinks[dst].commit_train(down_free, total, down_busy);
     }
 
     /// Shared accounting + link walk behind [`extend_train`](Self::extend_train)
@@ -671,6 +773,119 @@ mod tests {
         assert_eq!(sink.train_members(), prior);
         assert_eq!(sink.max_train_len(), prior);
         assert!(per_link.trains() > 1);
+    }
+
+    #[test]
+    fn split_sink_halves_reproduce_extend_sink_exactly() {
+        // The sharded engine runs the uplink half on the source shard's
+        // fabric and the downlink half on the destination shard's: the
+        // interleaved `sink_inject`/`sink_commit` sequence must give the
+        // same schedules, the same gate state, and (summed across the
+        // two instances) the same counters as one fabric doing
+        // `extend_sink`.
+        let flushes: &[(usize, &[TrainMember])] = &[
+            (
+                0,
+                &[
+                    TrainMember {
+                        at: Ns(0),
+                        bytes: 10_000,
+                        nreqs: 1,
+                    },
+                    TrainMember {
+                        at: Ns(100),
+                        bytes: 10_000,
+                        nreqs: 1,
+                    },
+                ],
+            ),
+            (
+                1,
+                &[TrainMember {
+                    at: Ns(200),
+                    bytes: 4_000,
+                    nreqs: 4,
+                }],
+            ),
+            (
+                0,
+                &[TrainMember {
+                    at: Ns(30_000),
+                    bytes: 512,
+                    nreqs: 1,
+                }],
+            ),
+            (
+                2,
+                &[
+                    TrainMember {
+                        at: Ns(30_500),
+                        bytes: 64,
+                        nreqs: 1,
+                    },
+                    TrainMember {
+                        at: Ns(30_510),
+                        bytes: 2_048,
+                        nreqs: 2,
+                    },
+                ],
+            ),
+        ];
+        let mut whole = fabric(4);
+        whole.transfer(Ns(0), 0, 3, 3000, 1); // pre-load uplink 0 + downlink 3
+        let mut reference = Vec::new();
+        let mut prior = 0u64;
+        for &(src, chunk) in flushes {
+            whole.extend_sink(src, 3, chunk, prior, &mut reference);
+            prior += chunk.len() as u64;
+        }
+
+        // Source-shard fabric owns the uplinks, destination-shard fabric
+        // owns downlink 3; the pre-load is replayed as a split too.
+        let mut src_fab = fabric(4);
+        let mut dst_fab = fabric(4);
+        let mut pre = Vec::new();
+        src_fab.sink_inject(
+            0,
+            &[TrainMember {
+                at: Ns(0),
+                bytes: 3000,
+                nreqs: 1,
+            }],
+            &mut pre,
+        );
+        let mut pre_sched = Vec::new();
+        dst_fab.sink_commit(3, &pre, 0, &mut pre_sched);
+        assert_eq!(pre_sched.len(), 1);
+        let mut split = Vec::new();
+        let mut prior = 1u64; // the pre-load joined the logical sink
+        let mut whole2 = fabric(4);
+        whole2.transfer(Ns(0), 0, 3, 3000, 1);
+        let mut reference2 = Vec::new();
+        let mut p2 = 0u64;
+        for &(src, chunk) in flushes {
+            // Reference continuing the pre-load as sink history too, so
+            // both sides share prior_len bookkeeping.
+            whole2.extend_sink(src, 3, chunk, p2 + 1, &mut reference2);
+            p2 += chunk.len() as u64;
+            let mut inj = Vec::new();
+            src_fab.sink_inject(src, chunk, &mut inj);
+            dst_fab.sink_commit(3, &inj, prior, &mut split);
+            prior += chunk.len() as u64;
+        }
+        assert_eq!(split, reference2);
+        // And against the plain reference the arrivals agree as well
+        // (prior_len only affects stats, never schedules).
+        assert_eq!(split, reference);
+        for node in 0..3 {
+            assert_eq!(src_fab.uplink_busy(node), whole.uplink_busy(node));
+        }
+        // All message/byte counting happens on the source half.
+        assert_eq!(src_fab.bytes() + dst_fab.bytes(), whole.bytes());
+        assert_eq!(src_fab.messages(), whole.messages());
+        assert_eq!(dst_fab.trains(), 1);
+        assert_eq!(dst_fab.train_members(), prior);
+        assert_eq!(dst_fab.max_train_len(), prior);
     }
 
     #[test]

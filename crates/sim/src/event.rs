@@ -97,6 +97,19 @@ impl WheelProfile {
     pub fn total(&self) -> u64 {
         self.sched_run + self.sched_cur + self.sched_fine + self.sched_coarse + self.sched_overflow
     }
+
+    /// Fold another profile into this one (shard-local wheels fan their
+    /// placement counters back into one run-wide profile).
+    pub fn merge(&mut self, other: &WheelProfile) {
+        self.sched_run += other.sched_run;
+        self.sched_cur += other.sched_cur;
+        self.sched_fine += other.sched_fine;
+        self.sched_coarse += other.sched_coarse;
+        self.sched_overflow += other.sched_overflow;
+        for (a, b) in self.span_hist.iter_mut().zip(other.span_hist.iter()) {
+            *a += b;
+        }
+    }
 }
 
 /// An entry in the queue: payload `E` scheduled for time `at`.

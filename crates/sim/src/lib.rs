@@ -32,7 +32,7 @@ pub mod time;
 
 pub use event::{EventQueue, HeapEventQueue, WheelProfile};
 pub use json::Json;
-pub use par::{par_map, par_map_threads};
+pub use par::{default_threads, par_map, par_map_threads, SpinBarrier, WindowSync};
 pub use resource::{BandwidthGate, Grant, ServerPool};
 pub use rng::Rng;
 pub use stats::{Counter, Histogram, TimeByKey, Welford};

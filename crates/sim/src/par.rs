@@ -7,7 +7,7 @@
 //! output order — and therefore every downstream artifact — is identical
 //! regardless of the worker count.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Number of workers used by [`par_map`]: the `PICO_THREADS` environment
@@ -83,6 +83,136 @@ where
     par_map_threads(default_threads(), items, f)
 }
 
+/// A sense-reversing spin barrier. The conservative-lookahead engine
+/// synchronizes its shard workers three times per window; windows are
+/// one link latency wide (hundreds of nanoseconds of simulated time), so
+/// a run crosses hundreds of thousands of barriers and the futex-based
+/// `std::sync::Barrier` round trip would dominate. Workers spin instead —
+/// they are dedicated to the rounds and have nothing better to do.
+///
+/// When the host grants fewer cores than there are workers, a waiter can
+/// be occupying the very core its peer needs to arrive, so after a short
+/// burst of pure spinning each loop yields to the scheduler: on a loaded
+/// or single-core machine the barrier degrades to yield-stepping instead
+/// of burning whole timeslices.
+pub struct SpinBarrier {
+    n: usize,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    /// A barrier for `n` participants.
+    pub fn new(n: usize) -> SpinBarrier {
+        assert!(n > 0);
+        SpinBarrier {
+            n,
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    /// Block (spinning) until all `n` participants have called `wait`.
+    pub fn wait(&self) {
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.count.store(0, Ordering::Relaxed);
+            self.generation.store(generation + 1, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == generation {
+                spins += 1;
+                if spins >= 256 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+}
+
+/// Shared state of one conservative-lookahead round loop: the barrier,
+/// each shard's published next event key, and the coordinator-published
+/// window horizon. One designated worker (the coordinator) computes the
+/// next window between rounds; everyone else only reads it.
+///
+/// A round is three barrier crossings:
+///
+/// 1. `begin` — the horizon (or the done flag) becomes visible; workers
+///    execute every event strictly before it, routing cross-shard
+///    emissions into inboxes;
+/// 2. `mid` — all emissions are visible; workers commit their inboxes
+///    and publish their shards' next keys via `set_next_key`;
+/// 3. `finish` — all next keys are visible; the coordinator runs
+///    `coordinate` to publish the next horizon before its own `begin`.
+pub struct WindowSync {
+    barrier: SpinBarrier,
+    next_keys: Vec<AtomicU64>,
+    window_end: AtomicU64,
+    done: AtomicBool,
+}
+
+impl WindowSync {
+    /// Sync state for `workers` round participants over `shards` shards.
+    pub fn new(workers: usize, shards: usize) -> WindowSync {
+        WindowSync {
+            barrier: SpinBarrier::new(workers),
+            next_keys: (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            window_end: AtomicU64::new(0),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    /// Publish shard `s`'s earliest pending event time (`u64::MAX` when
+    /// the shard is idle). Call before `finish`.
+    pub fn set_next_key(&self, s: usize, key: u64) {
+        self.next_keys[s].store(key, Ordering::Release);
+    }
+
+    /// Coordinator only, between `finish` and `begin`: fold the published
+    /// next keys into the next window horizon `min + lookahead`. Returns
+    /// `true` (and raises the done flag) when every shard is idle.
+    pub fn coordinate(&self, lookahead: u64) -> bool {
+        let min = self
+            .next_keys
+            .iter()
+            .map(|k| k.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(u64::MAX);
+        if min == u64::MAX {
+            self.done.store(true, Ordering::Release);
+            true
+        } else {
+            assert!(lookahead > 0, "zero lookahead cannot make progress");
+            self.window_end
+                .store(min.saturating_add(lookahead), Ordering::Release);
+            false
+        }
+    }
+
+    /// Crossing 1: returns the window horizon to execute up to
+    /// (exclusive), or `None` when the run is over.
+    pub fn begin(&self) -> Option<u64> {
+        self.barrier.wait();
+        if self.done.load(Ordering::Acquire) {
+            None
+        } else {
+            Some(self.window_end.load(Ordering::Acquire))
+        }
+    }
+
+    /// Crossing 2: emissions of the current window are now visible.
+    pub fn mid(&self) {
+        self.barrier.wait();
+    }
+
+    /// Crossing 3: next keys of the current round are now visible.
+    pub fn finish(&self) {
+        self.barrier.wait();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +246,76 @@ mod tests {
         let out: Vec<u32> = par_map(Vec::<u32>::new(), |x| x);
         assert!(out.is_empty());
         assert_eq!(par_map(vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn spin_barrier_synchronizes_rounds() {
+        let n = 4;
+        let barrier = SpinBarrier::new(n);
+        let counter = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..n {
+                s.spawn(|| {
+                    for round in 0..100 {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        barrier.wait();
+                        // Between barriers, every participant of the
+                        // previous round has incremented.
+                        assert!(counter.load(Ordering::SeqCst) >= (round + 1) * n);
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 100 * n);
+    }
+
+    #[test]
+    fn window_sync_rounds_terminate() {
+        // Two workers, three shards; shard keys drain over a few rounds.
+        let sync = WindowSync::new(2, 3);
+        let keys = [
+            Mutex::new(vec![10u64, 25, 40]), // shard 0's future events
+            Mutex::new(vec![12u64]),
+            Mutex::new(vec![30u64, 31]),
+        ];
+        // Seed initial next keys and the first window.
+        for (s, k) in keys.iter().enumerate() {
+            sync.set_next_key(s, k.lock().unwrap().first().copied().unwrap_or(u64::MAX));
+        }
+        assert!(!sync.coordinate(5));
+        let run = |worker: usize| {
+            let mut rounds = 0usize;
+            while let Some(end) = sync.begin() {
+                for s in (0..3).filter(|s| s % 2 == worker) {
+                    let mut k = keys[s].lock().unwrap();
+                    while k.first().is_some_and(|&t| t < end) {
+                        k.remove(0);
+                    }
+                }
+                sync.mid();
+                for s in (0..3).filter(|s| s % 2 == worker) {
+                    let k = keys[s].lock().unwrap();
+                    sync.set_next_key(s, k.first().copied().unwrap_or(u64::MAX));
+                }
+                sync.finish();
+                if worker == 0 {
+                    sync.coordinate(5);
+                }
+                rounds += 1;
+                assert!(rounds < 100, "rounds must terminate");
+            }
+            rounds
+        };
+        let (a, b) = std::thread::scope(|s| {
+            let h0 = s.spawn(|| run(0));
+            let h1 = s.spawn(|| run(1));
+            (h0.join().unwrap(), h1.join().unwrap())
+        });
+        assert_eq!(a, b);
+        for k in &keys {
+            assert!(k.lock().unwrap().is_empty());
+        }
     }
 
     #[test]
