@@ -5,8 +5,10 @@
 #   ./ci.sh          tier-1 (release build + full test suite) + clippy + fmt
 #                    check + the reduced simbench smoke gate
 #   ./ci.sh --bench  additionally run the full simbench regression gate
-#                    (--full: adds the 256-node sharded-engine speedup gate
-#                    and the 1024-node weak-scaling smoke; slower)
+#                    (--full: adds the 256-node sharded-engine speedup gate,
+#                    the 1024/4096-node weak-scaling sweep with peak-memory
+#                    reporting, and the streaming-stat memory gate; slower —
+#                    the 4096-node point runs only in this nightly lane)
 
 set -euo pipefail
 cd "$(dirname "$0")"

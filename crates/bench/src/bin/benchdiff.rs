@@ -5,37 +5,55 @@
 //! ```
 //!
 //! `fresh.json` defaults to `results/BENCH_sim.json`. Every trended
-//! metric present in both artifacts is compared; a drop of more than
-//! 10% in any throughput figure (`events_per_sec`, queue speedup) or
-//! coalescing gate ratio (train / flow / incast event reductions)
-//! fails the run with exit code 1 — the scheduled CI job turns red
-//! while per-push CI stays untouched. A missing or unreadable
+//! metric present in both artifacts is compared; a move of more than
+//! 10% in the regressing direction fails the run with exit code 1 —
+//! the scheduled CI job turns red while per-push CI stays untouched.
+//! Each metric carries a direction: throughput figures
+//! (`events_per_sec`, queue speedup) and gate ratios (train / flow /
+//! incast event reductions, the stat-memory reduction) regress when
+//! they *drop*; the weak-scaling memory figures (`peak_alloc_bytes`,
+//! `stat_bytes`) regress when they *grow*. A missing or unreadable
 //! *previous* artifact is not an error: the first nightly run (or a
 //! wiped cache) simply has nothing to trend against, so the tool
 //! prints a notice and passes. Likewise two artifacts recorded at
 //! different worker counts (the top-level `threads` field) are never
 //! compared — every timed figure would shift with the hardware, not
-//! the code.
+//! the code (and the shard-count heuristic sizes to the host, moving
+//! the memory figures too).
 //!
 //! Metrics are matched by a stable key (pattern/OS/node labels), so
 //! reordered rows or newly added benchmarks never misalign a
 //! comparison: new metrics start trending the night after they first
-//! appear.
+//! appear, and sweeps at different node counts land under different
+//! keys rather than diffing against each other.
 
 use pico_sim::Json;
 
-/// >10% below the previous value fails the nightly job.
+/// >10% in the regressing direction fails the nightly job.
 const REGRESSION_FRAC: f64 = 0.10;
 
-/// Flatten one artifact into `(metric key, value)` rows — only the
-/// figures worth trending night over night (throughputs and gate
-/// ratios; raw event counts and wall seconds are informational).
-fn metrics(doc: &Json) -> Vec<(String, f64)> {
+/// Which way a metric regresses.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Dir {
+    /// Throughputs and gate ratios: a drop is a regression.
+    HigherIsBetter,
+    /// Memory footprints: growth is a regression.
+    LowerIsBetter,
+}
+
+/// Flatten one artifact into `(metric key, value, direction)` rows —
+/// only the figures worth trending night over night (throughputs, gate
+/// ratios, and the scale sweep's memory footprints; raw event counts
+/// and wall seconds are informational).
+fn metrics(doc: &Json) -> Vec<(String, f64, Dir)> {
+    fn push_dir(out: &mut Vec<(String, f64, Dir)>, key: String, v: Option<&Json>, dir: Dir) {
+        if let Some(x) = v.and_then(Json::as_f64) {
+            out.push((key, x, dir));
+        }
+    }
     let mut out = Vec::new();
     let mut push = |key: String, v: Option<&Json>| {
-        if let Some(x) = v.and_then(Json::as_f64) {
-            out.push((key, x));
-        }
+        push_dir(&mut out, key, v, Dir::HigherIsBetter);
     };
     if let Some(q) = doc.get("queue") {
         push(
@@ -81,6 +99,39 @@ fn metrics(doc: &Json) -> Vec<(String, f64)> {
         push(
             format!("sweep[{os},n{nodes}].events_per_sec"),
             row.get("events_per_sec"),
+        );
+    }
+    // Scale-sweep memory footprints: keyed by node count, so a sweep
+    // that later adds or drops a point never diffs 1024-node bytes
+    // against 4096-node bytes — unmatched keys simply start fresh.
+    for row in doc
+        .get("weak_scaling")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+    {
+        let nodes = row.get("nodes").and_then(Json::as_f64).unwrap_or(0.0);
+        push_dir(
+            &mut out,
+            format!("weak_scaling[n{nodes}].peak_alloc_bytes"),
+            row.get("peak_alloc_bytes"),
+            Dir::LowerIsBetter,
+        );
+        push_dir(
+            &mut out,
+            format!("weak_scaling[n{nodes}].stat_bytes"),
+            row.get("stat_bytes"),
+            Dir::LowerIsBetter,
+        );
+    }
+    // The stat-memory gate's reduction ratio: the in-run gate enforces
+    // the 4x floor; trending catches slow erosion well above it.
+    if let Some(g) = doc.get("stat_gate") {
+        let nodes = g.get("nodes").and_then(Json::as_f64).unwrap_or(0.0);
+        push_dir(
+            &mut out,
+            format!("stat_gate[n{nodes}].reduction"),
+            g.get("reduction"),
+            Dir::HigherIsBetter,
         );
     }
     out
@@ -138,14 +189,18 @@ fn main() {
     let new = metrics(&fresh);
     let mut regressions = 0u32;
     let mut compared = 0u32;
-    for (key, nv) in &new {
-        let Some((_, ov)) = old.iter().find(|(k, _)| k == key) else {
+    for (key, nv, dir) in &new {
+        let Some((_, ov, _)) = old.iter().find(|(k, _, _)| k == key) else {
             println!("  new      {key}: {nv:.3} (no previous value)");
             continue;
         };
         compared += 1;
         let delta = if *ov > 0.0 { (nv - ov) / ov } else { 0.0 };
-        let verdict = if delta < -REGRESSION_FRAC {
+        let regressed = match dir {
+            Dir::HigherIsBetter => delta < -REGRESSION_FRAC,
+            Dir::LowerIsBetter => delta > REGRESSION_FRAC,
+        };
+        let verdict = if regressed {
             regressions += 1;
             "REGRESSION"
         } else {
@@ -159,7 +214,7 @@ fn main() {
     println!("benchdiff: {compared} metrics compared against {prev_path}, {regressions} regressed");
     if regressions > 0 {
         eprintln!(
-            "benchdiff: {regressions} metric(s) dropped more than {:.0}% night over night",
+            "benchdiff: {regressions} metric(s) moved more than {:.0}% the wrong way night over night",
             REGRESSION_FRAC * 100.0
         );
         std::process::exit(1);

@@ -1,12 +1,26 @@
 //! Figure 5a: LAMMPS weak scaling, relative performance to Linux.
+//!
+//! With `--full`, the paper's 1–256-node sweep is followed by the
+//! beyond-paper scale points (1024 and 4096 nodes, one rank per node,
+//! sharded engine) that the streaming result sketches make affordable.
 
 use pico_apps::App;
-use pico_bench::{full_flag, node_counts};
-use pico_cluster::{format_scaling, scaling};
+use pico_bench::{full_flag, node_counts, scale_config, scale_node_counts};
+use pico_cluster::{format_scaling, scaling, scaling_with};
 
 fn main() {
-    let nodes = node_counts(full_flag(), 1);
+    let full = full_flag();
+    let nodes = node_counts(full, 1);
     let points = scaling(App::Lammps, &nodes, 8, None);
     println!("{}", format_scaling("LAMMPS", &points));
     println!("{}", pico_bench::to_jsonl(&points));
+    let scale = scale_node_counts(full);
+    if !scale.is_empty() {
+        let points = scaling_with(App::Lammps, &scale, 1, Some(1), scale_config);
+        println!(
+            "{}",
+            format_scaling("LAMMPS scale (1 rank/node, sharded)", &points)
+        );
+        println!("{}", pico_bench::to_jsonl(&points));
+    }
 }

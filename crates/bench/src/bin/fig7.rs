@@ -1,17 +1,31 @@
 //! Figure 7: QBOX weak scaling, relative performance to Linux.
+//!
+//! With `--full`, the paper's sweep is followed by the beyond-paper
+//! scale points (1024 and 4096 nodes, one rank per node, sharded
+//! engine) that the streaming result sketches make affordable.
 
 use pico_apps::App;
-use pico_bench::{full_flag, node_counts};
-use pico_cluster::{format_scaling, scaling};
+use pico_bench::{full_flag, node_counts, scale_config, scale_node_counts};
+use pico_cluster::{format_scaling, scaling, scaling_with};
 
 fn main() {
-    let mut nodes = node_counts(full_flag(), 4);
+    let full = full_flag();
+    let mut nodes = node_counts(full, 4);
     // QBOX's 64-rank column all-to-all is the costliest workload to
     // simulate; the default sweep stops at 32 nodes (use --full for more).
-    if !full_flag() {
+    if !full {
         nodes.retain(|&n| n <= 32);
     }
     let points = scaling(App::Qbox, &nodes, 4, None);
     println!("{}", format_scaling("QBOX", &points));
     println!("{}", pico_bench::to_jsonl(&points));
+    let scale = scale_node_counts(full);
+    if !scale.is_empty() {
+        let points = scaling_with(App::Qbox, &scale, 1, Some(1), scale_config);
+        println!(
+            "{}",
+            format_scaling("QBOX scale (1 rank/node, sharded)", &points)
+        );
+        println!("{}", pico_bench::to_jsonl(&points));
+    }
 }

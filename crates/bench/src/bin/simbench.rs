@@ -18,14 +18,24 @@
 //! gates (every run still asserts `clamped_events == 0`). Pass `--full`
 //! for the nightly superset: the 256-node sharded-engine speedup gate
 //! (≥2× wall clock at 4+ workers over the same engine's single-worker
-//! walk) and the 1024-node weak-scaling completion smoke.
+//! walk), the 1024/4096-node weak-scaling sweep with per-run peak
+//! memory, and the streaming-stat memory gate (resident stat bytes at
+//! 1024 nodes must sit ≥4× below the per-rank-vector layout the
+//! sketches replaced).
 
 use pico_apps::App;
 use pico_cluster::{paper_config, run_app, EngineMode, FabricMode, OsConfig, RunResult};
-use pico_sim::default_threads;
-use pico_sim::{EventQueue, HeapEventQueue, Json, Ns, Rng, WheelProfile};
+use pico_sim::memalloc::{self, CountingAlloc};
+use pico_sim::{default_threads, EventQueue, HeapEventQueue, Json, Ns, Rng, WheelProfile};
 use std::hint::black_box;
 use std::time::Instant;
+
+/// Counting allocator: the scale sweep reports true per-run peak heap
+/// (`RunResult::peak_alloc_bytes`), not just the accounted stat bytes.
+/// The counter is a pair of relaxed atomics over the system allocator —
+/// noise on the timed gates is negligible next to run-to-run variance.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
 
 /// One synthetic churn round: `n` live events, `total` schedule+pop pairs.
 ///
@@ -431,17 +441,22 @@ fn sharded_umt(nodes: u32, rpn: u32, threads: Option<usize>) -> pico_cluster::Cl
     cfg
 }
 
-/// Everything a worker count is forbidden to change, as one string.
+/// Everything a worker count is forbidden to change, as one string:
+/// the exact per-rank finish vector (the gate configs opt in via
+/// `record_per_rank`), both streaming sketch digests, and the arrival
+/// hashes.
 fn sharded_digest(r: &RunResult) -> String {
     assert_eq!(r.clamped_events, 0, "parallel gate: clamped events");
     format!(
-        "{:?}|{}|{}|{}|{:#x}|{:#x}|{:?}",
+        "{:?}|{}|{}|{}|{:#x}|{:#x}|{:#x}|{:#x}|{:?}",
         r.wall_time,
         r.ranks_done,
         r.sim_events,
         r.fabric_sink_members,
         r.arrival_digest,
         r.arrival_digest_bulk,
+        r.finish.digest(),
+        r.arrival_latency.digest(),
         r.rank_finish,
     )
 }
@@ -458,16 +473,27 @@ fn parallel_gate(nodes: u32, iters: u32, enforce: bool) -> Json {
         .map(|n| n.get())
         .unwrap_or(1);
     let workers = hw.clamp(2, 8);
+    // The digest compares exact per-rank finish times, not just the
+    // sketch: opt in to the full vector for the gate runs.
+    let gate_cfg = |threads: usize| {
+        let mut cfg = sharded_umt(nodes, 2, Some(threads));
+        cfg.record_per_rank = true;
+        cfg
+    };
     // Warmup: the first run pays the allocator and page-fault cost for
     // everyone after it; measuring it as the baseline would inflate the
     // speedup and hide regressions.
-    run_app(sharded_umt(nodes, 2, Some(1)), App::Umt2013, 1);
+    run_app(gate_cfg(1), App::Umt2013, 1);
     let t0 = Instant::now();
-    let serial = run_app(sharded_umt(nodes, 2, Some(1)), App::Umt2013, iters);
+    let serial = run_app(gate_cfg(1), App::Umt2013, iters);
     let serial_secs = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
-    let par = run_app(sharded_umt(nodes, 2, Some(workers)), App::Umt2013, iters);
+    let par = run_app(gate_cfg(workers), App::Umt2013, iters);
     let par_secs = t1.elapsed().as_secs_f64();
+    assert!(
+        !serial.rank_finish.is_empty(),
+        "parallel gate: record_per_rank must populate the exact vector"
+    );
     assert_eq!(
         sharded_digest(&serial),
         sharded_digest(&par),
@@ -501,30 +527,84 @@ fn parallel_gate(nodes: u32, iters: u32, enforce: bool) -> Json {
     ])
 }
 
-/// Weak-scaling completion smoke: a 1024-node sharded UMT2013 round
-/// must run to completion — every rank finishes, nothing is clamped,
-/// no payload fails its self-check. Guards the engine's bookkeeping
-/// (shard partition, inbox routing, finish detection) at a scale the
-/// equivalence tests never reach.
-fn weak_scaling_smoke() -> Json {
+/// Weak-scaling sweep past the paper's 256-node ceiling: 1024- and
+/// 4096-node sharded UMT2013 rounds must run to completion — every
+/// rank finishes, nothing is clamped, no payload fails its self-check.
+/// Guards the engine's bookkeeping (shard partition, inbox routing,
+/// finish detection) at scales the equivalence tests never reach, and
+/// records the per-run peak heap (`peak_alloc_bytes`, via the counting
+/// allocator installed above) and accounted resident stat bytes
+/// (`stat_bytes`) that benchdiff trends night over night.
+fn weak_scaling_sweep() -> Vec<Json> {
+    let mut rows = Vec::new();
+    for nodes in [1024u32, 4096] {
+        memalloc::reset_peak();
+        let t0 = Instant::now();
+        let res = run_app(sharded_umt(nodes, 1, None), App::Umt2013, 1);
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(res.ranks_done, nodes, "weak-scaling sweep: ranks finished");
+        assert_eq!(res.clamped_events, 0, "weak-scaling sweep: clamped events");
+        assert_eq!(res.payload_errors, 0, "weak-scaling sweep: payload errors");
+        println!(
+            "weak-scaling sweep ({nodes} nodes, {} shards, {} threads): {} events in {secs:.2}s, \
+             peak heap {:.1} MiB, stat bytes {}",
+            res.shards,
+            res.threads,
+            res.sim_events,
+            res.peak_alloc_bytes as f64 / (1 << 20) as f64,
+            res.stat_bytes,
+        );
+        rows.push(Json::obj([
+            ("nodes", Json::UInt(nodes as u64)),
+            ("shards", Json::UInt(res.shards as u64)),
+            ("threads", Json::UInt(res.threads as u64)),
+            ("sim_events", Json::UInt(res.sim_events)),
+            ("ranks_done", Json::UInt(res.ranks_done as u64)),
+            ("wall_secs", Json::Num(secs)),
+            ("peak_alloc_bytes", Json::UInt(res.peak_alloc_bytes)),
+            ("stat_bytes", Json::UInt(res.stat_bytes)),
+        ]));
+    }
+    rows
+}
+
+/// The streaming-stat memory gate: at 1024 nodes the resident stat
+/// bytes of one run must sit ≥4× below the layout the sketches
+/// replaced, where every shard carried five full-length per-rank
+/// counter vectors (8 B each → 40 B × ranks × shards) and the result
+/// path always materialized the per-rank finish vector (8 B × ranks).
+/// The shard count is pinned (not left to the host-sized heuristic) so
+/// the baseline — and with it the ratio — is host-independent.
+fn stat_memory_gate() -> Json {
     let nodes = 1024u32;
-    let t0 = Instant::now();
-    let res = run_app(sharded_umt(nodes, 1, None), App::Umt2013, 1);
-    let secs = t0.elapsed().as_secs_f64();
-    assert_eq!(res.ranks_done, nodes, "weak-scaling smoke: ranks finished");
-    assert_eq!(res.clamped_events, 0, "weak-scaling smoke: clamped events");
-    assert_eq!(res.payload_errors, 0, "weak-scaling smoke: payload errors");
+    let shards = 16usize;
+    let mut cfg = sharded_umt(nodes, 1, None);
+    cfg.shards = Some(shards);
+    let res = run_app(cfg, App::Umt2013, 1);
+    assert_eq!(res.ranks_done, nodes, "stat gate: ranks finished");
+    assert_eq!(res.shards as usize, shards, "stat gate: shard pin");
+    let nranks = nodes as u64;
+    let baseline = shards as u64 * nranks * 40 + nranks * 8;
+    let ratio = baseline as f64 / res.stat_bytes.max(1) as f64;
     println!(
-        "weak-scaling smoke ({nodes} nodes, {} shards, {} threads): {} events in {secs:.2}s",
-        res.shards, res.threads, res.sim_events
+        "stat memory gate ({nodes} nodes, {shards} shards): {} stat bytes vs {baseline} \
+         per-rank-vector baseline ({ratio:.1}x)",
+        res.stat_bytes,
     );
+    if ratio < 4.0 {
+        eprintln!(
+            "REGRESSION: resident stat bytes {} only {ratio:.1}x below the per-rank-vector \
+             baseline {baseline} (gate: 4x) at {nodes} nodes",
+            res.stat_bytes,
+        );
+        std::process::exit(1);
+    }
     Json::obj([
         ("nodes", Json::UInt(nodes as u64)),
-        ("shards", Json::UInt(res.shards as u64)),
-        ("threads", Json::UInt(res.threads as u64)),
-        ("sim_events", Json::UInt(res.sim_events)),
-        ("ranks_done", Json::UInt(res.ranks_done as u64)),
-        ("wall_secs", Json::Num(secs)),
+        ("shards", Json::UInt(shards as u64)),
+        ("stat_bytes", Json::UInt(res.stat_bytes)),
+        ("baseline_bytes", Json::UInt(baseline)),
+        ("reduction", Json::Num(ratio)),
     ])
 }
 
@@ -562,16 +642,17 @@ fn main() {
 
     // Sharded-engine gates: worker-count determinism everywhere; the
     // ≥2× wall-clock speedup enforced on the nightly 256-node point;
-    // the 1024-node completion smoke nightly only.
+    // the 1024/4096-node weak-scaling sweep and the streaming-stat
+    // memory gate nightly only.
     let parallel_row = if full {
         parallel_gate(256, 2, true)
     } else {
         parallel_gate(if smoke { 24 } else { 64 }, 1, false)
     };
-    let weak_row = if full {
-        Some(weak_scaling_smoke())
+    let (weak_rows, stat_gate_row) = if full {
+        (weak_scaling_sweep(), Some(stat_memory_gate()))
     } else {
-        None
+        (Vec::new(), None)
     };
 
     // End-to-end: Figure 6a sweep at small scale, wall time + sim throughput.
@@ -625,7 +706,8 @@ fn main() {
         ("qbox_resplits", qbox_row),
         ("incast", Json::Arr(incast_rows)),
         ("parallel", parallel_row),
-        ("weak_scaling_1024", weak_row.unwrap_or(Json::Null)),
+        ("weak_scaling", Json::Arr(weak_rows)),
+        ("stat_gate", stat_gate_row.unwrap_or(Json::Null)),
         (
             "sweep",
             Json::obj([

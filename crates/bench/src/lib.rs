@@ -31,6 +31,29 @@ pub fn full_flag() -> bool {
     std::env::args().any(|a| a == "--full")
 }
 
+/// The beyond-paper scale points (1024 and 4096 nodes), swept only
+/// under `--full`: the paper's hardware tops out at 256 nodes, and the
+/// streaming-sketch result path is what makes these sizes affordable.
+/// Empty in the default run so per-push regeneration stays fast.
+pub fn scale_node_counts(full: bool) -> Vec<u32> {
+    if full {
+        vec![1024, 4096]
+    } else {
+        Vec::new()
+    }
+}
+
+/// The config mutator every scale-point sweep shares: the node-sharded
+/// parallel engine with the shard-count heuristic left to
+/// [`pico_cluster::auto_shard_count`]. One rank per node (the
+/// `rpn_override` the callers pass alongside) keeps the rank count at
+/// 1×/4× the paper's densest 1024-rank jobs while the node count grows
+/// 16×; the paper's per-node rank densities would multiply simulated
+/// work far past a nightly budget.
+pub fn scale_config(cfg: &mut pico_cluster::ClusterConfig) {
+    cfg.engine = pico_cluster::EngineMode::Sharded;
+}
+
 /// Serialize scaling points to a JSON lines string (for plotting).
 pub fn to_jsonl(points: &[ScalingPoint]) -> String {
     points

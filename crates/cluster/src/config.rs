@@ -178,11 +178,20 @@ pub struct ClusterConfig {
     /// (`pico_sim::default_threads`). Results are bit-identical for any
     /// thread count; only wall-clock time changes.
     pub threads: Option<usize>,
-    /// Shard count for [`EngineMode::Sharded`]: `None` defaults to
-    /// `min(nodes, 16)`. The partition (contiguous node ranges) is fixed
-    /// by this value alone — independent of the thread count — which is
-    /// what makes cross-thread bit-identity structural.
+    /// Shard count for [`EngineMode::Sharded`]: `None` defaults to the
+    /// sizing heuristic (`pico_cluster::auto_shard_count`), which scales
+    /// with ranks-per-node and the machine's advertised parallelism but
+    /// *not* with [`threads`](Self::threads). The partition (contiguous
+    /// node ranges) is fixed by this value alone — independent of the
+    /// thread count — which is what makes cross-thread bit-identity
+    /// structural.
     pub shards: Option<usize>,
+    /// Record the exact per-rank finish-time vector
+    /// (`RunResult::rank_finish`) in addition to the constant-memory
+    /// `FinishSketch`. Off by default: the vector is O(ranks) result
+    /// state, which is exactly what capped the sweeps at 256 nodes. The
+    /// equivalence tests that compare finish times rank by rank opt in.
+    pub record_per_rank: bool,
 }
 
 impl ClusterConfig {
@@ -220,6 +229,7 @@ impl ClusterConfig {
             engine: EngineMode::SingleQueue,
             threads: None,
             shards: None,
+            record_per_rank: false,
         }
     }
 }

@@ -107,10 +107,33 @@ pub fn scaling(
     iters: u32,
     rpn_override: Option<u32>,
 ) -> Vec<ScalingPoint> {
+    scaling_with(app, node_counts, iters, rpn_override, |_| {})
+}
+
+/// [`scaling`] with a config mutator applied to every run.
+///
+/// The scale sweeps past the paper's 256-node ceiling use this to swap
+/// in the sharded engine (`EngineMode::Sharded`): the figure binaries
+/// pass a closure rather than `scaling` growing one knob per ablation.
+/// The mutator runs after [`paper_config`], so it sees (and may
+/// override) the paper defaults; it must be deterministic — it runs
+/// once per (node count, OS, run length) cell.
+pub fn scaling_with<M>(
+    app: App,
+    node_counts: &[u32],
+    iters: u32,
+    rpn_override: Option<u32>,
+    mutate: M,
+) -> Vec<ScalingPoint>
+where
+    M: Fn(&mut crate::config::ClusterConfig) + Sync,
+{
+    let mutate = &mutate;
     par_map(node_counts.to_vec(), |nodes| {
         let walls: Vec<Ns> = par_map(OsConfig::ALL.to_vec(), |os| {
             let run = |n_iters: u32| {
-                let cfg = paper_config(os, app, nodes, rpn_override);
+                let mut cfg = paper_config(os, app, nodes, rpn_override);
+                mutate(&mut cfg);
                 let expect = cfg.shape.nranks();
                 let res = run_app(cfg, app, n_iters);
                 assert_eq!(
@@ -170,7 +193,9 @@ pub fn comm_profile(app: App, os: OsConfig, nodes: u32, iters: u32, k: usize) ->
 pub fn profile_rows(res: &RunResult, k: usize) -> Vec<Table1Row> {
     let total_mpi = res.mpi_time().as_secs_f64();
     // Total runtime summed over ranks (the paper's %Rt denominator).
-    let total_rt: f64 = res.rank_finish.iter().map(|t| t.as_secs_f64()).sum();
+    // The sketch's sum is exact, so this is bit-identical to summing
+    // the old per-rank vector.
+    let total_rt: f64 = pico_sim::Ns(res.finish.sum()).as_secs_f64();
     res.mpi_profile
         .sorted_desc()
         .into_iter()

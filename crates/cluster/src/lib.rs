@@ -22,7 +22,7 @@ pub mod world;
 pub use config::{ClusterConfig, EngineMode, FabricMode, OsConfig};
 pub use experiments::{
     comm_profile, fig4, format_breakdown, format_fig4, format_scaling, format_table1,
-    pingpong_bandwidth, profile_rows, scaling, syscall_breakdown, Fig4Row, ScalingPoint,
-    SyscallBreakdown, Table1Row,
+    pingpong_bandwidth, profile_rows, scaling, scaling_with, syscall_breakdown, Fig4Row,
+    ScalingPoint, SyscallBreakdown, Table1Row,
 };
-pub use world::{app_spec, paper_config, run_app, RunResult, World};
+pub use world::{app_spec, auto_shard_count, paper_config, run_app, RunResult, World};

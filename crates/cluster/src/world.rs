@@ -26,7 +26,9 @@ use pico_mckernel::{BlockId, MckMmCosts, ScalableAllocator, SyscallTable};
 use pico_mem::{AddressSpace, BuddyAllocator, MapPolicy, PhysAddr, VirtAddr};
 use pico_mpi::{BufTable, HostOp, MpiCall, MpiRank, StepResult};
 use pico_psm::{Endpoint, PsmAction, PsmPacket};
-use pico_sim::{transfer_time, EventQueue, Ns, Rng, TimeByKey, WheelProfile, WindowSync};
+use pico_sim::{
+    transfer_time, EventQueue, FinishSketch, Ns, Rng, Sketch, TimeByKey, WheelProfile, WindowSync,
+};
 use picodriver::{CallbackKind, CallbackRef, CallbackTable, HfiFastPath, UnifiedKernelSpace};
 use std::collections::HashMap;
 
@@ -339,8 +341,33 @@ struct RankState {
 pub struct RunResult {
     /// Wall-clock time of the slowest rank (the app's figure of merit).
     pub wall_time: Ns,
-    /// Per-rank finish times.
+    /// Streaming sketch of every rank's finish time: exact
+    /// min/max/sum/count plus log-bucket quantiles, constant memory at
+    /// any job size. This is the result path; the exact vector below is
+    /// opt-in.
+    pub finish: FinishSketch,
+    /// Per-rank finish times — populated only when
+    /// [`ClusterConfig::record_per_rank`] is set (the equivalence tests
+    /// that need exact vectors); empty otherwise so a 4096-node run
+    /// carries no O(ranks) result state.
     pub rank_finish: Vec<Ns>,
+    /// Streaming sketch of fabric delivery latencies (arrival −
+    /// schedule time, ns) over every digested member — the
+    /// constant-memory replacement for the `PICO_TRACE_ARRIVALS` row
+    /// vector, which is now only materialized when that explicit trace
+    /// sink is requested.
+    pub arrival_latency: Sketch,
+    /// Resident bytes of O(ranks) statistics state at collection —
+    /// per-rank wake/train/dedup bookkeeping across all shards, the
+    /// opt-in `rank_finish` vector, any arrival-trace rows, plus the
+    /// (constant-size) sketches. The `simbench` memory gate holds this
+    /// ≥4× below the per-rank-vector baseline at 1024 nodes.
+    pub stat_bytes: u64,
+    /// Process-wide peak allocation in bytes, read from
+    /// [`pico_sim::memalloc`] at collection. Zero unless the binary
+    /// installed the counting allocator (the bench binaries do; tests
+    /// and figure binaries that don't measure memory don't).
+    pub peak_alloc_bytes: u64,
     /// MPI per-call time summed over all ranks.
     pub mpi_profile: TimeByKey<MpiCall>,
     /// Kernel per-syscall time summed over all ranks (Figures 8/9).
@@ -480,6 +507,23 @@ struct HotCfg {
 /// rank, wire bytes, arrival time)`.
 type ArrivalTraceRow = (u64, usize, u32, u64, u64);
 
+/// Capacity retained by pooled scratch vectors after a burst. A single
+/// pathological burst (a 4096-node incast spike) can balloon a scratch
+/// allocation to O(ranks); anything past this high-water mark is given
+/// back when the vector returns to its pool instead of staying pinned
+/// for the rest of the run.
+const SCRATCH_KEEP: usize = 1024;
+
+/// Shrink a drained scratch vector back toward [`SCRATCH_KEEP`] once
+/// its capacity has grown well past it (hysteresis at 4× so steady
+/// medium-sized bursts never thrash the allocator).
+#[inline]
+fn shrink_scratch<T>(v: &mut Vec<T>) {
+    if v.capacity() > 4 * SCRATCH_KEEP {
+        v.shrink_to(SCRATCH_KEEP);
+    }
+}
+
 /// The simulator.
 pub struct World {
     cfg: ClusterConfig,
@@ -565,15 +609,20 @@ pub struct World {
     /// input is recorded and dumped there at collection — diff two
     /// runs' dumps (sorted) to localize an arrival divergence.
     arrival_trace: Option<(String, Vec<ArrivalTraceRow>)>,
+    /// Constant-memory latency sketch fed by the same digest stream:
+    /// shard-local, merged once at collection (order-invariant), so no
+    /// worker ever serializes on a shared stats sink.
+    arrival_sketch: Sketch,
     /// Soft-schedule dispatches (would-be events under `Trains`).
     soft_deliveries: u64,
     /// Time of the dispatch in flight (== the popped item's timestamp;
     /// runs ahead of `queue.now()` during soft dispatches).
     sim_now: Ns,
     /// First global rank id owned by this world. `ranks[g - rank_base]`
-    /// is rank `g`; per-rank *counter* vectors (`pending_wake`,
-    /// `train_*`, `sent_seen`) stay full-length so global ids index them
-    /// directly. Zero in single-queue runs.
+    /// is rank `g`, and the per-rank *counter* vectors (`pending_wake`,
+    /// `train_*`, `sent_seen`) are shard-local with the same `g -
+    /// rank_base` indexing — a shard carries O(ranks/shards) stat
+    /// state, not O(ranks). Zero in single-queue runs.
     rank_base: usize,
     /// First global node id owned by this world (see `rank_base`).
     node_base: usize,
@@ -764,6 +813,7 @@ impl World {
             arrival_trace: std::env::var("PICO_TRACE_ARRIVALS")
                 .ok()
                 .map(|p| (p, Vec::new())),
+            arrival_sketch: Sketch::new(),
             soft_deliveries: 0,
             sim_now: Ns::ZERO,
             rank_base: 0,
@@ -870,10 +920,10 @@ impl World {
     /// rank, so it is skipped at the source.
     #[inline]
     fn schedule_wake(&mut self, r: usize, at: Ns) {
-        if self.pending_wake[r] == at {
+        if self.pending_wake[r - self.rank_base] == at {
             return;
         }
-        self.pending_wake[r] = at;
+        self.pending_wake[r - self.rank_base] = at;
         self.schedule_ev(at, Ev::Wake(r));
     }
 
@@ -1081,7 +1131,11 @@ impl World {
             "sharded engine needs a positive base link latency for lookahead"
         );
         let nnodes = self.nodes.len();
-        let want = self.cfg.shards.unwrap_or(16).clamp(1, nnodes);
+        let want = self
+            .cfg
+            .shards
+            .unwrap_or_else(|| auto_shard_count(nnodes, self.hot.rpn))
+            .clamp(1, nnodes);
         if want <= 1 {
             // One shard is just the single-queue walk.
             let mut w = self;
@@ -1176,8 +1230,9 @@ impl World {
 
     /// Partition this (fresh, not-yet-run) world into `nshards`
     /// node-contiguous shards. Entity state (`ranks`, `nodes`) is
-    /// chunked; per-entity *counter* vectors stay full-length so global
-    /// ids keep indexing them directly. Each shard gets its own queue
+    /// chunked, and the per-rank counter vectors are chunked with it
+    /// (`g - rank_base` indexing), so a shard's footprint is
+    /// O(ranks/shards), not O(ranks). Each shard gets its own queue
     /// (the initial wakes rescheduled in rank order — `rank.clock`
     /// still holds the launch skew, and nothing else is pending this
     /// early), its own full-gate fabric (a shard only advances its own
@@ -1191,7 +1246,6 @@ impl World {
             "worlds must be split before running"
         );
         let nnodes = self.nodes.len();
-        let nranks = self.ranks.len();
         let rpn = self.hot.rpn;
         let base = nnodes / nshards;
         let rem = nnodes % nshards;
@@ -1211,12 +1265,13 @@ impl World {
             let mut queue = EventQueue::with_coarse_bits(self.cfg.wheel_coarse_bits);
             let mut node_pending: Vec<std::collections::BTreeMap<Ns, u32>> =
                 vec![std::collections::BTreeMap::new(); nnodes];
-            let mut pending_wake = vec![Ns::MAX; nranks];
+            let shard_ranks = count * rpn;
+            let mut pending_wake = vec![Ns::MAX; shard_ranks];
             for (j, rank) in ranks.iter().enumerate() {
                 let g = rank_base + j;
                 queue.schedule(rank.clock, Ev::Wake(g));
                 *node_pending[rank.node].entry(rank.clock).or_insert(0) += 1;
-                pending_wake[g] = rank.clock;
+                pending_wake[j] = rank.clock;
             }
             shards.push(World {
                 cfg: self.cfg.clone(),
@@ -1238,9 +1293,9 @@ impl World {
                 sent_scratch: Vec::new(),
                 emit_seq: 0,
                 train_epoch: 0,
-                train_delivered: vec![0; nranks],
-                train_parked: vec![0; nranks],
-                train_park_clock: vec![Ns::ZERO; nranks],
+                train_delivered: vec![0; shard_ranks],
+                train_parked: vec![0; shard_ranks],
+                train_park_clock: vec![Ns::ZERO; shard_ranks],
                 engaged_scratch: Vec::new(),
                 node_pending,
                 soft: Vec::new(),
@@ -1262,6 +1317,7 @@ impl World {
                     .arrival_trace
                     .as_ref()
                     .map(|(p, _)| (p.clone(), Vec::new())),
+                arrival_sketch: Sketch::new(),
                 soft_deliveries: 0,
                 sim_now: Ns::ZERO,
                 rank_base,
@@ -1271,7 +1327,7 @@ impl World {
                 outbox: Vec::new(),
                 emit_order: 0,
                 commit_seq: 0,
-                sent_seen: vec![0; nranks],
+                sent_seen: vec![0; shard_ranks],
                 sent_seen_epoch: 0,
                 payloads_checked: 0,
                 payload_errors: 0,
@@ -1331,8 +1387,8 @@ impl World {
     fn dispatch_ev(&mut self, t: Ns, ev: Ev) {
         match ev {
             Ev::Wake(r) => {
-                if self.pending_wake[r] == t {
-                    self.pending_wake[r] = Ns::MAX;
+                if self.pending_wake[r - self.rank_base] == t {
+                    self.pending_wake[r - self.rank_base] = Ns::MAX;
                 }
                 if !self.ranks[(r) - self.rank_base].done {
                     let now = t.max(self.ranks[(r) - self.rank_base].clock);
@@ -1394,10 +1450,10 @@ impl World {
                 self.sent_seen_epoch += 1;
                 let epoch = self.sent_seen_epoch;
                 for m in members.iter() {
-                    if self.sent_seen[m.rank] == epoch {
+                    if self.sent_seen[m.rank - self.rank_base] == epoch {
                         continue;
                     }
-                    self.sent_seen[m.rank] = epoch;
+                    self.sent_seen[m.rank - self.rank_base] = epoch;
                     if !self.ranks[(m.rank) - self.rank_base].done {
                         let now = t.max(self.ranks[(m.rank) - self.rank_base].clock);
                         self.run_rank(m.rank, now);
@@ -1539,7 +1595,9 @@ impl World {
         for (src_node, dst_node, members) in &mut trains {
             self.flush_one_train(*src_node, *dst_node, members);
             debug_assert!(members.is_empty());
-            self.member_pool.push(std::mem::take(members));
+            let mut v = std::mem::take(members);
+            shrink_scratch(&mut v);
+            self.member_pool.push(v);
         }
         // Scheduling events never emits packets, so nothing accumulated
         // while flushing; keep the outer allocation warm.
@@ -1601,6 +1659,7 @@ impl World {
             i = j;
         }
         sent.clear();
+        shrink_scratch(&mut sent);
         self.sent_scratch = sent;
     }
 
@@ -1622,6 +1681,11 @@ impl World {
         if bytes >= 1024 {
             self.arrival_digest_bulk = self.arrival_digest_bulk.wrapping_add(h);
         }
+        // Same stream, constant memory: the delivery latency (schedule →
+        // arrival) lands in this shard's sketch; full rows only when an
+        // explicit trace sink was requested via `PICO_TRACE_ARRIVALS`.
+        self.arrival_sketch
+            .record(arrival.0.saturating_sub(self.sim_now.0));
         if let Some((_, trace)) = &mut self.arrival_trace {
             let now = self.sim_now.0;
             trace.push((now, dst, src, bytes, arrival.0));
@@ -2049,6 +2113,7 @@ impl World {
         });
         fm.clear();
         self.fabric_member_scratch = fm;
+        shrink_scratch(&mut inj);
         self.inj_scratch = inj;
     }
 
@@ -2141,6 +2206,7 @@ impl World {
             self.schedule_ev(now + linger, Ev::SinkClose { slot: idx });
         }
         inj.clear();
+        shrink_scratch(&mut inj);
         self.inj_scratch = inj;
         scheds.clear();
         self.sched_scratch = scheds;
@@ -2193,7 +2259,9 @@ impl World {
             if self.ranks[(dst) - self.rank_base].done {
                 continue;
             }
-            if self.train_delivered[dst] == epoch && self.continuation_clear(dst, m.arrival) {
+            if self.train_delivered[dst - self.rank_base] == epoch
+                && self.continuation_clear(dst, m.arrival)
+            {
                 // The rank is inside the library and nothing touching its
                 // node is due before this member drains off the wire:
                 // consume it in this dispatch, replaying the park-and-drain
@@ -2225,8 +2293,8 @@ impl World {
                 }
                 continue;
             }
-            let parked = self.train_parked[dst] == epoch;
-            if parked && m.arrival <= self.train_park_clock[dst] {
+            let parked = self.train_parked[dst - self.rank_base] == epoch;
+            if parked && m.arrival <= self.train_park_clock[dst - self.rank_base] {
                 self.ranks[(dst) - self.rank_base]
                     .inbox
                     .push((m.src, m.packet));
@@ -2235,7 +2303,7 @@ impl World {
             if !parked && m.arrival <= t {
                 let clock = self.ranks[(dst) - self.rank_base].clock;
                 if clock <= t {
-                    self.train_delivered[dst] = epoch;
+                    self.train_delivered[dst - self.rank_base] = epoch;
                     engaged.push(dst);
                     self.ranks[(dst) - self.rank_base]
                         .inbox
@@ -2245,8 +2313,8 @@ impl World {
                     self.ranks[(dst) - self.rank_base]
                         .inbox
                         .push((m.src, m.packet));
-                    self.train_parked[dst] = epoch;
-                    self.train_park_clock[dst] = clock;
+                    self.train_parked[dst - self.rank_base] = epoch;
+                    self.train_park_clock[dst - self.rank_base] = clock;
                     self.schedule_wake(dst, clock);
                 }
                 continue;
@@ -2950,6 +3018,28 @@ impl World {
     }
 }
 
+/// Default shard count for [`EngineMode::Sharded`] when
+/// [`ClusterConfig::shards`] is `None` (which replaced the old flat
+/// `min(nodes, 16)`): enough shards to keep roughly two in flight per
+/// available worker (so shards that hit their window horizon early
+/// don't idle a core), but never so many that a shard owns fewer than
+/// ~32 ranks (each shard pays a full fabric + barrier crossing per
+/// window), and never more than one per node or 64 total.
+///
+/// Deliberately *independent of the run's worker count*
+/// ([`ClusterConfig::threads`]): the partition — and therefore the
+/// bit-exact result — depends only on the job shape and the machine's
+/// advertised parallelism ([`pico_sim::default_threads`], overridable
+/// via `PICO_THREADS`), so the worker-count bit-invariance property
+/// holds by construction. Benchmark artifacts record the shard count
+/// and `benchdiff` refuses to trend across differing partitions.
+pub fn auto_shard_count(nodes: usize, ranks_per_node: usize) -> usize {
+    let ranks = nodes.saturating_mul(ranks_per_node.max(1));
+    let by_workers = pico_sim::default_threads().saturating_mul(2).max(1);
+    let by_ranks = (ranks / 32).max(1);
+    by_workers.min(by_ranks).min(nodes.max(1)).min(64)
+}
+
 /// Aggregate one or more finished worlds — one per shard, in shard
 /// order (= global rank/node order) — into a [`RunResult`]. A
 /// single-queue run passes exactly one world, so this is also the
@@ -2970,11 +3060,16 @@ fn collect_many(worlds: Vec<World>, elapsed_secs: f64, threads: u32, shards: u32
         }
         std::fs::write(path, out).expect("write arrival trace");
     }
+    let record_per_rank = worlds[0].cfg.record_per_rank;
     let nranks: usize = worlds.iter().map(|w| w.ranks.len()).sum();
     let mut mpi = TimeByKey::new();
     let mut kprof = TimeByKey::new();
     let mut wheel = WheelProfile::default();
-    let mut rank_finish = Vec::with_capacity(nranks);
+    // The exact per-rank vector is opt-in; the sketch is the result path.
+    let mut rank_finish = Vec::with_capacity(if record_per_rank { nranks } else { 0 });
+    let mut finish = FinishSketch::new();
+    let mut arrival_latency = Sketch::new();
+    let mut stat_bytes = 0u64;
     let mut done = 0;
     let mut delivered = 0u64;
     let mut payload_errors = 0u64;
@@ -3001,14 +3096,36 @@ fn collect_many(worlds: Vec<World>, elapsed_secs: f64, threads: u32, shards: u32
         // the per-rank verification of the same payload).
         delivered += w.delivered_payloads + w.payloads_checked;
         payload_errors += w.payload_errors;
+        // Each shard folds its own ranks into a local sketch, merged
+        // once here at the join — merge order cannot perturb the result
+        // (commutative bucket sums), so this matches what any worker
+        // interleaving would have produced.
+        let mut shard_finish = FinishSketch::new();
         for r in &w.ranks {
             mpi.merge(r.engine.profile());
             kprof.merge(&r.kprof);
-            rank_finish.push(r.engine.finished_at().unwrap_or(r.clock));
+            let at = r.engine.finished_at().unwrap_or(r.clock);
+            shard_finish.record(at.0);
+            if record_per_rank {
+                rank_finish.push(at);
+            }
             if r.done {
                 done += 1;
             }
         }
+        finish.merge(&shard_finish);
+        arrival_latency.merge(&w.arrival_sketch);
+        // Resident O(ranks) stat state this shard still carried at the
+        // end of the run (capacities, not lengths: high-water matters).
+        stat_bytes += (w.pending_wake.capacity() * std::mem::size_of::<Ns>()
+            + w.train_delivered.capacity() * 8
+            + w.train_parked.capacity() * 8
+            + w.train_park_clock.capacity() * std::mem::size_of::<Ns>()
+            + w.sent_seen.capacity() * 8
+            + w.arrival_sketch.heap_bytes()
+            + w.arrival_trace.as_ref().map_or(0, |(_, t)| {
+                t.capacity() * std::mem::size_of::<ArrivalTraceRow>()
+            })) as u64;
         for n in &w.nodes {
             offloaded += n.delegator.offloaded();
             queue_wait += n.delegator.total_queue_wait();
@@ -3046,10 +3163,15 @@ fn collect_many(worlds: Vec<World>, elapsed_secs: f64, threads: u32, shards: u32
         digest = digest.wrapping_add(w.arrival_digest);
         digest_bulk = digest_bulk.wrapping_add(w.arrival_digest_bulk);
     }
-    let wall = rank_finish.iter().copied().max().unwrap_or(Ns::ZERO);
+    let wall = finish.max().map_or(Ns::ZERO, Ns);
+    stat_bytes += (rank_finish.capacity() * std::mem::size_of::<Ns>() + finish.heap_bytes()) as u64;
     RunResult {
         wall_time: wall,
+        finish,
         rank_finish,
+        arrival_latency,
+        stat_bytes,
+        peak_alloc_bytes: pico_sim::memalloc::peak_bytes(),
         mpi_profile: mpi,
         kernel_profile: kprof,
         offloaded_calls: offloaded,

@@ -315,13 +315,16 @@ fn backed_coral_payloads_survive_incast() {
 #[test]
 fn determinism_same_seed_same_result() {
     let run = || {
-        let cfg = ClusterConfig::paper(
+        let mut cfg = ClusterConfig::paper(
             OsConfig::McKernel,
             JobShape {
                 nodes: 2,
                 ranks_per_node: 4,
             },
         );
+        // Opt in to the exact per-rank vector so the comparison below
+        // stays a real per-rank check, not two empty vecs.
+        cfg.record_per_rank = true;
         run_app(cfg, App::Nekbone, 3)
     };
     let a = run();
@@ -330,6 +333,9 @@ fn determinism_same_seed_same_result() {
     assert_eq!(a.fabric_messages, b.fabric_messages);
     assert_eq!(a.offloaded_calls, b.offloaded_calls);
     assert_eq!(a.rank_finish, b.rank_finish);
+    assert_eq!(a.rank_finish.len() as u64, a.finish.count());
+    assert_eq!(a.finish.digest(), b.finish.digest());
+    assert_eq!(a.arrival_latency.digest(), b.arrival_latency.digest());
     assert_eq!(
         a.sim_events, b.sim_events,
         "event streams must be identical"

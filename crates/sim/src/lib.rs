@@ -12,6 +12,10 @@
 //!   syscall-offload service CPUs, SDMA engines and fabric links;
 //! * [`stats`] — counters, per-key time accumulators (the MPI and kernel
 //!   profilers), histograms and Welford mean/variance;
+//! * [`sketch`] — constant-memory, deterministic, mergeable quantile
+//!   sketches for O(1)-footprint run statistics at 4096-node scale;
+//! * [`memalloc`] — an opt-in counting global allocator so the bench
+//!   binaries can report peak memory without external crates;
 //! * [`par`] — an order-preserving scoped-thread parallel map for the
 //!   experiment sweeps (no external runtime, deterministic output);
 //! * [`json`] — a minimal JSON builder for the result artifacts.
@@ -24,9 +28,11 @@
 
 pub mod event;
 pub mod json;
+pub mod memalloc;
 pub mod par;
 pub mod resource;
 pub mod rng;
+pub mod sketch;
 pub mod stats;
 pub mod time;
 
@@ -35,5 +41,6 @@ pub use json::Json;
 pub use par::{default_threads, par_map, par_map_threads, SpinBarrier, WindowSync};
 pub use resource::{BandwidthGate, Grant, ServerPool};
 pub use rng::Rng;
+pub use sketch::{FinishSketch, Sketch};
 pub use stats::{Counter, Histogram, TimeByKey, Welford};
 pub use time::{transfer_time, Ns};

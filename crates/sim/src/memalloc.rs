@@ -1,0 +1,114 @@
+//! A counting wrapper around the system allocator — the in-tree
+//! peak-memory meter for the bench binaries (no external crates).
+//!
+//! Binaries that want peak-allocation figures install it with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: pico_sim::memalloc::CountingAlloc = pico_sim::memalloc::CountingAlloc::new();
+//! ```
+//!
+//! and then bracket a measured region with [`reset_peak`] /
+//! [`peak_bytes`]. The counters are process-global relaxed atomics:
+//! cheap enough to leave on for a whole bench run, precise enough to
+//! gate order-of-magnitude memory regressions. In processes that do
+//! *not* install the allocator (the test suites, the figure binaries
+//! that don't measure memory) every query returns 0 and the library
+//! behaves as if the meter did not exist.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+static LIVE: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// Pass-through [`System`] allocator that tracks live and peak bytes.
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// Const constructor for the `#[global_allocator]` static.
+    pub const fn new() -> Self {
+        CountingAlloc
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[inline]
+fn add(n: u64) {
+    let live = LIVE.fetch_add(n, Relaxed) + n;
+    PEAK.fetch_max(live, Relaxed);
+}
+
+#[inline]
+fn sub(n: u64) {
+    LIVE.fetch_sub(n, Relaxed);
+}
+
+// SAFETY: pure pass-through to `System`; the bookkeeping never
+// allocates and tolerates races (relaxed counters are a meter, not a
+// synchronization primitive).
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            add(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        sub(layout.size() as u64);
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            add(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            let old = layout.size() as u64;
+            let new = new_size as u64;
+            if new >= old {
+                add(new - old);
+            } else {
+                sub(old - new);
+            }
+        }
+        p
+    }
+}
+
+/// Bytes currently live (0 when the counting allocator is not the
+/// process's global allocator).
+pub fn live_bytes() -> u64 {
+    LIVE.load(Relaxed)
+}
+
+/// High-water mark of live bytes since process start or the last
+/// [`reset_peak`] (0 when the meter is not installed).
+pub fn peak_bytes() -> u64 {
+    PEAK.load(Relaxed)
+}
+
+/// Restart the high-water mark from the current live count, so a
+/// measured region reports its own peak rather than the process's.
+pub fn reset_peak() {
+    PEAK.store(LIVE.load(Relaxed), Relaxed);
+}
+
+/// Whether the meter has ever seen an allocation — i.e. whether the
+/// counting allocator is actually installed in this process.
+pub fn installed() -> bool {
+    peak_bytes() > 0
+}

@@ -166,18 +166,22 @@ fn lammps_no_regression() {
 #[test]
 fn full_stack_determinism() {
     let run = || {
-        let cfg = ClusterConfig::paper(
+        let mut cfg = ClusterConfig::paper(
             OsConfig::McKernelHfi,
             JobShape {
                 nodes: 2,
                 ranks_per_node: 8,
             },
         );
+        cfg.record_per_rank = true;
         run_app(cfg, App::Qbox, 3)
     };
     let (a, b) = (run(), run());
     assert_eq!(a.wall_time, b.wall_time);
     assert_eq!(a.rank_finish, b.rank_finish);
+    assert!(!a.rank_finish.is_empty());
+    assert_eq!(a.finish.digest(), b.finish.digest());
+    assert_eq!(a.arrival_latency.digest(), b.arrival_latency.digest());
     assert_eq!(a.fabric_bytes, b.fabric_bytes);
     assert_eq!(a.kernel_time(), b.kernel_time());
 }
