@@ -6,9 +6,12 @@
 #                    check + the reduced simbench smoke gate
 #   ./ci.sh --bench  additionally run the full simbench regression gate
 #                    (--full: adds the 256-node sharded-engine speedup gate,
-#                    the 1024/4096-node weak-scaling sweep with peak-memory
-#                    reporting, and the streaming-stat memory gate; slower —
-#                    the 4096-node point runs only in this nightly lane)
+#                    the 1024/4096/16384-node weak-scaling sweep with
+#                    peak-memory reporting, the streaming-stat memory gate,
+#                    and the sparse shard-state gate at 4096 nodes / 64
+#                    shards (≥8× below the dense layout, bit-identical);
+#                    slower — the 4096- and 16384-node points run only in
+#                    this nightly lane)
 
 set -euo pipefail
 cd "$(dirname "$0")"

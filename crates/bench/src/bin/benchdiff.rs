@@ -10,9 +10,10 @@
 //! the scheduled CI job turns red while per-push CI stays untouched.
 //! Each metric carries a direction: throughput figures
 //! (`events_per_sec`, queue speedup) and gate ratios (train / flow /
-//! incast event reductions, the stat-memory reduction) regress when
-//! they *drop*; the weak-scaling memory figures (`peak_alloc_bytes`,
-//! `stat_bytes`) regress when they *grow*. A missing or unreadable
+//! incast event reductions, the stat-memory and shard-state
+//! reductions) regress when they *drop*; the weak-scaling memory
+//! figures at every node point (`peak_alloc_bytes`, `stat_bytes`,
+//! `shard_state_bytes`) regress when they *grow*. A missing or unreadable
 //! *previous* artifact is not an error: the first nightly run (or a
 //! wiped cache) simply has nothing to trend against, so the tool
 //! prints a notice and passes. Likewise two artifacts recorded at
@@ -122,9 +123,15 @@ fn metrics(doc: &Json) -> Vec<(String, f64, Dir)> {
             row.get("stat_bytes"),
             Dir::LowerIsBetter,
         );
+        push_dir(
+            &mut out,
+            format!("weak_scaling[n{nodes}].shard_state_bytes"),
+            row.get("shard_state_bytes"),
+            Dir::LowerIsBetter,
+        );
     }
-    // The stat-memory gate's reduction ratio: the in-run gate enforces
-    // the 4x floor; trending catches slow erosion well above it.
+    // The memory gates' reduction ratios: the in-run gates enforce the
+    // 4x / 8x floors; trending catches slow erosion well above them.
     if let Some(g) = doc.get("stat_gate") {
         let nodes = g.get("nodes").and_then(Json::as_f64).unwrap_or(0.0);
         push_dir(
@@ -132,6 +139,21 @@ fn metrics(doc: &Json) -> Vec<(String, f64, Dir)> {
             format!("stat_gate[n{nodes}].reduction"),
             g.get("reduction"),
             Dir::HigherIsBetter,
+        );
+    }
+    if let Some(g) = doc.get("shard_state_gate") {
+        let nodes = g.get("nodes").and_then(Json::as_f64).unwrap_or(0.0);
+        push_dir(
+            &mut out,
+            format!("shard_state_gate[n{nodes}].reduction"),
+            g.get("reduction"),
+            Dir::HigherIsBetter,
+        );
+        push_dir(
+            &mut out,
+            format!("shard_state_gate[n{nodes}].shard_state_bytes"),
+            g.get("shard_state_bytes"),
+            Dir::LowerIsBetter,
         );
     }
     out

@@ -18,10 +18,12 @@
 //! gates (every run still asserts `clamped_events == 0`). Pass `--full`
 //! for the nightly superset: the 256-node sharded-engine speedup gate
 //! (≥2× wall clock at 4+ workers over the same engine's single-worker
-//! walk), the 1024/4096-node weak-scaling sweep with per-run peak
-//! memory, and the streaming-stat memory gate (resident stat bytes at
+//! walk), the 1024/4096/16384-node weak-scaling sweep with per-run
+//! peak memory, the streaming-stat memory gate (resident stat bytes at
 //! 1024 nodes must sit ≥4× below the per-rank-vector layout the
-//! sketches replaced).
+//! sketches replaced), and the shard-local state gate (resident
+//! fabric+node state at 4096 nodes / 64 shards must sit ≥8× below the
+//! dense O(shards × total_nodes) layout, bit-identical results).
 
 use pico_apps::App;
 use pico_cluster::{paper_config, run_app, EngineMode, FabricMode, OsConfig, RunResult};
@@ -527,32 +529,46 @@ fn parallel_gate(nodes: u32, iters: u32, enforce: bool) -> Json {
     ])
 }
 
-/// Weak-scaling sweep past the paper's 256-node ceiling: 1024- and
-/// 4096-node sharded UMT2013 rounds must run to completion — every
-/// rank finishes, nothing is clamped, no payload fails its self-check.
-/// Guards the engine's bookkeeping (shard partition, inbox routing,
-/// finish detection) at scales the equivalence tests never reach, and
-/// records the per-run peak heap (`peak_alloc_bytes`, via the counting
-/// allocator installed above) and accounted resident stat bytes
-/// (`stat_bytes`) that benchdiff trends night over night.
+/// Weak-scaling sweep past the paper's 256-node ceiling: 1024-, 4096-
+/// and 16,384-node sharded UMT2013 rounds must run to completion —
+/// every rank finishes, nothing is clamped, no payload fails its
+/// self-check. Guards the engine's bookkeeping (shard partition, inbox
+/// routing, finish detection) at scales the equivalence tests never
+/// reach, and records the per-run peak heap (`peak_alloc_bytes`, via
+/// the counting allocator installed above), accounted resident stat
+/// bytes (`stat_bytes`) and resident shard state
+/// (`shard_state_bytes`) that benchdiff trends night over night.
 fn weak_scaling_sweep() -> Vec<Json> {
     let mut rows = Vec::new();
-    for nodes in [1024u32, 4096] {
+    for nodes in [1024u32, 4096, 16384] {
         memalloc::reset_peak();
+        // `reset_peak` at a quiet moment must not un-install the meter
+        // (the inference bug the dedicated flag replaced).
+        assert!(
+            memalloc::installed(),
+            "weak-scaling sweep: counting allocator not installed"
+        );
         let t0 = Instant::now();
         let res = run_app(sharded_umt(nodes, 1, None), App::Umt2013, 1);
         let secs = t0.elapsed().as_secs_f64();
         assert_eq!(res.ranks_done, nodes, "weak-scaling sweep: ranks finished");
         assert_eq!(res.clamped_events, 0, "weak-scaling sweep: clamped events");
         assert_eq!(res.payload_errors, 0, "weak-scaling sweep: payload errors");
+        // Sparse shard state: gates materialize once per node across
+        // all shards, never once per node per shard.
+        assert_eq!(
+            res.shard_gate_nodes, nodes as u64,
+            "weak-scaling sweep: remote gate state materialized"
+        );
         println!(
             "weak-scaling sweep ({nodes} nodes, {} shards, {} threads): {} events in {secs:.2}s, \
-             peak heap {:.1} MiB, stat bytes {}",
+             peak heap {:.1} MiB, stat bytes {}, shard state bytes {}",
             res.shards,
             res.threads,
             res.sim_events,
             res.peak_alloc_bytes as f64 / (1 << 20) as f64,
             res.stat_bytes,
+            res.shard_state_bytes,
         );
         rows.push(Json::obj([
             ("nodes", Json::UInt(nodes as u64)),
@@ -563,6 +579,8 @@ fn weak_scaling_sweep() -> Vec<Json> {
             ("wall_secs", Json::Num(secs)),
             ("peak_alloc_bytes", Json::UInt(res.peak_alloc_bytes)),
             ("stat_bytes", Json::UInt(res.stat_bytes)),
+            ("shard_state_bytes", Json::UInt(res.shard_state_bytes)),
+            ("shard_gate_nodes", Json::UInt(res.shard_gate_nodes)),
         ]));
     }
     rows
@@ -608,6 +626,69 @@ fn stat_memory_gate() -> Json {
     ])
 }
 
+/// The shard-local state gate: at 4096 nodes / 64 pinned shards, the
+/// resident fabric-gate + node-state bytes of the sparse layout (each
+/// shard sized to its own node range, remote gates on first touch)
+/// must sit ≥8× below the dense reference layout
+/// (`cfg.dense_shard_state`: every shard carries gates, `node_pending`
+/// maps and sink roots for the whole cluster) — while the two runs stay
+/// bit-identical on the full sharded digest. The shard count is pinned
+/// so the dense baseline, and with it the ratio, is host-independent.
+fn shard_state_gate() -> Json {
+    let nodes = 4096u32;
+    let shards = 64usize;
+    let gate_cfg = |dense: bool| {
+        let mut cfg = sharded_umt(nodes, 1, None);
+        cfg.shards = Some(shards);
+        cfg.record_per_rank = true;
+        cfg.dense_shard_state = dense;
+        cfg
+    };
+    let sparse = run_app(gate_cfg(false), App::Umt2013, 1);
+    let dense = run_app(gate_cfg(true), App::Umt2013, 1);
+    assert_eq!(sparse.ranks_done, nodes, "shard-state gate: ranks finished");
+    assert_eq!(
+        sparse.shards as usize, shards,
+        "shard-state gate: shard pin"
+    );
+    assert_eq!(
+        sharded_digest(&sparse),
+        sharded_digest(&dense),
+        "shard-state gate: sparse layout changed results at {nodes} nodes"
+    );
+    assert_eq!(
+        sparse.shard_gate_nodes, nodes as u64,
+        "shard-state gate: sparse run materialized remote gate state"
+    );
+    assert_eq!(
+        dense.shard_gate_nodes,
+        shards as u64 * nodes as u64,
+        "shard-state gate: dense run must preallocate shards x nodes"
+    );
+    let ratio = dense.shard_state_bytes as f64 / sparse.shard_state_bytes.max(1) as f64;
+    println!(
+        "shard-state gate ({nodes} nodes, {shards} shards): sparse {} bytes vs dense {} \
+         ({ratio:.1}x, digests identical)",
+        sparse.shard_state_bytes, dense.shard_state_bytes,
+    );
+    if ratio < 8.0 {
+        eprintln!(
+            "REGRESSION: per-shard resident state {} only {ratio:.1}x below the dense \
+             O(shards x total_nodes) layout {} (gate: 8x) at {nodes} nodes / {shards} shards",
+            sparse.shard_state_bytes, dense.shard_state_bytes,
+        );
+        std::process::exit(1);
+    }
+    Json::obj([
+        ("nodes", Json::UInt(nodes as u64)),
+        ("shards", Json::UInt(shards as u64)),
+        ("shard_state_bytes", Json::UInt(sparse.shard_state_bytes)),
+        ("dense_state_bytes", Json::UInt(dense.shard_state_bytes)),
+        ("reduction", Json::Num(ratio)),
+        ("digest_match", Json::Bool(true)),
+    ])
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let full = std::env::args().any(|a| a == "--full");
@@ -642,17 +723,21 @@ fn main() {
 
     // Sharded-engine gates: worker-count determinism everywhere; the
     // ≥2× wall-clock speedup enforced on the nightly 256-node point;
-    // the 1024/4096-node weak-scaling sweep and the streaming-stat
-    // memory gate nightly only.
+    // the 1024/4096/16384-node weak-scaling sweep, the streaming-stat
+    // memory gate and the sparse shard-state gate nightly only.
     let parallel_row = if full {
         parallel_gate(256, 2, true)
     } else {
         parallel_gate(if smoke { 24 } else { 64 }, 1, false)
     };
-    let (weak_rows, stat_gate_row) = if full {
-        (weak_scaling_sweep(), Some(stat_memory_gate()))
+    let (weak_rows, stat_gate_row, shard_state_row) = if full {
+        (
+            weak_scaling_sweep(),
+            Some(stat_memory_gate()),
+            Some(shard_state_gate()),
+        )
     } else {
-        (Vec::new(), None)
+        (Vec::new(), None, None)
     };
 
     // End-to-end: Figure 6a sweep at small scale, wall time + sim throughput.
@@ -708,6 +793,7 @@ fn main() {
         ("parallel", parallel_row),
         ("weak_scaling", Json::Arr(weak_rows)),
         ("stat_gate", stat_gate_row.unwrap_or(Json::Null)),
+        ("shard_state_gate", shard_state_row.unwrap_or(Json::Null)),
         (
             "sweep",
             Json::obj([

@@ -192,6 +192,16 @@ pub struct ClusterConfig {
     /// state, which is exactly what capped the sweeps at 256 nodes. The
     /// equivalence tests that compare finish times rank by rank opt in.
     pub record_per_rank: bool,
+    /// Size every shard's fabric gates and node-indexed structures
+    /// (`node_pending`, sink roots) to the **full cluster** instead of
+    /// the shard's own node range. Off by default: the dense layout
+    /// costs O(shards × total_nodes) memory and exists as the reference
+    /// the sparse layout is equivalence-tested (and its ≥8× memory gate
+    /// measured) against. Results are bit-identical either way — a
+    /// shard only ever touches its own nodes' state, and a sparse
+    /// remote entry is created on first touch with exactly a fresh
+    /// gate's state. Single-queue runs always span every node.
+    pub dense_shard_state: bool,
 }
 
 impl ClusterConfig {
@@ -230,6 +240,7 @@ impl ClusterConfig {
             threads: None,
             shards: None,
             record_per_rank: false,
+            dense_shard_state: false,
         }
     }
 }

@@ -368,6 +368,21 @@ pub struct RunResult {
     /// installed the counting allocator (the bench binaries do; tests
     /// and figure binaries that don't measure memory don't).
     pub peak_alloc_bytes: u64,
+    /// Resident bytes of node-indexed engine state at collection,
+    /// summed across shards: fabric gate storage (dense own range plus
+    /// the sparse remote map) and the `node_pending` / sink-root
+    /// vectors. O(total_nodes) for the whole run under the sparse
+    /// shard layout, O(shards × total_nodes) under
+    /// [`ClusterConfig::dense_shard_state`] — the `simbench`
+    /// shard-state gate holds the sparse layout ≥8× below dense at
+    /// 4096 nodes / 64 shards.
+    pub shard_state_bytes: u64,
+    /// Nodes whose fabric gate state was materialized, summed across
+    /// shards. Equals total nodes under the sparse layout (each shard
+    /// allocates exactly its own range and touches no remote gate) and
+    /// shards × total nodes under the dense one — the property tests'
+    /// no-remote-allocation witness.
+    pub shard_gate_nodes: u64,
     /// MPI per-call time summed over all ranks.
     pub mpi_profile: TimeByKey<MpiCall>,
     /// Kernel per-syscall time summed over all ranks (Figures 8/9).
@@ -626,6 +641,13 @@ pub struct World {
     rank_base: usize,
     /// First global node id owned by this world (see `rank_base`).
     node_base: usize,
+    /// First node whose `node_pending` / `sinks` entry this world
+    /// stores: both vectors are indexed `node - nstate_base`. Equal to
+    /// `node_base` in a sharded run (the vectors cover only the shard's
+    /// own node range — a shard never touches another shard's pending
+    /// marks or sink roots); 0 in single-queue runs and under
+    /// `cfg.dense_shard_state`, where they span every node.
+    nstate_base: usize,
     /// This shard's id (0 in single-queue runs).
     shard_id: u32,
     /// True inside a sharded run: inter-node sink bursts detour through
@@ -818,6 +840,7 @@ impl World {
             sim_now: Ns::ZERO,
             rank_base: 0,
             node_base: 0,
+            nstate_base: 0,
             shard_id: 0,
             sharded: false,
             outbox: Vec::new(),
@@ -971,7 +994,11 @@ impl World {
             return false;
         }
         let node = self.ranks[(dst) - self.rank_base].node;
-        if self.node_pending[node].range(..=arrival).next().is_some() {
+        if self.node_pending[node - self.nstate_base]
+            .range(..=arrival)
+            .next()
+            .is_some()
+        {
             return false;
         }
         !self
@@ -985,7 +1012,9 @@ impl World {
     fn schedule_ev(&mut self, at: Ns, ev: Ev) {
         if self.hot.batch {
             if let Some(n) = self.ev_node(&ev) {
-                *self.node_pending[n].entry(at).or_insert(0) += 1;
+                *self.node_pending[n - self.nstate_base]
+                    .entry(at)
+                    .or_insert(0) += 1;
             }
         }
         self.queue.schedule(at, ev);
@@ -996,6 +1025,7 @@ impl World {
     /// [`push_soft`](Self::push_soft), applied when the event or soft
     /// item is dispatched).
     fn node_pending_remove(&mut self, n: usize, t: Ns) {
+        let n = n - self.nstate_base;
         match self.node_pending[n].get_mut(&t) {
             Some(c) if *c > 1 => *c -= 1,
             _ => {
@@ -1015,7 +1045,9 @@ impl World {
             SoftKind::Ev(ev) => self.ev_node(ev),
         };
         if let Some(n) = node {
-            *self.node_pending[n].entry(at).or_insert(0) += 1;
+            *self.node_pending[n - self.nstate_base]
+                .entry(at)
+                .or_insert(0) += 1;
         }
         let seq = self.queue.alloc_seq();
         let item = SoftItem { at, seq, kind };
@@ -1235,10 +1267,15 @@ impl World {
     /// O(ranks/shards), not O(ranks). Each shard gets its own queue
     /// (the initial wakes rescheduled in rank order — `rank.clock`
     /// still holds the launch skew, and nothing else is pending this
-    /// early), its own full-gate fabric (a shard only advances its own
-    /// nodes' uplinks at injection and downlinks at commit, so gate
-    /// state never races), and its own soft schedule. Returns the
-    /// shards and the node → shard map.
+    /// early), its own shard-local fabric (a shard only advances its
+    /// own nodes' uplinks at injection and downlinks at commit, so gate
+    /// state never races — and the gate array covers only the own node
+    /// range, with remote endpoints materialized sparsely on first
+    /// touch), its own-range `node_pending` / sink-root vectors
+    /// (indexed `node - nstate_base`, the node analogue of the
+    /// `g - rank_base` rank counters), and its own soft schedule.
+    /// `cfg.dense_shard_state` restores the full-cluster sizing as the
+    /// reference layout. Returns the shards and the node → shard map.
     fn split_shards(mut self, nshards: usize) -> (Vec<World>, Vec<u32>) {
         assert_eq!(
             self.queue.events_processed(),
@@ -1263,14 +1300,22 @@ impl World {
                 *s = i as u32;
             }
             let mut queue = EventQueue::with_coarse_bits(self.cfg.wheel_coarse_bits);
+            let dense = self.cfg.dense_shard_state;
+            let (nstate, nstate_base) = if dense {
+                (nnodes, 0)
+            } else {
+                (count, node_base)
+            };
             let mut node_pending: Vec<std::collections::BTreeMap<Ns, u32>> =
-                vec![std::collections::BTreeMap::new(); nnodes];
+                vec![std::collections::BTreeMap::new(); nstate];
             let shard_ranks = count * rpn;
             let mut pending_wake = vec![Ns::MAX; shard_ranks];
             for (j, rank) in ranks.iter().enumerate() {
                 let g = rank_base + j;
                 queue.schedule(rank.clock, Ev::Wake(g));
-                *node_pending[rank.node].entry(rank.clock).or_insert(0) += 1;
+                *node_pending[rank.node - nstate_base]
+                    .entry(rank.clock)
+                    .or_insert(0) += 1;
                 pending_wake[j] = rank.clock;
             }
             shards.push(World {
@@ -1280,7 +1325,11 @@ impl World {
                 mmc: self.mmc,
                 nodes,
                 ranks,
-                fabric: Fabric::new(self.cfg.fabric, nnodes),
+                fabric: if dense {
+                    Fabric::new(self.cfg.fabric, nnodes)
+                } else {
+                    Fabric::new_shard(self.cfg.fabric, nnodes, node_base, count)
+                },
                 queue,
                 delivered_payloads: 0,
                 pending_wake,
@@ -1300,7 +1349,7 @@ impl World {
                 node_pending,
                 soft: Vec::new(),
                 flows: Vec::new(),
-                sinks: (0..nnodes).map(|_| SinkSlot::default()).collect(),
+                sinks: (0..nstate).map(|_| SinkSlot::default()).collect(),
                 link_index: LinkIndex::new(),
                 resplits: 0,
                 flow_pauses: 0,
@@ -1322,6 +1371,7 @@ impl World {
                 sim_now: Ns::ZERO,
                 rank_base,
                 node_base,
+                nstate_base,
                 shard_id: i as u32,
                 sharded: true,
                 outbox: Vec::new(),
@@ -1363,14 +1413,15 @@ impl World {
             }
             SoftKind::Sink(i) => {
                 self.node_pending_remove(i, item.at);
-                let members = std::mem::take(&mut self.sinks[i].members);
-                self.sinks[i].pending = false;
-                self.sinks[i].last_activity = item.at;
+                let si = i - self.nstate_base;
+                let members = std::mem::take(&mut self.sinks[si].members);
+                self.sinks[si].pending = false;
+                self.sinks[si].last_activity = item.at;
                 self.on_packet_train(members, TrainSource::Sink(i));
-                let s = &self.sinks[i];
+                let s = &self.sinks[si];
                 if (s.open || s.pending) && !s.reaper_armed {
                     let at = s.last_activity + self.cfg.flow_linger_ns;
-                    self.sinks[i].reaper_armed = true;
+                    self.sinks[si].reaper_armed = true;
                     self.schedule_ev(at, Ev::SinkClose { slot: i });
                 }
             }
@@ -1929,13 +1980,15 @@ impl World {
         self.close_flow(slot);
     }
 
-    /// Finalize the open sink in `idx` (stats identity only: undelivered
-    /// members stay in place and a successor reuses the slot).
+    /// Finalize the open sink of node `idx` (stats identity only:
+    /// undelivered members stay in place and a successor reuses the
+    /// slot).
     fn close_sink(&mut self, idx: usize) {
-        if self.sinks[idx].open {
-            self.max_sink_len = self.max_sink_len.max(self.sinks[idx].len);
-            self.sinks[idx].open = false;
-            self.sinks[idx].len = 0;
+        let si = idx - self.nstate_base;
+        if self.sinks[si].open {
+            self.max_sink_len = self.max_sink_len.max(self.sinks[si].len);
+            self.sinks[si].open = false;
+            self.sinks[si].len = 0;
         }
     }
 
@@ -1953,20 +2006,23 @@ impl World {
     fn sink_append(&mut self, src_node: usize, dst_node: usize, members: &mut Vec<PendingMember>) {
         let now = self.sim_now;
         let linger = self.cfg.flow_linger_ns;
+        // `idx` keys the soft schedule / reaper / `node_pending` (global
+        // node id); `si` indexes the own-range sink vector.
         let idx = dst_node;
+        let si = idx - self.nstate_base;
         // Lazy close: every source feeding the sink idled past the
         // linger, or this burst would breach the member cap — finalize
         // and open a successor (per-sink, not per-link).
-        if self.sinks[idx].open {
-            let s = &self.sinks[idx];
+        if self.sinks[si].open {
+            let s = &self.sinks[si];
             let idled = !s.pending && now > s.last_activity + linger;
             let capped = s.len as usize + members.len() > self.cfg.flow_member_cap;
             if idled || capped {
                 self.close_sink(idx);
             }
         }
-        if !self.sinks[idx].open {
-            self.sinks[idx].open = true;
+        if !self.sinks[si].open {
+            self.sinks[si].open = true;
             self.sinks_opened += 1;
         }
         let mut fm = std::mem::take(&mut self.fabric_member_scratch);
@@ -1978,7 +2034,7 @@ impl World {
         }));
         let mut scheds = std::mem::take(&mut self.sched_scratch);
         scheds.clear();
-        let prior = self.sinks[idx].len;
+        let prior = self.sinks[si].len;
         self.fabric
             .extend_sink(src_node, dst_node, &fm, prior, &mut scheds);
         for (m, sched) in members.iter().zip(&scheds) {
@@ -2003,12 +2059,12 @@ impl World {
         // the boundary against members already pending (other sources,
         // or an earlier bucket of this flush with interleaved emission
         // seqs) can put the new head out of order.
-        let merge_needed = self.sinks[idx]
+        let merge_needed = self.sinks[si]
             .members
             .last()
             .is_some_and(|tail| (scheds[0].arrival, members[0].seq) < (tail.arrival, tail.seq));
         for (m, s) in members.drain(..).zip(scheds.iter()) {
-            self.sinks[idx].members.push(TrainPacket {
+            self.sinks[si].members.push(TrainPacket {
                 arrival: s.arrival,
                 seq: m.seq,
                 dst: m.dst,
@@ -2019,24 +2075,24 @@ impl World {
         if merge_needed {
             // `seq` is globally unique, so the key is total — unstable
             // sort is deterministic.
-            self.sinks[idx]
+            self.sinks[si]
                 .members
                 .sort_unstable_by_key(|p| (p.arrival, p.seq));
         }
-        self.sinks[idx].len += n;
+        self.sinks[si].len += n;
         self.sink_members_total += n;
-        self.max_sink_len = self.max_sink_len.max(self.sinks[idx].len);
-        self.sinks[idx].last_activity = now;
-        let head = self.sinks[idx].members[0].arrival;
-        if !self.sinks[idx].pending {
-            self.sinks[idx].pending = true;
-            self.sinks[idx].entry_at = head;
+        self.max_sink_len = self.max_sink_len.max(self.sinks[si].len);
+        self.sinks[si].last_activity = now;
+        let head = self.sinks[si].members[0].arrival;
+        if !self.sinks[si].pending {
+            self.sinks[si].pending = true;
+            self.sinks[si].entry_at = head;
             self.push_soft(head, SoftKind::Sink(idx));
-        } else if head < self.sinks[idx].entry_at {
+        } else if head < self.sinks[si].entry_at {
             // The merge put an earlier member at the head: re-key the
             // sink's soft entry (and its `node_pending` mark) to the new
             // first arrival, or the delivery would fire late.
-            let old = self.sinks[idx].entry_at;
+            let old = self.sinks[si].entry_at;
             let pos = self
                 .soft
                 .iter()
@@ -2044,11 +2100,11 @@ impl World {
                 .expect("pending sink has a soft entry");
             self.soft.remove(pos);
             self.node_pending_remove(idx, old);
-            self.sinks[idx].entry_at = head;
+            self.sinks[si].entry_at = head;
             self.push_soft(head, SoftKind::Sink(idx));
         }
-        if !self.sinks[idx].reaper_armed {
-            self.sinks[idx].reaper_armed = true;
+        if !self.sinks[si].reaper_armed {
+            self.sinks[si].reaper_armed = true;
             self.schedule_ev(now + linger, Ev::SinkClose { slot: idx });
         }
         fm.clear();
@@ -2139,16 +2195,17 @@ impl World {
         self.sim_now = now;
         let linger = self.cfg.flow_linger_ns;
         let idx = msg.dst_node;
-        if self.sinks[idx].open {
-            let s = &self.sinks[idx];
+        let si = idx - self.nstate_base;
+        if self.sinks[si].open {
+            let s = &self.sinks[si];
             let idled = !s.pending && now > s.last_activity + linger;
             let capped = s.len as usize + msg.members.len() > self.cfg.flow_member_cap;
             if idled || capped {
                 self.close_sink(idx);
             }
         }
-        if !self.sinks[idx].open {
-            self.sinks[idx].open = true;
+        if !self.sinks[si].open {
+            self.sinks[si].open = true;
             self.sinks_opened += 1;
         }
         let mut inj = std::mem::take(&mut self.inj_scratch);
@@ -2156,10 +2213,10 @@ impl World {
         inj.extend(msg.members.iter().map(|m| m.inj));
         let mut scheds = std::mem::take(&mut self.sched_scratch);
         scheds.clear();
-        let prior = self.sinks[idx].len;
+        let prior = self.sinks[si].len;
         self.fabric.sink_commit(idx, &inj, prior, &mut scheds);
         let n = msg.members.len() as u64;
-        let merge_needed = self.sinks[idx]
+        let merge_needed = self.sinks[si]
             .members
             .last()
             .is_some_and(|tail| (scheds[0].arrival, self.commit_seq) < (tail.arrival, tail.seq));
@@ -2167,7 +2224,7 @@ impl World {
             self.digest_arrival(s.arrival, m.dst, m.src, m.inj.bytes);
             let seq = self.commit_seq;
             self.commit_seq += 1;
-            self.sinks[idx].members.push(TrainPacket {
+            self.sinks[si].members.push(TrainPacket {
                 arrival: s.arrival,
                 seq,
                 dst: m.dst,
@@ -2176,21 +2233,21 @@ impl World {
             });
         }
         if merge_needed {
-            self.sinks[idx]
+            self.sinks[si]
                 .members
                 .sort_unstable_by_key(|p| (p.arrival, p.seq));
         }
-        self.sinks[idx].len += n;
+        self.sinks[si].len += n;
         self.sink_members_total += n;
-        self.max_sink_len = self.max_sink_len.max(self.sinks[idx].len);
-        self.sinks[idx].last_activity = now;
-        let head = self.sinks[idx].members[0].arrival;
-        if !self.sinks[idx].pending {
-            self.sinks[idx].pending = true;
-            self.sinks[idx].entry_at = head;
+        self.max_sink_len = self.max_sink_len.max(self.sinks[si].len);
+        self.sinks[si].last_activity = now;
+        let head = self.sinks[si].members[0].arrival;
+        if !self.sinks[si].pending {
+            self.sinks[si].pending = true;
+            self.sinks[si].entry_at = head;
             self.push_soft(head, SoftKind::Sink(idx));
-        } else if head < self.sinks[idx].entry_at {
-            let old = self.sinks[idx].entry_at;
+        } else if head < self.sinks[si].entry_at {
+            let old = self.sinks[si].entry_at;
             let pos = self
                 .soft
                 .iter()
@@ -2198,11 +2255,11 @@ impl World {
                 .expect("pending sink has a soft entry");
             self.soft.remove(pos);
             self.node_pending_remove(idx, old);
-            self.sinks[idx].entry_at = head;
+            self.sinks[si].entry_at = head;
             self.push_soft(head, SoftKind::Sink(idx));
         }
-        if !self.sinks[idx].reaper_armed {
-            self.sinks[idx].reaper_armed = true;
+        if !self.sinks[si].reaper_armed {
+            self.sinks[si].reaper_armed = true;
             self.schedule_ev(now + linger, Ev::SinkClose { slot: idx });
         }
         inj.clear();
@@ -2217,19 +2274,20 @@ impl World {
     /// incast instead of one per source link.
     fn on_sink_close(&mut self, slot: usize, t: Ns) {
         let linger = self.cfg.flow_linger_ns;
-        let s = &self.sinks[slot];
+        let si = slot - self.nstate_base;
+        let s = &self.sinks[si];
         let (pending, last, open) = (s.pending, s.last_activity, s.open);
         if pending {
             // Same disarm-while-pending rule as [`on_flow_close`]: the
             // sink's delivery dispatch re-arms the timer.
-            self.sinks[slot].reaper_armed = false;
+            self.sinks[si].reaper_armed = false;
             return;
         }
         if open && t < last + linger {
             self.schedule_ev(last + linger, Ev::SinkClose { slot });
             return;
         }
-        self.sinks[slot].reaper_armed = false;
+        self.sinks[si].reaper_armed = false;
         self.close_sink(slot);
     }
 
@@ -2348,10 +2406,11 @@ impl World {
                     // source, still merged) goes back into the sink and
                     // re-defers as its single soft entry.
                     self.sink_pauses += 1;
-                    debug_assert!(self.sinks[i].members.is_empty());
-                    self.sinks[i].entry_at = at;
-                    self.sinks[i].members = rest;
-                    self.sinks[i].pending = true;
+                    let si = i - self.nstate_base;
+                    debug_assert!(self.sinks[si].members.is_empty());
+                    self.sinks[si].entry_at = at;
+                    self.sinks[si].members = rest;
+                    self.sinks[si].pending = true;
                     self.push_soft(at, SoftKind::Sink(i));
                 }
                 TrainSource::Event if rest.len() == 1 => {
@@ -3033,11 +3092,24 @@ impl World {
 /// via `PICO_THREADS`), so the worker-count bit-invariance property
 /// holds by construction. Benchmark artifacts record the shard count
 /// and `benchdiff` refuses to trend across differing partitions.
+///
+/// The nodes-per-shard floor (`nodes / 4`, i.e. at least four nodes per
+/// shard once the cluster has them to give) keeps very large clusters
+/// with few ranks per node from splitting into slivers: a shard pays a
+/// full window barrier plus a fabric flush per lookahead window
+/// regardless of size, so a shard smaller than a handful of nodes costs
+/// more in crossings than it wins in parallelism. First step of the
+/// ROADMAP's topology-aware-heuristic follow-up.
 pub fn auto_shard_count(nodes: usize, ranks_per_node: usize) -> usize {
     let ranks = nodes.saturating_mul(ranks_per_node.max(1));
     let by_workers = pico_sim::default_threads().saturating_mul(2).max(1);
     let by_ranks = (ranks / 32).max(1);
-    by_workers.min(by_ranks).min(nodes.max(1)).min(64)
+    let by_nodes = (nodes / 4).max(1);
+    by_workers
+        .min(by_ranks)
+        .min(by_nodes)
+        .min(nodes.max(1))
+        .min(64)
 }
 
 /// Aggregate one or more finished worlds — one per shard, in shard
@@ -3070,6 +3142,8 @@ fn collect_many(worlds: Vec<World>, elapsed_secs: f64, threads: u32, shards: u32
     let mut finish = FinishSketch::new();
     let mut arrival_latency = Sketch::new();
     let mut stat_bytes = 0u64;
+    let mut shard_state_bytes = 0u64;
+    let mut shard_gate_nodes = 0u64;
     let mut done = 0;
     let mut delivered = 0u64;
     let mut payload_errors = 0u64;
@@ -3126,6 +3200,16 @@ fn collect_many(worlds: Vec<World>, elapsed_secs: f64, threads: u32, shards: u32
             + w.arrival_trace.as_ref().map_or(0, |(_, t)| {
                 t.capacity() * std::mem::size_of::<ArrivalTraceRow>()
             })) as u64;
+        // Node-indexed state this shard carried: fabric gate storage
+        // plus the `node_pending`/sink-root vectors. Under the sparse
+        // layout these scale with the shard's own node range; under
+        // `dense_shard_state` every shard carries the full cluster.
+        shard_state_bytes += (w.fabric.resident_gate_bytes()
+            + w.node_pending.capacity()
+                * std::mem::size_of::<std::collections::BTreeMap<Ns, u32>>()
+            + w.sinks.capacity() * std::mem::size_of::<SinkSlot>())
+            as u64;
+        shard_gate_nodes += w.fabric.gate_nodes_allocated() as u64;
         for n in &w.nodes {
             offloaded += n.delegator.offloaded();
             queue_wait += n.delegator.total_queue_wait();
@@ -3172,6 +3256,8 @@ fn collect_many(worlds: Vec<World>, elapsed_secs: f64, threads: u32, shards: u32
         arrival_latency,
         stat_bytes,
         peak_alloc_bytes: pico_sim::memalloc::peak_bytes(),
+        shard_state_bytes,
+        shard_gate_nodes,
         mpi_profile: mpi,
         kernel_profile: kprof,
         offloaded_calls: offloaded,

@@ -83,11 +83,123 @@ pub struct SinkInjection {
     pub bytes: u64,
 }
 
+/// The uplink/downlink gate pair of one node.
+struct NodeGates {
+    up: BandwidthGate,
+    down: BandwidthGate,
+}
+
+impl NodeGates {
+    fn new(bw: f64) -> NodeGates {
+        NodeGates {
+            up: BandwidthGate::new(bw),
+            down: BandwidthGate::new(bw),
+        }
+    }
+}
+
+/// splitmix64 finalizer — the probe hash of [`RemoteGates`].
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Open-addressed `node → gate pair` map for the remote endpoints a
+/// shard's fabric touches through cross-shard traffic. Entries are
+/// created on first touch: a fresh [`BandwidthGate`] is
+/// indistinguishable from a preallocated never-touched one (`free_at`
+/// zero, nothing moved), so the sparse layout is bit-identical to the
+/// dense one by construction — it only skips the untouched state.
+#[derive(Default)]
+struct RemoteGates {
+    /// Slot table holding `entry index + 1` (0 = empty); power-of-two
+    /// length, linear probing, regrown at 50% load.
+    slots: Vec<u32>,
+    /// Insertion-ordered `(node, gates)` entries.
+    entries: Vec<(u32, NodeGates)>,
+}
+
+impl RemoteGates {
+    fn find(&self, node: u32) -> Option<usize> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = splitmix64(node as u64) as usize & mask;
+        loop {
+            match self.slots[i] {
+                0 => return None,
+                e => {
+                    let e = e as usize - 1;
+                    if self.entries[e].0 == node {
+                        return Some(e);
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn place(slots: &mut [u32], node: u32, entry: u32) {
+        let mask = slots.len() - 1;
+        let mut i = splitmix64(node as u64) as usize & mask;
+        while slots[i] != 0 {
+            i = (i + 1) & mask;
+        }
+        slots[i] = entry + 1;
+    }
+
+    fn get_or_insert(&mut self, node: u32, bw: f64) -> &mut NodeGates {
+        let e = match self.find(node) {
+            Some(e) => e,
+            None => {
+                if (self.entries.len() + 1) * 2 > self.slots.len() {
+                    let cap = (self.slots.len() * 2).max(16);
+                    self.slots.clear();
+                    self.slots.resize(cap, 0);
+                    for (e, &(n, _)) in self.entries.iter().enumerate() {
+                        Self::place(&mut self.slots, n, e as u32);
+                    }
+                }
+                let e = self.entries.len();
+                self.entries.push((node, NodeGates::new(bw)));
+                Self::place(&mut self.slots, node, e as u32);
+                e
+            }
+        };
+        &mut self.entries[e].1
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<u32>()
+            + self.entries.capacity() * std::mem::size_of::<(u32, NodeGates)>()
+    }
+}
+
 /// The fabric connecting `n` nodes.
+///
+/// Gate storage is **shard-local**: a dense array covers the owner's
+/// contiguous node range (`[base, base + dense.len())` — the whole
+/// cluster for [`Fabric::new`], one shard's slice for
+/// [`Fabric::new_shard`]) and an open-addressed sparse map materializes
+/// remote nodes' gates on first touch. In the sharded engine a shard
+/// only ever advances its own nodes' uplinks (at injection) and
+/// downlinks (at commit), so the sparse side stays empty in practice
+/// and per-shard gate memory is O(shard nodes), not O(cluster nodes).
 pub struct Fabric {
     cfg: FabricConfig,
-    uplinks: Vec<BandwidthGate>,
-    downlinks: Vec<BandwidthGate>,
+    /// Total cluster node count — the global id space, not the storage
+    /// size.
+    nnodes: usize,
+    /// First node of the dense own range.
+    base: usize,
+    /// Dense gate pairs for nodes `[base, base + dense.len())`.
+    dense: Vec<NodeGates>,
+    /// Remote nodes' gates, created on first touch.
+    remote: RemoteGates,
     messages: u64,
     bytes: u64,
     intra_messages: u64,
@@ -97,16 +209,23 @@ pub struct Fabric {
 }
 
 impl Fabric {
-    /// A fabric of `nodes` nodes.
+    /// A fabric of `nodes` nodes with every gate dense — the reference
+    /// layout, used by the single-queue engine (and the dense-layout
+    /// ablation knob).
     pub fn new(cfg: FabricConfig, nodes: usize) -> Fabric {
-        assert!(nodes > 0);
+        Fabric::new_shard(cfg, nodes, 0, nodes)
+    }
+
+    /// A shard-local fabric over a cluster of `nodes` nodes whose dense
+    /// own range is `[base, base + count)`. Gates for nodes outside the
+    /// range are created sparsely on first touch.
+    pub fn new_shard(cfg: FabricConfig, nodes: usize, base: usize, count: usize) -> Fabric {
+        assert!(nodes > 0 && count > 0 && base + count <= nodes);
         Fabric {
-            uplinks: (0..nodes)
-                .map(|_| BandwidthGate::new(cfg.link_bw))
-                .collect(),
-            downlinks: (0..nodes)
-                .map(|_| BandwidthGate::new(cfg.link_bw))
-                .collect(),
+            nnodes: nodes,
+            base,
+            dense: (0..count).map(|_| NodeGates::new(cfg.link_bw)).collect(),
+            remote: RemoteGates::default(),
             cfg,
             messages: 0,
             bytes: 0,
@@ -117,13 +236,50 @@ impl Fabric {
         }
     }
 
+    /// The gate pair of `node`, materializing a remote entry on first
+    /// touch. Every caller commits what it reads, so an allocation here
+    /// is never wasted.
+    #[inline]
+    fn gates_mut(&mut self, node: usize) -> &mut NodeGates {
+        debug_assert!(node < self.nnodes);
+        if node.wrapping_sub(self.base) < self.dense.len() {
+            &mut self.dense[node - self.base]
+        } else {
+            self.remote.get_or_insert(node as u32, self.cfg.link_bw)
+        }
+    }
+
+    /// Read-only probe: `None` for a remote node never touched (whose
+    /// state is identical to a fresh gate pair).
+    fn gates(&self, node: usize) -> Option<&NodeGates> {
+        if node.wrapping_sub(self.base) < self.dense.len() {
+            Some(&self.dense[node - self.base])
+        } else {
+            self.remote
+                .find(node as u32)
+                .map(|e| &self.remote.entries[e].1)
+        }
+    }
+
     /// Configuration.
     pub fn config(&self) -> FabricConfig {
         self.cfg
     }
-    /// Node count.
+    /// Node count of the cluster (the global id space — not the number
+    /// of nodes this instance holds gate state for; see
+    /// [`gate_nodes_allocated`](Self::gate_nodes_allocated)).
     pub fn nodes(&self) -> usize {
-        self.uplinks.len()
+        self.nnodes
+    }
+    /// Nodes whose gate state is materialized: the dense own range plus
+    /// every remote node actually touched. A shard that exchanged no
+    /// traffic with a remote node holds no state for it.
+    pub fn gate_nodes_allocated(&self) -> usize {
+        self.dense.len() + self.remote.entries.len()
+    }
+    /// Resident bytes of gate storage (capacities, not lengths).
+    pub fn resident_gate_bytes(&self) -> usize {
+        self.dense.capacity() * std::mem::size_of::<NodeGates>() + self.remote.resident_bytes()
     }
 
     /// Wire occupancy of `bytes` cut into `nreqs` requests: the data time
@@ -189,13 +345,15 @@ impl Fabric {
             self.intra_messages += 1;
             return self.shm_schedule(now, bytes);
         }
-        let mut up_free = self.uplinks[src].free_at();
-        let mut down_free = self.downlinks[dst].free_at();
+        let mut up_free = self.gates_mut(src).up.free_at();
+        let mut down_free = self.gates_mut(dst).down.free_at();
         let sched = self.link_schedule(&mut up_free, &mut down_free, now, bytes, nreqs);
         let up_busy = self.wire_time(bytes, nreqs);
         let down_busy = pico_sim::transfer_time(bytes, self.cfg.link_bw);
-        self.uplinks[src].commit_train(up_free, bytes, up_busy);
-        self.downlinks[dst].commit_train(down_free, bytes, down_busy);
+        self.gates_mut(src).up.commit_train(up_free, bytes, up_busy);
+        self.gates_mut(dst)
+            .down
+            .commit_train(down_free, bytes, down_busy);
         sched
     }
 
@@ -305,7 +463,7 @@ impl Fabric {
         self.messages += members.len() as u64;
         let total: u64 = members.iter().map(|m| m.bytes).sum();
         self.bytes += total;
-        let mut up_free = self.uplinks[src].free_at();
+        let mut up_free = self.gates_mut(src).up.free_at();
         let mut up_busy = Ns::ZERO;
         for m in members {
             let up_start = m.at.max(up_free);
@@ -318,7 +476,7 @@ impl Fabric {
                 bytes: m.bytes,
             });
         }
-        self.uplinks[src].commit_train(up_free, total, up_busy);
+        self.gates_mut(src).up.commit_train(up_free, total, up_busy);
     }
 
     /// Destination half of a split [`extend_sink`](Self::extend_sink):
@@ -352,7 +510,7 @@ impl Fabric {
             self.train_members += members.len() as u64;
             self.max_train_len = self.max_train_len.max(new_len);
         }
-        let mut down_free = self.downlinks[dst].free_at();
+        let mut down_free = self.gates_mut(dst).down.free_at();
         let mut down_busy = Ns::ZERO;
         let mut total = 0u64;
         for m in members {
@@ -366,7 +524,9 @@ impl Fabric {
                 arrival: down_finish.max(m.up_finish + self.cfg.base_latency),
             });
         }
-        self.downlinks[dst].commit_train(down_free, total, down_busy);
+        self.gates_mut(dst)
+            .down
+            .commit_train(down_free, total, down_busy);
     }
 
     /// Shared accounting + link walk behind [`extend_train`](Self::extend_train)
@@ -411,8 +571,8 @@ impl Fabric {
         total: u64,
         out: &mut Vec<TransferSchedule>,
     ) {
-        let mut up_free = self.uplinks[src].free_at();
-        let mut down_free = self.downlinks[dst].free_at();
+        let mut up_free = self.gates_mut(src).up.free_at();
+        let mut down_free = self.gates_mut(dst).down.free_at();
         let mut up_busy = Ns::ZERO;
         let mut down_busy = Ns::ZERO;
         for m in members {
@@ -420,8 +580,10 @@ impl Fabric {
             up_busy += self.wire_time(m.bytes, m.nreqs);
             down_busy += pico_sim::transfer_time(m.bytes, self.cfg.link_bw);
         }
-        self.uplinks[src].commit_train(up_free, total, up_busy);
-        self.downlinks[dst].commit_train(down_free, total, down_busy);
+        self.gates_mut(src).up.commit_train(up_free, total, up_busy);
+        self.gates_mut(dst)
+            .down
+            .commit_train(down_free, total, down_busy);
     }
 
     /// Effective achievable bandwidth for back-to-back messages of
@@ -457,9 +619,10 @@ impl Fabric {
     pub fn max_train_len(&self) -> u64 {
         self.max_train_len
     }
-    /// Total busy time of a node's uplink.
+    /// Total busy time of a node's uplink (`Ns::ZERO` for a remote node
+    /// never touched — the probe materializes nothing).
     pub fn uplink_busy(&self, node: usize) -> Ns {
-        self.uplinks[node].busy_time()
+        self.gates(node).map_or(Ns::ZERO, |g| g.up.busy_time())
     }
 }
 
@@ -886,6 +1049,141 @@ mod tests {
         assert_eq!(dst_fab.trains(), 1);
         assert_eq!(dst_fab.train_members(), prior);
         assert_eq!(dst_fab.max_train_len(), prior);
+    }
+
+    fn shard_fabric(nodes: usize, base: usize, count: usize) -> Fabric {
+        Fabric::new_shard(
+            FabricConfig {
+                link_bw: 1e9,
+                base_latency: Ns(1000),
+                per_req_overhead: Ns(100),
+                shm_bw: 2e9,
+                shm_latency: Ns(200),
+            },
+            nodes,
+            base,
+            count,
+        )
+    }
+
+    #[test]
+    fn shard_fabric_materializes_remote_gates_on_first_touch_only() {
+        // A shard owning nodes [2, 4) of an 8-node cluster starts with
+        // exactly its own two gate pairs and never allocates state for a
+        // remote node it exchanged no traffic with.
+        let mut f = shard_fabric(8, 2, 2);
+        assert_eq!(f.nodes(), 8);
+        assert_eq!(f.gate_nodes_allocated(), 2);
+        let m = [TrainMember {
+            at: Ns(0),
+            bytes: 1000,
+            nreqs: 1,
+        }];
+        // Own-node traffic — injection on an own uplink, commit on an
+        // own downlink (the only gate touches the sharded engine makes)
+        // — stays inside the dense range.
+        let mut inj = Vec::new();
+        f.sink_inject(2, &m, &mut inj);
+        let mut out = Vec::new();
+        f.sink_commit(3, &inj, 0, &mut out);
+        assert_eq!(f.gate_nodes_allocated(), 2);
+        // Read-only probes of untouched remote nodes materialize nothing.
+        assert_eq!(f.uplink_busy(7), Ns::ZERO);
+        assert_eq!(f.gate_nodes_allocated(), 2);
+        // A transfer touching a remote endpoint is the first touch that
+        // creates its gate pair — and only its.
+        f.transfer(Ns(0), 2, 6, 1000, 1);
+        assert_eq!(f.gate_nodes_allocated(), 3);
+        assert!(f.uplink_busy(2) > Ns::ZERO);
+        assert_eq!(f.uplink_busy(6), Ns::ZERO);
+        assert!(f.resident_gate_bytes() > 0);
+    }
+
+    #[test]
+    fn shard_local_fabrics_reproduce_dense_schedules_exactly() {
+        // The sharded engine's gate walk on two shard-local fabrics
+        // (own-range dense, remote sparse) must equal the dense
+        // full-cluster fabric bit for bit: sources 0/1 (shard [0,2))
+        // inject, destination 3 (shard [2,4)) commits.
+        let flushes: &[(usize, &[TrainMember])] = &[
+            (
+                0,
+                &[
+                    TrainMember {
+                        at: Ns(0),
+                        bytes: 10_000,
+                        nreqs: 1,
+                    },
+                    TrainMember {
+                        at: Ns(100),
+                        bytes: 10_000,
+                        nreqs: 1,
+                    },
+                ],
+            ),
+            (
+                1,
+                &[TrainMember {
+                    at: Ns(200),
+                    bytes: 4_000,
+                    nreqs: 4,
+                }],
+            ),
+            (
+                0,
+                &[TrainMember {
+                    at: Ns(30_000),
+                    bytes: 512,
+                    nreqs: 1,
+                }],
+            ),
+        ];
+        let mut whole = fabric(4);
+        let mut reference = Vec::new();
+        let mut prior = 0u64;
+        for &(src, chunk) in flushes {
+            whole.extend_sink(src, 3, chunk, prior, &mut reference);
+            prior += chunk.len() as u64;
+        }
+        let mut src_shard = shard_fabric(4, 0, 2);
+        let mut dst_shard = shard_fabric(4, 2, 2);
+        let mut split = Vec::new();
+        let mut p = 0u64;
+        for &(src, chunk) in flushes {
+            let mut inj = Vec::new();
+            src_shard.sink_inject(src, chunk, &mut inj);
+            dst_shard.sink_commit(3, &inj, p, &mut split);
+            p += chunk.len() as u64;
+        }
+        assert_eq!(split, reference);
+        for n in 0..2 {
+            assert_eq!(src_shard.uplink_busy(n), whole.uplink_busy(n));
+        }
+        // Neither shard ever touched a remote gate, so neither holds one.
+        assert_eq!(src_shard.gate_nodes_allocated(), 2);
+        assert_eq!(dst_shard.gate_nodes_allocated(), 2);
+        assert_eq!(src_shard.bytes() + dst_shard.bytes(), whole.bytes());
+    }
+
+    #[test]
+    fn remote_gate_map_survives_regrowth() {
+        // Touch enough remote endpoints to force several slot-table
+        // regrows; every gate must keep its identity (cursor state)
+        // across them.
+        let mut f = shard_fabric(256, 0, 1);
+        for dst in 1..64usize {
+            f.transfer(Ns(0), 0, dst, 1000, 1);
+        }
+        assert_eq!(f.gate_nodes_allocated(), 64);
+        // Re-touching the same endpoints allocates nothing new and sees
+        // the advanced cursors: a second transfer to node 1 queues
+        // behind the first on node 1's downlink.
+        let before = f.resident_gate_bytes();
+        let s = f.transfer(Ns(0), 0, 1, 1000, 1);
+        assert_eq!(f.gate_nodes_allocated(), 64);
+        assert_eq!(f.resident_gate_bytes(), before);
+        // 64 transfers of 1100ns wire time each serialized the uplink.
+        assert!(s.injected >= Ns(64 * 1100));
     }
 
     #[test]

@@ -17,10 +17,11 @@
 //! behaves as if the meter did not exist.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 
 static LIVE: AtomicU64 = AtomicU64::new(0);
 static PEAK: AtomicU64 = AtomicU64::new(0);
+static INSTALLED: AtomicBool = AtomicBool::new(false);
 
 /// Pass-through [`System`] allocator that tracks live and peak bytes.
 pub struct CountingAlloc;
@@ -40,6 +41,11 @@ impl Default for CountingAlloc {
 
 #[inline]
 fn add(n: u64) {
+    // Load-then-store keeps the hot path a predictable read once the
+    // flag is set; the race on first alloc is benign (same value).
+    if !INSTALLED.load(Relaxed) {
+        INSTALLED.store(true, Relaxed);
+    }
     let live = LIVE.fetch_add(n, Relaxed) + n;
     PEAK.fetch_max(live, Relaxed);
 }
@@ -108,7 +114,10 @@ pub fn reset_peak() {
 }
 
 /// Whether the meter has ever seen an allocation — i.e. whether the
-/// counting allocator is actually installed in this process.
+/// counting allocator is actually installed in this process. Tracked
+/// with a dedicated flag set on the first alloc rather than inferred
+/// from `peak_bytes() > 0`, which would misreport "not installed" after
+/// a [`reset_peak`] taken at a moment of zero live bytes.
 pub fn installed() -> bool {
-    peak_bytes() > 0
+    INSTALLED.load(Relaxed)
 }
