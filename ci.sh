@@ -6,12 +6,15 @@
 #                    check + the reduced simbench smoke gate
 #   ./ci.sh --bench  additionally run the full simbench regression gate
 #                    (--full: adds the 256-node sharded-engine speedup gate,
-#                    the 1024/4096/16384-node weak-scaling sweep with
+#                    the 1024/4096/16384/65536-node weak-scaling sweep with
 #                    peak-memory reporting, the streaming-stat memory gate,
-#                    and the sparse shard-state gate at 4096 nodes / 64
-#                    shards (≥8× below the dense layout, bit-identical);
-#                    slower — the 4096- and 16384-node points run only in
-#                    this nightly lane)
+#                    the sparse shard-state gate at 4096 nodes / 64
+#                    shards (≥8× below the dense layout, bit-identical),
+#                    and the flyweight node-model gate at 16384 nodes
+#                    (≥4× less peak heap, ≥3× faster world construction
+#                    than the eager per-node boot, bit-identical digests);
+#                    slower — the ≥4096-node points run only in this
+#                    nightly lane)
 
 set -euo pipefail
 cd "$(dirname "$0")"

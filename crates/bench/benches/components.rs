@@ -34,7 +34,7 @@ fn bench_sdma_paths() {
             let (va, _) = space.mmap_anonymous(&mut frames, size, true).unwrap();
             let t = time_it(1000, 200, || {
                 let sub = fp
-                    .sdma_writev(&mut chip, &space, driver.sdma_state[0].bytes(), va, size, 0)
+                    .sdma_writev(&mut chip, &space, driver.sdma_state(0).bytes(), va, size, 0)
                     .unwrap();
                 black_box(sub.nreqs);
             });

@@ -156,6 +156,32 @@ fn metrics(doc: &Json) -> Vec<(String, f64, Dir)> {
             Dir::LowerIsBetter,
         );
     }
+    // The flyweight node-model gate: the in-run gate enforces the 4x
+    // peak / 3x build floors; trending watches the ratios and the
+    // absolute flyweight footprint for slow erosion above them. The
+    // build speedup is a wall-clock figure, but both builds run on the
+    // same host in the same process, so the *ratio* trends cleanly.
+    if let Some(g) = doc.get("node_model_gate") {
+        let nodes = g.get("nodes").and_then(Json::as_f64).unwrap_or(0.0);
+        push_dir(
+            &mut out,
+            format!("node_model_gate[n{nodes}].peak_reduction"),
+            g.get("peak_reduction"),
+            Dir::HigherIsBetter,
+        );
+        push_dir(
+            &mut out,
+            format!("node_model_gate[n{nodes}].build_speedup"),
+            g.get("build_speedup"),
+            Dir::HigherIsBetter,
+        );
+        push_dir(
+            &mut out,
+            format!("node_model_gate[n{nodes}].flyweight_peak_bytes"),
+            g.get("flyweight_peak_bytes"),
+            Dir::LowerIsBetter,
+        );
+    }
     out
 }
 

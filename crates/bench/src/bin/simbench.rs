@@ -18,15 +18,18 @@
 //! gates (every run still asserts `clamped_events == 0`). Pass `--full`
 //! for the nightly superset: the 256-node sharded-engine speedup gate
 //! (≥2× wall clock at 4+ workers over the same engine's single-worker
-//! walk), the 1024/4096/16384-node weak-scaling sweep with per-run
-//! peak memory, the streaming-stat memory gate (resident stat bytes at
-//! 1024 nodes must sit ≥4× below the per-rank-vector layout the
-//! sketches replaced), and the shard-local state gate (resident
+//! walk), the 1024/4096/16384/65536-node weak-scaling sweep with
+//! per-run peak memory, the streaming-stat memory gate (resident stat
+//! bytes at 1024 nodes must sit ≥4× below the per-rank-vector layout
+//! the sketches replaced), the shard-local state gate (resident
 //! fabric+node state at 4096 nodes / 64 shards must sit ≥8× below the
-//! dense O(shards × total_nodes) layout, bit-identical results).
+//! dense O(shards × total_nodes) layout, bit-identical results), and
+//! the node-model gate (the flyweight template-boot model at 16,384
+//! nodes must pay ≥4× less peak heap and build its world ≥3× faster
+//! than the eager per-node boot, bit-identical digests).
 
 use pico_apps::App;
-use pico_cluster::{paper_config, run_app, EngineMode, FabricMode, OsConfig, RunResult};
+use pico_cluster::{paper_config, run_app, EngineMode, FabricMode, OsConfig, RunResult, World};
 use pico_sim::memalloc::{self, CountingAlloc};
 use pico_sim::{default_threads, EventQueue, HeapEventQueue, Json, Ns, Rng, WheelProfile};
 use std::hint::black_box;
@@ -529,8 +532,8 @@ fn parallel_gate(nodes: u32, iters: u32, enforce: bool) -> Json {
     ])
 }
 
-/// Weak-scaling sweep past the paper's 256-node ceiling: 1024-, 4096-
-/// and 16,384-node sharded UMT2013 rounds must run to completion —
+/// Weak-scaling sweep past the paper's 256-node ceiling: 1024-, 4096-,
+/// 16,384- and 65,536-node sharded UMT2013 rounds must run to completion —
 /// every rank finishes, nothing is clamped, no payload fails its
 /// self-check. Guards the engine's bookkeeping (shard partition, inbox
 /// routing, finish detection) at scales the equivalence tests never
@@ -540,7 +543,7 @@ fn parallel_gate(nodes: u32, iters: u32, enforce: bool) -> Json {
 /// (`shard_state_bytes`) that benchdiff trends night over night.
 fn weak_scaling_sweep() -> Vec<Json> {
     let mut rows = Vec::new();
-    for nodes in [1024u32, 4096, 16384] {
+    for nodes in [1024u32, 4096, 16384, 65536] {
         memalloc::reset_peak();
         // `reset_peak` at a quiet moment must not un-install the meter
         // (the inference bug the dedicated flag replaced).
@@ -689,6 +692,87 @@ fn shard_state_gate() -> Json {
     ])
 }
 
+/// The flyweight node-model gate: one 16,384-node sharded UMT2013 point
+/// built and run twice — the flyweight template-boot model (the
+/// default) against the eager per-node reference
+/// (`cfg.eager_node_model`). The two must agree bit-for-bit on the full
+/// sharded digest (exact per-rank finishes, both sketch digests, both
+/// arrival hashes) while the flyweight run pays ≥4× less peak heap and
+/// constructs its `World` ≥3× faster. Construction is timed separately
+/// from the event loop: template-boot cloning attacks the O(nodes) boot
+/// wall-clock specifically (one DWARF port, one driver probe, one
+/// address-space boot per OS config instead of per node), and the lazy
+/// cold state attacks the per-node resident footprint (shared register
+/// images, shared page tables, first-touch TID stores and block pools).
+/// The shard count is pinned so both measurements are host-independent.
+fn node_model_gate() -> Json {
+    let nodes = 16_384u32;
+    let shards = 64usize;
+    let gate_cfg = |eager: bool| {
+        let mut cfg = sharded_umt(nodes, 1, None);
+        cfg.shards = Some(shards);
+        cfg.record_per_rank = true;
+        cfg.eager_node_model = eager;
+        cfg
+    };
+    let measure = |eager: bool| {
+        memalloc::reset_peak();
+        assert!(
+            memalloc::installed(),
+            "node-model gate: counting allocator not installed"
+        );
+        let t0 = Instant::now();
+        let world = World::new(gate_cfg(eager), App::Umt2013, 1);
+        let build_secs = t0.elapsed().as_secs_f64();
+        (build_secs, world.run())
+    };
+    let (fly_build, fly) = measure(false);
+    let (eager_build, eager) = measure(true);
+    assert_eq!(fly.ranks_done, nodes, "node-model gate: ranks finished");
+    assert_eq!(fly.shards as usize, shards, "node-model gate: shard pin");
+    assert_eq!(
+        sharded_digest(&fly),
+        sharded_digest(&eager),
+        "node-model gate: flyweight model changed results at {nodes} nodes"
+    );
+    let peak_ratio = eager.peak_alloc_bytes as f64 / fly.peak_alloc_bytes.max(1) as f64;
+    let build_speedup = eager_build / fly_build.max(1e-9);
+    println!(
+        "node-model gate ({nodes} nodes, {shards} shards): peak {:.1} MiB flyweight vs \
+         {:.1} MiB eager ({peak_ratio:.1}x), build {fly_build:.2}s vs {eager_build:.2}s \
+         ({build_speedup:.1}x, digests identical)",
+        fly.peak_alloc_bytes as f64 / (1 << 20) as f64,
+        eager.peak_alloc_bytes as f64 / (1 << 20) as f64,
+    );
+    if peak_ratio < 4.0 {
+        eprintln!(
+            "REGRESSION: flyweight peak heap {} only {peak_ratio:.1}x below the eager \
+             model's {} (gate: 4x) at {nodes} nodes",
+            fly.peak_alloc_bytes, eager.peak_alloc_bytes,
+        );
+        std::process::exit(1);
+    }
+    if build_speedup < 3.0 {
+        eprintln!(
+            "REGRESSION: flyweight world construction {fly_build:.2}s only \
+             {build_speedup:.1}x faster than the eager boot's {eager_build:.2}s \
+             (gate: 3x) at {nodes} nodes"
+        );
+        std::process::exit(1);
+    }
+    Json::obj([
+        ("nodes", Json::UInt(nodes as u64)),
+        ("shards", Json::UInt(shards as u64)),
+        ("flyweight_peak_bytes", Json::UInt(fly.peak_alloc_bytes)),
+        ("eager_peak_bytes", Json::UInt(eager.peak_alloc_bytes)),
+        ("peak_reduction", Json::Num(peak_ratio)),
+        ("flyweight_build_secs", Json::Num(fly_build)),
+        ("eager_build_secs", Json::Num(eager_build)),
+        ("build_speedup", Json::Num(build_speedup)),
+        ("digest_match", Json::Bool(true)),
+    ])
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let full = std::env::args().any(|a| a == "--full");
@@ -723,21 +807,23 @@ fn main() {
 
     // Sharded-engine gates: worker-count determinism everywhere; the
     // ≥2× wall-clock speedup enforced on the nightly 256-node point;
-    // the 1024/4096/16384-node weak-scaling sweep, the streaming-stat
-    // memory gate and the sparse shard-state gate nightly only.
+    // the 1024/4096/16384/65536-node weak-scaling sweep, the
+    // streaming-stat memory gate, the sparse shard-state gate and the
+    // flyweight node-model gate nightly only.
     let parallel_row = if full {
         parallel_gate(256, 2, true)
     } else {
         parallel_gate(if smoke { 24 } else { 64 }, 1, false)
     };
-    let (weak_rows, stat_gate_row, shard_state_row) = if full {
+    let (weak_rows, stat_gate_row, shard_state_row, node_model_row) = if full {
         (
             weak_scaling_sweep(),
             Some(stat_memory_gate()),
             Some(shard_state_gate()),
+            Some(node_model_gate()),
         )
     } else {
-        (Vec::new(), None, None)
+        (Vec::new(), None, None, None)
     };
 
     // End-to-end: Figure 6a sweep at small scale, wall time + sim throughput.
@@ -794,6 +880,7 @@ fn main() {
         ("weak_scaling", Json::Arr(weak_rows)),
         ("stat_gate", stat_gate_row.unwrap_or(Json::Null)),
         ("shard_state_gate", shard_state_row.unwrap_or(Json::Null)),
+        ("node_model_gate", node_model_row.unwrap_or(Json::Null)),
         (
             "sweep",
             Json::obj([

@@ -202,6 +202,19 @@ pub struct ClusterConfig {
     /// remote entry is created on first touch with exactly a fresh
     /// gate's state. Single-queue runs always span every node.
     pub dense_shard_state: bool,
+    /// Boot every node eagerly — full dense driver register files, dense
+    /// TID receive arrays, dense per-core block pools, and a privately
+    /// built address space and buddy allocator per node — instead of the
+    /// flyweight template-boot model. Off by default: the eager layout
+    /// costs O(nodes) boot wall-clock and hundreds of KiB per node and
+    /// exists as the reference the flyweight model is equivalence-tested
+    /// (and its ≥4× memory / ≥3× construction gate measured) against.
+    /// Under the flyweight model exactly one node per OS config boots
+    /// for real; the other N−1 share its immutable post-boot images
+    /// (driver reset registers, VA layout, buddy free sets) behind `Arc`
+    /// and materialize private copies only on first mutating touch.
+    /// Results are bit-identical either way.
+    pub eager_node_model: bool,
 }
 
 impl ClusterConfig {
@@ -241,6 +254,7 @@ impl ClusterConfig {
             shards: None,
             record_per_rank: false,
             dense_shard_state: false,
+            eager_node_model: false,
         }
     }
 }

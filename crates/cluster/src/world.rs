@@ -23,14 +23,17 @@ use pico_hfi1::{Hfi1Driver, HfiChip, HfiChipConfig, HfiDriverCosts, SdmaSubmissi
 use pico_ihk::{Delegator, ProxyRegistry, Sysno};
 use pico_linux::{LinuxCosts, NoiseConfig, NoiseSource, Vfs};
 use pico_mckernel::{BlockId, MckMmCosts, ScalableAllocator, SyscallTable};
-use pico_mem::{AddressSpace, BuddyAllocator, MapPolicy, PhysAddr, VirtAddr};
+use pico_mem::{
+    AddressSpace, BuddyAllocator, Frames, MapPolicy, PhysAddr, SpaceTemplate, VirtAddr,
+};
 use pico_mpi::{BufTable, HostOp, MpiCall, MpiRank, StepResult};
 use pico_psm::{Endpoint, PsmAction, PsmPacket};
 use pico_sim::{
-    transfer_time, EventQueue, FinishSketch, Ns, Rng, Sketch, TimeByKey, WheelProfile, WindowSync,
+    transfer_time, EventQueue, FastMap, FinishSketch, Ns, Rng, Sketch, TimeByKey, WheelProfile,
+    WindowSync,
 };
 use picodriver::{CallbackKind, CallbackRef, CallbackTable, HfiFastPath, UnifiedKernelSpace};
-use std::collections::HashMap;
+use std::sync::Arc;
 
 const MMAP_BASE: VirtAddr = VirtAddr(0x7000_0000_0000);
 
@@ -300,9 +303,16 @@ impl LinkIndex {
     }
 }
 
-/// One node's kernel + device complex.
+/// One node's kernel + device complex. Under the flyweight model
+/// (`ClusterConfig::eager_node_model` off) exactly one template node per
+/// OS configuration boots for real; every instance then shares the
+/// template's immutable post-boot images — frame pool (`Frames::Shared`),
+/// driver reset registers and layouts (inside [`Hfi1Driver`]), the ported
+/// shadow (inside [`HfiFastPath`]), and the `Arc`ed unified kernel space
+/// and callback table — while carrying only compact private hot state
+/// (open files, TID store, per-core block pools).
 struct Node {
-    frames: BuddyAllocator,
+    frames: Frames,
     vfs: Vfs,
     dev: pico_linux::DevId,
     chip: HfiChip,
@@ -311,8 +321,11 @@ struct Node {
     delegator: Delegator,
     proxies: ProxyRegistry,
     // PicoDriver runtime pieces, exercised functionally per completion.
-    unified: Option<UnifiedKernelSpace>,
-    callbacks: Option<CallbackTable>,
+    // Immutable after boot (the callback table's invocations and the
+    // unified space's queries are `&self`), so flyweight nodes share one
+    // allocation per OS configuration.
+    unified: Option<Arc<UnifiedKernelSpace>>,
+    callbacks: Option<Arc<CallbackTable>>,
     cb_ref: Option<CallbackRef>,
     lwk_alloc: Option<ScalableAllocator>,
 }
@@ -332,7 +345,10 @@ struct RankState {
     inbox: Vec<(u32, PsmPacket)>,
     scratch: Vec<(VirtAddr, u64)>,
     kprof: TimeByKey<Sysno>,
-    meta: HashMap<(u64, u32), BlockId>,
+    /// In-flight SDMA completion metadata, keyed `(msg_id, window)`.
+    /// Hot-path insert/remove per pipelined window — open-addressed
+    /// splitmix64 map, not SipHash.
+    meta: FastMap<(u64, u32), BlockId>,
     done: bool,
 }
 
@@ -714,9 +730,67 @@ impl World {
         let lc = LinuxCosts::default();
         let mmc = MckMmCosts::default();
 
+        // Boot the address space of one local rank: buffers + scratch
+        // mmapped from the node's frame pool. The VA layout this produces
+        // is node-invariant, and the physical layout is node-invariant up
+        // to the node's `node_idx << 40` base — which is what lets the
+        // flyweight model boot it once and instantiate shifted views.
+        let boot_space = |frames: &mut Frames| -> (AddressSpace, BufTable) {
+            let policy = match cfg.os {
+                OsConfig::Linux => MapPolicy::Fragmented4k,
+                _ if cfg.lwk_large_pages => MapPolicy::ContiguousLarge,
+                _ => MapPolicy::Fragmented4k,
+            };
+            let pinned = cfg.os != OsConfig::Linux;
+            let mut space = AddressSpace::new(policy, MMAP_BASE);
+            let frames = frames.get_mut();
+            let mut bufs = BufTable::default();
+            for &bytes in &spec.buffer_bytes {
+                let (va, _) = space
+                    .mmap_anonymous(frames, bytes, pinned)
+                    .expect("buffer allocation failed: raise mem_per_node");
+                bufs.bufs.push(va.0);
+            }
+            let (sva, _) = space
+                .mmap_anonymous(frames, spec.scratch_bytes.max(4096), pinned)
+                .expect("scratch allocation failed");
+            bufs.scratch = sva.0;
+            (space, bufs)
+        };
+
         let mut nodes = Vec::with_capacity(shape.nodes as usize);
-        for n in 0..shape.nodes {
-            nodes.push(Self::build_node(&cfg, n));
+        // Flyweight model: per-local-rank frozen space templates + buffer
+        // tables from the template node's boot, stamped out everywhere.
+        let mut space_tpl: Vec<(SpaceTemplate, BufTable)> = Vec::new();
+        if cfg.eager_node_model {
+            for n in 0..shape.nodes {
+                nodes.push(Self::build_node(&cfg, n));
+            }
+        } else {
+            // Template boot: one real node per OS configuration. Its
+            // ranks' address spaces are booted for real against its frame
+            // pool, then everything immutable-after-boot is frozen behind
+            // `Arc` and every node instance (including node 0, for
+            // uniform copy-on-write behavior) becomes a flyweight view.
+            let mut template = Self::build_node(&cfg, 0);
+            let mut spaces = Vec::with_capacity(shape.ranks_per_node as usize);
+            for _ in 0..shape.ranks_per_node {
+                spaces.push(boot_space(&mut template.frames));
+            }
+            let booted = std::mem::replace(
+                &mut template.frames,
+                Frames::Owned(BuddyAllocator::new(PhysAddr(0), 4096)),
+            );
+            let image = match booted {
+                Frames::Owned(b) => Arc::new(b),
+                Frames::Shared { .. } => unreachable!("template node boots eagerly"),
+            };
+            for (space, bufs) in spaces {
+                space_tpl.push((space.freeze(), bufs));
+            }
+            for n in 0..shape.nodes {
+                nodes.push(Self::clone_node(&cfg, &template, &image, n));
+            }
         }
         let mut ranks = Vec::with_capacity(shape.nranks() as usize);
         for g in 0..shape.nranks() {
@@ -729,25 +803,12 @@ impl World {
                 OsConfig::Linux => NoiseConfig::linux_nohz_full(),
                 _ => NoiseConfig::mckernel(),
             });
-            let policy = match cfg.os {
-                OsConfig::Linux => MapPolicy::Fragmented4k,
-                _ if cfg.lwk_large_pages => MapPolicy::ContiguousLarge,
-                _ => MapPolicy::Fragmented4k,
+            let (space, bufs) = if cfg.eager_node_model {
+                boot_space(&mut nodes[node].frames)
+            } else {
+                let (tpl, bufs) = &space_tpl[local as usize];
+                (tpl.instantiate((node as u64) << 40), bufs.clone())
             };
-            let pinned = cfg.os != OsConfig::Linux;
-            let mut space = AddressSpace::new(policy, MMAP_BASE);
-            let frames = &mut nodes[node].frames;
-            let mut bufs = BufTable::default();
-            for &bytes in &spec.buffer_bytes {
-                let (va, _) = space
-                    .mmap_anonymous(frames, bytes, pinned)
-                    .expect("buffer allocation failed: raise mem_per_node");
-                bufs.bufs.push(va.0);
-            }
-            let (sva, _) = space
-                .mmap_anonymous(frames, spec.scratch_bytes.max(4096), pinned)
-                .expect("scratch allocation failed");
-            bufs.scratch = sva.0;
             ranks.push(RankState {
                 node,
                 local,
@@ -762,7 +823,7 @@ impl World {
                 inbox: Vec::new(),
                 scratch: Vec::new(),
                 kprof: TimeByKey::new(),
-                meta: HashMap::new(),
+                meta: FastMap::new(),
                 done: false,
             });
         }
@@ -856,6 +917,11 @@ impl World {
         }
     }
 
+    /// Boot one node for real: buddy allocator, chip, driver probe, and —
+    /// in the PicoDriver configuration — the DWARF port, the unified VA
+    /// space, and the callback table. The eager model calls this per
+    /// node; the flyweight model calls it exactly once per OS
+    /// configuration and stamps the rest out with [`Self::clone_node`].
     fn build_node(cfg: &ClusterConfig, node_idx: u32) -> Node {
         let base = PhysAddr(node_idx as u64 * (1 << 40));
         let mut frames = BuddyAllocator::new(base, cfg.mem_per_node);
@@ -871,10 +937,15 @@ impl World {
         let mut vfs = Vfs::new();
         let dev = vfs.devices.register("hfi1_0");
         let layouts = LayoutSet::v10_8();
-        let chip = HfiChip::new(
-            HfiChipConfig::default(),
-            cfg.shape.ranks_per_node as usize + 2,
-        );
+        // The eager reference model keeps the dense RcvArray / free-TID
+        // layout; the flyweight model uses the compact first-touch store
+        // (bit-identical TID sequences, tested in `pico_hfi1::chip`).
+        let nctxt = cfg.shape.ranks_per_node as usize + 2;
+        let chip = if cfg.eager_node_model {
+            HfiChip::new(HfiChipConfig::default(), nctxt)
+        } else {
+            HfiChip::new_compact(HfiChipConfig::default(), nctxt)
+        };
         let driver = Hfi1Driver::new(layouts.clone(), HfiDriverCosts::default(), 16);
         let (fast, unified, callbacks, cb_ref, lwk_alloc) = if cfg.os == OsConfig::McKernelHfi {
             let module = layouts.emit_module_binary();
@@ -885,7 +956,13 @@ impl World {
             let mut table = CallbackTable::new(&unified);
             let cb = table.register(CallbackKind::SdmaCompleteLwkFree);
             let alloc = ScalableAllocator::new(cfg.shape.ranks_per_node as usize, 8192);
-            (Some(fp), Some(unified), Some(table), Some(cb), Some(alloc))
+            (
+                Some(fp),
+                Some(Arc::new(unified)),
+                Some(Arc::new(table)),
+                Some(cb),
+                Some(alloc),
+            )
         } else {
             (None, None, None, None, None)
         };
@@ -899,7 +976,7 @@ impl World {
             cfg.os == OsConfig::McKernelHfi
         );
         Node {
-            frames,
+            frames: Frames::Owned(frames),
             vfs,
             dev,
             chip,
@@ -911,6 +988,44 @@ impl World {
             callbacks,
             cb_ref,
             lwk_alloc,
+        }
+    }
+
+    /// Stamp out node `node_idx` from the booted template: share every
+    /// immutable post-boot image (`Arc` clones — the frame pool view is
+    /// shifted by the node's physical base) and build only the compact
+    /// private hot state fresh. This is the whole per-node boot cost of
+    /// the flyweight model.
+    fn clone_node(
+        cfg: &ClusterConfig,
+        template: &Node,
+        image: &Arc<BuddyAllocator>,
+        node_idx: u32,
+    ) -> Node {
+        let mut vfs = Vfs::new();
+        let dev = vfs.devices.register("hfi1_0");
+        Node {
+            frames: Frames::Shared {
+                image: Arc::clone(image),
+                delta: (node_idx as u64) << 40,
+            },
+            vfs,
+            dev,
+            chip: HfiChip::new_compact(
+                HfiChipConfig::default(),
+                cfg.shape.ranks_per_node as usize + 2,
+            ),
+            driver: template.driver.clone_fresh(),
+            fast: template.fast.as_ref().map(HfiFastPath::clone_fresh),
+            delegator: Delegator::new(cfg.ikc, cfg.service_cores),
+            proxies: ProxyRegistry::new(),
+            unified: template.unified.clone(),
+            callbacks: template.callbacks.clone(),
+            cb_ref: template.cb_ref,
+            lwk_alloc: template
+                .lwk_alloc
+                .as_ref()
+                .map(|_| ScalableAllocator::new(cfg.shape.ranks_per_node as usize, 8192)),
         }
     }
 
@@ -1542,6 +1657,10 @@ impl World {
                 for (src, packet) in parked.drain(..) {
                     self.deliver_packet(r, src, packet, &mut now);
                 }
+                // The park/drain swap circulates capacity between every
+                // rank's inbox and this pool — give back anything a burst
+                // ballooned before it gets pinned to a rank for the run.
+                shrink_scratch(&mut parked);
                 self.inbox_scratch = parked;
             }
             self.flush_actions(r, &mut now);
@@ -2709,7 +2828,7 @@ impl World {
                 let fast = noderef.fast.as_mut().expect("fast path present");
                 // Cross-kernel read of the live driver engine state via
                 // DWARF-extracted offsets.
-                let state = noderef.driver.sdma_state[0].bytes();
+                let state = noderef.driver.sdma_state(0).bytes();
                 let sub = fast
                     .sdma_writev(&mut noderef.chip, &rank.space, state, va, len, 0)
                     .expect("fast writev failed");
@@ -2834,9 +2953,9 @@ impl World {
                 let noderef = &self.nodes[(node_idx) - self.node_base];
                 if let Some(block) = rank.meta.remove(&(msg_id, window)) {
                     let (Some(table), Some(cb), Some(unified), Some(alloc)) = (
-                        noderef.callbacks.as_ref(),
+                        noderef.callbacks.as_deref(),
                         noderef.cb_ref,
-                        noderef.unified.as_ref(),
+                        noderef.unified.as_deref(),
                         noderef.lwk_alloc.as_ref(),
                     ) else {
                         unreachable!("picodriver pieces present in +HFI config");
@@ -2965,7 +3084,7 @@ impl World {
                     let noderef = &mut self.nodes[(node_idx) - self.node_base];
                     let (va, stats) = rank
                         .space
-                        .mmap_anonymous(&mut noderef.frames, bytes, pinned)
+                        .mmap_anonymous(noderef.frames.get_mut(), bytes, pinned)
                         .expect("scratch mmap failed");
                     rank.scratch.push((va, bytes));
                     (stats.leaves_mapped, va)
@@ -2994,6 +3113,7 @@ impl World {
                 let Some((va, len)) = self.ranks[(r) - self.rank_base].scratch.pop() else {
                     return now;
                 };
+                shrink_scratch(&mut self.ranks[(r) - self.rank_base].scratch);
                 let leaves = {
                     let rank = &mut self.ranks[(r) - self.rank_base];
                     let noderef = &mut self.nodes[(node_idx) - self.node_base];
@@ -3005,7 +3125,7 @@ impl World {
                         let _ = fast.invalidate_range(&mut noderef.chip, ctxt, va, len);
                     }
                     rank.space
-                        .munmap(&mut noderef.frames, va)
+                        .munmap(noderef.frames.get_mut(), va)
                         .expect("scratch munmap failed")
                 };
                 let thp = len.div_ceil(2 << 20);

@@ -114,9 +114,12 @@ pub struct FastTidRegistration {
     pub cache_hit: bool,
 }
 
-/// The per-node HFI fast path state.
+/// The per-node HFI fast path state. The ported shadow — the immutable
+/// product of the DWARF extraction pipeline — sits behind an `Arc` so
+/// template-boot clones share one copy per OS configuration; everything
+/// else (cache, counters) is per-node hot state.
 pub struct HfiFastPath {
-    shadow: HfiShadow,
+    shadow: std::sync::Arc<HfiShadow>,
     costs: FastPathCosts,
     /// Maximum SDMA request size the fast path emits (hardware max
     /// 10 KB; ablation benches sweep this).
@@ -133,11 +136,26 @@ impl HfiFastPath {
     /// the registration cache (on in the paper's deployment).
     pub fn new(shadow: HfiShadow, costs: FastPathCosts, use_tid_cache: bool) -> HfiFastPath {
         HfiFastPath {
-            shadow,
+            shadow: std::sync::Arc::new(shadow),
             costs,
             sdma_cap: 10 * 1024,
             tid_entry_cap: PAGE_2M,
             tid_cache: use_tid_cache.then(TidCache::default),
+            writev_count: 0,
+            reqs_emitted: 0,
+        }
+    }
+
+    /// A fresh fast path sharing this one's ported shadow — the
+    /// template-boot clone. Caps and costs carry over; the TID cache and
+    /// counters start empty.
+    pub fn clone_fresh(&self) -> HfiFastPath {
+        HfiFastPath {
+            shadow: std::sync::Arc::clone(&self.shadow),
+            costs: self.costs,
+            sdma_cap: self.sdma_cap,
+            tid_entry_cap: self.tid_entry_cap,
+            tid_cache: self.tid_cache.is_some().then(TidCache::default),
             writev_count: 0,
             reqs_emitted: 0,
         }
@@ -363,7 +381,7 @@ mod tests {
             r.fp.sdma_writev(
                 &mut r.chip,
                 &r.space,
-                r.driver.sdma_state[0].bytes(),
+                r.driver.sdma_state(0).bytes(),
                 va,
                 4 << 20,
                 0,
@@ -393,7 +411,7 @@ mod tests {
             r.fp.sdma_writev(
                 &mut r.chip,
                 &r.space,
-                r.driver.sdma_state[0].bytes(),
+                r.driver.sdma_state(0).bytes(),
                 va,
                 1 << 20,
                 0,
@@ -408,12 +426,12 @@ mod tests {
     fn engine_not_running_defers_to_slow_path() {
         let mut r = rig(false);
         let (va, _) = r.space.mmap_anonymous(&mut r.frames, 4096, true).unwrap();
-        r.driver.sdma_state[0].set("go_s99_running", 0);
+        r.driver.sdma_state_mut(0).set("go_s99_running", 0);
         let err =
             r.fp.sdma_writev(
                 &mut r.chip,
                 &r.space,
-                r.driver.sdma_state[0].bytes(),
+                r.driver.sdma_state(0).bytes(),
                 va,
                 4096,
                 0,
@@ -517,7 +535,7 @@ mod tests {
             r.fp.sdma_writev(
                 &mut r.chip,
                 &r.space,
-                r.driver.sdma_state[0].bytes(),
+                r.driver.sdma_state(0).bytes(),
                 va,
                 1 << 20,
                 0,
@@ -537,7 +555,7 @@ mod tests {
             r.fp.sdma_writev(
                 &mut r.chip,
                 &r.space,
-                r.driver.sdma_state[0].bytes(),
+                r.driver.sdma_state(0).bytes(),
                 va,
                 64 << 10,
                 0,
@@ -547,7 +565,7 @@ mod tests {
             r.fp.sdma_writev(
                 &mut r.chip,
                 &r.space,
-                r.driver.sdma_state[0].bytes(),
+                r.driver.sdma_state(0).bytes(),
                 va,
                 64 << 10,
                 8,

@@ -5,7 +5,18 @@
 //! The chip is *functional* state — registration tables and rings whose
 //! correctness the integration tests verify end to end. Timing is charged
 //! by the driver cost models and the fabric, not here.
+//!
+//! Two TID-table representations exist. [`HfiChip::new`] lays the
+//! RcvArray out densely, exactly as the silicon does — one slot per
+//! entry plus a materialized free stack (~50 KiB per context at the
+//! default 2048 entries). [`HfiChip::new_compact`] is the flyweight node
+//! model's choice: only *programmed* entries are stored (open-addressed
+//! map) and the free stack is virtual — a `next_fresh` high-water mark
+//! plus a spill of explicitly freed TIDs, which pops the same TID
+//! sequence as the dense stack. Both representations are behaviorally
+//! identical; the equivalence property tests hold the two side by side.
 
+use pico_sim::FastMap;
 use std::collections::VecDeque;
 
 /// Chip geometry and limits.
@@ -74,10 +85,137 @@ pub enum ChipError {
     BadContext,
 }
 
+/// The TID table of one receive context, in either representation.
+enum TidStore {
+    /// The RcvArray as the silicon lays it out (reference model).
+    Dense {
+        rcv_array: Vec<Option<TidEntry>>,
+        free_tids: Vec<TidId>,
+    },
+    /// Programmed entries only; the free stack is virtual. `spill` holds
+    /// explicitly freed TIDs (popped LIFO first), `next_fresh` is the
+    /// lowest TID never handed out — together they pop the exact TID
+    /// sequence the dense `(0..n).rev()` stack would.
+    Compact {
+        entries: FastMap<TidId, TidEntry>,
+        spill: Vec<TidId>,
+        next_fresh: TidId,
+    },
+}
+
+impl TidStore {
+    fn dense(capacity: usize) -> TidStore {
+        TidStore::Dense {
+            rcv_array: vec![None; capacity],
+            free_tids: (0..capacity as TidId).rev().collect(),
+        }
+    }
+
+    fn compact() -> TidStore {
+        TidStore::Compact {
+            entries: FastMap::new(),
+            spill: Vec::new(),
+            next_fresh: 0,
+        }
+    }
+
+    fn free_count(&self, capacity: usize) -> usize {
+        match self {
+            TidStore::Dense { free_tids, .. } => free_tids.len(),
+            TidStore::Compact {
+                spill, next_fresh, ..
+            } => spill.len() + (capacity - *next_fresh as usize),
+        }
+    }
+
+    /// Take the next free TID; the caller has checked availability.
+    fn pop_free(&mut self) -> TidId {
+        match self {
+            TidStore::Dense { free_tids, .. } => free_tids.pop().expect("checked free count"),
+            TidStore::Compact {
+                spill, next_fresh, ..
+            } => spill.pop().unwrap_or_else(|| {
+                let t = *next_fresh;
+                *next_fresh += 1;
+                t
+            }),
+        }
+    }
+
+    fn set(&mut self, tid: TidId, entry: TidEntry) {
+        match self {
+            TidStore::Dense { rcv_array, .. } => rcv_array[tid as usize] = Some(entry),
+            TidStore::Compact { entries, .. } => {
+                entries.insert(tid, entry);
+            }
+        }
+    }
+
+    /// Unprogram `tid`, returning false if it was not programmed (or out
+    /// of range — both representations report that as a bad TID).
+    fn clear(&mut self, tid: TidId) -> bool {
+        match self {
+            TidStore::Dense {
+                rcv_array,
+                free_tids,
+            } => {
+                if rcv_array
+                    .get_mut(tid as usize)
+                    .is_some_and(|slot| slot.take().is_some())
+                {
+                    free_tids.push(tid);
+                    true
+                } else {
+                    false
+                }
+            }
+            TidStore::Compact { entries, spill, .. } => {
+                if entries.remove(&tid).is_some() {
+                    spill.push(tid);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn get(&self, tid: TidId) -> Option<&TidEntry> {
+        match self {
+            TidStore::Dense { rcv_array, .. } => {
+                rcv_array.get(tid as usize).and_then(|e| e.as_ref())
+            }
+            TidStore::Compact { entries, .. } => entries.get(&tid),
+        }
+    }
+
+    /// Reset to the post-boot state (context release), keeping the
+    /// representation but dropping any grown allocations.
+    fn reset(&mut self, capacity: usize) {
+        match self {
+            TidStore::Dense {
+                rcv_array,
+                free_tids,
+            } => {
+                rcv_array.iter_mut().for_each(|e| *e = None);
+                *free_tids = (0..capacity as TidId).rev().collect();
+            }
+            TidStore::Compact {
+                entries,
+                spill,
+                next_fresh,
+            } => {
+                *entries = FastMap::new();
+                *spill = Vec::new();
+                *next_fresh = 0;
+            }
+        }
+    }
+}
+
 struct RcvContext {
     in_use: bool,
-    rcv_array: Vec<Option<TidEntry>>,
-    free_tids: Vec<TidId>,
+    tids: TidStore,
     eager: VecDeque<EagerPacket>,
     eager_dropped: u64,
 }
@@ -93,14 +231,26 @@ pub struct HfiChip {
 }
 
 impl HfiChip {
-    /// A chip with `num_contexts` receive contexts.
+    /// A chip with `num_contexts` receive contexts, RcvArrays laid out
+    /// densely (the reference model).
     pub fn new(cfg: HfiChipConfig, num_contexts: usize) -> HfiChip {
+        Self::build(cfg, num_contexts, TidStore::dense as fn(usize) -> TidStore)
+    }
+
+    /// A chip with compact TID tables: behaviorally identical to
+    /// [`new`](Self::new) but storing only programmed entries — the
+    /// flyweight node model's representation (~1 KiB instead of ~50 KiB
+    /// per context at the default geometry).
+    pub fn new_compact(cfg: HfiChipConfig, num_contexts: usize) -> HfiChip {
+        Self::build(cfg, num_contexts, |_| TidStore::compact())
+    }
+
+    fn build(cfg: HfiChipConfig, num_contexts: usize, store: fn(usize) -> TidStore) -> HfiChip {
         HfiChip {
             contexts: (0..num_contexts)
                 .map(|_| RcvContext {
                     in_use: false,
-                    rcv_array: vec![None; cfg.rcv_array_entries],
-                    free_tids: (0..cfg.rcv_array_entries as TidId).rev().collect(),
+                    tids: store(cfg.rcv_array_entries),
                     eager: VecDeque::new(),
                     eager_dropped: 0,
                 })
@@ -139,8 +289,7 @@ impl HfiChip {
             return Err(ChipError::BadContext);
         }
         c.in_use = false;
-        c.rcv_array.iter_mut().for_each(|e| *e = None);
-        c.free_tids = (0..self.cfg.rcv_array_entries as TidId).rev().collect();
+        c.tids.reset(self.cfg.rcv_array_entries);
         c.eager.clear();
         Ok(())
     }
@@ -153,17 +302,18 @@ impl HfiChip {
         ctxt: u32,
         segments: &[TidEntry],
     ) -> Result<Vec<TidId>, ChipError> {
+        let capacity = self.cfg.rcv_array_entries;
         let c = self
             .contexts
             .get_mut(ctxt as usize)
             .ok_or(ChipError::BadContext)?;
-        if c.free_tids.len() < segments.len() {
+        if c.tids.free_count(capacity) < segments.len() {
             return Err(ChipError::NoTids);
         }
         let mut tids = Vec::with_capacity(segments.len());
         for seg in segments {
-            let tid = c.free_tids.pop().expect("checked above");
-            c.rcv_array[tid as usize] = Some(seg.clone());
+            let tid = c.tids.pop_free();
+            c.tids.set(tid, seg.clone());
             tids.push(tid);
         }
         self.tid_programs += segments.len() as u64;
@@ -177,11 +327,9 @@ impl HfiChip {
             .get_mut(ctxt as usize)
             .ok_or(ChipError::BadContext)?;
         for &tid in tids {
-            let slot = c.rcv_array.get_mut(tid as usize).ok_or(ChipError::BadTid)?;
-            if slot.take().is_none() {
+            if !c.tids.clear(tid) {
                 return Err(ChipError::BadTid);
             }
-            c.free_tids.push(tid);
         }
         self.tid_frees += tids.len() as u64;
         Ok(())
@@ -193,9 +341,8 @@ impl HfiChip {
         self.contexts
             .get(ctxt as usize)
             .ok_or(ChipError::BadContext)?
-            .rcv_array
-            .get(tid as usize)
-            .and_then(|e| e.as_ref())
+            .tids
+            .get(tid)
             .ok_or(ChipError::BadTid)
     }
 
@@ -203,7 +350,7 @@ impl HfiChip {
     pub fn free_tid_count(&self, ctxt: u32) -> usize {
         self.contexts
             .get(ctxt as usize)
-            .map_or(0, |c| c.free_tids.len())
+            .map_or(0, |c| c.tids.free_count(self.cfg.rcv_array_entries))
     }
 
     /// Deposit an eager packet into a context's ring.
@@ -384,6 +531,52 @@ mod tests {
             c.reserve_engine();
         }
         assert!(c.engine_submits().iter().all(|&n| n == 2));
+    }
+
+    #[test]
+    fn compact_store_tracks_dense_through_churn() {
+        // Drive both representations through an interleaved
+        // program/lookup/unprogram history; every observable must match,
+        // including the TID ids themselves.
+        let cfg = HfiChipConfig {
+            rcv_array_entries: 16,
+            ..Default::default()
+        };
+        let mut dense = HfiChip::new(cfg, 1);
+        let mut compact = HfiChip::new_compact(cfg, 1);
+        assert_eq!(dense.alloc_context(), compact.alloc_context());
+        let seg = |i: u64| TidEntry {
+            va: i * 0x1000,
+            len: 4096,
+        };
+        let mut x = 99u64;
+        let mut live: Vec<TidId> = Vec::new();
+        for step in 0..200u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if x & 1 == 0 || live.is_empty() {
+                let segs: Vec<TidEntry> = (0..1 + (x >> 33) % 3).map(|i| seg(step + i)).collect();
+                let d = dense.program_tids(0, &segs);
+                let c = compact.program_tids(0, &segs);
+                assert_eq!(d, c);
+                if let Ok(t) = d {
+                    live.extend(t);
+                }
+            } else {
+                let victim = live.swap_remove(((x >> 33) as usize) % live.len());
+                assert_eq!(
+                    dense.unprogram_tids(0, &[victim]),
+                    compact.unprogram_tids(0, &[victim])
+                );
+            }
+            assert_eq!(dense.free_tid_count(0), compact.free_tid_count(0));
+            for t in 0..16 {
+                assert_eq!(dense.tid_entry(0, t), compact.tid_entry(0, t));
+            }
+        }
+        // Context release resets both to the boot state.
+        dense.free_context(0).unwrap();
+        compact.free_context(0).unwrap();
+        assert_eq!(dense.free_tid_count(0), compact.free_tid_count(0));
     }
 
     #[test]

@@ -17,6 +17,7 @@ use pico_linux::LinuxCosts;
 use pico_mem::{AddressSpace, MapError, VirtAddr, PAGE_4K};
 use pico_sim::Ns;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Driver errors.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -117,17 +118,31 @@ struct FileCtx {
     filedata: RawStruct,
 }
 
+/// The post-probe driver state that every node of one OS configuration
+/// shares: the compiled layout set plus the register reset images of
+/// `hfi1_devdata` and the engine `sdma_state`s. A node only gets private
+/// register copies when something actually writes them.
+struct DriverCold {
+    layouts: LayoutSet,
+    devdata: RawStruct,
+    sdma_state: Vec<RawStruct>,
+}
+
+/// Privately materialized register file of one driver instance.
+struct DriverRegs {
+    devdata: RawStruct,
+    sdma_state: Vec<RawStruct>,
+}
+
 /// The Linux HFI1 driver instance of one node.
 pub struct Hfi1Driver {
-    layouts: LayoutSet,
+    cold: Arc<DriverCold>,
+    /// `Some` once this instance's registers diverged from the shared
+    /// post-boot image (copy-on-write).
+    regs: Option<DriverRegs>,
     costs: HfiDriverCosts,
     files: HashMap<u64, FileCtx>,
     next_handle: u64,
-    /// Device-global data (`hfi1_devdata`), raw bytes.
-    pub devdata: RawStruct,
-    /// Per-engine `sdma_state` structures, raw bytes — the structures the
-    /// PicoDriver reads through DWARF-extracted offsets.
-    pub sdma_state: Vec<RawStruct>,
 }
 
 impl Hfi1Driver {
@@ -145,12 +160,28 @@ impl Hfi1Driver {
             states.push(s);
         }
         Hfi1Driver {
-            layouts,
+            cold: Arc::new(DriverCold {
+                layouts,
+                devdata,
+                sdma_state: states,
+            }),
+            regs: None,
             costs,
             files: HashMap::new(),
             next_handle: 1,
-            devdata,
-            sdma_state: states,
+        }
+    }
+
+    /// A freshly probed driver instance sharing this one's layout set and
+    /// register reset images — the template-boot clone. Costs carry over;
+    /// open files and any privately written registers do not.
+    pub fn clone_fresh(&self) -> Hfi1Driver {
+        Hfi1Driver {
+            cold: Arc::clone(&self.cold),
+            regs: None,
+            costs: self.costs,
+            files: HashMap::new(),
+            next_handle: 1,
         }
     }
 
@@ -160,14 +191,47 @@ impl Hfi1Driver {
     }
     /// The layout set this driver build was compiled with.
     pub fn layouts(&self) -> &LayoutSet {
-        &self.layouts
+        &self.cold.layouts
+    }
+
+    /// Device-global data (`hfi1_devdata`), raw bytes.
+    pub fn devdata(&self) -> &RawStruct {
+        self.regs
+            .as_ref()
+            .map_or(&self.cold.devdata, |r| &r.devdata)
+    }
+
+    /// One engine's `sdma_state` structure, raw bytes — what the
+    /// PicoDriver reads through DWARF-extracted offsets.
+    pub fn sdma_state(&self, engine: usize) -> &RawStruct {
+        self.regs
+            .as_ref()
+            .map_or(&self.cold.sdma_state[engine], |r| &r.sdma_state[engine])
+    }
+
+    /// Mutable access to an engine's `sdma_state`; copies the shared
+    /// register images into this instance on first write.
+    pub fn sdma_state_mut(&mut self, engine: usize) -> &mut RawStruct {
+        let cold = &self.cold;
+        &mut self
+            .regs
+            .get_or_insert_with(|| DriverRegs {
+                devdata: cold.devdata.clone(),
+                sdma_state: cold.sdma_state.clone(),
+            })
+            .sdma_state[engine]
+    }
+
+    /// Whether this instance still reads the shared register images.
+    pub fn regs_shared(&self) -> bool {
+        self.regs.is_none()
     }
 
     /// `open()`: assign a receive context, allocate `hfi1_filedata`.
     /// Returns `(private_data handle, ctxt, cpu)`.
     pub fn open(&mut self, chip: &mut HfiChip) -> Result<(u64, u32, Ns), DriverError> {
         let ctxt = chip.alloc_context()?;
-        let mut filedata = self.layouts.instance("hfi1_filedata");
+        let mut filedata = self.cold.layouts.instance("hfi1_filedata");
         filedata.set("ctxt", ctxt as u64);
         filedata.set("tid_limit", chip.config().rcv_array_entries as u64);
         let handle = self.next_handle;
@@ -211,7 +275,9 @@ impl Hfi1Driver {
         len: u64,
         lc: &LinuxCosts,
     ) -> Result<SdmaSubmission, DriverError> {
-        let file = self.files.get_mut(&handle).ok_or(DriverError::BadHandle)?;
+        if !self.files.contains_key(&handle) {
+            return Err(DriverError::BadHandle);
+        }
         // get_user_pages: pin and collect the backing frames.
         let gup = space.get_user_pages(va, len)?;
         let npages = gup.frames.len() as u64;
@@ -233,8 +299,10 @@ impl Hfi1Driver {
         let engine = chip.reserve_engine();
         // Mark the engine running (native-layout write; the LWK observes
         // this through DWARF offsets).
-        self.sdma_state[engine].set("current_state", sdma_states::S99_RUNNING);
-        self.sdma_state[engine].set("go_s99_running", 1);
+        let st = self.sdma_state_mut(engine);
+        st.set("current_state", sdma_states::S99_RUNNING);
+        st.set("go_s99_running", 1);
+        let file = self.files.get_mut(&handle).expect("checked above");
         file.filedata.set(
             "sdma_queue_depth",
             file.filedata.get("sdma_queue_depth") + 1,
@@ -408,9 +476,10 @@ mod tests {
         assert!(sub.cpu > lc.gup_per_page * 512);
         // Engine marked running in the raw state bytes.
         assert_eq!(
-            d.sdma_state[sub.engine].get("current_state"),
+            d.sdma_state(sub.engine).get("current_state"),
             sdma_states::S99_RUNNING
         );
+        assert!(!d.regs_shared(), "the engine write went to private regs");
     }
 
     #[test]
@@ -480,6 +549,33 @@ mod tests {
         assert_eq!(err, DriverError::Chip(ChipError::NoTids));
         // The pin was rolled back: munmap works.
         assert!(space.munmap(&mut frames, va).is_ok());
+    }
+
+    #[test]
+    fn clone_fresh_shares_reset_images_until_first_write() {
+        let (d, mut chip, mut space, mut frames, lc) = setup();
+        let mut clone = d.clone_fresh();
+        assert!(clone.regs_shared());
+        assert_eq!(
+            clone.sdma_state(0).bytes(),
+            d.sdma_state(0).bytes(),
+            "clone reads the shared post-probe image"
+        );
+        assert_eq!(clone.devdata().get("num_sdma"), 16);
+        // A writev on the clone must not leak into the template.
+        let (va, _) = space.mmap_anonymous(&mut frames, 4096, false).unwrap();
+        let (h, _, _) = clone.open(&mut chip).unwrap();
+        let sub = clone
+            .sdma_writev(&mut chip, &mut space, h, va, 4096, &lc)
+            .unwrap();
+        assert!(!clone.regs_shared());
+        assert!(d.regs_shared());
+        assert_eq!(
+            d.sdma_state(sub.engine).get("current_state"),
+            sdma_states::S99_RUNNING
+        );
+        // The clone starts with no open files of its own.
+        assert_eq!(d.ctxt_of(h), Err(DriverError::BadHandle));
     }
 
     #[test]

@@ -156,6 +156,26 @@ impl BuddyAllocator {
         Ok(())
     }
 
+    /// A copy of this allocator translated by `delta` bytes: same size,
+    /// same free-list *shape*, every address shifted. Because every
+    /// decision the allocator makes (seeding, split, coalesce,
+    /// lowest-address choice) is arithmetic on `addr - base`, the clone
+    /// behaves bit-identically to an allocator that was constructed at
+    /// the shifted base and then driven through the same call sequence —
+    /// the invariant behind template-boot node cloning.
+    pub fn clone_rebased(&self, delta: u64) -> BuddyAllocator {
+        BuddyAllocator {
+            base: self.base + delta,
+            size: self.size,
+            free: self
+                .free
+                .iter()
+                .map(|set| set.iter().map(|a| a + delta).collect())
+                .collect(),
+            allocated: self.allocated,
+        }
+    }
+
     /// The order of the largest currently free block, if any.
     pub fn largest_free_order(&self) -> Option<u8> {
         (0..=MAX_ORDER)
@@ -196,6 +216,62 @@ impl BuddyAllocator {
 #[inline]
 pub const fn block_size(order: u8) -> u64 {
     PAGE_4K << order
+}
+
+/// Copy-on-write frame allocator for flyweight node models: N nodes
+/// whose post-boot buddy state is identical up to a per-node physical
+/// offset share one [`BuddyAllocator`] image behind an `Arc`, and a
+/// node materializes its own rebased copy only at its first mutating
+/// touch (a runtime `mmap`/`munmap`; steady-state fast-path traffic
+/// never allocates frames). The eager layout stays available as
+/// [`Frames::Owned`].
+#[derive(Clone, Debug)]
+pub enum Frames {
+    /// A node-private allocator (the eager reference layout, and the
+    /// state of any shared node after its first mutation).
+    Owned(BuddyAllocator),
+    /// A view of a shared post-boot image, translated by `delta` bytes.
+    Shared {
+        /// The template node's post-boot allocator.
+        image: std::sync::Arc<BuddyAllocator>,
+        /// This node's physical offset from the template.
+        delta: u64,
+    },
+}
+
+impl Frames {
+    /// Whether this node holds a private (materialized) allocator.
+    pub fn is_materialized(&self) -> bool {
+        matches!(self, Frames::Owned(_))
+    }
+
+    /// Mutable access, materializing a private rebased copy on first
+    /// touch of a shared image.
+    pub fn get_mut(&mut self) -> &mut BuddyAllocator {
+        if let Frames::Shared { image, delta } = self {
+            *self = Frames::Owned(image.clone_rebased(*delta));
+        }
+        match self {
+            Frames::Owned(b) => b,
+            Frames::Shared { .. } => unreachable!("materialized above"),
+        }
+    }
+
+    /// Total managed bytes (read-through; never materializes).
+    pub fn capacity(&self) -> u64 {
+        match self {
+            Frames::Owned(b) => b.capacity(),
+            Frames::Shared { image, .. } => image.capacity(),
+        }
+    }
+
+    /// Bytes currently allocated (read-through; never materializes).
+    pub fn allocated(&self) -> u64 {
+        match self {
+            Frames::Owned(b) => b.allocated(),
+            Frames::Shared { image, .. } => image.allocated(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -296,5 +372,52 @@ mod tests {
         assert_eq!(a, PhysAddr(0x10000000));
         b.free(a, 0).unwrap();
         assert_eq!(b.allocated(), 0);
+    }
+
+    #[test]
+    fn clone_rebased_tracks_the_shifted_original() {
+        // Drive an allocator through a mixed history, clone it with a
+        // delta, then drive both through the same tail: every result
+        // must match shifted, including free-list choices and errors.
+        let delta = 1u64 << 40;
+        let mut a = mk(4 << 20);
+        let mut shifted = BuddyAllocator::new(PhysAddr(delta), 4 << 20);
+        let mut live = Vec::new();
+        for i in 0..40u64 {
+            let order = (i % 3) as u8;
+            let pa = a.alloc(order).unwrap();
+            let ps = shifted.alloc(order).unwrap();
+            assert_eq!(ps.0, pa.0 + delta);
+            live.push((pa, ps, order));
+            if i % 4 == 3 {
+                let (pa, ps, o) = live.remove(live.len() / 2);
+                a.free(pa, o).unwrap();
+                shifted.free(ps, o).unwrap();
+            }
+        }
+        let b = a.clone_rebased(delta);
+        assert_eq!(format!("{b:?}"), format!("{shifted:?}"));
+        assert_eq!(b.allocated(), a.allocated());
+    }
+
+    #[test]
+    fn frames_materialize_on_first_mutation() {
+        let mut a = mk(1 << 20);
+        let p = a.alloc(3).unwrap();
+        a.free(p, 3).unwrap();
+        let delta = 2u64 << 40;
+        let image = std::sync::Arc::new(a);
+        let mut f = Frames::Shared {
+            image: image.clone(),
+            delta,
+        };
+        assert!(!f.is_materialized());
+        assert_eq!(f.capacity(), 1 << 20);
+        assert_eq!(f.allocated(), 0);
+        let got = f.get_mut().alloc(0).unwrap();
+        assert!(f.is_materialized());
+        assert_eq!(got, PhysAddr(delta));
+        // The shared image is untouched.
+        assert_eq!(image.allocated(), 0);
     }
 }

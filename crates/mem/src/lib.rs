@@ -12,7 +12,10 @@
 //!   §3.1 unification invariants;
 //! * [`vma::AddressSpace`] — user address spaces with the two anonymous
 //!   backing policies (Linux `Fragmented4k` vs McKernel
-//!   `ContiguousLarge`), `get_user_pages`, and pinning.
+//!   `ContiguousLarge`), `get_user_pages`, and pinning; plus the
+//!   copy-on-write [`vma::SpaceTemplate`] / [`buddy::Frames`] pair the
+//!   flyweight node model is built on (one booted image per OS config,
+//!   per-node views shifted by a constant physical delta).
 
 #![warn(missing_docs)]
 
@@ -23,7 +26,7 @@ pub mod pagetable;
 pub mod vma;
 
 pub use addr::{PageSize, PhysAddr, PhysRun, VirtAddr, PAGE_1G, PAGE_2M, PAGE_4K};
-pub use buddy::{BuddyAllocator, BuddyError};
+pub use buddy::{BuddyAllocator, BuddyError, Frames};
 pub use layout::{check_unification, KernelLayout, Range, Region};
 pub use pagetable::{PageTable, PtError, Translation};
-pub use vma::{AddressSpace, GupPages, MapError, MapPolicy, MapStats};
+pub use vma::{AddressSpace, GupPages, MapError, MapPolicy, MapStats, SpaceTemplate};

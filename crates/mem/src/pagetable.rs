@@ -50,6 +50,7 @@ pub struct Translation {
     pub levels_walked: u8,
 }
 
+#[derive(Debug)]
 enum Entry {
     Empty,
     Table(Box<Table>),
@@ -60,6 +61,7 @@ enum Entry {
     },
 }
 
+#[derive(Debug)]
 struct Table {
     entries: Vec<Entry>, // always 512
 }
@@ -68,6 +70,24 @@ impl Table {
     fn new() -> Box<Table> {
         Box::new(Table {
             entries: (0..512).map(|_| Entry::Empty).collect(),
+        })
+    }
+
+    /// Deep-copy the subtree, adding `delta` to every leaf physical base.
+    fn clone_rebased(&self, delta: u64) -> Box<Table> {
+        Box::new(Table {
+            entries: self
+                .entries
+                .iter()
+                .map(|e| match e {
+                    Entry::Empty => Entry::Empty,
+                    Entry::Table(t) => Entry::Table(t.clone_rebased(delta)),
+                    Entry::Leaf { pa, flags } => Entry::Leaf {
+                        pa: pa + delta,
+                        flags: *flags,
+                    },
+                })
+                .collect(),
         })
     }
 }
@@ -89,6 +109,7 @@ fn leaf_level(size: PageSize) -> u8 {
 }
 
 /// A 4-level page table.
+#[derive(Debug)]
 pub struct PageTable {
     root: Box<Table>,
     mapped_pages: u64,
@@ -112,6 +133,20 @@ impl PageTable {
     /// Number of leaf mappings currently installed.
     pub fn mapped_pages(&self) -> u64 {
         self.mapped_pages
+    }
+
+    /// Deep-copy the table, adding `delta` to every leaf physical address.
+    ///
+    /// Node address spaces in a homogeneous cluster are identical modulo a
+    /// constant physical offset (each node's frame pool starts at
+    /// `node_idx << 40`); this is the clone that lets one booted template
+    /// stand in for all of them. Virtual addresses — the radix structure —
+    /// are untouched.
+    pub fn clone_rebased(&self, delta: u64) -> PageTable {
+        PageTable {
+            root: self.root.clone_rebased(delta),
+            mapped_pages: self.mapped_pages,
+        }
     }
 
     /// Install a mapping `va -> pa` of the given page size.
@@ -397,6 +432,38 @@ mod tests {
         assert_eq!(runs[0].pa, PhysAddr(PAGE_2M + 0x3000));
         assert_eq!(runs[0].len, 100 * 1024);
         assert_eq!(levels, 3);
+    }
+
+    #[test]
+    fn clone_rebased_shifts_leaves_only() {
+        let mut pt = PageTable::new();
+        pt.map(
+            VirtAddr(0x4000),
+            PhysAddr(0x10000),
+            PageSize::Size4K,
+            flags::WRITE,
+        )
+        .unwrap();
+        pt.map(
+            VirtAddr(PAGE_2M),
+            PhysAddr(4 * PAGE_2M),
+            PageSize::Size2M,
+            flags::PINNED,
+        )
+        .unwrap();
+        let delta = 7u64 << 40;
+        let shifted = pt.clone_rebased(delta);
+        assert_eq!(shifted.mapped_pages(), pt.mapped_pages());
+        let t = shifted.translate(VirtAddr(0x4123)).unwrap();
+        assert_eq!(t.pa, PhysAddr(delta + 0x10123));
+        assert_eq!(t.flags, flags::WRITE | flags::PRESENT);
+        let t2 = shifted.translate(VirtAddr(PAGE_2M + 0x99)).unwrap();
+        assert_eq!(t2.pa, PhysAddr(delta + 4 * PAGE_2M + 0x99));
+        assert_eq!(t2.page_size, PageSize::Size2M);
+        // The original is untouched and the copy is independent.
+        let mut shifted = shifted;
+        shifted.unmap(VirtAddr(0x4000)).unwrap();
+        assert!(pt.translate(VirtAddr(0x4000)).is_ok());
     }
 
     #[test]

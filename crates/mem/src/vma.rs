@@ -6,11 +6,19 @@
 //! Linux hands out whatever 4 KiB frames the (fragmented) buddy allocator
 //! produces. The two policies are [`MapPolicy::Fragmented4k`] and
 //! [`MapPolicy::ContiguousLarge`].
+//!
+//! For the flyweight node model, an [`AddressSpace`] can be frozen into a
+//! [`SpaceTemplate`] after boot and instantiated as copy-on-write views:
+//! node address spaces in a homogeneous cluster differ only by the
+//! constant physical offset of each node's frame pool, so read-only walks
+//! (the fast path) shift addresses on the fly and the first mutating
+//! operation materializes a private rebased copy.
 
 use crate::addr::{PageSize, PhysAddr, PhysRun, VirtAddr, PAGE_2M, PAGE_4K};
 use crate::buddy::{BuddyAllocator, BuddyError};
-use crate::pagetable::{flags, PageTable, PtError};
+use crate::pagetable::{flags, PageTable, PtError, Translation};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// How anonymous mappings are backed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -53,7 +61,7 @@ struct OwnedBlock {
 }
 
 /// One virtual memory area.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Vma {
     /// Start virtual address.
     pub start: VirtAddr,
@@ -86,12 +94,81 @@ pub struct MapStats {
     pub blocks_allocated: u64,
 }
 
+/// The page table and VMA list of an address space — everything whose
+/// contents differ between nodes only by the constant physical-frame
+/// offset of the node's pool.
+#[derive(Debug)]
+struct SpaceImage {
+    page_table: PageTable,
+    vmas: BTreeMap<u64, Vma>,
+}
+
+impl SpaceImage {
+    /// Deep-copy with every physical address (page-table leaves and
+    /// VMA-owned buddy blocks) shifted by `delta`. Virtual layout is
+    /// untouched.
+    fn rebased(&self, delta: u64) -> SpaceImage {
+        let mut vmas = self.vmas.clone();
+        if delta != 0 {
+            for vma in vmas.values_mut() {
+                for b in vma.blocks.iter_mut() {
+                    b.pa = b.pa + delta;
+                }
+            }
+        }
+        SpaceImage {
+            page_table: self.page_table.clone_rebased(delta),
+            vmas,
+        }
+    }
+}
+
+/// How an [`AddressSpace`] stores its image.
+#[derive(Debug)]
+enum SpaceRepr {
+    /// This space owns its tables (the eager model, and any flyweight
+    /// space after its first mutating touch).
+    Owned(SpaceImage),
+    /// This space is a view of a booted template's image, with all
+    /// physical addresses logically shifted by `delta`. Read-only walks
+    /// (the PicoDriver fast path) apply the shift on the fly; the first
+    /// mutating operation materializes a rebased private copy.
+    Shared { image: Arc<SpaceImage>, delta: u64 },
+}
+
+/// An immutable post-boot address-space image shared across the node
+/// instances of one OS configuration. Produced by
+/// [`AddressSpace::freeze`]; stamped out per node by
+/// [`instantiate`](SpaceTemplate::instantiate).
+#[derive(Clone, Debug)]
+pub struct SpaceTemplate {
+    image: Arc<SpaceImage>,
+    policy: MapPolicy,
+    next_mmap: u64,
+}
+
+impl SpaceTemplate {
+    /// A flyweight address space whose physical addresses are those of the
+    /// template shifted by `delta` (the distance between the template
+    /// node's frame pool and this node's). No tables are copied until the
+    /// space is first mutated.
+    pub fn instantiate(&self, delta: u64) -> AddressSpace {
+        AddressSpace {
+            repr: SpaceRepr::Shared {
+                image: Arc::clone(&self.image),
+                delta,
+            },
+            policy: self.policy,
+            next_mmap: self.next_mmap,
+        }
+    }
+}
+
 /// A user process address space: page table + VMA list + bump allocator
 /// for `mmap` placement.
+#[derive(Debug)]
 pub struct AddressSpace {
-    /// The process page table (what the PicoDriver fast path walks).
-    pub page_table: PageTable,
-    vmas: BTreeMap<u64, Vma>,
+    repr: SpaceRepr,
     policy: MapPolicy,
     next_mmap: u64,
 }
@@ -104,10 +181,53 @@ impl AddressSpace {
             "mmap base should be 2M aligned"
         );
         AddressSpace {
-            page_table: PageTable::new(),
-            vmas: BTreeMap::new(),
+            repr: SpaceRepr::Owned(SpaceImage {
+                page_table: PageTable::new(),
+                vmas: BTreeMap::new(),
+            }),
             policy,
             next_mmap: mmap_base.0,
+        }
+    }
+
+    /// The image and the physical delta reads must add to its addresses.
+    #[inline]
+    fn image(&self) -> (&SpaceImage, u64) {
+        match &self.repr {
+            SpaceRepr::Owned(img) => (img, 0),
+            SpaceRepr::Shared { image, delta } => (image, *delta),
+        }
+    }
+
+    /// Private, rebased image — copies the template on first call.
+    fn image_mut(&mut self) -> &mut SpaceImage {
+        if let SpaceRepr::Shared { image, delta } = &self.repr {
+            self.repr = SpaceRepr::Owned(image.rebased(*delta));
+        }
+        match &mut self.repr {
+            SpaceRepr::Owned(img) => img,
+            SpaceRepr::Shared { .. } => unreachable!("just materialized"),
+        }
+    }
+
+    /// Whether this space owns private tables (true for eagerly built
+    /// spaces and for flyweight spaces after their first mutation).
+    pub fn is_materialized(&self) -> bool {
+        matches!(self.repr, SpaceRepr::Owned(_))
+    }
+
+    /// Freeze this space into an immutable template other nodes can
+    /// instantiate views of. A shared space re-freezes by materializing
+    /// its rebased image first.
+    pub fn freeze(self) -> SpaceTemplate {
+        let image = match self.repr {
+            SpaceRepr::Owned(img) => Arc::new(img),
+            SpaceRepr::Shared { image, delta } => Arc::new(image.rebased(delta)),
+        };
+        SpaceTemplate {
+            image,
+            policy: self.policy,
+            next_mmap: self.next_mmap,
         }
     }
 
@@ -118,12 +238,27 @@ impl AddressSpace {
 
     /// Number of live VMAs.
     pub fn vma_count(&self) -> usize {
-        self.vmas.len()
+        self.image().0.vmas.len()
+    }
+
+    /// Number of page-table leaf mappings currently installed.
+    pub fn mapped_pages(&self) -> u64 {
+        self.image().0.page_table.mapped_pages()
+    }
+
+    /// Translate `va` through the page table (delta-adjusted for shared
+    /// spaces).
+    pub fn translate(&self, va: VirtAddr) -> Result<Translation, PtError> {
+        let (img, delta) = self.image();
+        let mut t = img.page_table.translate(va)?;
+        t.pa = t.pa + delta;
+        Ok(t)
     }
 
     /// Look up the VMA containing `va`.
     pub fn find_vma(&self, va: VirtAddr) -> Option<&Vma> {
-        self.vmas
+        let (img, _) = self.image();
+        img.vmas
             .range(..=va.0)
             .next_back()
             .map(|(_, v)| v)
@@ -147,6 +282,8 @@ impl AddressSpace {
         let va = VirtAddr(self.next_mmap);
         self.next_mmap = crate::addr::align_up(self.next_mmap + len, PAGE_2M) + PAGE_2M;
 
+        let policy = self.policy;
+        let img = self.image_mut();
         let mut vma = Vma {
             start: va,
             len,
@@ -156,118 +293,37 @@ impl AddressSpace {
             leaves: Vec::new(),
         };
         let mut stats = MapStats::default();
-        let result = match self.policy {
-            MapPolicy::Fragmented4k => self.populate_fragmented(phys, &mut vma, &mut stats),
-            MapPolicy::ContiguousLarge => self.populate_contiguous(phys, &mut vma, &mut stats),
+        let result = match policy {
+            MapPolicy::Fragmented4k => {
+                populate_fragmented(&mut img.page_table, phys, &mut vma, &mut stats)
+            }
+            MapPolicy::ContiguousLarge => {
+                populate_contiguous(&mut img.page_table, phys, &mut vma, &mut stats)
+            }
         };
         if let Err(e) = result {
             // Roll back everything this VMA touched.
-            self.teardown_vma(phys, &mut vma);
+            teardown_vma(&mut img.page_table, phys, &mut vma);
             return Err(e);
         }
-        self.vmas.insert(va.0, vma);
+        img.vmas.insert(va.0, vma);
         Ok((va, stats))
-    }
-
-    fn populate_fragmented(
-        &mut self,
-        phys: &mut BuddyAllocator,
-        vma: &mut Vma,
-        stats: &mut MapStats,
-    ) -> Result<(), MapError> {
-        let mut off = 0;
-        while off < vma.len {
-            let frame = phys.alloc(0)?;
-            vma.blocks.push(OwnedBlock {
-                pa: frame,
-                order: 0,
-            });
-            stats.blocks_allocated += 1;
-            let va = vma.start + off;
-            self.page_table
-                .map(va, frame, PageSize::Size4K, user_flags(vma.pinned))?;
-            vma.leaves.push((va, PageSize::Size4K));
-            stats.leaves_mapped += 1;
-            off += PAGE_4K;
-        }
-        Ok(())
-    }
-
-    fn populate_contiguous(
-        &mut self,
-        phys: &mut BuddyAllocator,
-        vma: &mut Vma,
-        stats: &mut MapStats,
-    ) -> Result<(), MapError> {
-        let mut off = 0;
-        while off < vma.len {
-            let remaining = vma.len - off;
-            let va = vma.start + off;
-            // Prefer a 2 MiB leaf when both VA alignment and length allow.
-            if va.is_aligned(PAGE_2M) && remaining >= PAGE_2M {
-                if let Ok(frame) = phys.alloc(9) {
-                    debug_assert!(frame.is_aligned(PAGE_2M));
-                    vma.blocks.push(OwnedBlock {
-                        pa: frame,
-                        order: 9,
-                    });
-                    stats.blocks_allocated += 1;
-                    self.page_table
-                        .map(va, frame, PageSize::Size2M, user_flags(vma.pinned))?;
-                    vma.leaves.push((va, PageSize::Size2M));
-                    stats.leaves_mapped += 1;
-                    stats.large_leaves += 1;
-                    off += PAGE_2M;
-                    continue;
-                }
-            }
-            // Otherwise grab the largest power-of-two block ≤ remaining
-            // (physically contiguous even if mapped with 4 KiB leaves) and
-            // shrink on allocation failure.
-            let max_order = order_fitting(remaining).min(9);
-            let (frame, order) = alloc_shrinking(phys, max_order)?;
-            vma.blocks.push(OwnedBlock { pa: frame, order });
-            stats.blocks_allocated += 1;
-            let block_len = crate::buddy::block_size(order).min(remaining);
-            let mut inner = 0;
-            while inner < block_len {
-                self.page_table.map(
-                    va + inner,
-                    frame + inner,
-                    PageSize::Size4K,
-                    user_flags(vma.pinned),
-                )?;
-                vma.leaves.push((va + inner, PageSize::Size4K));
-                stats.leaves_mapped += 1;
-                inner += PAGE_4K;
-            }
-            off += block_len;
-        }
-        Ok(())
-    }
-
-    fn teardown_vma(&mut self, phys: &mut BuddyAllocator, vma: &mut Vma) {
-        for (va, _) in vma.leaves.drain(..) {
-            let _ = self.page_table.unmap(va);
-        }
-        for b in vma.blocks.drain(..) {
-            let _ = phys.free(b.pa, b.order);
-        }
     }
 
     /// Unmap the VMA starting at `va` (whole-VMA munmap, the common case
     /// for the buffers we model). Returns the number of page-table leaves
     /// removed (feeds the TLB-shootdown cost model).
     pub fn munmap(&mut self, phys: &mut BuddyAllocator, va: VirtAddr) -> Result<u64, MapError> {
-        let mut vma = self.vmas.remove(&va.0).ok_or(MapError::Invalid)?;
+        let img = self.image_mut();
+        let mut vma = img.vmas.remove(&va.0).ok_or(MapError::Invalid)?;
         if vma.gup_pins > 0 {
             // Pages pinned by get_user_pages can't be unmapped from under
             // the device.
-            self.vmas.insert(va.0, vma);
+            img.vmas.insert(va.0, vma);
             return Err(MapError::Pinned);
         }
         let leaves = vma.leaves.len() as u64;
-        self.teardown_vma(phys, &mut vma);
+        teardown_vma(&mut img.page_table, phys, &mut vma);
         Ok(leaves)
     }
 
@@ -281,13 +337,16 @@ impl AddressSpace {
         let start = va.align_down(PAGE_4K);
         let end = (va + len).align_up(PAGE_4K);
         let npages = (end - start) / PAGE_4K;
+        // Pinning mutates the VMA refcount, so a shared space materializes
+        // here — exactly mirroring the real cost: gup is the slow path.
+        let img = self.image_mut();
         let mut frames = Vec::with_capacity(npages as usize);
         for i in 0..npages {
-            let t = self.page_table.translate(start + i * PAGE_4K)?;
+            let t = img.page_table.translate(start + i * PAGE_4K)?;
             frames.push(t.pa.align_down(PAGE_4K));
         }
         // Pin the owning VMA(s).
-        let vma = self
+        let vma = img
             .vmas
             .range_mut(..=start.0)
             .next_back()
@@ -300,7 +359,8 @@ impl AddressSpace {
 
     /// Release one `get_user_pages` pin on the VMA containing `va`.
     pub fn put_user_pages(&mut self, va: VirtAddr) -> Result<(), MapError> {
-        let vma = self
+        let img = self.image_mut();
+        let vma = img
             .vmas
             .range_mut(..=va.0)
             .next_back()
@@ -326,7 +386,98 @@ impl AddressSpace {
         if va.0 + len > vma.start.0 + vma.len {
             return Err(MapError::Invalid);
         }
-        Ok(self.page_table.contiguous_runs(va, len)?)
+        let (img, delta) = self.image();
+        let (mut runs, levels) = img.page_table.contiguous_runs(va, len)?;
+        if delta != 0 {
+            for r in runs.iter_mut() {
+                r.pa = r.pa + delta;
+            }
+        }
+        Ok((runs, levels))
+    }
+}
+
+fn populate_fragmented(
+    pt: &mut PageTable,
+    phys: &mut BuddyAllocator,
+    vma: &mut Vma,
+    stats: &mut MapStats,
+) -> Result<(), MapError> {
+    let mut off = 0;
+    while off < vma.len {
+        let frame = phys.alloc(0)?;
+        vma.blocks.push(OwnedBlock {
+            pa: frame,
+            order: 0,
+        });
+        stats.blocks_allocated += 1;
+        let va = vma.start + off;
+        pt.map(va, frame, PageSize::Size4K, user_flags(vma.pinned))?;
+        vma.leaves.push((va, PageSize::Size4K));
+        stats.leaves_mapped += 1;
+        off += PAGE_4K;
+    }
+    Ok(())
+}
+
+fn populate_contiguous(
+    pt: &mut PageTable,
+    phys: &mut BuddyAllocator,
+    vma: &mut Vma,
+    stats: &mut MapStats,
+) -> Result<(), MapError> {
+    let mut off = 0;
+    while off < vma.len {
+        let remaining = vma.len - off;
+        let va = vma.start + off;
+        // Prefer a 2 MiB leaf when both VA alignment and length allow.
+        if va.is_aligned(PAGE_2M) && remaining >= PAGE_2M {
+            if let Ok(frame) = phys.alloc(9) {
+                debug_assert!(frame.is_aligned(PAGE_2M));
+                vma.blocks.push(OwnedBlock {
+                    pa: frame,
+                    order: 9,
+                });
+                stats.blocks_allocated += 1;
+                pt.map(va, frame, PageSize::Size2M, user_flags(vma.pinned))?;
+                vma.leaves.push((va, PageSize::Size2M));
+                stats.leaves_mapped += 1;
+                stats.large_leaves += 1;
+                off += PAGE_2M;
+                continue;
+            }
+        }
+        // Otherwise grab the largest power-of-two block ≤ remaining
+        // (physically contiguous even if mapped with 4 KiB leaves) and
+        // shrink on allocation failure.
+        let max_order = order_fitting(remaining).min(9);
+        let (frame, order) = alloc_shrinking(phys, max_order)?;
+        vma.blocks.push(OwnedBlock { pa: frame, order });
+        stats.blocks_allocated += 1;
+        let block_len = crate::buddy::block_size(order).min(remaining);
+        let mut inner = 0;
+        while inner < block_len {
+            pt.map(
+                va + inner,
+                frame + inner,
+                PageSize::Size4K,
+                user_flags(vma.pinned),
+            )?;
+            vma.leaves.push((va + inner, PageSize::Size4K));
+            stats.leaves_mapped += 1;
+            inner += PAGE_4K;
+        }
+        off += block_len;
+    }
+    Ok(())
+}
+
+fn teardown_vma(pt: &mut PageTable, phys: &mut BuddyAllocator, vma: &mut Vma) {
+    for (va, _) in vma.leaves.drain(..) {
+        let _ = pt.unmap(va);
+    }
+    for b in vma.blocks.drain(..) {
+        let _ = phys.free(b.pa, b.order);
     }
 }
 
@@ -463,7 +614,68 @@ mod tests {
             0,
             "partial allocation must be rolled back"
         );
-        assert_eq!(asp.page_table.mapped_pages(), 0);
+        assert_eq!(asp.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn template_views_shift_physical_addresses_lazily() {
+        let mut phys = fresh_phys(64);
+        let mut asp = AddressSpace::new(MapPolicy::ContiguousLarge, BASE);
+        let (va, _) = asp.mmap_anonymous(&mut phys, 4 << 20, true).unwrap();
+        let (runs0, levels0) = asp.contiguous_runs(va, 4 << 20).unwrap();
+        let tpl = asp.freeze();
+
+        let delta = 3u64 << 40;
+        let view = tpl.instantiate(delta);
+        assert!(!view.is_materialized());
+        assert_eq!(view.vma_count(), 1);
+        assert_eq!(view.policy(), MapPolicy::ContiguousLarge);
+
+        // Read-only fast-path walk: same shape, shifted frames, no copy.
+        let (runs, levels) = view.contiguous_runs(va, 4 << 20).unwrap();
+        assert_eq!(levels, levels0);
+        assert_eq!(runs.len(), runs0.len());
+        for (r, r0) in runs.iter().zip(runs0.iter()) {
+            assert_eq!(r.len, r0.len);
+            assert_eq!(r.pa, r0.pa + delta);
+        }
+        assert_eq!(
+            view.translate(va + 0x123).unwrap().pa,
+            PhysAddr(runs0[0].pa.0 + delta + 0x123)
+        );
+        assert!(!view.is_materialized(), "reads must not materialize");
+    }
+
+    #[test]
+    fn template_view_materializes_on_mutation_and_matches_eager() {
+        let delta = 5u64 << 40;
+        let mut phys_t = fresh_phys(64);
+        let mut phys_e = BuddyAllocator::new(PhysAddr(delta), 64 << 20);
+
+        // Template booted against a pool at 0; eager twin against `delta`.
+        let mut tmpl = AddressSpace::new(MapPolicy::ContiguousLarge, BASE);
+        let (va, _) = tmpl.mmap_anonymous(&mut phys_t, 2 << 20, true).unwrap();
+        let mut eager = AddressSpace::new(MapPolicy::ContiguousLarge, BASE);
+        let (va_e, _) = eager.mmap_anonymous(&mut phys_e, 2 << 20, true).unwrap();
+        assert_eq!(va, va_e, "virtual layout is node-invariant");
+
+        let mut view = tmpl.freeze().instantiate(delta);
+        // First mutating touch: map another region in both spaces, against
+        // buddies with identical (shifted) state.
+        let mut phys_v = phys_t.clone_rebased(delta);
+        let (va2, s2) = view.mmap_anonymous(&mut phys_v, 1 << 20, true).unwrap();
+        assert!(view.is_materialized());
+        let (va2e, s2e) = eager.mmap_anonymous(&mut phys_e, 1 << 20, true).unwrap();
+        assert_eq!((va2, s2), (va2e, s2e));
+        for (a, b) in [(va, va_e), (va2, va2e)] {
+            let (ra, la) = view.contiguous_runs(a, 1 << 20).unwrap();
+            let (rb, lb) = eager.contiguous_runs(b, 1 << 20).unwrap();
+            assert_eq!((ra, la), (rb, lb), "materialized == eagerly booted");
+        }
+        // And unmap still returns the rebased frames to the right buddy.
+        view.munmap(&mut phys_v, va2).unwrap();
+        eager.munmap(&mut phys_e, va2e).unwrap();
+        assert_eq!(phys_v.free_bytes(), phys_e.free_bytes());
     }
 
     #[test]

@@ -1,0 +1,344 @@
+//! A small open-addressed hash map for simulator hot paths.
+//!
+//! `std::collections::HashMap` pays SipHash on every probe — measurable
+//! on per-completion lookups like the SDMA metadata table and the
+//! per-syscall profilers. [`FastMap`] is the map analogue of the
+//! `LinkIndex` idiom in the cluster engine: linear probing over a
+//! power-of-two slot array, a splitmix64-finalized hasher, growth at 50%
+//! load, and backward-shift deletion (no tombstones, so long-lived maps
+//! with insert/remove churn never degrade).
+//!
+//! Determinism note: iteration order depends only on the key set and the
+//! insertion/removal history — never on a per-process random seed (the
+//! hasher is fixed), so runs stay bit-reproducible.
+
+use std::hash::{Hash, Hasher};
+
+/// A `Hasher` that folds written words multiplicatively and applies the
+/// splitmix64 finalizer — a few cycles per key, with finalizer-grade
+/// avalanche on the low bits the table indexes by.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SplitMixHasher {
+    state: u64,
+}
+
+impl Hasher for SplitMixHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        // Distinct odd multiplier per fold; the finalizer in `finish`
+        // does the real mixing.
+        self.state = (self.state ^ x).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, x: u32) {
+        self.write_u64(x as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, x: u16) {
+        self.write_u64(x as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, x: u8) {
+        self.write_u64(x as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, x: usize) {
+        self.write_u64(x as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        let mut x = self.state;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+}
+
+#[inline]
+fn hash_of<K: Hash>(key: &K) -> u64 {
+    let mut h = SplitMixHasher::default();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// Open-addressed map with linear probing and backward-shift deletion.
+#[derive(Clone, Debug)]
+pub struct FastMap<K, V> {
+    /// Power-of-two slot array (empty map owns no allocation).
+    slots: Vec<Option<(K, V)>>,
+    len: usize,
+}
+
+impl<K, V> Default for FastMap<K, V> {
+    fn default() -> Self {
+        FastMap {
+            slots: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<K: Eq + Hash, V> FastMap<K, V> {
+    /// Empty map; allocates nothing until the first insert.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Heap bytes resident in the slot array.
+    pub fn heap_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Option<(K, V)>>()
+    }
+
+    /// Remove every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        for s in self.slots.iter_mut() {
+            *s = None;
+        }
+        self.len = 0;
+    }
+
+    #[inline]
+    fn slot_of(&self, key: &K) -> Option<usize> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = hash_of(key) as usize & mask;
+        loop {
+            match &self.slots[i] {
+                None => return None,
+                Some((k, _)) if k == key => return Some(i),
+                Some(_) => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Shared reference to the value for `key`.
+    #[inline]
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.slot_of(key)
+            .map(|i| &self.slots[i].as_ref().expect("live slot").1)
+    }
+
+    /// Mutable reference to the value for `key`.
+    #[inline]
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.slot_of(key)
+            .map(|i| &mut self.slots[i].as_mut().expect("live slot").1)
+    }
+
+    /// Whether `key` is present.
+    #[inline]
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.slot_of(key).is_some()
+    }
+
+    /// Insert, returning the previous value if the key was present.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.reserve_one();
+        let mask = self.slots.len() - 1;
+        let mut i = hash_of(&key) as usize & mask;
+        loop {
+            match &mut self.slots[i] {
+                slot @ None => {
+                    *slot = Some((key, value));
+                    self.len += 1;
+                    return None;
+                }
+                Some((k, v)) if *k == key => {
+                    return Some(std::mem::replace(v, value));
+                }
+                Some(_) => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Mutable reference to the value for `key`, inserting
+    /// `default()` first if absent (the `entry().or_insert_with()`
+    /// shape the accumulators use).
+    pub fn get_or_insert_with(&mut self, key: K, default: impl FnOnce() -> V) -> &mut V {
+        self.reserve_one();
+        let mask = self.slots.len() - 1;
+        let mut i = hash_of(&key) as usize & mask;
+        loop {
+            match &self.slots[i] {
+                None => {
+                    self.slots[i] = Some((key, default()));
+                    self.len += 1;
+                    return &mut self.slots[i].as_mut().expect("just inserted").1;
+                }
+                Some((k, _)) if *k == key => {
+                    return &mut self.slots[i].as_mut().expect("live slot").1;
+                }
+                Some(_) => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Remove `key`, returning its value. Backward-shift deletion keeps
+    /// every remaining probe chain intact without tombstones.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let mut hole = self.slot_of(key)?;
+        let (_, v) = self.slots[hole].take().expect("live slot");
+        self.len -= 1;
+        let mask = self.slots.len() - 1;
+        let mut i = (hole + 1) & mask;
+        while let Some((k, _)) = &self.slots[i] {
+            let home = hash_of(k) as usize & mask;
+            // Shift back iff the hole lies cyclically within
+            // [home, i): the entry can still be found from `home`.
+            let dist_hole = hole.wrapping_sub(home) & mask;
+            let dist_i = i.wrapping_sub(home) & mask;
+            if dist_hole <= dist_i {
+                self.slots[hole] = self.slots[i].take();
+                hole = i;
+            }
+            i = (i + 1) & mask;
+        }
+        Some(v)
+    }
+
+    /// Iterate entries in slot order (deterministic for a given history).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|(k, v)| (k, v)))
+    }
+
+    /// Iterate values.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.slots.iter().filter_map(|s| s.as_ref().map(|(_, v)| v))
+    }
+
+    /// Grow so one more insert stays under 50% load.
+    fn reserve_one(&mut self) {
+        if self.slots.is_empty() {
+            self.slots = (0..8).map(|_| None).collect();
+            return;
+        }
+        if (self.len + 1) * 2 > self.slots.len() {
+            let doubled = self.slots.len() * 2;
+            let old = std::mem::replace(&mut self.slots, (0..doubled).map(|_| None).collect());
+            let mask = doubled - 1;
+            for (k, v) in old.into_iter().flatten() {
+                let mut i = hash_of(&k) as usize & mask;
+                while self.slots[i].is_some() {
+                    i = (i + 1) & mask;
+                }
+                self.slots[i] = Some((k, v));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut m = FastMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(1u64, "a"), None);
+        assert_eq!(m.insert(2, "b"), None);
+        assert_eq!(m.insert(1, "a2"), Some("a"));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(&1), Some(&"a2"));
+        assert_eq!(m.remove(&1), Some("a2"));
+        assert_eq!(m.remove(&1), None);
+        assert_eq!(m.get(&1), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut m = FastMap::new();
+        for i in 0..1000u64 {
+            m.insert(i, i * 3);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&i), Some(&(i * 3)));
+        }
+    }
+
+    #[test]
+    fn churn_with_backward_shift() {
+        // Insert/remove churn over a small key universe: tombstone-free
+        // deletion must keep every probe chain findable.
+        let mut m = FastMap::new();
+        let mut model = std::collections::HashMap::new();
+        let mut x = 0x1234_5678_u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = (x >> 33) % 64;
+            if x & 1 == 0 {
+                assert_eq!(m.insert(key, x), model.insert(key, x));
+            } else {
+                assert_eq!(m.remove(&key), model.remove(&key));
+            }
+            assert_eq!(m.len(), model.len());
+        }
+        for (k, v) in model.iter() {
+            assert_eq!(m.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn get_or_insert_with_accumulates() {
+        let mut m: FastMap<&str, u64> = FastMap::new();
+        *m.get_or_insert_with("a", || 0) += 5;
+        *m.get_or_insert_with("a", || 0) += 7;
+        assert_eq!(m.get(&"a"), Some(&12));
+    }
+
+    #[test]
+    fn tuple_keys() {
+        let mut m: FastMap<(u64, u32), u32> = FastMap::new();
+        for i in 0..100u64 {
+            m.insert((i, (i * 7) as u32), i as u32);
+        }
+        for i in 0..100u64 {
+            assert_eq!(m.remove(&(i, (i * 7) as u32)), Some(i as u32));
+        }
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn clear_retains_nothing() {
+        let mut m = FastMap::new();
+        m.insert(1u32, 1u32);
+        m.insert(2, 2);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(&1), None);
+        m.insert(3, 3);
+        assert_eq!(m.get(&3), Some(&3));
+    }
+}

@@ -12,6 +12,9 @@
 //!   syscall-offload service CPUs, SDMA engines and fabric links;
 //! * [`stats`] — counters, per-key time accumulators (the MPI and kernel
 //!   profilers), histograms and Welford mean/variance;
+//! * [`FastMap`] — a splitmix64 open-addressed map (linear probing,
+//!   backward-shift deletion) replacing SipHash maps on per-completion
+//!   hot paths;
 //! * [`sketch`] — constant-memory, deterministic, mergeable quantile
 //!   sketches for O(1)-footprint run statistics at 4096-node scale;
 //! * [`memalloc`] — an opt-in counting global allocator so the bench
@@ -27,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fastmap;
 pub mod json;
 pub mod memalloc;
 pub mod par;
@@ -37,6 +41,7 @@ pub mod stats;
 pub mod time;
 
 pub use event::{EventQueue, HeapEventQueue, WheelProfile};
+pub use fastmap::FastMap;
 pub use json::Json;
 pub use par::{default_threads, par_map, par_map_threads, SpinBarrier, WindowSync};
 pub use resource::{BandwidthGate, Grant, ServerPool};

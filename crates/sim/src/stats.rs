@@ -2,8 +2,8 @@
 //! per-key time accumulators (the MPI and kernel profilers are built on
 //! these), and log₂-bucketed histograms.
 
+use crate::fastmap::FastMap;
 use crate::time::Ns;
-use std::collections::HashMap;
 use std::hash::Hash;
 
 /// A monotonically increasing counter.
@@ -30,16 +30,18 @@ impl Counter {
 
 /// Accumulates `(count, total duration)` per key. This is the backbone of
 /// both the `I_MPI_STATS`-style MPI profiler (key = MPI call) and the
-/// in-kernel profiler of Figures 8/9 (key = syscall number).
+/// in-kernel profiler of Figures 8/9 (key = syscall number). Backed by
+/// [`FastMap`]: `record` runs once per syscall/MPI call on every rank,
+/// where SipHash was pure overhead.
 #[derive(Clone, Debug)]
 pub struct TimeByKey<K: Eq + Hash> {
-    map: HashMap<K, (u64, Ns)>,
+    map: FastMap<K, (u64, Ns)>,
 }
 
 impl<K: Eq + Hash> Default for TimeByKey<K> {
     fn default() -> Self {
         TimeByKey {
-            map: HashMap::new(),
+            map: FastMap::new(),
         }
     }
 }
@@ -52,7 +54,7 @@ impl<K: Eq + Hash + Clone> TimeByKey<K> {
 
     /// Record one occurrence of `key` lasting `dur`.
     pub fn record(&mut self, key: K, dur: Ns) {
-        let e = self.map.entry(key).or_insert((0, Ns::ZERO));
+        let e = self.map.get_or_insert_with(key, || (0, Ns::ZERO));
         e.0 += 1;
         e.1 += dur;
     }
@@ -60,6 +62,11 @@ impl<K: Eq + Hash + Clone> TimeByKey<K> {
     /// `(count, total)` for `key`.
     pub fn get(&self, key: &K) -> (u64, Ns) {
         self.map.get(key).copied().unwrap_or((0, Ns::ZERO))
+    }
+
+    /// Heap bytes resident in the accumulator.
+    pub fn heap_bytes(&self) -> usize {
+        self.map.heap_bytes()
     }
 
     /// Sum of all recorded durations.
@@ -96,7 +103,7 @@ impl<K: Eq + Hash + Clone> TimeByKey<K> {
     /// Merge another accumulator into this one (used to aggregate ranks).
     pub fn merge(&mut self, other: &TimeByKey<K>) {
         for (k, &(c, t)) in other.map.iter() {
-            let e = self.map.entry(k.clone()).or_insert((0, Ns::ZERO));
+            let e = self.map.get_or_insert_with(k.clone(), || (0, Ns::ZERO));
             e.0 += c;
             e.1 += t;
         }

@@ -18,9 +18,9 @@ fn port_pipeline_is_version_robust() {
         assert_eq!(port.fastpath_syscalls.len(), 2);
         let driver = pico_hfi1::Hfi1Driver::new(layouts, pico_hfi1::HfiDriverCosts::default(), 16);
         for e in 0..16 {
-            assert!(shadow.engine_running(driver.sdma_state[e].bytes()));
+            assert!(shadow.engine_running(driver.sdma_state(e).bytes()));
         }
-        assert_eq!(shadow.num_sdma(driver.devdata.bytes()), 16);
+        assert_eq!(shadow.num_sdma(driver.devdata().bytes()), 16);
     }
 }
 

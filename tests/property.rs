@@ -117,7 +117,7 @@ fn contiguous_runs_tile_mappings() {
         // Spot-check translations at run boundaries.
         let mut off = 0;
         for run in &runs {
-            let t = asp.page_table.translate(va + off).unwrap();
+            let t = asp.translate(va + off).unwrap();
             assert_eq!(t.pa, run.pa, "case {case}");
             off += run.len;
         }
@@ -1013,4 +1013,165 @@ fn auto_shard_heuristic_independent_of_worker_count() {
     };
     let one = run(1);
     assert_eq!(run(2), one, "worker count changed the partition/results");
+}
+
+/// The flyweight node model (template-boot cloning + lazy cold state)
+/// against the eager per-node boot (`cfg.eager_node_model`), across the
+/// application mix and all three OS configs, sharded at 2 workers plus
+/// a 1/2/4/8-worker sweep.
+///
+/// The flyweight model boots exactly one node per OS configuration and
+/// stamps the rest out as `Arc`-shared views of its post-boot images —
+/// frame pool, address-space tables, driver reset registers, the ported
+/// shadow, unified kernel space and callback table — materializing
+/// private copies only on first mutating touch. The eager model builds
+/// every node privately. A fresh view is bit-identical to a fresh
+/// private boot (node state is node-invariant up to the `node << 40`
+/// physical base, which every read-only walk applies on the fly), so
+/// the two models must agree on every engine counter, every finish
+/// time, and every arrival digest.
+#[test]
+fn flyweight_node_model_matches_eager_boot() {
+    use pico_apps::{App, JobShape};
+    use pico_cluster::{ClusterConfig, EngineMode, FabricMode, OsConfig, World};
+
+    let apps = [
+        (
+            App::PingPong {
+                bytes: 8 * 1024,
+                reps: 6,
+            },
+            2,
+            1,
+            1u32,
+        ),
+        (App::Umt2013, 4, 2, 2),
+        (App::Hacc, 4, 2, 2),
+        (App::Nekbone, 4, 2, 1),
+        (App::Qbox, 2, 2, 1),
+    ];
+    let mut case = 0u64;
+    for (app, nodes, rpn, iters) in apps {
+        for os in OsConfig::ALL {
+            let seed = case_rng(0xF1E9_B007, case).next_u64();
+            case += 1;
+            let shape = JobShape {
+                nodes,
+                ranks_per_node: rpn,
+            };
+            let mut cfg = ClusterConfig::paper(os, shape);
+            cfg.seed = seed;
+            cfg.batch_fabric = FabricMode::Incast;
+            cfg.record_per_rank = true;
+            cfg.engine = EngineMode::Sharded;
+            cfg.threads = Some(2);
+            cfg.shards = Some(nodes as usize);
+            assert!(!cfg.eager_node_model, "flyweight is the default");
+            let mut eager_cfg = cfg.clone();
+            eager_cfg.eager_node_model = true;
+            let fly = World::new(cfg, app, iters).run();
+            let eager = World::new(eager_cfg, app, iters).run();
+            let label = format!("case {case} {app:?} {} nodes {nodes}", os.label());
+            assert_eq!(
+                engine_digest(&fly),
+                engine_digest(&eager),
+                "{label}: flyweight vs eager node model"
+            );
+            assert_eq!(
+                fly.kernel_profile.sorted_desc(),
+                eager.kernel_profile.sorted_desc(),
+                "{label}: kernel syscall profile"
+            );
+        }
+    }
+
+    // Worker sweep: both node models are worker-count-invariant and
+    // equal to each other at every thread count.
+    let shape = JobShape {
+        nodes: 4,
+        ranks_per_node: 2,
+    };
+    let mut cfg = ClusterConfig::paper(OsConfig::McKernelHfi, shape);
+    cfg.batch_fabric = FabricMode::Incast;
+    cfg.engine = EngineMode::Sharded;
+    cfg.record_per_rank = true;
+    cfg.shards = Some(4);
+    let run = |threads: usize, eager: bool| {
+        let mut c = cfg.clone();
+        c.threads = Some(threads);
+        c.eager_node_model = eager;
+        engine_digest(&World::new(c, App::Umt2013, 2).run())
+    };
+    let reference = run(1, true);
+    for threads in [1usize, 2, 4, 8] {
+        assert_eq!(
+            run(threads, false),
+            reference,
+            "flyweight, {threads} threads"
+        );
+        assert_eq!(run(threads, true), reference, "eager, {threads} threads");
+    }
+}
+
+/// Toy-scale first-touch coverage: a flyweight node dragged through
+/// *every* syscall and offload path — device open / 6 device mmaps /
+/// close, scratch mmap + munmap churn (Qbox materializes the shared
+/// frame pool and address spaces), TID programming and SDMA writev
+/// (UMT exercises the fast path's read-only walks over shared tables),
+/// completion callbacks through the shared callback table, and backed
+/// payloads end to end — finishes bit-identical to an eagerly booted
+/// node, in every OS configuration, on the single-queue reference
+/// engine.
+#[test]
+fn flyweight_first_touch_paths_match_eager() {
+    use pico_apps::{App, JobShape};
+    use pico_cluster::{ClusterConfig, OsConfig, World};
+
+    let shape = JobShape {
+        nodes: 2,
+        ranks_per_node: 2,
+    };
+    // Qbox: mmap/munmap churn (frame-pool + page-table materialization,
+    // TLB shootdowns). UMT: SDMA pipeline, TID registration, LWK block
+    // pool and cross-kernel completion callbacks. PingPong (backed):
+    // real payloads through PIO and the receive copy-out.
+    let apps = [
+        (App::Qbox, 1u32),
+        (App::Umt2013, 2),
+        (
+            App::PingPong {
+                bytes: 64 * 1024,
+                reps: 4,
+            },
+            2,
+        ),
+    ];
+    for (app, iters) in apps {
+        for os in OsConfig::ALL {
+            let mut cfg = ClusterConfig::paper(os, shape);
+            cfg.record_per_rank = true;
+            cfg.backed = true;
+            assert!(!cfg.eager_node_model, "flyweight is the default");
+            let mut eager_cfg = cfg.clone();
+            eager_cfg.eager_node_model = true;
+            let fly = World::new(cfg, app, iters).run();
+            let eager = World::new(eager_cfg, app, iters).run();
+            let label = format!("{app:?} {}", os.label());
+            assert_eq!(fly.payload_errors, 0, "{label}");
+            assert_eq!(
+                engine_digest(&fly),
+                engine_digest(&eager),
+                "{label}: flyweight vs eager"
+            );
+            assert_eq!(
+                fly.kernel_profile.sorted_desc(),
+                eager.kernel_profile.sorted_desc(),
+                "{label}: kernel syscall profile"
+            );
+            assert_eq!(
+                fly.offload_queue_wait, eager.offload_queue_wait,
+                "{label}: delegator queueing"
+            );
+        }
+    }
 }
